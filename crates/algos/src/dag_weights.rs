@@ -1,0 +1,121 @@
+//! Lemma 4.1 (via \[15\], Lemma 2.5): a weight setting realizing a given DAG.
+//!
+//! Given a DAG `G` (as an edge mask over the network) whose sinks include the
+//! target `t`, assign each node the potential `p(v) = n - rank(v)` where
+//! `rank` is a topological position. Setting `w(u,v) = p(u) - p(v) ≥ 1` on
+//! DAG edges makes every DAG path from `u` to `t` cost exactly
+//! `p(u) - p(t)` (telescoping sum), so *every* DAG edge lies on a shortest
+//! path to `t`. All non-DAG edges get a weight larger than any possible
+//! potential difference, keeping them off all shortest paths.
+
+use segrout_core::{Network, TeError, WeightSetting};
+use segrout_graph::topological_order;
+
+/// Computes a weight setting under which the ECMP shortest-path DAG towards
+/// *every* node of the masked DAG coincides with the masked DAG restricted
+/// to the nodes that reach it; in particular, for a target `t` that is a sink
+/// of the DAG, the induced ECMP flow from any DAG node to `t` splits over
+/// exactly the DAG edges (paper Lemma 4.1).
+///
+/// # Errors
+/// Fails when the mask is cyclic.
+pub fn dag_realizing_weights(net: &Network, mask: &[bool]) -> Result<WeightSetting, TeError> {
+    let g = net.graph();
+    assert_eq!(mask.len(), g.edge_count(), "mask length mismatch");
+    let order = topological_order(g, mask).ok_or(TeError::InvalidWaypoints(
+        "dag_realizing_weights requires an acyclic edge mask".to_string(),
+    ))?;
+    let n = g.node_count();
+    // Potential: strictly decreasing along DAG edges.
+    let mut potential = vec![0.0; n];
+    for (rank, v) in order.iter().enumerate() {
+        potential[v.index()] = (n - rank) as f64;
+    }
+    // Any DAG path cost telescopes to p(u) - p(t) <= n; a single non-DAG edge
+    // already costs more than that.
+    let big = (2 * n + 1) as f64;
+    let mut weights = vec![big; g.edge_count()];
+    for (e, u, v) in g.edges() {
+        if mask[e.index()] {
+            let w = potential[u.index()] - potential[v.index()];
+            debug_assert!(w >= 1.0 - 1e-12, "topological order violated");
+            weights[e.index()] = w;
+        }
+    }
+    WeightSetting::new(net, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_core::{DemandList, NodeId, Router, WaypointSetting};
+
+    /// Build the diamond 0->1->3, 0->2->3 plus a shortcut 0->3 that we
+    /// exclude from the DAG.
+    fn net_with_shortcut() -> (Network, Vec<bool>) {
+        let mut b = Network::builder(4);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        b.link(NodeId(1), NodeId(3), 1.0);
+        b.link(NodeId(0), NodeId(2), 1.0);
+        b.link(NodeId(2), NodeId(3), 1.0);
+        b.link(NodeId(0), NodeId(3), 1.0); // shortcut, excluded
+        let net = b.build().unwrap();
+        let mask = vec![true, true, true, true, false];
+        (net, mask)
+    }
+
+    #[test]
+    fn ecmp_dag_equals_given_dag() {
+        let (net, mask) = net_with_shortcut();
+        let w = dag_realizing_weights(&net, &mask).unwrap();
+        let router = Router::new(&net, &w);
+        let dag = router.dag(NodeId(3));
+        for (e, &expected) in mask.iter().enumerate() {
+            assert_eq!(dag.edge_on_dag[e], expected, "edge {e} membership mismatch");
+        }
+    }
+
+    #[test]
+    fn flow_splits_over_the_dag_only() {
+        let (net, mask) = net_with_shortcut();
+        let w = dag_realizing_weights(&net, &mask).unwrap();
+        let router = Router::new(&net, &w);
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(3), 2.0);
+        let r = router.evaluate(&d, &WaypointSetting::none(1)).unwrap();
+        assert!((r.loads[0] - 1.0).abs() < 1e-9);
+        assert!((r.loads[2] - 1.0).abs() < 1e-9);
+        assert_eq!(r.loads[4], 0.0, "shortcut must carry no flow");
+    }
+
+    #[test]
+    fn single_path_dag() {
+        let (net, _) = net_with_shortcut();
+        // Only the upper path 0 -> 1 -> 3.
+        let mask = vec![true, true, false, false, false];
+        let w = dag_realizing_weights(&net, &mask).unwrap();
+        let router = Router::new(&net, &w);
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(3), 1.0);
+        let r = router.evaluate(&d, &WaypointSetting::none(1)).unwrap();
+        assert_eq!(r.loads, vec![1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn weights_are_integral_and_positive() {
+        let (net, mask) = net_with_shortcut();
+        let w = dag_realizing_weights(&net, &mask).unwrap();
+        for &val in w.as_slice() {
+            assert!(val >= 1.0);
+            assert!((val - val.round()).abs() < 1e-12, "weights should be integral");
+        }
+    }
+
+    #[test]
+    fn cyclic_mask_fails() {
+        let mut b = Network::builder(2);
+        b.bilink(NodeId(0), NodeId(1), 1.0);
+        let net = b.build().unwrap();
+        assert!(dag_realizing_weights(&net, &[true, true]).is_err());
+    }
+}

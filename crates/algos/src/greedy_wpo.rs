@@ -1,0 +1,277 @@
+//! Algorithm 3 (GreedyWPO): greedy waypoint selection under fixed weights.
+//!
+//! Demands are visited in descending size order. For each demand `ψ = (s, t,
+//! d)` every node `w` is probed as a single waypoint — the demand is replaced
+//! by the two segments `(s, w, d)` and `(w, t, d)` — and the waypoint that
+//! lowers the current MLU the most is kept (none if no node improves it).
+//!
+//! The implementation maintains the running load vector of the *current*
+//! routing (earlier demands keep their chosen waypoints), which both matches
+//! the greedy "improve the MLU of the whole configuration" reading of the
+//! pseudo-code and avoids quadratic re-evaluation: probing a waypoint is a
+//! sparse delta on the load vector.
+
+use segrout_core::{
+    max_link_utilization, DemandList, EdgeId, Network, NodeId, Router, TeError, WaypointSetting,
+    WeightSetting,
+};
+
+/// Sparse per-edge load delta of one candidate routing.
+type SparseLoads = Vec<(EdgeId, f64)>;
+
+/// Configuration of GreedyWPO.
+#[derive(Clone, Debug)]
+pub struct GreedyWpoConfig {
+    /// Candidate waypoints to consider for each demand. `None` probes every
+    /// node (the paper's algorithm); a subset makes sweeps cheaper.
+    pub candidates: Option<Vec<NodeId>>,
+    /// Minimum relative MLU improvement for a waypoint to be accepted
+    /// (guards against floating-point churn).
+    pub min_improvement: f64,
+    /// Waypoint budget `W` per demand. The paper's Algorithm 3 uses 1;
+    /// larger budgets run additional greedy passes that insert one more
+    /// waypoint into each demand's current segment chain.
+    pub max_waypoints: usize,
+}
+
+impl Default for GreedyWpoConfig {
+    fn default() -> Self {
+        Self {
+            candidates: None,
+            min_improvement: 1e-9,
+            max_waypoints: 1,
+        }
+    }
+}
+
+/// Runs GreedyWPO, returning the waypoint setting (at most one waypoint per
+/// demand, the paper's `W = 1` regime of Algorithm 3).
+///
+/// # Errors
+/// Fails when the initial ECMP routing of some demand is impossible.
+pub fn greedy_wpo(
+    net: &Network,
+    demands: &DemandList,
+    weights: &WeightSetting,
+    cfg: &GreedyWpoConfig,
+) -> Result<WaypointSetting, TeError> {
+    let router = Router::new(net, weights);
+    let caps = net.capacities();
+    let mut setting = WaypointSetting::none(demands.len());
+
+    // Loads of the all-direct routing.
+    let mut loads = router.evaluate(demands, &setting).map(|r| r.loads)?;
+    let mut u_min = max_link_utilization(&loads, caps);
+
+    let all_nodes: Vec<NodeId> = net.graph().nodes().collect();
+    let candidates: &[NodeId] = cfg.candidates.as_deref().unwrap_or(&all_nodes);
+
+    // Sparse loads of routing `amount` along the segment chain
+    // src -> chain[0] -> ... -> dst (degenerate hops skipped).
+    let chain_loads = |chain: &[NodeId],
+                       src: NodeId,
+                       dst: NodeId,
+                       amount: f64|
+     -> Result<SparseLoads, TeError> {
+        let mut out = Vec::new();
+        let mut cur = src;
+        for &hop in chain.iter().chain(std::iter::once(&dst)) {
+            if hop != cur {
+                out.extend(router.segment_loads_sparse(cur, hop, amount)?);
+                cur = hop;
+            }
+        }
+        Ok(out)
+    };
+
+    let mut scratch = loads.clone();
+    // One greedy pass per waypoint of budget: each pass may insert one more
+    // waypoint into every demand's chain (pass 1 with an empty chain is
+    // exactly the paper's Algorithm 3).
+    for _pass in 0..cfg.max_waypoints.max(1) {
+        let mut inserted_any = false;
+        for i in demands.indices_by_descending_size() {
+            let d = demands[i];
+            let chain = setting.get(i).to_vec();
+            if chain.len() >= cfg.max_waypoints {
+                continue;
+            }
+            // Remove this demand's current contribution.
+            let current = chain_loads(&chain, d.src, d.dst, d.size)?;
+            for &(e, l) in &current {
+                loads[e.index()] -= l;
+            }
+
+            let mut best: Option<(Vec<NodeId>, f64, SparseLoads)> = None;
+            for pos in 0..=chain.len() {
+                for &w in candidates {
+                    if w == d.src || w == d.dst || chain.contains(&w) {
+                        continue;
+                    }
+                    let mut cand = chain.clone();
+                    cand.insert(pos, w);
+                    let Ok(delta) = chain_loads(&cand, d.src, d.dst, d.size) else {
+                        continue;
+                    };
+                    scratch.copy_from_slice(&loads);
+                    for &(e, l) in &delta {
+                        scratch[e.index()] += l;
+                    }
+                    let u = max_link_utilization(&scratch, caps);
+                    let current_best = best.as_ref().map(|(_, u, _)| *u).unwrap_or(u_min);
+                    if u < current_best * (1.0 - cfg.min_improvement) {
+                        best = Some((cand, u, delta));
+                    }
+                }
+            }
+
+            match best {
+                Some((cand, u, delta)) => {
+                    setting.set(i, cand);
+                    for (e, l) in delta {
+                        loads[e.index()] += l;
+                    }
+                    u_min = u;
+                    inserted_any = true;
+                }
+                None => {
+                    // Keep the current chain.
+                    for (e, l) in current {
+                        loads[e.index()] += l;
+                    }
+                }
+            }
+        }
+        if !inserted_any {
+            break;
+        }
+    }
+    Ok(setting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// TE-Instance-1 shape with m = 3: chain s=0 -> 1 -> 2 with thick links
+    /// (cap 3), thin links (cap 1) from each chain node to t=3.
+    fn instance1_like() -> (Network, DemandList) {
+        let mut b = Network::builder(4);
+        b.link(NodeId(0), NodeId(1), 3.0); // e0
+        b.link(NodeId(1), NodeId(2), 3.0); // e1
+        b.link(NodeId(0), NodeId(3), 1.0); // e2 (s,t)
+        b.link(NodeId(1), NodeId(3), 1.0); // e3
+        b.link(NodeId(2), NodeId(3), 1.0); // e4
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        for _ in 0..3 {
+            d.push(NodeId(0), NodeId(3), 1.0);
+        }
+        (net, d)
+    }
+
+    /// Weights under which the direct (s,t) link is the unique shortest
+    /// path, so all three unit demands pile onto the capacity-1 link.
+    fn direct_heavy_weights(net: &Network) -> WeightSetting {
+        // chain links weight 1, (v_i, t) links weight 10 except (s,t) = 2.
+        WeightSetting::new(net, vec![1.0, 1.0, 2.0, 10.0, 10.0]).unwrap()
+    }
+
+    #[test]
+    fn waypoints_spread_the_load() {
+        let (net, d) = instance1_like();
+        let w = direct_heavy_weights(&net);
+        let router = Router::new(&net, &w);
+        let before = router.mlu(&d).unwrap();
+        assert!((before - 3.0).abs() < 1e-9); // all 3 units on the (s,t) link
+
+        let wp = greedy_wpo(&net, &d, &w, &GreedyWpoConfig::default()).unwrap();
+        let after = router.evaluate(&d, &wp).unwrap().mlu;
+        assert!(
+            after < before - 0.5,
+            "greedy waypoints should reduce MLU: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn no_waypoint_when_nothing_improves() {
+        // Single demand over a single path: no waypoint can help.
+        let mut b = Network::builder(3);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        b.link(NodeId(1), NodeId(2), 1.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(2), 1.0);
+        let w = WeightSetting::unit(&net);
+        let wp = greedy_wpo(&net, &d, &w, &GreedyWpoConfig::default()).unwrap();
+        assert!(wp.get(0).is_empty());
+    }
+
+    #[test]
+    fn mlu_never_increases() {
+        let (net, d) = instance1_like();
+        for weights in [
+            WeightSetting::unit(&net),
+            WeightSetting::inverse_capacity(&net),
+            direct_heavy_weights(&net),
+        ] {
+            let router = Router::new(&net, &weights);
+            let before = router.mlu(&d).unwrap();
+            let wp = greedy_wpo(&net, &d, &weights, &GreedyWpoConfig::default()).unwrap();
+            let after = router.evaluate(&d, &wp).unwrap().mlu;
+            assert!(after <= before + 1e-9, "{before} -> {after}");
+        }
+    }
+
+    #[test]
+    fn candidate_restriction_is_respected() {
+        let (net, d) = instance1_like();
+        let w = direct_heavy_weights(&net);
+        let cfg = GreedyWpoConfig {
+            candidates: Some(vec![NodeId(1)]),
+            ..Default::default()
+        };
+        let wp = greedy_wpo(&net, &d, &w, &cfg).unwrap();
+        for i in 0..d.len() {
+            for &x in wp.get(i) {
+                assert_eq!(x, NodeId(1));
+            }
+        }
+    }
+
+    #[test]
+    fn descending_order_assigns_biggest_first() {
+        // Two demands of different size; only one useful waypoint slot
+        // (capacities make a single reroute beneficial). The big demand gets
+        // first pick.
+        let (net, _) = instance1_like();
+        let w = direct_heavy_weights(&net);
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(3), 0.4);
+        d.push(NodeId(0), NodeId(3), 2.0);
+        let wp = greedy_wpo(&net, &d, &w, &GreedyWpoConfig::default()).unwrap();
+        // The larger demand (index 1) must have been rerouted.
+        assert!(!wp.get(1).is_empty());
+    }
+    #[test]
+    fn two_waypoint_budget_runs_extra_passes() {
+        // TE-Instance 3 needs two waypoints for its optimal routing; with
+        // W = 2 greedy must do at least as well as with W = 1.
+        let (net, d) = instance1_like();
+        let w = direct_heavy_weights(&net);
+        let router = Router::new(&net, &w);
+        let one = greedy_wpo(&net, &d, &w, &GreedyWpoConfig::default()).unwrap();
+        let two = greedy_wpo(
+            &net,
+            &d,
+            &w,
+            &GreedyWpoConfig { max_waypoints: 2, ..Default::default() },
+        )
+        .unwrap();
+        let u1 = router.evaluate(&d, &one).unwrap().mlu;
+        let u2 = router.evaluate(&d, &two).unwrap().mlu;
+        assert!(u2 <= u1 + 1e-9, "W=2 never worse: {u2} vs {u1}");
+        assert!(two.max_used() <= 2);
+    }
+
+}

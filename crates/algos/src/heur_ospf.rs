@@ -1,0 +1,289 @@
+//! HeurOSPF: the Fortz–Thorup local search for link-weight optimization
+//! (paper \[11\], used as the subroutine of JOINT-Heur in §6).
+//!
+//! Weights are integers in `[1, max_weight]`. The search starts from the
+//! inverse-capacity setting (plus optional random restarts), and repeatedly
+//! scans the links in random order trying a small family of candidate weight
+//! changes per link, accepting the first strict improvement of the
+//! objective. A hash set of visited weight vectors avoids re-evaluating
+//! settings, and a no-improvement full pass ends a descent.
+//!
+//! Objective: the paper's local search minimizes the piecewise-linear
+//! congestion cost `Φ` (which correlates with, and tie-breaks on, MLU); the
+//! evaluation in §7 reports MLU. Both orderings are supported.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use segrout_core::{fortz_phi, DemandList, Network, Router, WaypointSetting, WeightSetting};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Which objective the local search descends on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Lexicographic `(Φ, MLU)` — the Fortz–Thorup congestion cost first.
+    PhiThenMlu,
+    /// Lexicographic `(MLU, Φ)` — minimize the paper's reported metric
+    /// directly, tie-breaking on Φ.
+    MluThenPhi,
+}
+
+/// Configuration of the local search.
+#[derive(Clone, Debug)]
+pub struct HeurOspfConfig {
+    /// Largest integer weight (Fortz–Thorup use 16–20 for ISP topologies).
+    pub max_weight: u32,
+    /// Number of random restarts in addition to the inverse-capacity start.
+    pub restarts: usize,
+    /// Upper bound on full link-scan passes per descent.
+    pub max_passes: usize,
+    /// Objective ordering.
+    pub objective: Objective,
+    /// RNG seed (the search is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for HeurOspfConfig {
+    fn default() -> Self {
+        Self {
+            max_weight: 20,
+            restarts: 2,
+            max_passes: 30,
+            objective: Objective::MluThenPhi,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Objective value: a lexicographic pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Score(f64, f64);
+
+impl Score {
+    fn better_than(&self, other: &Score) -> bool {
+        const REL: f64 = 1e-9;
+        let tol0 = REL * (1.0 + other.0.abs());
+        if self.0 < other.0 - tol0 {
+            return true;
+        }
+        if self.0 > other.0 + tol0 {
+            return false;
+        }
+        self.1 < other.1 - REL * (1.0 + other.1.abs())
+    }
+}
+
+fn hash_weights(w: &[u32]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    w.hash(&mut h);
+    h.finish()
+}
+
+/// Evaluates integer weights, returning the configured lexicographic score.
+/// Unroutable demand sets score infinitely bad.
+fn score(
+    net: &Network,
+    demands: &DemandList,
+    weights: &[u32],
+    objective: Objective,
+) -> Score {
+    let w = WeightSetting::new(net, weights.iter().map(|&x| x as f64).collect())
+        .expect("integer weights in range are always valid");
+    let router = Router::new(net, &w);
+    match router.evaluate(demands, &WaypointSetting::none(demands.len())) {
+        Err(_) => Score(f64::INFINITY, f64::INFINITY),
+        Ok(report) => {
+            let phi = fortz_phi(&report.loads, net.capacities());
+            match objective {
+                Objective::PhiThenMlu => Score(phi, report.mlu),
+                Objective::MluThenPhi => Score(report.mlu, phi),
+            }
+        }
+    }
+}
+
+/// Scales the inverse-capacity setting into the integer range
+/// `[1, max_weight]` — the conventional warm start.
+fn inverse_capacity_start(net: &Network, max_weight: u32) -> Vec<u32> {
+    let min_cap = net
+        .capacities()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    net.capacities()
+        .iter()
+        .map(|&c| {
+            let w = (min_cap / c * max_weight as f64).round();
+            (w as u32).clamp(1, max_weight)
+        })
+        .collect()
+}
+
+/// Runs the HeurOSPF local search, returning the best weight setting found.
+///
+/// Deterministic for a fixed seed. Demands that are unroutable under every
+/// weight setting make every score infinite; the inverse-capacity start is
+/// then returned unchanged.
+pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> WeightSetting {
+    assert!(cfg.max_weight >= 2, "max_weight must allow at least {{1, 2}}");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let m = net.edge_count();
+
+    let mut best: Vec<u32> = inverse_capacity_start(net, cfg.max_weight);
+    let mut best_score = score(net, demands, &best, cfg.objective);
+
+    for restart in 0..=cfg.restarts {
+        let mut cur: Vec<u32> = if restart == 0 {
+            best.clone()
+        } else {
+            (0..m).map(|_| rng.gen_range(1..=cfg.max_weight)).collect()
+        };
+        let mut cur_score = score(net, demands, &cur, cfg.objective);
+        let mut visited: HashSet<u64> = HashSet::new();
+        visited.insert(hash_weights(&cur));
+
+        let mut edge_order: Vec<usize> = (0..m).collect();
+        for _pass in 0..cfg.max_passes {
+            let mut improved = false;
+            edge_order.shuffle(&mut rng);
+            for &e in &edge_order {
+                let old = cur[e];
+                // Candidate moves: small steps, halving/doubling, extremes,
+                // and one random value — a cheap but diverse neighbourhood.
+                let candidates = [
+                    old.saturating_sub(1).max(1),
+                    (old + 1).min(cfg.max_weight),
+                    (old / 2).max(1),
+                    (old * 2).min(cfg.max_weight),
+                    1,
+                    cfg.max_weight,
+                    rng.gen_range(1..=cfg.max_weight),
+                ];
+                for &cand in &candidates {
+                    if cand == old {
+                        continue;
+                    }
+                    cur[e] = cand;
+                    let h = hash_weights(&cur);
+                    if !visited.insert(h) {
+                        cur[e] = old;
+                        continue;
+                    }
+                    let s = score(net, demands, &cur, cfg.objective);
+                    if s.better_than(&cur_score) {
+                        cur_score = s;
+                        improved = true;
+                        break; // first improvement: keep cand
+                    }
+                    cur[e] = old;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        if cur_score.better_than(&best_score) {
+            best_score = cur_score;
+            best = cur;
+        }
+    }
+
+    WeightSetting::new(net, best.iter().map(|&x| x as f64).collect())
+        .expect("integer weights in range are always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_core::NodeId;
+
+    /// The Figure-1 style trap: direct link (s,t) with capacity 1, detour
+    /// with capacity 10. Unit weights overload the direct link; the local
+    /// search must lengthen it.
+    fn trap_network() -> (Network, DemandList) {
+        let mut b = Network::builder(3);
+        b.link(NodeId(0), NodeId(2), 1.0); // direct, thin
+        b.link(NodeId(0), NodeId(1), 10.0);
+        b.link(NodeId(1), NodeId(2), 10.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(2), 10.0);
+        (net, d)
+    }
+
+    #[test]
+    fn escapes_the_thin_direct_link() {
+        let (net, d) = trap_network();
+        let cfg = HeurOspfConfig::default();
+        let w = heur_ospf(&net, &d, &cfg);
+        let router = Router::new(&net, &w);
+        let mlu = router.mlu(&d).unwrap();
+        // Routing everything over the detour gives MLU 1.0; splitting gives
+        // 5.0; direct-only gives 10. The search must find <= 1.0.
+        assert!(mlu <= 1.0 + 1e-9, "mlu = {mlu}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (net, d) = trap_network();
+        let cfg = HeurOspfConfig::default();
+        let a = heur_ospf(&net, &d, &cfg);
+        let b = heur_ospf(&net, &d, &cfg);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn weights_stay_in_range() {
+        let (net, d) = trap_network();
+        let cfg = HeurOspfConfig {
+            max_weight: 7,
+            ..Default::default()
+        };
+        let w = heur_ospf(&net, &d, &cfg);
+        for &x in w.as_slice() {
+            assert!((1.0..=7.0).contains(&x));
+            assert_eq!(x, x.round());
+        }
+    }
+
+    #[test]
+    fn phi_objective_also_improves() {
+        let (net, d) = trap_network();
+        let cfg = HeurOspfConfig {
+            objective: Objective::PhiThenMlu,
+            ..Default::default()
+        };
+        let w = heur_ospf(&net, &d, &cfg);
+        let router = Router::new(&net, &w);
+        assert!(router.mlu(&d).unwrap() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn multi_demand_balancing() {
+        // Square with two crossing demands; unit capacities force the search
+        // to keep the demands on disjoint sides.
+        let mut b = Network::builder(4);
+        b.bilink(NodeId(0), NodeId(1), 1.0);
+        b.bilink(NodeId(1), NodeId(2), 1.0);
+        b.bilink(NodeId(2), NodeId(3), 1.0);
+        b.bilink(NodeId(3), NodeId(0), 1.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(2), 1.0);
+        d.push(NodeId(2), NodeId(0), 1.0);
+        let w = heur_ospf(&net, &d, &HeurOspfConfig::default());
+        let router = Router::new(&net, &w);
+        // Perfectly balanced: each unit takes one two-hop side, MLU 1.0 (or
+        // 0.5 each way if split). Must not exceed 1.
+        assert!(router.mlu(&d).unwrap() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn inverse_capacity_start_is_sane() {
+        let (net, _) = trap_network();
+        let start = inverse_capacity_start(&net, 20);
+        assert_eq!(start[0], 20); // thin link gets the largest weight
+        assert_eq!(start[1], 2); // 1/10 of max, rounded
+    }
+}

@@ -1,0 +1,162 @@
+//! Algorithm 2 (JOINT-Heur): the sequential joint weight + waypoint
+//! heuristic (paper §6).
+//!
+//! 1. Run HeurOSPF to obtain a weight setting `ω`.
+//! 2. Run GreedyWPO under `ω` to obtain a waypoint setting `π`.
+//! 3. (Optional, paper lines 3–4) Replace each waypointed demand by its two
+//!    segment demands and rerun HeurOSPF for a refreshed weight setting `ω'`.
+//! 4. Return the better of `(ω, π)` and `(ω', π)` by evaluated MLU — the
+//!    paper reports the improvement from the second pass as negligible and
+//!    plots only the first two steps, so the second pass is off by default.
+
+use crate::greedy_wpo::{greedy_wpo, GreedyWpoConfig};
+use crate::heur_ospf::{heur_ospf, HeurOspfConfig};
+use segrout_core::{DemandList, Network, Router, TeError, WaypointSetting, WeightSetting};
+
+/// Configuration of JOINT-Heur.
+#[derive(Clone, Debug, Default)]
+pub struct JointHeurConfig {
+    /// Local-search configuration for the weight stages.
+    pub ospf: HeurOspfConfig,
+    /// Waypoint stage configuration.
+    pub wpo: GreedyWpoConfig,
+    /// Whether to run the second weight optimization on the segment-expanded
+    /// demand list (Algorithm 2, lines 3–4).
+    pub second_weight_pass: bool,
+    /// Optional precomputed stage-1 weight setting: callers that already ran
+    /// HeurOSPF (e.g. to report its standalone column) can pass the result
+    /// here instead of paying for an identical second search.
+    pub stage1_weights: Option<WeightSetting>,
+}
+
+/// Output of JOINT-Heur: a joint weight + waypoint setting with its MLU.
+#[derive(Clone, Debug)]
+pub struct JointHeurResult {
+    /// The selected weight setting.
+    pub weights: WeightSetting,
+    /// The waypoint setting `π` (at most one waypoint per demand).
+    pub waypoints: WaypointSetting,
+    /// MLU of the joint configuration.
+    pub mlu: f64,
+    /// MLU after stage 1 only (HeurOSPF), for reporting the waypoint gain.
+    pub mlu_weights_only: f64,
+}
+
+/// Runs JOINT-Heur on a general TE instance.
+///
+/// # Errors
+/// Propagates routing errors (disconnected demand pairs).
+pub fn joint_heur(
+    net: &Network,
+    demands: &DemandList,
+    cfg: &JointHeurConfig,
+) -> Result<JointHeurResult, TeError> {
+    // Stage 1: link-weight optimization (or the caller's precomputed one).
+    let omega = match &cfg.stage1_weights {
+        Some(w) => w.clone(),
+        None => heur_ospf(net, demands, &cfg.ospf),
+    };
+    let router = Router::new(net, &omega);
+    let mlu_weights_only = router.mlu(demands)?;
+
+    // Stage 2: greedy waypoints under omega.
+    let pi = greedy_wpo(net, demands, &omega, &cfg.wpo)?;
+    let mut best_mlu = router.evaluate(demands, &pi)?.mlu;
+    let mut best_weights = omega.clone();
+
+    // Stages 3-4: re-optimize weights on the segment-expanded demands.
+    if cfg.second_weight_pass {
+        let mut expanded = DemandList::new();
+        for (i, d) in demands.iter().enumerate() {
+            for (s, t, size) in pi.segments_of(i, d) {
+                expanded.push(s, t, size);
+            }
+        }
+        let omega2 = heur_ospf(net, &expanded, &cfg.ospf);
+        let router2 = Router::new(net, &omega2);
+        let mlu2 = router2.evaluate(demands, &pi)?.mlu;
+        if mlu2 < best_mlu {
+            best_mlu = mlu2;
+            best_weights = omega2;
+        }
+    }
+
+    Ok(JointHeurResult {
+        weights: best_weights,
+        waypoints: pi,
+        mlu: best_mlu,
+        mlu_weights_only,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_core::NodeId;
+
+    /// A network where weights alone cannot balance single-pair demands but
+    /// waypoints can: the TE-Instance-1 pattern with m = 4.
+    fn instance1_m4() -> (Network, DemandList) {
+        let m = 4u32;
+        let mut b = Network::builder(m as usize + 1); // v1..v4 = 0..3, t = 4
+        for i in 0..m - 1 {
+            b.link(NodeId(i), NodeId(i + 1), m as f64);
+        }
+        for i in 0..m {
+            b.link(NodeId(i), NodeId(m), 1.0);
+        }
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        for _ in 0..m {
+            d.push(NodeId(0), NodeId(m), 1.0);
+        }
+        (net, d)
+    }
+
+    #[test]
+    fn joint_beats_weights_only() {
+        let (net, d) = instance1_m4();
+        let r = joint_heur(&net, &d, &JointHeurConfig::default()).unwrap();
+        // LWO alone cannot do better than (n-1)/2 = 2 (Lemma 3.6); the joint
+        // optimum is 1 (Lemma 3.5). The heuristic must close most of the gap.
+        assert!(
+            r.mlu < r.mlu_weights_only - 1e-9,
+            "joint {} !< weights-only {}",
+            r.mlu,
+            r.mlu_weights_only
+        );
+        assert!(r.mlu <= 1.5 + 1e-9, "joint heuristic should approach 1.0, got {}", r.mlu);
+    }
+
+    #[test]
+    fn result_is_consistent_with_reevaluation() {
+        let (net, d) = instance1_m4();
+        let r = joint_heur(&net, &d, &JointHeurConfig::default()).unwrap();
+        let router = Router::new(&net, &r.weights);
+        let mlu = router.evaluate(&d, &r.waypoints).unwrap().mlu;
+        assert!((mlu - r.mlu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_pass_never_worsens() {
+        let (net, d) = instance1_m4();
+        let base = joint_heur(&net, &d, &JointHeurConfig::default()).unwrap();
+        let with_pass = joint_heur(
+            &net,
+            &d,
+            &JointHeurConfig {
+                second_weight_pass: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(with_pass.mlu <= base.mlu + 1e-9);
+    }
+
+    #[test]
+    fn waypoint_budget_is_one() {
+        let (net, d) = instance1_m4();
+        let r = joint_heur(&net, &d, &JointHeurConfig::default()).unwrap();
+        assert!(r.waypoints.max_used() <= 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Maximum concurrent multi-commodity flow via the Garg–Könemann /
+//! Fleischer width-independent FPTAS.
+//!
+//! `OPT` in the paper is the minimum-MLU multi-commodity flow; it equals
+//! `1/λ*`, where `λ*` is the maximum concurrent throughput factor (the
+//! largest `λ` such that `λ · d_k` is simultaneously routable for every
+//! commodity within capacities). The paper solves this as an LP with Gurobi;
+//! `segrout-milp` provides that exact LP for small instances, and this
+//! module provides the FPTAS used for larger topologies and for the "MCF
+//! Synthetic" demand scaling of §7.
+//!
+//! The result is *self-certifying*: the returned flow is an explicit feasible
+//! routing whose MLU upper-bounds `OPT` regardless of the approximation
+//! analysis (we scale the accumulated flow by its own measured MLU), so the
+//! epsilon only influences quality, never soundness.
+
+use segrout_core::{DemandList, Network, NodeId, TeError};
+use segrout_graph::EPS;
+use std::collections::HashMap;
+
+/// Result of [`max_concurrent_flow`].
+#[derive(Clone, Debug)]
+pub struct McfResult {
+    /// Feasible concurrent throughput factor `λ` (a lower bound on `λ*`,
+    /// within `(1-ε)²` of it for connected instances).
+    pub lambda: f64,
+    /// Upper bound on the optimal MLU for routing the demands once:
+    /// `opt_mlu = 1/λ`.
+    pub opt_mlu: f64,
+    /// Per-link loads of a feasible routing of the demand list whose MLU is
+    /// exactly `opt_mlu`.
+    pub loads: Vec<f64>,
+    /// Number of completed phases of the FPTAS (diagnostic).
+    pub phases: usize,
+}
+
+/// Computes the (approximately) maximum concurrent flow for `demands` on
+/// `net` with accuracy parameter `epsilon` (e.g. 0.05).
+///
+/// # Errors
+/// Returns [`TeError::Unroutable`] when some demand pair is disconnected.
+///
+/// # Panics
+/// Panics when `epsilon` is outside `(0, 0.5]` or the demand list is empty.
+pub fn max_concurrent_flow(
+    net: &Network,
+    demands: &DemandList,
+    epsilon: f64,
+) -> Result<McfResult, TeError> {
+    assert!(
+        epsilon > 0.0 && epsilon <= 0.5,
+        "epsilon must lie in (0, 0.5]"
+    );
+    assert!(!demands.is_empty(), "demand list must be non-empty");
+
+    let g = net.graph();
+    let caps = net.capacities();
+    let m = g.edge_count() as f64;
+
+    // Group demands into commodities.
+    let mut commodities: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+    for d in demands {
+        *commodities.entry((d.src, d.dst)).or_insert(0.0) += d.size;
+    }
+    let mut commodities: Vec<((NodeId, NodeId), f64)> = commodities.into_iter().collect();
+    commodities.sort_by_key(|&((s, t), _)| (s, t));
+
+    // Demand pre-scaling (Fleischer): the FPTAS pushes min(remaining,
+    // bottleneck) per augmentation, so tiny demands against fat links make
+    // dual lengths crawl. Scale all demands by ζ = min_k maxflow_k / d_k —
+    // an upper bound on λ*, so the scaled instance has λ'* ≤ 1 and every
+    // push happens at capacity scale. λ is rescaled back at the end.
+    let mut zeta = f64::INFINITY;
+    for &((s, t), dk) in &commodities {
+        let mf = segrout_graph::max_flow(g, caps, s, t);
+        if mf.value <= EPS {
+            return Err(TeError::Unroutable { src: s, dst: t });
+        }
+        zeta = zeta.min(mf.value / dk);
+    }
+    for (_, dk) in commodities.iter_mut() {
+        *dk *= zeta;
+    }
+
+    // Initial dual lengths.
+    let delta = (1.0 + epsilon) * ((1.0 + epsilon) * m).powf(-1.0 / epsilon);
+    let mut length: Vec<f64> = caps.iter().map(|c| delta / c).collect();
+
+    let mut flow = vec![0.0; g.edge_count()];
+    let mut flow_at_phase_end = vec![0.0; g.edge_count()];
+    let mut full_phases = 0usize;
+
+    // Run until the dual objective crosses 1 AND at least `MIN_PHASES`
+    // phases are complete (extra phases only sharpen the result); cap the
+    // phase count defensively.
+    const MIN_PHASES: usize = 3;
+    const MAX_PHASES: usize = 100_000;
+    'phases: for _phase in 0..MAX_PHASES {
+        for &((s, t), dk) in &commodities {
+            let mut remaining = dk;
+            while remaining > EPS * dk {
+                // Extract one shortest path s -> t via parent pointers (a
+                // tree walk cannot loop, unlike a greedy descent over
+                // distance labels that may tie numerically when lengths
+                // span many orders of magnitude).
+                let Some(path) = shortest_path_edges(net, &length, s, t) else {
+                    return Err(TeError::Unroutable { src: s, dst: t });
+                };
+                let bottleneck = path
+                    .iter()
+                    .map(|&e| caps[e])
+                    .fold(f64::INFINITY, f64::min);
+                let push = remaining.min(bottleneck);
+                for &e in &path {
+                    flow[e] += push;
+                    length[e] *= 1.0 + epsilon * push / caps[e];
+                }
+                remaining -= push;
+            }
+        }
+        full_phases += 1;
+        flow_at_phase_end.copy_from_slice(&flow);
+        let dual: f64 = length.iter().zip(caps).map(|(l, c)| l * c).sum();
+        if dual >= 1.0 && full_phases >= MIN_PHASES {
+            break 'phases;
+        }
+    }
+
+    // The accumulated flow routes `full_phases` copies of every commodity.
+    // Scale it by its own MLU: a feasible concurrent flow of factor
+    // T / MLU(F).
+    let mlu_raw = flow_at_phase_end
+        .iter()
+        .zip(caps)
+        .map(|(f, c)| f / c)
+        .fold(0.0, f64::max);
+    debug_assert!(mlu_raw > 0.0, "flow must be positive after a full phase");
+    // Undo the ζ pre-scaling: the flow routes `full_phases` copies of the
+    // *scaled* demands, i.e. `full_phases · ζ` copies of the originals.
+    let lambda = full_phases as f64 * zeta / mlu_raw;
+    let opt_mlu = 1.0 / lambda;
+    let loads: Vec<f64> = flow_at_phase_end
+        .iter()
+        .map(|f| f / (full_phases as f64 * zeta))
+        .collect();
+
+    Ok(McfResult {
+        lambda,
+        opt_mlu,
+        loads,
+        phases: full_phases,
+    })
+}
+
+/// Computes one shortest `s → t` path under `length` by a forward Dijkstra
+/// with parent pointers; returns the edge-index sequence, or `None` when
+/// `t` is unreachable. The parent-pointer tree guarantees a simple path
+/// even under extreme length magnitudes.
+fn shortest_path_edges(net: &Network, length: &[f64], s: NodeId, t: NodeId) -> Option<Vec<usize>> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    let g = net.graph();
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut done = vec![false; n];
+
+    struct Entry {
+        d: f64,
+        v: NodeId,
+    }
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.d == other.d
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other.d.partial_cmp(&self.d).unwrap_or(Ordering::Equal)
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    dist[s.index()] = 0.0;
+    heap.push(Entry { d: 0.0, v: s });
+    while let Some(Entry { d, v }) = heap.pop() {
+        if done[v.index()] {
+            continue;
+        }
+        done[v.index()] = true;
+        if v == t {
+            break;
+        }
+        for &e in g.out_edges(v) {
+            let w = g.dst(e);
+            let nd = d + length[e.index()];
+            if nd < dist[w.index()] {
+                dist[w.index()] = nd;
+                parent[w.index()] = Some(e.index());
+                heap.push(Entry { d: nd, v: w });
+            }
+        }
+    }
+    if !dist[t.index()].is_finite() {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut v = t;
+    while v != s {
+        let e = parent[v.index()]?;
+        path.push(e);
+        v = g.src(segrout_graph::EdgeId(e as u32));
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_parallel_links() {
+        // caps 3 and 1, demand 2: lambda* = 2, OPT MLU = 0.5.
+        let mut b = Network::builder(2);
+        b.link(NodeId(0), NodeId(1), 3.0);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(1), 2.0);
+        let r = max_concurrent_flow(&net, &d, 0.05).unwrap();
+        assert!(
+            (r.lambda - 2.0).abs() < 0.2,
+            "lambda = {} should be near 2",
+            r.lambda
+        );
+        // Soundness: the scaled loads must have MLU == opt_mlu and respect
+        // conservation of the demand.
+        let mlu = r
+            .loads
+            .iter()
+            .zip(net.capacities())
+            .map(|(l, c)| l / c)
+            .fold(0.0, f64::max);
+        assert!((mlu - r.opt_mlu).abs() < 1e-9);
+        let total: f64 = r.loads.iter().sum();
+        assert!((total - 2.0).abs() < 1e-6, "loads route the full demand");
+    }
+
+    #[test]
+    fn crossing_commodities_share_a_link() {
+        // Two commodities forced through one shared middle link (cap 1):
+        // lambda* = 1 / 2 for unit demands.
+        let mut b = Network::builder(4);
+        b.link(NodeId(0), NodeId(2), 10.0);
+        b.link(NodeId(1), NodeId(2), 10.0);
+        b.link(NodeId(2), NodeId(3), 1.0); // shared bottleneck
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(3), 1.0);
+        d.push(NodeId(1), NodeId(3), 1.0);
+        let r = max_concurrent_flow(&net, &d, 0.05).unwrap();
+        assert!((r.opt_mlu - 2.0).abs() < 0.25, "opt_mlu = {}", r.opt_mlu);
+    }
+
+    #[test]
+    fn instance1_opt_is_one() {
+        // TE-Instance 1 with m = 4: OPT = 1 for the m unit demands.
+        let m = 4u32;
+        let mut b = Network::builder(m as usize + 1);
+        for i in 0..m - 1 {
+            b.link(NodeId(i), NodeId(i + 1), m as f64);
+        }
+        for i in 0..m {
+            b.link(NodeId(i), NodeId(m), 1.0);
+        }
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        for _ in 0..m {
+            d.push(NodeId(0), NodeId(m), 1.0);
+        }
+        let r = max_concurrent_flow(&net, &d, 0.03).unwrap();
+        assert!(
+            (r.opt_mlu - 1.0).abs() < 0.1,
+            "opt_mlu = {} should be near 1",
+            r.opt_mlu
+        );
+    }
+
+    #[test]
+    fn disconnected_commodity_errors() {
+        let mut b = Network::builder(3);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(2), 1.0);
+        assert!(max_concurrent_flow(&net, &d, 0.1).is_err());
+    }
+
+    #[test]
+    fn tighter_epsilon_is_at_least_as_good() {
+        let mut b = Network::builder(2);
+        b.link(NodeId(0), NodeId(1), 3.0);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(1), 2.0);
+        let coarse = max_concurrent_flow(&net, &d, 0.3).unwrap();
+        let fine = max_concurrent_flow(&net, &d, 0.02).unwrap();
+        assert!(fine.lambda >= coarse.lambda - 0.05);
+        // Both are sound lower bounds on lambda* = 2.
+        assert!(coarse.lambda <= 2.0 + 1e-9);
+        assert!(fine.lambda <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        let mut b = Network::builder(2);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(1), 1.0);
+        let _ = max_concurrent_flow(&net, &d, 0.0);
+    }
+}

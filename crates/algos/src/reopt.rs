@@ -1,0 +1,346 @@
+//! Reconfiguration-aware re-optimization — the extension the paper's
+//! conclusion calls for: *"It would be interesting to explore TE algorithms
+//! that react to shifts in the traffic demand and account for
+//! reconfiguration costs."*
+//!
+//! When the traffic matrix drifts, re-running HeurOSPF from scratch may
+//! rewrite most link weights; every changed weight triggers an IGP
+//! re-convergence with transient loops and packet loss, so operators want
+//! *few* changes. [`reoptimize_weights`] runs the same local search but
+//! constrains the result to differ from the currently deployed setting on
+//! at most `max_weight_changes` links. Because segment-routing waypoints
+//! are per-demand header state (no IGP flooding), waypoint churn is free by
+//! comparison — so [`reoptimize_joint`] first spends the cheap knob
+//! (waypoints on the *old* weights) and only then the constrained weight
+//! changes, quantifying the papers' intuition that the joint approach also
+//! helps operationally.
+
+use crate::greedy_wpo::{greedy_wpo, GreedyWpoConfig};
+use crate::heur_ospf::{heur_ospf, HeurOspfConfig, Objective};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use segrout_core::{
+    fortz_phi, DemandList, Network, Router, TeError, WaypointSetting, WeightSetting,
+};
+
+/// Configuration for reconfiguration-aware re-optimization.
+#[derive(Clone, Debug)]
+pub struct ReoptimizeConfig {
+    /// Maximum number of links whose weight may differ from the deployed
+    /// setting (the reconfiguration budget).
+    pub max_weight_changes: usize,
+    /// Local-search parameters (weight range, passes, seed, objective).
+    pub ospf: HeurOspfConfig,
+    /// Waypoint stage parameters for [`reoptimize_joint`].
+    pub wpo: GreedyWpoConfig,
+}
+
+impl Default for ReoptimizeConfig {
+    fn default() -> Self {
+        Self {
+            max_weight_changes: 3,
+            ospf: HeurOspfConfig::default(),
+            wpo: GreedyWpoConfig::default(),
+        }
+    }
+}
+
+/// Result of a re-optimization step.
+#[derive(Clone, Debug)]
+pub struct ReoptimizeResult {
+    /// The new weight setting (within the change budget of the deployed
+    /// one for the constrained entry points).
+    pub weights: WeightSetting,
+    /// New waypoint setting (empty rows for [`reoptimize_weights`]).
+    pub waypoints: WaypointSetting,
+    /// MLU under the new configuration.
+    pub mlu: f64,
+    /// Number of links whose weight changed vs the deployed setting.
+    pub weight_changes: usize,
+}
+
+/// Counts links where two settings differ.
+pub fn weight_distance(a: &WeightSetting, b: &WeightSetting) -> usize {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .filter(|(x, y)| (*x - *y).abs() > 1e-9)
+        .count()
+}
+
+fn score(net: &Network, demands: &DemandList, weights: &[u32], objective: Objective) -> (f64, f64) {
+    let w = WeightSetting::new(net, weights.iter().map(|&x| x as f64).collect())
+        .expect("integer weights are valid");
+    let router = Router::new(net, &w);
+    match router.evaluate(demands, &WaypointSetting::none(demands.len())) {
+        Err(_) => (f64::INFINITY, f64::INFINITY),
+        Ok(r) => {
+            let phi = fortz_phi(&r.loads, net.capacities());
+            match objective {
+                Objective::PhiThenMlu => (phi, r.mlu),
+                Objective::MluThenPhi => (r.mlu, phi),
+            }
+        }
+    }
+}
+
+/// Re-optimizes link weights for `demands` starting from the deployed
+/// setting, changing at most `cfg.max_weight_changes` link weights.
+///
+/// The deployed weights are rounded into the integer range `[1,
+/// cfg.ospf.max_weight]` first (re-optimization assumes the deployed
+/// setting came from the same toolchain).
+///
+/// # Errors
+/// Propagates routing errors (disconnected demands under every setting).
+pub fn reoptimize_weights(
+    net: &Network,
+    demands: &DemandList,
+    deployed: &WeightSetting,
+    cfg: &ReoptimizeConfig,
+) -> Result<ReoptimizeResult, TeError> {
+    let m = net.edge_count();
+    let base: Vec<u32> = deployed
+        .as_slice()
+        .iter()
+        .map(|&w| (w.round() as u32).clamp(1, cfg.ospf.max_weight))
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(cfg.ospf.seed);
+    let mut cur = base.clone();
+    let mut cur_score = score(net, demands, &cur, cfg.ospf.objective);
+    let mut changed: Vec<usize> = Vec::new();
+
+    let mut edge_order: Vec<usize> = (0..m).collect();
+    for _pass in 0..cfg.ospf.max_passes {
+        let mut improved = false;
+        edge_order.shuffle(&mut rng);
+        for &e in &edge_order {
+            // Budget: may modify an already-changed link freely, or a fresh
+            // one only while budget remains.
+            let is_changed = changed.contains(&e);
+            if !is_changed && changed.len() >= cfg.max_weight_changes {
+                continue;
+            }
+            let old = cur[e];
+            let candidates = [
+                old.saturating_sub(1).max(1),
+                (old + 1).min(cfg.ospf.max_weight),
+                1,
+                cfg.ospf.max_weight,
+                rng.gen_range(1..=cfg.ospf.max_weight),
+            ];
+            for &cand in &candidates {
+                if cand == old {
+                    continue;
+                }
+                cur[e] = cand;
+                let s = score(net, demands, &cur, cfg.ospf.objective);
+                if s.0 < cur_score.0 - 1e-12
+                    || (s.0 <= cur_score.0 + 1e-12 && s.1 < cur_score.1 - 1e-12)
+                {
+                    cur_score = s;
+                    improved = true;
+                    if !is_changed && cur[e] != base[e] {
+                        changed.push(e);
+                    }
+                    break;
+                }
+                cur[e] = old;
+            }
+            // Reverting a changed link back to base frees budget.
+            if changed.contains(&e) && cur[e] == base[e] {
+                changed.retain(|&x| x != e);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let weights = WeightSetting::new(net, cur.iter().map(|&x| x as f64).collect())
+        .expect("integer weights are valid");
+    let router = Router::new(net, &weights);
+    let mlu = router.mlu(demands)?;
+    let weight_changes = cur
+        .iter()
+        .zip(&base)
+        .filter(|(a, b)| a != b)
+        .count();
+    debug_assert!(weight_changes <= cfg.max_weight_changes);
+    Ok(ReoptimizeResult {
+        weights,
+        waypoints: WaypointSetting::none(demands.len()),
+        mlu,
+        weight_changes,
+    })
+}
+
+/// Joint re-optimization: first re-assign waypoints under the *deployed*
+/// weights (free: no IGP churn), then spend the weight-change budget, then
+/// re-assign waypoints once more under the final weights. Returns the best
+/// stage.
+///
+/// # Errors
+/// Propagates routing errors.
+pub fn reoptimize_joint(
+    net: &Network,
+    demands: &DemandList,
+    deployed: &WeightSetting,
+    cfg: &ReoptimizeConfig,
+) -> Result<ReoptimizeResult, TeError> {
+    // Stage 1: waypoints on deployed weights.
+    let router_old = Router::new(net, deployed);
+    let wp1 = greedy_wpo(net, demands, deployed, &cfg.wpo)?;
+    let mlu1 = router_old.evaluate(demands, &wp1)?.mlu;
+
+    // Stage 2: constrained weight changes (on the direct demands; the
+    // waypoint stage is cheap to re-run afterwards).
+    let rw = reoptimize_weights(net, demands, deployed, cfg)?;
+
+    // Stage 3: waypoints on the new weights.
+    let wp3 = greedy_wpo(net, demands, &rw.weights, &cfg.wpo)?;
+    let router_new = Router::new(net, &rw.weights);
+    let mlu3 = router_new.evaluate(demands, &wp3)?.mlu;
+
+    if mlu1 <= mlu3 {
+        Ok(ReoptimizeResult {
+            weights: deployed.clone(),
+            waypoints: wp1,
+            mlu: mlu1,
+            weight_changes: 0,
+        })
+    } else {
+        Ok(ReoptimizeResult {
+            weights: rw.weights,
+            waypoints: wp3,
+            mlu: mlu3,
+            weight_changes: rw.weight_changes,
+        })
+    }
+}
+
+/// Convenience oracle: unconstrained re-optimization (full HeurOSPF from
+/// scratch) for comparing against the budgeted variants.
+pub fn reoptimize_unconstrained(
+    net: &Network,
+    demands: &DemandList,
+    deployed: &WeightSetting,
+    cfg: &ReoptimizeConfig,
+) -> Result<ReoptimizeResult, TeError> {
+    let weights = heur_ospf(net, demands, &cfg.ospf);
+    let router = Router::new(net, &weights);
+    let mlu = router.mlu(demands)?;
+    Ok(ReoptimizeResult {
+        weights: weights.clone(),
+        waypoints: WaypointSetting::none(demands.len()),
+        mlu,
+        weight_changes: weight_distance(&weights, deployed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_core::NodeId;
+
+    /// Deployed weights tuned for one matrix; then the traffic shifts.
+    fn shifted_scenario() -> (Network, DemandList, DemandList) {
+        let mut b = Network::builder(4);
+        b.bilink(NodeId(0), NodeId(1), 10.0);
+        b.bilink(NodeId(1), NodeId(2), 10.0);
+        b.bilink(NodeId(2), NodeId(3), 10.0);
+        b.bilink(NodeId(3), NodeId(0), 10.0);
+        b.bilink(NodeId(0), NodeId(2), 2.0);
+        let net = b.build().unwrap();
+        let mut before = DemandList::new();
+        before.push(NodeId(1), NodeId(3), 8.0);
+        let mut after = DemandList::new();
+        after.push(NodeId(0), NodeId(2), 8.0); // now the thin diagonal beckons
+        (net, before, after)
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let (net, before, after) = shifted_scenario();
+        let deployed = heur_ospf(&net, &before, &HeurOspfConfig::default());
+        for budget in [0usize, 1, 3] {
+            let cfg = ReoptimizeConfig {
+                max_weight_changes: budget,
+                ..Default::default()
+            };
+            let r = reoptimize_weights(&net, &after, &deployed, &cfg).unwrap();
+            assert!(
+                r.weight_changes <= budget,
+                "budget {budget} violated: {} changes",
+                r.weight_changes
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_keeps_deployed_weights() {
+        let (net, before, after) = shifted_scenario();
+        let deployed = heur_ospf(&net, &before, &HeurOspfConfig::default());
+        let cfg = ReoptimizeConfig {
+            max_weight_changes: 0,
+            ..Default::default()
+        };
+        let r = reoptimize_weights(&net, &after, &deployed, &cfg).unwrap();
+        assert_eq!(r.weight_changes, 0);
+    }
+
+    #[test]
+    fn more_budget_never_hurts() {
+        let (net, before, after) = shifted_scenario();
+        let deployed = heur_ospf(&net, &before, &HeurOspfConfig::default());
+        let mut last = f64::INFINITY;
+        for budget in [0usize, 2, 6] {
+            let cfg = ReoptimizeConfig {
+                max_weight_changes: budget,
+                ..Default::default()
+            };
+            let r = reoptimize_weights(&net, &after, &deployed, &cfg).unwrap();
+            assert!(r.mlu <= last + 1e-9, "budget {budget}: {} > {last}", r.mlu);
+            last = r.mlu;
+        }
+    }
+
+    #[test]
+    fn joint_reopt_beats_or_matches_weights_only() {
+        let (net, before, after) = shifted_scenario();
+        let deployed = heur_ospf(&net, &before, &HeurOspfConfig::default());
+        let cfg = ReoptimizeConfig {
+            max_weight_changes: 1,
+            ..Default::default()
+        };
+        let w_only = reoptimize_weights(&net, &after, &deployed, &cfg).unwrap();
+        let joint = reoptimize_joint(&net, &after, &deployed, &cfg).unwrap();
+        assert!(joint.mlu <= w_only.mlu + 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_is_the_quality_oracle() {
+        let (net, before, after) = shifted_scenario();
+        let deployed = heur_ospf(&net, &before, &HeurOspfConfig::default());
+        let cfg = ReoptimizeConfig {
+            max_weight_changes: 2,
+            ..Default::default()
+        };
+        let constrained = reoptimize_weights(&net, &after, &deployed, &cfg).unwrap();
+        let oracle = reoptimize_unconstrained(&net, &after, &deployed, &cfg).unwrap();
+        assert!(oracle.mlu <= constrained.mlu + 1e-9);
+    }
+
+    #[test]
+    fn weight_distance_counts_differences() {
+        let (net, _, _) = shifted_scenario();
+        let a = WeightSetting::unit(&net);
+        let mut b = WeightSetting::unit(&net);
+        b.set(segrout_core::EdgeId(0), 5.0);
+        b.set(segrout_core::EdgeId(3), 2.0);
+        assert_eq!(weight_distance(&a, &b), 2);
+        assert_eq!(weight_distance(&a, &a), 0);
+    }
+}

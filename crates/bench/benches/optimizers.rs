@@ -1,0 +1,89 @@
+//! Benchmarks of the paper's optimizers: LWO-APX (Algorithm 1), GreedyWPO
+//! (Algorithm 3), one HeurOSPF descent, and the end-to-end JOINT-Heur.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segrout_algos::{
+    greedy_wpo, heur_ospf, joint_heur, lwo_apx, max_concurrent_flow, GreedyWpoConfig,
+    HeurOspfConfig, JointHeurConfig,
+};
+use segrout_core::WeightSetting;
+use segrout_instances::{instance1, instance3};
+use segrout_topo::{abilene, by_name};
+use segrout_traffic::{mcf_synthetic, TrafficConfig};
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizers");
+
+    // LWO-APX on the adversarial constructions.
+    for m in [16usize, 64] {
+        let inst = instance1(m);
+        group.bench_with_input(BenchmarkId::new("lwo_apx_instance1", m), &inst, |b, inst| {
+            b.iter(|| lwo_apx(&inst.network, inst.source, inst.target).expect("routes").es_flow_value)
+        });
+        let i3 = instance3(m.min(24));
+        group.bench_with_input(BenchmarkId::new("lwo_apx_instance3", m.min(24)), &i3, |b, i3| {
+            b.iter(|| lwo_apx(&i3.network, i3.source, i3.target).expect("routes").es_flow_value)
+        });
+    }
+
+    // GreedyWPO and HeurOSPF on Abilene-scale inputs.
+    let net = abilene();
+    let demands = mcf_synthetic(
+        &net,
+        &TrafficConfig {
+            seed: 2,
+            ..Default::default()
+        },
+    )
+    .expect("connected");
+    let inv = WeightSetting::inverse_capacity(&net);
+    group.bench_function("greedy_wpo_abilene", |b| {
+        b.iter(|| greedy_wpo(&net, &demands, &inv, &GreedyWpoConfig::default()).expect("routes"))
+    });
+    let quick = HeurOspfConfig {
+        restarts: 0,
+        max_passes: 3,
+        ..Default::default()
+    };
+    group.bench_function("heur_ospf_abilene_3passes", |b| {
+        b.iter(|| heur_ospf(&net, &demands, &quick))
+    });
+    group.bench_function("joint_heur_abilene", |b| {
+        b.iter(|| {
+            joint_heur(
+                &net,
+                &demands,
+                &JointHeurConfig {
+                    ospf: quick.clone(),
+                    ..Default::default()
+                },
+            )
+            .expect("routes")
+            .mlu
+        })
+    });
+
+    // The MCF FPTAS on a mid-size topology.
+    let g50 = by_name("Germany50").expect("embedded");
+    let d50 = mcf_synthetic(
+        &g50,
+        &TrafficConfig {
+            seed: 3,
+            flows_per_pair: Some(1),
+            ..Default::default()
+        },
+    )
+    .expect("connected");
+    group.sample_size(10);
+    group.bench_function("mcf_fptas_germany50", |b| {
+        b.iter(|| max_concurrent_flow(&g50, &d50, 0.1).expect("routes").lambda)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_optimizers
+}
+criterion_main!(benches);

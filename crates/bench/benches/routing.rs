@@ -1,0 +1,67 @@
+//! Microbenchmarks of the routing substrate: Dijkstra / SP-DAG
+//! construction, full ECMP demand evaluation, max-flow, and the hash-ECMP
+//! simulator — the §7.1 runtime discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segrout_core::{NodeId, Router, WaypointSetting, WeightSetting};
+use segrout_graph::{acyclic_max_flow, shortest_path_dag};
+use segrout_sim::{HashEcmpSim, SimConfig, SimFlow};
+use segrout_topo::by_name;
+use segrout_traffic::{mcf_synthetic, TrafficConfig};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    for name in ["Abilene", "Germany50", "Ta2"] {
+        let net = by_name(name).expect("embedded");
+        let weights = WeightSetting::inverse_capacity(&net);
+        let demands = mcf_synthetic(
+            &net,
+            &TrafficConfig {
+                seed: 1,
+                flows_per_pair: Some(1),
+                ..Default::default()
+            },
+        )
+        .expect("connected");
+
+        group.bench_with_input(BenchmarkId::new("sp_dag", name), &net, |b, net| {
+            b.iter(|| shortest_path_dag(net.graph(), weights.as_slice(), NodeId(0)))
+        });
+        group.bench_with_input(BenchmarkId::new("ecmp_eval", name), &net, |b, net| {
+            b.iter(|| {
+                let router = Router::new(net, &weights);
+                router
+                    .evaluate(&demands, &WaypointSetting::none(demands.len()))
+                    .expect("routes")
+                    .mlu
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("max_flow", name), &net, |b, net| {
+            let t = NodeId((net.node_count() - 1) as u32);
+            b.iter(|| acyclic_max_flow(net.graph(), net.capacities(), NodeId(0), t).value)
+        });
+        group.bench_with_input(BenchmarkId::new("hash_sim", name), &net, |b, net| {
+            let sim = HashEcmpSim::new(net, &weights);
+            let flows: Vec<SimFlow> = demands
+                .iter()
+                .take(32)
+                .map(|d| SimFlow {
+                    src: d.src,
+                    dst: d.dst,
+                    rate: d.size,
+                    streams: 8,
+                    waypoints: vec![],
+                })
+                .collect();
+            b.iter(|| sim.run(&flows, &SimConfig::default()).expect("routes").mlu)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_routing
+}
+criterion_main!(benches);

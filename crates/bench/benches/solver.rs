@@ -1,0 +1,72 @@
+//! Benchmarks of the LP/MILP substrate: the OPT LP on real topologies and
+//! representative MILPs (WPO selection, small Joint).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segrout_core::WeightSetting;
+use segrout_lp::{solve_milp, Cmp, MilpOptions, Problem, Sense};
+use std::time::Duration;
+use segrout_milp::{opt_mlu_lp, wpo_ilp, WpoIlpOptions};
+use segrout_topo::abilene;
+use segrout_traffic::{mcf_synthetic, TrafficConfig};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    let net = abilene();
+    let demands = mcf_synthetic(
+        &net,
+        &TrafficConfig {
+            seed: 4,
+            flows_per_pair: Some(1),
+            ..Default::default()
+        },
+    )
+    .expect("connected");
+
+    group.sample_size(10);
+    group.bench_function("opt_mlu_lp_abilene", |b| {
+        b.iter(|| opt_mlu_lp(&net, &demands).expect("routes").objective)
+    });
+
+    let inv = WeightSetting::inverse_capacity(&net);
+    // A tight solver budget keeps the benchmark measuring the formulation
+    // build + warm-started search, not a fixed 60 s B&B timeout.
+    let quick_milp = WpoIlpOptions {
+        milp: MilpOptions {
+            node_limit: 500,
+            time_limit: Duration::from_secs(5),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    group.bench_function("wpo_ilp_abilene", |b| {
+        b.iter(|| {
+            wpo_ilp(&net, &demands, &inv, &quick_milp)
+                .expect("routes")
+                .mlu
+        })
+    });
+
+    group.bench_function("knapsack_milp_30", |b| {
+        b.iter(|| {
+            let mut p = Problem::new(Sense::Maximize);
+            let vars: Vec<_> = (0..30)
+                .map(|i| p.add_bin_var(format!("v{i}"), ((i * 7) % 13 + 1) as f64))
+                .collect();
+            let terms: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, ((i * 5) % 11 + 1) as f64))
+                .collect();
+            p.add_constraint(terms, Cmp::Le, 40.0);
+            solve_milp(&p, &MilpOptions::default()).objective
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solver
+}
+criterion_main!(benches);

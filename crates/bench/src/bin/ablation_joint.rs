@@ -1,0 +1,171 @@
+//! Ablations over JOINT-Heur's design choices — the §8 open questions
+//! ("how well can a sequential approach approximate Joint? how many
+//! iterations and how many waypoints suffice?"):
+//!
+//! 1. the second weight-optimization pass (Algorithm 2 lines 3–4, reported
+//!    "negligible" in §7.1),
+//! 2. the waypoint budget (one greedy pass vs a second stacked pass —
+//!    effectively W = 2),
+//! 3. the local-search effort (restarts / passes),
+//! 4. the integer weight range `w_max`.
+
+use segrout_algos::{greedy_wpo, heur_ospf, joint_heur, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig};
+use segrout_bench::{banner, fast_mode, stat, write_json};
+use segrout_core::{DemandList, Network, Router, WaypointSetting};
+use segrout_topo::{abilene, by_name};
+use segrout_traffic::{mcf_synthetic, TrafficConfig};
+use serde_json::json;
+
+fn main() {
+    banner("Ablations — JOINT-Heur design choices (§8 open questions)");
+    let nets: Vec<(&str, Network)> = if fast_mode() {
+        vec![("Abilene", abilene())]
+    } else {
+        vec![
+            ("Abilene", abilene()),
+            ("Geant", by_name("Geant").expect("embedded")),
+            ("Cost266", by_name("Cost266").expect("embedded")),
+        ]
+    };
+    let mut records = Vec::new();
+
+    for (name, net) in &nets {
+        let demands = mcf_synthetic(
+            net,
+            &TrafficConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .expect("connected");
+        println!("\n== {name} ({} nodes, {} demands) ==", net.node_count(), demands.len());
+
+        // --- 1. Second weight pass on/off ---
+        let base_cfg = HeurOspfConfig {
+            seed: 5,
+            restarts: 1,
+            max_passes: 15,
+            ..Default::default()
+        };
+        let without = joint_heur(
+            net,
+            &demands,
+            &JointHeurConfig {
+                ospf: base_cfg.clone(),
+                second_weight_pass: false,
+                ..Default::default()
+            },
+        )
+        .expect("routes");
+        let with = joint_heur(
+            net,
+            &demands,
+            &JointHeurConfig {
+                ospf: base_cfg.clone(),
+                second_weight_pass: true,
+                ..Default::default()
+            },
+        )
+        .expect("routes");
+        println!(
+            "second weight pass: off = {:.4}, on = {:.4} (improvement {:.2}%)",
+            without.mlu,
+            with.mlu,
+            100.0 * (without.mlu - with.mlu) / without.mlu
+        );
+        records.push(json!({
+            "topology": name, "ablation": "second_weight_pass",
+            "off": without.mlu, "on": with.mlu,
+        }));
+
+        // --- 2. Waypoint budget: W = 0 / 1 / 2 (stacked greedy) ---
+        let w0 = without.mlu_weights_only;
+        let w1 = without.mlu;
+        let w2 = stacked_waypoints(net, &demands, &without.weights, &without.waypoints);
+        println!("waypoint budget: W=0 -> {w0:.4}, W=1 -> {w1:.4}, W=2 -> {w2:.4}");
+        records.push(json!({
+            "topology": name, "ablation": "waypoint_budget",
+            "w0": w0, "w1": w1, "w2": w2,
+        }));
+
+        // --- 3. Local-search effort ---
+        print!("local-search effort (restarts/passes): ");
+        let mut effort_row = Vec::new();
+        for (restarts, passes) in [(0usize, 5usize), (1, 15), (3, 30)] {
+            let cfg = HeurOspfConfig {
+                seed: 5,
+                restarts,
+                max_passes: passes,
+                ..Default::default()
+            };
+            let w = heur_ospf(net, &demands, &cfg);
+            let mlu = Router::new(net, &w).mlu(&demands).expect("routes");
+            print!("{restarts}r/{passes}p -> {mlu:.4}  ");
+            effort_row.push(json!({"restarts": restarts, "passes": passes, "mlu": mlu}));
+        }
+        println!();
+        records.push(json!({"topology": name, "ablation": "search_effort", "rows": effort_row}));
+
+        // --- 4. Weight range w_max ---
+        print!("weight range w_max: ");
+        let mut range_row = Vec::new();
+        for w_max in [4u32, 8, 20, 64] {
+            let cfg = HeurOspfConfig {
+                seed: 5,
+                max_weight: w_max,
+                restarts: 0,
+                max_passes: 10,
+                ..Default::default()
+            };
+            let w = heur_ospf(net, &demands, &cfg);
+            let mlu = Router::new(net, &w).mlu(&demands).expect("routes");
+            print!("{w_max} -> {mlu:.4}  ");
+            range_row.push(json!({"w_max": w_max, "mlu": mlu}));
+        }
+        println!();
+        records.push(json!({"topology": name, "ablation": "weight_range", "rows": range_row}));
+    }
+
+    // Summary over topologies for the headline questions.
+    let improvements: Vec<f64> = records
+        .iter()
+        .filter(|r| r["ablation"] == "second_weight_pass")
+        .map(|r| {
+            let off = r["off"].as_f64().unwrap_or(1.0);
+            let on = r["on"].as_f64().unwrap_or(1.0);
+            100.0 * (off - on) / off
+        })
+        .collect();
+    if !improvements.is_empty() {
+        println!(
+            "\nSecond-pass improvement across topologies: avg {:.2}% (paper: negligible)",
+            stat(&improvements).avg
+        );
+    }
+    write_json("ablation_joint", &json!({ "records": records }));
+}
+
+/// Runs a second greedy waypoint pass on top of an existing one: each
+/// demand's current first segment may gain one more waypoint, emulating a
+/// W = 2 budget.
+fn stacked_waypoints(
+    net: &Network,
+    demands: &DemandList,
+    weights: &segrout_core::WeightSetting,
+    first: &WaypointSetting,
+) -> f64 {
+    // Expand demands by the first waypoint pass, then run greedy again on
+    // the expanded segments and measure the resulting MLU.
+    let mut expanded = DemandList::new();
+    for (i, d) in demands.iter().enumerate() {
+        for (s, t, size) in first.segments_of(i, d) {
+            expanded.push(s, t, size);
+        }
+    }
+    let second = greedy_wpo(net, &expanded, weights, &GreedyWpoConfig::default())
+        .expect("routes");
+    Router::new(net, weights)
+        .evaluate(&expanded, &second)
+        .expect("routes")
+        .mlu
+}

@@ -1,0 +1,102 @@
+//! Figure 6: MLU under "real" (skewed full-mesh) demands on the three
+//! SNDLib topologies with published traffic matrices.
+//!
+//! Offline substitution (DESIGN.md §3): SNDLib's real matrices are stood in
+//! for by MCF-normalized gravity matrices with heavy log-normal skew — the
+//! two properties the paper highlights ("all connection pairs are active,
+//! though a huge skew can be observed"). Paper averages: HeurOSPF 1.11 →
+//! JointHeur 1.05.
+
+use segrout_algos::{greedy_wpo, heur_ospf, joint_heur, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig};
+use segrout_bench::{banner, fast_mode, seeds, stat, write_json};
+use segrout_core::{Router, WeightSetting};
+use segrout_topo::fig6_topologies;
+use segrout_traffic::{gravity, TrafficConfig};
+use serde_json::json;
+
+fn main() {
+    banner("Figure 6 — real-like (gravity) demands on Abilene / Germany50 / Géant");
+    let n_seeds = if fast_mode() { 1 } else { seeds() };
+    println!("matrices per topology: {n_seeds}\n");
+    println!(
+        "{:<12} | {:>18} {:>18} {:>18} {:>18}",
+        "topology", "InverseCapacity", "HeurOSPF", "GreedyWaypoints", "JointHeur"
+    );
+
+    let mut rows = Vec::new();
+    let mut heur_all = Vec::new();
+    let mut joint_all = Vec::new();
+    for (name, net) in fig6_topologies() {
+        let mut cols = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for seed in 0..n_seeds {
+            let demands = match gravity(
+                &net,
+                &TrafficConfig {
+                    seed: 300 + seed,
+                    ..Default::default()
+                },
+            ) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("skipping {name} seed {seed}: {e}");
+                    continue;
+                }
+            };
+            let inv_w = WeightSetting::inverse_capacity(&net);
+            cols[0].push(Router::new(&net, &inv_w).mlu(&demands).expect("routes"));
+
+            let ospf_cfg = HeurOspfConfig {
+                seed: 13 + seed,
+                restarts: if fast_mode() { 0 } else { 1 },
+                max_passes: if fast_mode() { 5 } else { 20 },
+                ..Default::default()
+            };
+            let heur_w = heur_ospf(&net, &demands, &ospf_cfg);
+            cols[1].push(Router::new(&net, &heur_w).mlu(&demands).expect("routes"));
+
+            let wp = greedy_wpo(&net, &demands, &inv_w, &GreedyWpoConfig::default())
+                .expect("routes");
+            cols[2].push(
+                Router::new(&net, &inv_w)
+                    .evaluate(&demands, &wp)
+                    .expect("routes")
+                    .mlu,
+            );
+
+            let joint = joint_heur(
+                &net,
+                &demands,
+                &JointHeurConfig {
+                    ospf: ospf_cfg,
+                    ..Default::default()
+                },
+            )
+            .expect("routes");
+            cols[3].push(joint.mlu);
+        }
+        let stats: Vec<_> = cols.iter().map(|c| stat(c)).collect();
+        println!(
+            "{:<12} | {:>5.2}/{:>5.2}/{:>5.2} {:>6.2}/{:>5.2}/{:>5.2} {:>6.2}/{:>5.2}/{:>5.2} {:>6.2}/{:>5.2}/{:>5.2}",
+            name,
+            stats[0].min, stats[0].avg, stats[0].max,
+            stats[1].min, stats[1].avg, stats[1].max,
+            stats[2].min, stats[2].avg, stats[2].max,
+            stats[3].min, stats[3].avg, stats[3].max,
+        );
+        heur_all.extend_from_slice(&cols[1]);
+        joint_all.extend_from_slice(&cols[3]);
+        rows.push(json!({
+            "topology": name,
+            "inverse_capacity": stats[0],
+            "heur_ospf": stats[1],
+            "greedy_waypoints": stats[2],
+            "joint_heur": stats[3],
+        }));
+    }
+    println!(
+        "\nAverages: HeurOSPF {:.3} -> JointHeur {:.3}  (paper: 1.11 -> 1.05)",
+        stat(&heur_all).avg,
+        stat(&joint_all).avg
+    );
+    write_json("fig6", &json!({ "rows": rows, "seeds": n_seeds }));
+}

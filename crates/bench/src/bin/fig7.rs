@@ -1,0 +1,77 @@
+//! Figure 7: the Nanonet proof-of-concept, reproduced on the hash-ECMP
+//! simulator.
+//!
+//! Setup mirrors §7.2: TE-Instance 1 with m = 4, four pseudo-source flows
+//! of 10 Mbit/s each (total 40 Mbit/s against the 10 Mbit/s thin links —
+//! capacities rescaled so the fluid numbers match the paper's normalized
+//! plot), 32 parallel streams per flow, 10 runs.
+//!
+//! * **Joint**: the Lemma 3.5 weights + one waypoint per flow. Every stream
+//!   is pinned to a single route: MLU ≈ 1 with only noise-level deviation
+//!   (paper: ≈ 1.0138 across all runs).
+//! * **Weights**: the optimal LWO weights. The fluid MLU is 2, but the L4
+//!   hash splits 128 streams imperfectly over the two equal-cost routes:
+//!   the paper measured 2.14–2.52, median 2.27.
+
+use segrout_bench::{banner, stat, write_json};
+use segrout_instances::{instance1, instance1::lwo_optimal_weights};
+use segrout_sim::{HashEcmpSim, SimConfig, SimFlow};
+use serde_json::json;
+
+fn main() {
+    banner("Figure 7 — Nanonet experiment on the hash-ECMP simulator");
+    let runs: u64 = std::env::var("SEGROUT_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let inst = instance1(4);
+
+    // Joint configuration: lemma weights + per-flow waypoints.
+    let joint_sim = HashEcmpSim::new(&inst.network, &inst.joint_weights);
+    let joint_flows: Vec<SimFlow> = (0..4)
+        .map(|i| SimFlow {
+            src: inst.source,
+            dst: inst.target,
+            rate: 1.0, // one demand unit = 10 Mbit/s in the paper's units
+            streams: 32,
+            waypoints: inst.joint_waypoints.get(i).to_vec(),
+        })
+        .collect();
+
+    // Weights-only configuration: optimal LWO weights, no waypoints.
+    let lwo_w = lwo_optimal_weights(&inst);
+    let weights_sim = HashEcmpSim::new(&inst.network, &lwo_w);
+    let weights_flows: Vec<SimFlow> = (0..4)
+        .map(|_| SimFlow {
+            src: inst.source,
+            dst: inst.target,
+            rate: 1.0,
+            streams: 32,
+            waypoints: vec![],
+        })
+        .collect();
+
+    let mut joint_mlus = Vec::new();
+    let mut weight_mlus = Vec::new();
+    println!("\n{:>4} {:>12} {:>12}", "run", "Joint", "Weights");
+    for run in 0..runs {
+        let cfg = SimConfig {
+            seed: 4242 + run,
+            noise: 0.015,
+        };
+        let j = joint_sim.run(&joint_flows, &cfg).expect("routes");
+        let w = weights_sim.run(&weights_flows, &cfg).expect("routes");
+        println!("{:>4} {:>12.4} {:>12.4}", run, j.mlu, w.mlu);
+        joint_mlus.push(j.mlu);
+        weight_mlus.push(w.mlu);
+    }
+
+    let js = stat(&joint_mlus);
+    let ws = stat(&weight_mlus);
+    println!("\nJoint:   min {:.4}  median {:.4}  max {:.4}   (paper ≈ 1.0138, constant)", js.min, js.median, js.max);
+    println!("Weights: min {:.4}  median {:.4}  max {:.4}   (paper 2.1439–2.5219, median 2.2704)", ws.min, ws.median, ws.max);
+    write_json(
+        "fig7",
+        &json!({ "runs": runs, "joint": js, "weights": ws }),
+    );
+}

@@ -1,0 +1,127 @@
+//! # segrout-bench
+//!
+//! The experiment harness regenerating every table and figure of the paper.
+//! Each binary prints the corresponding rows and writes a JSON record under
+//! `results/` (used to assemble EXPERIMENTS.md):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — TE gap growth on Instances 1/2/3/5 |
+//! | `fig3` | Figure 3 — effective-capacity worked examples |
+//! | `fig4` | Figure 4 — heuristics on the ten largest topologies |
+//! | `fig5` | Figure 5 — MILP vs heuristics on Abilene |
+//! | `fig6` | Figure 6 — real-like (gravity) demands |
+//! | `fig7` | Figure 7 — hash-ECMP (Nanonet) experiment |
+//! | `ablation_joint` | §8 open questions — JOINT-Heur design knobs |
+//!
+//! Run e.g. `cargo run -p segrout-bench --release --bin fig4`. Binaries
+//! accept `SEGROUT_SEEDS=<k>` to change the number of demand sets
+//! (default 3; the paper uses 10) and `SEGROUT_FAST=1` for smoke-test runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::Path;
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct Stat {
+    /// Minimum.
+    pub min: f64,
+    /// Mean.
+    pub avg: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median.
+    pub median: f64,
+}
+
+/// Computes summary statistics.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn stat(xs: &[f64]) -> Stat {
+    assert!(!xs.is_empty(), "empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+    };
+    Stat {
+        min: sorted[0],
+        avg: xs.iter().sum::<f64>() / xs.len() as f64,
+        max: *sorted.last().expect("non-empty"),
+        median,
+    }
+}
+
+/// Number of demand-set seeds per experiment (`SEGROUT_SEEDS`, default 3).
+pub fn seeds() -> u64 {
+    std::env::var("SEGROUT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Fast mode for smoke tests (`SEGROUT_FAST=1`).
+pub fn fast_mode() -> bool {
+    std::env::var("SEGROUT_FAST").is_ok_and(|v| v == "1")
+}
+
+/// Writes a JSON record for an experiment under `results/`.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: cannot create results/; skipping JSON export");
+        return;
+    }
+    // Fast (smoke-test) runs must not clobber full-run records.
+    let suffix = if fast_mode() { "_fast" } else { "" };
+    let path = dir.join(format!("{name}{suffix}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: JSON serialization failed: {e}"),
+    }
+}
+
+/// Prints a header line for an experiment binary.
+pub fn banner(title: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_basics() {
+        let s = stat(&[1.0, 3.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.avg - 2.0).abs() < 1e-12);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn median_of_even_sample() {
+        let s = stat(&[4.0, 1.0, 2.0, 3.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        stat(&[]);
+    }
+}

@@ -1,0 +1,131 @@
+//! TE objectives: maximum link utilization (paper §1.1) and the
+//! Fortz–Thorup piecewise-linear congestion cost Φ used by the HeurOSPF
+//! local search (paper \[11\]).
+
+/// Per-link utilizations `loads[e] / caps[e]`.
+///
+/// # Panics
+/// Panics when the vectors disagree in length.
+pub fn utilizations(loads: &[f64], caps: &[f64]) -> Vec<f64> {
+    assert_eq!(loads.len(), caps.len(), "loads/capacities length mismatch");
+    loads.iter().zip(caps).map(|(l, c)| l / c).collect()
+}
+
+/// Maximum link utilization `MLU(N, f) = max_ℓ f_ℓ / c_ℓ` (paper §2).
+/// Returns 0 for edgeless networks.
+pub fn max_link_utilization(loads: &[f64], caps: &[f64]) -> f64 {
+    assert_eq!(loads.len(), caps.len(), "loads/capacities length mismatch");
+    loads
+        .iter()
+        .zip(caps)
+        .map(|(l, c)| l / c)
+        .fold(0.0, f64::max)
+}
+
+/// Breakpoints (as utilization fractions) of the Fortz–Thorup link cost.
+const PHI_BREAKS: [f64; 6] = [0.0, 1.0 / 3.0, 2.0 / 3.0, 0.9, 1.0, 1.1];
+/// Marginal costs per unit of load on the successive utilization segments.
+const PHI_SLOPES: [f64; 6] = [1.0, 3.0, 10.0, 70.0, 500.0, 5000.0];
+
+/// The Fortz–Thorup cost of a single link with load `load` and capacity
+/// `cap`: a convex piecewise-linear function of the load whose derivative is
+/// 1 below 1/3 utilization and 5000 above 110%.
+pub fn fortz_phi_link(load: f64, cap: f64) -> f64 {
+    debug_assert!(cap > 0.0);
+    let mut cost = 0.0;
+    for i in 0..PHI_BREAKS.len() {
+        let lo = PHI_BREAKS[i] * cap;
+        let hi = if i + 1 < PHI_BREAKS.len() {
+            PHI_BREAKS[i + 1] * cap
+        } else {
+            f64::INFINITY
+        };
+        if load <= lo {
+            break;
+        }
+        cost += PHI_SLOPES[i] * (load.min(hi) - lo);
+    }
+    cost
+}
+
+/// The network-wide Fortz–Thorup cost `Φ = Σ_ℓ φ(f_ℓ, c_ℓ)`.
+pub fn fortz_phi(loads: &[f64], caps: &[f64]) -> f64 {
+    assert_eq!(loads.len(), caps.len(), "loads/capacities length mismatch");
+    loads
+        .iter()
+        .zip(caps)
+        .map(|(&l, &c)| fortz_phi_link(l, c))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlu_takes_the_maximum_ratio() {
+        let mlu = max_link_utilization(&[1.0, 3.0, 0.5], &[2.0, 2.0, 1.0]);
+        assert!((mlu - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mlu_of_empty_network_is_zero() {
+        assert_eq!(max_link_utilization(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn utilizations_elementwise() {
+        assert_eq!(utilizations(&[1.0, 1.0], &[2.0, 4.0]), vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn phi_is_linear_below_one_third() {
+        assert!((fortz_phi_link(0.2, 1.0) - 0.2).abs() < 1e-12);
+        assert!((fortz_phi_link(1.0 / 3.0, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_slope_three_on_second_segment() {
+        // At u = 2/3: 1/3 * 1 + 1/3 * 3 = 4/3.
+        assert!((fortz_phi_link(2.0 / 3.0, 1.0) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_penalizes_overload_heavily() {
+        let at_capacity = fortz_phi_link(1.0, 1.0);
+        let overloaded = fortz_phi_link(1.2, 1.0);
+        // Past 110%, marginal cost is 5000 per unit of load.
+        assert!(overloaded > at_capacity + 500.0 * 0.1 + 5000.0 * 0.1 - 1e-9);
+    }
+
+    #[test]
+    fn phi_scales_with_capacity() {
+        // Same utilization pattern, doubled capacity: cost doubles.
+        let a = fortz_phi_link(0.8, 1.0);
+        let b = fortz_phi_link(1.6, 2.0);
+        assert!((2.0 * a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phi_is_monotone_and_convex() {
+        let c = 1.0;
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.05).collect();
+        let mut prev_val = -1.0;
+        let mut prev_slope = 0.0;
+        for w in xs.windows(2) {
+            let (a, b) = (fortz_phi_link(w[0], c), fortz_phi_link(w[1], c));
+            assert!(b >= a, "phi must be nondecreasing");
+            let slope = (b - a) / (w[1] - w[0]);
+            assert!(slope + 1e-9 >= prev_slope, "phi must be convex");
+            prev_slope = slope;
+            assert!(a >= prev_val);
+            prev_val = a;
+        }
+    }
+
+    #[test]
+    fn network_phi_sums_links() {
+        let phi = fortz_phi(&[0.2, 0.2], &[1.0, 1.0]);
+        assert!((phi - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,423 @@
+//! The ECMP flow engine: destination-driven shortest-path routing with even
+//! splits (paper §1.1, §2).
+//!
+//! Given a weight setting, a packet destined to `t` is forwarded at every
+//! node over *all* outgoing links on shortest paths to `t`, and the flow
+//! splits **evenly** among them (fine-grained packet-level splitting,
+//! paper \[14\]). Segment routing decomposes each demand into consecutive
+//! shortest-path *segments* between waypoints; each segment is an independent
+//! ECMP flow towards the segment's destination.
+//!
+//! The engine aggregates all segments sharing a destination into a single
+//! propagation pass over that destination's shortest-path DAG, which makes
+//! evaluating a full demand matrix `O(Σ_t (E log V))` — one Dijkstra and one
+//! linear sweep per distinct destination.
+
+use crate::cost::max_link_utilization;
+use crate::demand::DemandList;
+use crate::error::TeError;
+use crate::network::Network;
+use crate::waypoints::WaypointSetting;
+use crate::weights::WeightSetting;
+use segrout_graph::{shortest_path_dag, EdgeId, NodeId, SpDag, EPS};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One routing segment: `amount` units of flow from `src` to `dst`, routed
+/// as an ECMP flow towards `dst`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Segment entry node.
+    pub src: NodeId,
+    /// Segment destination (a waypoint or the demand's final target).
+    pub dst: NodeId,
+    /// Flow amount carried by the segment.
+    pub amount: f64,
+}
+
+/// Result of evaluating a routed demand set: per-link loads and the MLU.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// `loads[e]` = total flow on link `e`.
+    pub loads: Vec<f64>,
+    /// Maximum link utilization `max_e loads[e] / c(e)`.
+    pub mlu: f64,
+}
+
+/// An ECMP router for one fixed `(network, weights)` pair.
+///
+/// Shortest-path DAGs are computed lazily per destination and cached, so the
+/// waypoint optimizers can evaluate thousands of candidate routings against
+/// the same weight setting cheaply.
+///
+/// ```
+/// use segrout_core::{DemandList, Network, NodeId, Router, WaypointSetting, WeightSetting};
+///
+/// // Two equal-cost paths from 0 to 3: ECMP splits a 2-unit demand evenly.
+/// let mut b = Network::builder(4);
+/// b.link(NodeId(0), NodeId(1), 1.0);
+/// b.link(NodeId(1), NodeId(3), 1.0);
+/// b.link(NodeId(0), NodeId(2), 1.0);
+/// b.link(NodeId(2), NodeId(3), 1.0);
+/// let net = b.build()?;
+///
+/// let mut demands = DemandList::new();
+/// demands.push(NodeId(0), NodeId(3), 2.0);
+///
+/// let router = Router::new(&net, &WeightSetting::unit(&net));
+/// let report = router.evaluate(&demands, &WaypointSetting::none(1))?;
+/// assert_eq!(report.loads, vec![1.0; 4]);
+/// assert!((report.mlu - 1.0).abs() < 1e-12);
+/// # Ok::<(), segrout_core::TeError>(())
+/// ```
+pub struct Router<'n> {
+    net: &'n Network,
+    weights: Vec<f64>,
+    dags: RefCell<Vec<Option<Rc<SpDag>>>>,
+}
+
+impl<'n> Router<'n> {
+    /// Creates a router for the given network and weight setting.
+    pub fn new(net: &'n Network, weights: &WeightSetting) -> Self {
+        Self {
+            net,
+            weights: weights.as_slice().to_vec(),
+            dags: RefCell::new(vec![None; net.node_count()]),
+        }
+    }
+
+    /// The network this router operates on.
+    #[inline]
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// The weight vector in use.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The (cached) shortest-path DAG towards `t`.
+    pub fn dag(&self, t: NodeId) -> Rc<SpDag> {
+        let mut dags = self.dags.borrow_mut();
+        let slot = &mut dags[t.index()];
+        if slot.is_none() {
+            *slot = Some(Rc::new(shortest_path_dag(
+                self.net.graph(),
+                &self.weights,
+                t,
+            )));
+        }
+        Rc::clone(slot.as_ref().expect("just inserted"))
+    }
+
+    /// Shortest-path distance from `s` to `t` under the router's weights.
+    pub fn distance(&self, s: NodeId, t: NodeId) -> f64 {
+        self.dag(t).dist[s.index()]
+    }
+
+    /// Computes per-link loads of the ECMP flow induced by a set of routing
+    /// segments. Segments sharing a destination are aggregated into one
+    /// propagation pass.
+    pub fn loads_for_segments(&self, segments: &[Segment]) -> Result<Vec<f64>, TeError> {
+        let mut loads = vec![0.0; self.net.edge_count()];
+        self.add_segment_loads(segments, &mut loads)?;
+        Ok(loads)
+    }
+
+    /// Adds the loads of `segments` onto an existing load vector.
+    pub fn add_segment_loads(
+        &self,
+        segments: &[Segment],
+        loads: &mut [f64],
+    ) -> Result<(), TeError> {
+        // Group injected amounts by destination.
+        let mut by_dest: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
+        for seg in segments {
+            if seg.src == seg.dst || seg.amount <= EPS {
+                continue;
+            }
+            by_dest
+                .entry(seg.dst)
+                .or_default()
+                .push((seg.src, seg.amount));
+        }
+        let mut node_flow = vec![0.0; self.net.node_count()];
+        for (t, injections) in by_dest {
+            let dag = self.dag(t);
+            node_flow.fill(0.0);
+            for &(s, amount) in &injections {
+                if !dag.reaches_target(s) {
+                    return Err(TeError::Unroutable { src: s, dst: t });
+                }
+                node_flow[s.index()] += amount;
+            }
+            // `dag.order` is topological (decreasing distance), so each node
+            // has received its full inflow before we split it.
+            for &v in &dag.order {
+                let f = node_flow[v.index()];
+                if f <= EPS || v == t {
+                    continue;
+                }
+                let outs = &dag.dag_out[v.index()];
+                debug_assert!(!outs.is_empty(), "non-target node on DAG without out-edge");
+                let share = f / outs.len() as f64;
+                for &e in outs {
+                    loads[e.index()] += share;
+                    node_flow[self.net.graph().dst(e).index()] += share;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads of a single unit segment `src → dst` of size `amount`, returned
+    /// sparsely as `(edge, load)` pairs. This is the inner evaluation of
+    /// GreedyWPO, which probes `|D| · |V|` candidate waypoints.
+    pub fn segment_loads_sparse(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        amount: f64,
+    ) -> Result<Vec<(EdgeId, f64)>, TeError> {
+        if src == dst || amount <= EPS {
+            return Ok(Vec::new());
+        }
+        let dag = self.dag(dst);
+        if !dag.reaches_target(src) {
+            return Err(TeError::Unroutable { src, dst });
+        }
+        let mut node_flow = vec![0.0; self.net.node_count()];
+        node_flow[src.index()] = amount;
+        let mut out = Vec::new();
+        for &v in &dag.order {
+            let f = node_flow[v.index()];
+            if f <= EPS || v == dst {
+                continue;
+            }
+            let outs = &dag.dag_out[v.index()];
+            let share = f / outs.len() as f64;
+            for &e in outs {
+                out.push((e, share));
+                node_flow[self.net.graph().dst(e).index()] += share;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluates a full demand list under a waypoint setting, producing loads
+    /// and MLU. Use [`WaypointSetting::none`] for pure OSPF/ECMP routing.
+    pub fn evaluate(
+        &self,
+        demands: &DemandList,
+        waypoints: &WaypointSetting,
+    ) -> Result<LoadReport, TeError> {
+        if waypoints.len() != demands.len() {
+            return Err(TeError::InvalidWaypoints(format!(
+                "waypoint table has {} rows for {} demands",
+                waypoints.len(),
+                demands.len()
+            )));
+        }
+        let mut segments = Vec::with_capacity(demands.len());
+        for (i, d) in demands.iter().enumerate() {
+            for (src, dst, amount) in waypoints.segments_of(i, d) {
+                segments.push(Segment { src, dst, amount });
+            }
+        }
+        let loads = self.loads_for_segments(&segments)?;
+        let mlu = max_link_utilization(&loads, self.net.capacities());
+        Ok(LoadReport { loads, mlu })
+    }
+
+    /// Convenience: MLU of the plain ECMP flow (no waypoints).
+    pub fn mlu(&self, demands: &DemandList) -> Result<f64, TeError> {
+        Ok(self
+            .evaluate(demands, &WaypointSetting::none(demands.len()))?
+            .mlu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    /// Diamond with unit weights: two equal-cost 2-hop paths from 0 to 3.
+    fn diamond() -> Network {
+        let mut b = Network::builder(4);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        b.link(NodeId(1), NodeId(3), 1.0);
+        b.link(NodeId(0), NodeId(2), 1.0);
+        b.link(NodeId(2), NodeId(3), 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn even_split_over_two_paths() {
+        let net = diamond();
+        let w = WeightSetting::unit(&net);
+        let router = Router::new(&net, &w);
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(3), 2.0);
+        let report = router.evaluate(&d, &WaypointSetting::none(1)).unwrap();
+        assert_eq!(report.loads, vec![1.0, 1.0, 1.0, 1.0]);
+        assert!((report.mlu - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_change_steers_all_flow_one_way() {
+        let net = diamond();
+        let mut w = WeightSetting::unit(&net);
+        w.set(EdgeId(2), 5.0); // make path via node 2 longer
+        let router = Router::new(&net, &w);
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(3), 2.0);
+        let report = router.evaluate(&d, &WaypointSetting::none(1)).unwrap();
+        assert_eq!(report.loads, vec![2.0, 2.0, 0.0, 0.0]);
+        assert!((report.mlu - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waypoint_forces_detour() {
+        let net = diamond();
+        let mut w = WeightSetting::unit(&net);
+        w.set(EdgeId(2), 5.0); // shortest path avoids node 2 ...
+        let router = Router::new(&net, &w);
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(3), 2.0);
+        let mut wp = WaypointSetting::none(1);
+        wp.set(0, vec![NodeId(2)]); // ... but the waypoint pins it through 2
+        let report = router.evaluate(&d, &wp).unwrap();
+        assert_eq!(report.loads, vec![0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn recursive_splitting() {
+        // Binary fan-out: 0 splits to 1,2; both split to 3,4 via 4 parallel
+        // length-2 routes; all reconverge at 5.
+        let mut b = Network::builder(6);
+        b.link(NodeId(0), NodeId(1), 1.0); // e0
+        b.link(NodeId(0), NodeId(2), 1.0); // e1
+        b.link(NodeId(1), NodeId(3), 1.0); // e2
+        b.link(NodeId(1), NodeId(4), 1.0); // e3
+        b.link(NodeId(2), NodeId(3), 1.0); // e4
+        b.link(NodeId(2), NodeId(4), 1.0); // e5
+        b.link(NodeId(3), NodeId(5), 1.0); // e6
+        b.link(NodeId(4), NodeId(5), 1.0); // e7
+        let net = b.build().unwrap();
+        let router = Router::new(&net, &WeightSetting::unit(&net));
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(5), 4.0);
+        let r = router.evaluate(&d, &WaypointSetting::none(1)).unwrap();
+        assert!((r.loads[0] - 2.0).abs() < 1e-12);
+        assert!((r.loads[2] - 1.0).abs() < 1e-12);
+        assert!((r.loads[6] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_demands_same_destination_aggregate() {
+        let net = diamond();
+        let router = Router::new(&net, &WeightSetting::unit(&net));
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(3), 1.0);
+        d.push(NodeId(1), NodeId(3), 1.0);
+        let r = router.evaluate(&d, &WaypointSetting::none(2)).unwrap();
+        // Demand from 1 rides only edge 1; demand from 0 splits.
+        assert!((r.loads[1] - 1.5).abs() < 1e-12);
+        assert!((r.loads[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unroutable_segment_is_an_error() {
+        let mut b = Network::builder(3);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        let net = b.build().unwrap();
+        let router = Router::new(&net, &WeightSetting::unit(&net));
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(2), 1.0);
+        assert_eq!(
+            router.mlu(&d).unwrap_err(),
+            TeError::Unroutable {
+                src: NodeId(0),
+                dst: NodeId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_loads_agree() {
+        let net = diamond();
+        let router = Router::new(&net, &WeightSetting::unit(&net));
+        let sparse = router
+            .segment_loads_sparse(NodeId(0), NodeId(3), 2.0)
+            .unwrap();
+        let dense = router
+            .loads_for_segments(&[Segment {
+                src: NodeId(0),
+                dst: NodeId(3),
+                amount: 2.0,
+            }])
+            .unwrap();
+        let mut from_sparse = vec![0.0; net.edge_count()];
+        for (e, l) in sparse {
+            from_sparse[e.index()] += l;
+        }
+        for e in 0..net.edge_count() {
+            assert!((from_sparse[e] - dense[e]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flow_is_conserved_end_to_end() {
+        let net = diamond();
+        let router = Router::new(&net, &WeightSetting::unit(&net));
+        let loads = router
+            .loads_for_segments(&[Segment {
+                src: NodeId(0),
+                dst: NodeId(3),
+                amount: 3.0,
+            }])
+            .unwrap();
+        let into_target: f64 = net
+            .graph()
+            .in_edges(NodeId(3))
+            .iter()
+            .map(|e| loads[e.index()])
+            .sum();
+        assert!((into_target - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_segments_are_ignored() {
+        let net = diamond();
+        let router = Router::new(&net, &WeightSetting::unit(&net));
+        let loads = router
+            .loads_for_segments(&[Segment {
+                src: NodeId(1),
+                dst: NodeId(1),
+                amount: 5.0,
+            }])
+            .unwrap();
+        assert!(loads.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn dag_cache_is_reused() {
+        let net = diamond();
+        let router = Router::new(&net, &WeightSetting::unit(&net));
+        let a = router.dag(NodeId(3));
+        let b = router.dag(NodeId(3));
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn distance_matches_weights() {
+        let net = diamond();
+        let router = Router::new(&net, &WeightSetting::unit(&net));
+        assert_eq!(router.distance(NodeId(0), NodeId(3)), 2.0);
+        assert_eq!(router.distance(NodeId(3), NodeId(3)), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type shared across the TE model and optimizers.
+
+use segrout_graph::NodeId;
+use std::fmt;
+
+/// Errors raised by model construction and flow evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TeError {
+    /// A per-edge attribute vector has the wrong length.
+    DimensionMismatch {
+        /// What the vector describes ("weights", "capacities", ...).
+        what: &'static str,
+        /// Expected length (edge or demand count).
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// A link weight is non-positive, NaN or infinite.
+    InvalidWeight {
+        /// Index of the offending edge.
+        edge: usize,
+        /// The invalid value.
+        value: f64,
+    },
+    /// A link capacity is non-positive, NaN or infinite.
+    InvalidCapacity {
+        /// Index of the offending edge.
+        edge: usize,
+        /// The invalid value.
+        value: f64,
+    },
+    /// A demand size is non-positive, NaN or infinite.
+    InvalidDemand {
+        /// Index of the offending demand.
+        index: usize,
+        /// The invalid value.
+        value: f64,
+    },
+    /// No directed path exists for a routing segment, so the ECMP flow is
+    /// undefined.
+    Unroutable {
+        /// Segment source.
+        src: NodeId,
+        /// Segment destination.
+        dst: NodeId,
+    },
+    /// A waypoint setting refers to more demands than the demand list has,
+    /// or exceeds the waypoint budget `W`.
+    InvalidWaypoints(String),
+}
+
+impl fmt::Display for TeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} vector has length {actual}, expected {expected}"),
+            TeError::InvalidWeight { edge, value } => {
+                write!(f, "weight of edge {edge} must be a positive finite real, got {value}")
+            }
+            TeError::InvalidCapacity { edge, value } => {
+                write!(f, "capacity of edge {edge} must be a positive finite real, got {value}")
+            }
+            TeError::InvalidDemand { index, value } => {
+                write!(f, "size of demand {index} must be a positive finite real, got {value}")
+            }
+            TeError::Unroutable { src, dst } => {
+                write!(f, "no directed path from {src:?} to {dst:?}; ECMP flow undefined")
+            }
+            TeError::InvalidWaypoints(msg) => write!(f, "invalid waypoint setting: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TeError::Unroutable {
+            src: NodeId(0),
+            dst: NodeId(7),
+        };
+        let s = e.to_string();
+        assert!(s.contains("n0") && s.contains("n7"));
+
+        let e = TeError::DimensionMismatch {
+            what: "weights",
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("weights"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TeError::InvalidWeight { edge: 0, value: -1.0 });
+    }
+}

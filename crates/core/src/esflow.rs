@@ -1,0 +1,266 @@
+//! Even-split flows over arbitrary DAGs and *effective capacities*
+//! (paper §2 "Even-Split Flow" and Definition 5.1).
+//!
+//! An even-split (ES) flow either does not split at a node or splits evenly
+//! over a chosen subset of its outgoing links. ECMP flows are the special
+//! case where that subset is forced to be *all* shortest-path next hops; the
+//! LWO-APX algorithm instead *chooses* the subset (by pruning links from the
+//! max-flow DAG) to maximize the deliverable ES-flow.
+//!
+//! Given a fixed DAG (edge mask), the *effective capacity* `ec_t(v)` of a
+//! node is the size of the maximal ES-flow from `v` to `t` when the flow
+//! splits evenly over all DAG out-edges at every node:
+//!
+//! * `ec_t(t) = ∞`,
+//! * `ec_t(v) = δ(v) · min_{ℓ=(v,*)} ec_t(ℓ)`,
+//! * `ec_t(ℓ=(*,u)) = min(c*(ℓ), ec_t(u))`.
+
+use crate::error::TeError;
+use segrout_graph::{topological_order, Digraph, NodeId, EPS};
+
+/// Effective capacities of all nodes and edges with respect to target `t`,
+/// computed on the sub-DAG selected by `mask` with usable capacities `cap`
+/// (paper Definition 5.1; illustrated by the paper's Figure 3).
+///
+/// Returns `(ec_node, ec_edge)`. Nodes with no masked out-edge other than `t`
+/// get effective capacity 0 (no ES-flow can leave them); `ec_node[t] = ∞`.
+///
+/// # Errors
+/// Returns an error if the masked subgraph is cyclic.
+pub fn effective_capacities(
+    g: &Digraph,
+    cap: &[f64],
+    mask: &[bool],
+    t: NodeId,
+) -> Result<(Vec<f64>, Vec<f64>), TeError> {
+    assert_eq!(cap.len(), g.edge_count(), "capacity length mismatch");
+    assert_eq!(mask.len(), g.edge_count(), "mask length mismatch");
+    let order = topological_order(g, mask).ok_or(TeError::InvalidWaypoints(
+        "effective capacities require an acyclic edge mask".to_string(),
+    ))?;
+
+    let mut ec_node = vec![0.0; g.node_count()];
+    let mut ec_edge = vec![0.0; g.edge_count()];
+    ec_node[t.index()] = f64::INFINITY;
+
+    // Process nodes in reverse topological order: all DAG out-neighbours of a
+    // node are finalized before the node itself.
+    for &v in order.iter().rev() {
+        if v == t {
+            // Edges into t are still capped by their usable capacity.
+            for &e in g.in_edges(v) {
+                if mask[e.index()] {
+                    ec_edge[e.index()] = cap[e.index()];
+                }
+            }
+            continue;
+        }
+        let outs: Vec<_> = g
+            .out_edges(v)
+            .iter()
+            .copied()
+            .filter(|e| mask[e.index()])
+            .collect();
+        if !outs.is_empty() {
+            let min_out = outs
+                .iter()
+                .map(|e| ec_edge[e.index()])
+                .fold(f64::INFINITY, f64::min);
+            ec_node[v.index()] = outs.len() as f64 * min_out;
+        }
+        for &e in g.in_edges(v) {
+            if mask[e.index()] {
+                ec_edge[e.index()] = cap[e.index()].min(ec_node[v.index()]);
+            }
+        }
+    }
+    Ok((ec_node, ec_edge))
+}
+
+/// Per-link loads of the even-split flow that injects `amount` at `src` and
+/// splits evenly over the masked out-edges at every node until reaching `t`.
+///
+/// # Errors
+/// Fails when the mask is cyclic or when flow reaches a node other than `t`
+/// with no masked out-edge (the flow would be stuck).
+pub fn es_flow_loads(
+    g: &Digraph,
+    mask: &[bool],
+    src: NodeId,
+    t: NodeId,
+    amount: f64,
+) -> Result<Vec<f64>, TeError> {
+    let order = topological_order(g, mask).ok_or(TeError::InvalidWaypoints(
+        "even-split flow requires an acyclic edge mask".to_string(),
+    ))?;
+    let mut node_flow = vec![0.0; g.node_count()];
+    node_flow[src.index()] = amount;
+    let mut loads = vec![0.0; g.edge_count()];
+    for &v in &order {
+        let f = node_flow[v.index()];
+        if f <= EPS || v == t {
+            continue;
+        }
+        let outs: Vec<_> = g
+            .out_edges(v)
+            .iter()
+            .copied()
+            .filter(|e| mask[e.index()])
+            .collect();
+        if outs.is_empty() {
+            return Err(TeError::Unroutable { src: v, dst: t });
+        }
+        let share = f / outs.len() as f64;
+        for e in outs {
+            loads[e.index()] += share;
+            node_flow[g.dst(e).index()] += share;
+        }
+    }
+    Ok(loads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_graph::Digraph;
+
+    /// Paper Figure 3a: ec(s) equals the usable capacity 3/2.
+    ///
+    /// s has three outgoing links to v1, v2, v3; v2 has two unit links... the
+    /// figure's capacities: (s,v1)=1/2 capped by ec(v1)=1/2; (s,v2) capped by
+    /// ec(v2)=2*(1/4)=1/2; (s,v3) capped by ec(v3)=3/4 but its own capacity
+    /// is 3/4; ec(s)=3*min(1/2,1/2,3/4)=3/2.
+    fn figure_3a() -> (Digraph, Vec<f64>, NodeId, NodeId) {
+        let mut g = Digraph::new(5); // s=0, v1=1, v2=2, v3=3, t=4
+        let mut cap = Vec::new();
+        let e = |g: &mut Digraph, cap: &mut Vec<f64>, u: u32, v: u32, c: f64| {
+            g.add_edge(NodeId(u), NodeId(v));
+            cap.push(c);
+        };
+        e(&mut g, &mut cap, 0, 1, 0.5); // (s,v1)
+        e(&mut g, &mut cap, 0, 2, 0.5); // (s,v2)
+        e(&mut g, &mut cap, 0, 3, 0.75); // (s,v3)
+        e(&mut g, &mut cap, 1, 4, 0.5); // (v1,t)
+        e(&mut g, &mut cap, 2, 4, 0.25); // (v2,t)
+        e(&mut g, &mut cap, 2, 4, 0.25); // (v2,t) second parallel link
+        e(&mut g, &mut cap, 3, 4, 0.75); // (v3,t)
+        (g, cap, NodeId(0), NodeId(4))
+    }
+
+    #[test]
+    fn effective_capacities_match_figure_3a() {
+        let (g, cap, s, t) = figure_3a();
+        let mask = vec![true; g.edge_count()];
+        let (ec_node, ec_edge) = effective_capacities(&g, &cap, &mask, t).unwrap();
+        assert_eq!(ec_node[t.index()], f64::INFINITY);
+        assert!((ec_node[1] - 0.5).abs() < 1e-12); // v1
+        assert!((ec_node[2] - 0.5).abs() < 1e-12); // v2 = 2 * 1/4
+        assert!((ec_node[3] - 0.75).abs() < 1e-12); // v3
+        assert!((ec_edge[0] - 0.5).abs() < 1e-12); // (s,v1)
+        assert!((ec_edge[1] - 0.5).abs() < 1e-12); // (s,v2)
+        assert!((ec_edge[2] - 0.75).abs() < 1e-12); // (s,v3)
+        assert!((ec_node[s.index()] - 1.5).abs() < 1e-12); // ec(s) = 3 * 1/2
+    }
+
+    /// Paper Figure 3b: always-splitting reduces ec(s) to 2/3 while the
+    /// maximum flow is 3/2.
+    fn figure_3b() -> (Digraph, Vec<f64>, NodeId, NodeId) {
+        let mut g = Digraph::new(6); // s=0, v1=1, v2=2, v3=3, v4=4, t=5
+        let mut cap = Vec::new();
+        let e = |g: &mut Digraph, cap: &mut Vec<f64>, u: u32, v: u32, c: f64| {
+            g.add_edge(NodeId(u), NodeId(v));
+            cap.push(c);
+        };
+        e(&mut g, &mut cap, 0, 1, 0.5); // (s,v1)
+        e(&mut g, &mut cap, 0, 2, 1.0); // (s,v2)
+        e(&mut g, &mut cap, 1, 3, 1.0 / 6.0); // (v1,v3)
+        e(&mut g, &mut cap, 1, 4, 1.0 / 3.0); // (v1,v4)
+        e(&mut g, &mut cap, 2, 3, 1.0 / 3.0); // (v2,v3)
+        e(&mut g, &mut cap, 2, 4, 2.0 / 3.0); // (v2,v4)
+        e(&mut g, &mut cap, 3, 5, 0.5); // (v3,t)
+        e(&mut g, &mut cap, 4, 5, 1.0); // (v4,t)
+        (g, cap, NodeId(0), NodeId(5))
+    }
+
+    #[test]
+    fn effective_capacities_match_figure_3b() {
+        let (g, cap, s, t) = figure_3b();
+        let mask = vec![true; g.edge_count()];
+        let (ec_node, _) = effective_capacities(&g, &cap, &mask, t).unwrap();
+        assert!((ec_node[3] - 0.5).abs() < 1e-12); // v3
+        assert!((ec_node[4] - 1.0).abs() < 1e-12); // v4
+        assert!((ec_node[1] - 1.0 / 3.0).abs() < 1e-12); // v1 = 2 * 1/6
+        assert!((ec_node[2] - 2.0 / 3.0).abs() < 1e-12); // v2 = 2 * 1/3
+        assert!((ec_node[s.index()] - 2.0 / 3.0).abs() < 1e-12); // ec(s) = 2 * 1/3
+    }
+
+    #[test]
+    fn es_flow_loads_split_evenly() {
+        let (g, _cap, s, t) = figure_3a();
+        let mask = vec![true; g.edge_count()];
+        let loads = es_flow_loads(&g, &mask, s, t, 1.5).unwrap();
+        assert!((loads[0] - 0.5).abs() < 1e-12);
+        assert!((loads[4] - 0.25).abs() < 1e-12); // v2 splits its 1/2 over two links
+        let into_t: f64 = g.in_edges(t).iter().map(|e| loads[e.index()]).sum();
+        assert!((into_t - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn es_flow_with_pruned_edges() {
+        let (g, _cap, s, t) = figure_3b();
+        // Prune (v2,v3) so v2 forwards everything to v4 (the better choice
+        // discussed under Figure 3b).
+        let mut mask = vec![true; g.edge_count()];
+        mask[4] = false;
+        let loads = es_flow_loads(&g, &mask, s, t, 1.0).unwrap();
+        assert_eq!(loads[4], 0.0);
+        assert!((loads[5] - 0.5).abs() < 1e-12); // all of v2's half goes to v4
+    }
+
+    #[test]
+    fn stuck_flow_is_an_error() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        // node 1 is a dead end; flow to t=2 gets stuck.
+        let mask = vec![true; 1];
+        assert!(es_flow_loads(&g, &mask, NodeId(0), NodeId(2), 1.0).is_err());
+    }
+
+    #[test]
+    fn cyclic_mask_is_an_error() {
+        let mut g = Digraph::new(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(0));
+        let mask = vec![true, true];
+        assert!(effective_capacities(&g, &[1.0, 1.0], &mask, NodeId(1)).is_err());
+        assert!(es_flow_loads(&g, &mask, NodeId(0), NodeId(1), 1.0).is_err());
+    }
+
+    #[test]
+    fn ec_of_isolated_source_is_zero() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(1), NodeId(2));
+        let mask = vec![true];
+        let (ec_node, _) = effective_capacities(&g, &[1.0], &mask, NodeId(2)).unwrap();
+        assert_eq!(ec_node[0], 0.0);
+        assert_eq!(ec_node[1], 1.0);
+    }
+
+    #[test]
+    fn es_flow_equals_effective_capacity_when_saturating() {
+        // Sending exactly ec(s) saturates the bottleneck link but respects
+        // all capacities.
+        let (g, cap, s, t) = figure_3a();
+        let mask = vec![true; g.edge_count()];
+        let (ec_node, _) = effective_capacities(&g, &cap, &mask, t).unwrap();
+        let loads = es_flow_loads(&g, &mask, s, t, ec_node[s.index()]).unwrap();
+        for e in 0..g.edge_count() {
+            assert!(
+                loads[e] <= cap[e] + 1e-9,
+                "edge {e} overloaded: {} > {}",
+                loads[e],
+                cap[e]
+            );
+        }
+    }
+}

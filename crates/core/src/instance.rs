@@ -1,0 +1,101 @@
+//! The TE instance `I = (N, D, ω)` of paper §2 — a network, a demand list,
+//! and (optionally) a given weight setting for WPO-style problems.
+
+use crate::demand::DemandList;
+use crate::ecmp::Router;
+use crate::error::TeError;
+use crate::network::Network;
+use crate::waypoints::WaypointSetting;
+use crate::weights::WeightSetting;
+
+/// A complete traffic-engineering instance.
+///
+/// The `given_weights` field corresponds to the paper's `ω`: for WPO the
+/// weight setting is part of the input; LWO and Joint ignore it.
+#[derive(Clone, Debug)]
+pub struct TeInstance {
+    /// The network `N = (V, E, c)`.
+    pub network: Network,
+    /// The demand list `D`.
+    pub demands: DemandList,
+    /// The input weight setting `ω`, if the problem takes one.
+    pub given_weights: Option<WeightSetting>,
+}
+
+impl TeInstance {
+    /// Creates an instance without a given weight setting (LWO / Joint
+    /// inputs).
+    pub fn new(network: Network, demands: DemandList) -> Self {
+        Self {
+            network,
+            demands,
+            given_weights: None,
+        }
+    }
+
+    /// Attaches the given weight setting `ω` (WPO inputs).
+    pub fn with_weights(mut self, weights: WeightSetting) -> Self {
+        self.given_weights = Some(weights);
+        self
+    }
+
+    /// Total demand size `D`.
+    pub fn total_demand(&self) -> f64 {
+        self.demands.total_size()
+    }
+
+    /// Evaluates the MLU of this instance under explicit weights and
+    /// waypoints — the objective value `MLU(N, f)` of the joint setting.
+    pub fn mlu_under(
+        &self,
+        weights: &WeightSetting,
+        waypoints: &WaypointSetting,
+    ) -> Result<f64, TeError> {
+        let router = Router::new(&self.network, weights);
+        Ok(router.evaluate(&self.demands, waypoints)?.mlu)
+    }
+
+    /// Evaluates the MLU under explicit weights with plain ECMP (no
+    /// waypoints).
+    pub fn mlu_under_weights(&self, weights: &WeightSetting) -> Result<f64, TeError> {
+        self.mlu_under(weights, &WaypointSetting::none(self.demands.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_graph::NodeId;
+
+    fn small_instance() -> TeInstance {
+        let mut b = Network::builder(3);
+        b.link(NodeId(0), NodeId(1), 2.0);
+        b.link(NodeId(1), NodeId(2), 1.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(2), 1.0);
+        TeInstance::new(net, d)
+    }
+
+    #[test]
+    fn mlu_under_weights_routes_the_chain() {
+        let inst = small_instance();
+        let w = WeightSetting::unit(&inst.network);
+        let mlu = inst.mlu_under_weights(&w).unwrap();
+        assert!((mlu - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_weights_stores_omega() {
+        let inst = small_instance();
+        let w = WeightSetting::unit(&inst.network);
+        let inst = inst.with_weights(w.clone());
+        assert_eq!(inst.given_weights, Some(w));
+    }
+
+    #[test]
+    fn total_demand_sums() {
+        let inst = small_instance();
+        assert!((inst.total_demand() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Operator-facing utilization reports: which links are hot, how the load
+//! distribution looks, and how two routings compare. Used by the examples
+//! and the experiment harness; handy for debugging weight settings.
+
+use crate::network::Network;
+use segrout_graph::EdgeId;
+
+/// A ranked view of link utilizations under some routing.
+#[derive(Clone, Debug)]
+pub struct UtilizationReport {
+    /// `(edge, load, utilization)` sorted by decreasing utilization.
+    pub ranked: Vec<(EdgeId, f64, f64)>,
+}
+
+impl UtilizationReport {
+    /// Builds a report from per-link loads.
+    ///
+    /// # Panics
+    /// Panics when `loads.len() != net.edge_count()`.
+    pub fn new(net: &Network, loads: &[f64]) -> Self {
+        assert_eq!(loads.len(), net.edge_count(), "loads length mismatch");
+        let mut ranked: Vec<(EdgeId, f64, f64)> = net
+            .graph()
+            .edge_ids()
+            .map(|e| (e, loads[e.index()], loads[e.index()] / net.capacity(e)))
+            .collect();
+        ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        Self { ranked }
+    }
+
+    /// The maximum link utilization.
+    pub fn mlu(&self) -> f64 {
+        self.ranked.first().map(|&(_, _, u)| u).unwrap_or(0.0)
+    }
+
+    /// The `k` most utilized links.
+    pub fn top(&self, k: usize) -> &[(EdgeId, f64, f64)] {
+        &self.ranked[..k.min(self.ranked.len())]
+    }
+
+    /// Number of links at or above a utilization threshold.
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.ranked.iter().filter(|&&(_, _, u)| u >= threshold).count()
+    }
+
+    /// Mean utilization over all links (unweighted).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.ranked.is_empty() {
+            return 0.0;
+        }
+        self.ranked.iter().map(|&(_, _, u)| u).sum::<f64>() / self.ranked.len() as f64
+    }
+
+    /// Renders the top-`k` lines as `src -> dst: load/capacity (uu.u%)`,
+    /// using the network's node names.
+    pub fn format_top(&self, net: &Network, k: usize) -> String {
+        let mut out = String::new();
+        for &(e, load, util) in self.top(k) {
+            let (u, v) = net.graph().endpoints(e);
+            out.push_str(&format!(
+                "{} -> {}: {:.1}/{:.1} ({:.1}%)\n",
+                net.node_name(u),
+                net.node_name(v),
+                load,
+                net.capacity(e),
+                100.0 * util
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_graph::NodeId;
+
+    fn small() -> (Network, Vec<f64>) {
+        let mut b = Network::builder(3);
+        b.link(NodeId(0), NodeId(1), 10.0);
+        b.link(NodeId(1), NodeId(2), 2.0);
+        b.link(NodeId(0), NodeId(2), 4.0);
+        (b.build().unwrap(), vec![5.0, 1.9, 1.0])
+    }
+
+    #[test]
+    fn ranking_is_by_utilization() {
+        let (net, loads) = small();
+        let r = UtilizationReport::new(&net, &loads);
+        // utilizations: 0.5, 0.95, 0.25 -> order e1, e0, e2
+        assert_eq!(r.ranked[0].0, EdgeId(1));
+        assert_eq!(r.ranked[1].0, EdgeId(0));
+        assert!((r.mlu() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counting_and_means() {
+        let (net, loads) = small();
+        let r = UtilizationReport::new(&net, &loads);
+        assert_eq!(r.count_above(0.5), 2);
+        assert_eq!(r.count_above(0.99), 0);
+        assert!((r.mean_utilization() - (0.5 + 0.95 + 0.25) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_is_clamped() {
+        let (net, loads) = small();
+        let r = UtilizationReport::new(&net, &loads);
+        assert_eq!(r.top(99).len(), 3);
+        assert_eq!(r.top(1).len(), 1);
+    }
+
+    #[test]
+    fn formatting_contains_names() {
+        let (net, loads) = small();
+        let net = net
+            .with_names(vec!["a".into(), "b".into(), "c".into()])
+            .unwrap();
+        let r = UtilizationReport::new(&net, &loads);
+        let s = r.format_top(&net, 1);
+        assert!(s.contains("b -> c"));
+        assert!(s.contains("95.0%"));
+    }
+
+    #[test]
+    fn empty_network_mlu_zero() {
+        let net = Network::new(segrout_graph::Digraph::new(2), vec![]).unwrap();
+        let r = UtilizationReport::new(&net, &[]);
+        assert_eq!(r.mlu(), 0.0);
+        assert_eq!(r.mean_utilization(), 0.0);
+    }
+}

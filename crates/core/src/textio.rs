@@ -1,0 +1,208 @@
+//! Plain-text export/import of TE configurations.
+//!
+//! Operators deploy a TE result as router config; researchers want to diff,
+//! version and replay configurations. This module defines a minimal
+//! line-oriented format (one directive per line, `#` comments) carrying a
+//! weight setting and a waypoint setting for a known network:
+//!
+//! ```text
+//! # segrout-config v1
+//! weight <edge-index> <weight>
+//! waypoint <demand-index> <node> [<node> ...]
+//! ```
+//!
+//! Edges are addressed by their dense index (stable for a given network
+//! build order); demands by their index in the demand list the setting was
+//! computed for. The format is intentionally dumb — easy to parse from any
+//! language, safe to hand-edit.
+
+use crate::demand::DemandList;
+use crate::error::TeError;
+use crate::network::Network;
+use crate::waypoints::WaypointSetting;
+use crate::weights::WeightSetting;
+use segrout_graph::NodeId;
+
+/// Serializes a joint configuration to the v1 text format.
+pub fn write_config(
+    net: &Network,
+    weights: &WeightSetting,
+    waypoints: &WaypointSetting,
+) -> String {
+    let mut out = String::from("# segrout-config v1\n");
+    for (e, w) in weights.as_slice().iter().enumerate() {
+        let (u, v) = net.graph().endpoints(segrout_graph::EdgeId(e as u32));
+        out.push_str(&format!(
+            "weight {e} {w}  # {} -> {}\n",
+            net.node_name(u),
+            net.node_name(v)
+        ));
+    }
+    for i in 0..waypoints.len() {
+        let wps = waypoints.get(i);
+        if !wps.is_empty() {
+            out.push_str(&format!(
+                "waypoint {i}{}\n",
+                wps.iter()
+                    .map(|w| format!(" {}", w.0))
+                    .collect::<String>()
+            ));
+        }
+    }
+    out
+}
+
+/// Parses the v1 text format back into a configuration for the given
+/// network and demand list.
+///
+/// # Errors
+/// Reports malformed lines, out-of-range indices, and invalid weights via
+/// [`TeError`].
+pub fn read_config(
+    net: &Network,
+    demands: &DemandList,
+    text: &str,
+) -> Result<(WeightSetting, WaypointSetting), TeError> {
+    let mut weights = vec![1.0; net.edge_count()];
+    let mut waypoints = WaypointSetting::none(demands.len());
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = |msg: &str| TeError::InvalidWaypoints(format!("line {}: {msg}", lineno + 1));
+        match parts.next() {
+            Some("weight") => {
+                let e: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("weight needs an edge index"))?;
+                let w: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("weight needs a value"))?;
+                if e >= net.edge_count() {
+                    return Err(bad(&format!("edge {e} out of range")));
+                }
+                weights[e] = w;
+            }
+            Some("waypoint") => {
+                let i: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("waypoint needs a demand index"))?;
+                if i >= demands.len() {
+                    return Err(bad(&format!("demand {i} out of range")));
+                }
+                let mut wps = Vec::new();
+                for tok in parts {
+                    let v: u32 = tok
+                        .parse()
+                        .map_err(|_| bad(&format!("bad node id '{tok}'")))?;
+                    if v as usize >= net.node_count() {
+                        return Err(bad(&format!("node {v} out of range")));
+                    }
+                    wps.push(NodeId(v));
+                }
+                if wps.is_empty() {
+                    return Err(bad("waypoint needs at least one node"));
+                }
+                waypoints.set(i, wps);
+            }
+            Some(other) => return Err(bad(&format!("unknown directive '{other}'"))),
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    let weights = WeightSetting::new(net, weights)?;
+    Ok((weights, waypoints))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecmp::Router;
+
+    fn setup() -> (Network, DemandList) {
+        let mut b = Network::builder(4);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        b.link(NodeId(1), NodeId(3), 1.0);
+        b.link(NodeId(0), NodeId(2), 1.0);
+        b.link(NodeId(2), NodeId(3), 1.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(3), 2.0);
+        d.push(NodeId(1), NodeId(3), 1.0);
+        (net, d)
+    }
+
+    #[test]
+    fn round_trip_preserves_configuration() {
+        let (net, demands) = setup();
+        let mut weights = WeightSetting::unit(&net);
+        weights.set(segrout_graph::EdgeId(2), 7.0);
+        let mut waypoints = WaypointSetting::none(demands.len());
+        waypoints.set(0, vec![NodeId(2)]);
+
+        let text = write_config(&net, &weights, &waypoints);
+        let (w2, wp2) = read_config(&net, &demands, &text).unwrap();
+        assert_eq!(weights.as_slice(), w2.as_slice());
+        assert_eq!(waypoints, wp2);
+
+        // And the routed MLU is identical.
+        let a = Router::new(&net, &weights)
+            .evaluate(&demands, &waypoints)
+            .unwrap()
+            .mlu;
+        let b = Router::new(&net, &w2).evaluate(&demands, &wp2).unwrap().mlu;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let (net, demands) = setup();
+        let text = "\n# hello\nweight 0 3.5 # inline comment\n\nwaypoint 1 2\n";
+        let (w, wp) = read_config(&net, &demands, text).unwrap();
+        assert_eq!(w.as_slice()[0], 3.5);
+        assert_eq!(wp.get(1), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn missing_weights_default_to_one() {
+        let (net, demands) = setup();
+        let (w, _) = read_config(&net, &demands, "weight 1 9\n").unwrap();
+        assert_eq!(w.as_slice(), &[1.0, 9.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        let (net, demands) = setup();
+        for (text, needle) in [
+            ("weight x 1", "edge index"),
+            ("weight 99 1", "out of range"),
+            ("waypoint 99 1", "out of range"),
+            ("waypoint 0", "at least one node"),
+            ("waypoint 0 77", "out of range"),
+            ("frobnicate 1", "unknown directive"),
+            ("weight 0 -2", "positive"),
+        ] {
+            let err = read_config(&net, &demands, text).unwrap_err().to_string();
+            assert!(
+                err.contains(needle),
+                "text '{text}' should fail with '{needle}', got '{err}'"
+            );
+        }
+    }
+
+    #[test]
+    fn header_comment_present() {
+        let (net, demands) = setup();
+        let text = write_config(
+            &net,
+            &WeightSetting::unit(&net),
+            &WaypointSetting::none(demands.len()),
+        );
+        assert!(text.starts_with("# segrout-config v1"));
+    }
+}

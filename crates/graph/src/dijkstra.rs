@@ -1,0 +1,273 @@
+//! Single-target shortest paths and the induced shortest-path DAG.
+//!
+//! ECMP routing is destination-driven: a router forwards a packet destined to
+//! `t` over *all* outgoing links that lie on some shortest path to `t`
+//! (paper §1.1). The natural primitive is therefore a Dijkstra run *towards* a
+//! target over the reversed adjacency, yielding `dist(v, t)` for every `v`,
+//! plus the subgraph of links `(u, v)` with `dist(u) = w(u,v) + dist(v)` —
+//! the *shortest-path DAG* to `t`.
+
+use crate::digraph::{Digraph, EdgeId, NodeId};
+use crate::{approx_eq, EPS};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Distance value for unreachable nodes.
+pub const INFINITY: f64 = f64::INFINITY;
+
+/// Min-heap entry: (distance, node), ordered by smallest distance first.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest distance.
+        // Distances are never NaN (weights are validated positive finite).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+/// Computes `dist(v, target)` for every node `v`, i.e. the cost of the
+/// cheapest directed path from `v` to `target` under `weights`.
+///
+/// Unreachable nodes get [`INFINITY`].
+///
+/// # Panics
+/// Panics if `weights.len() != g.edge_count()` or any weight is not a
+/// strictly positive finite number (the paper's weight settings map every
+/// link to a positive real).
+pub fn single_target_distances(g: &Digraph, weights: &[f64], target: NodeId) -> Vec<f64> {
+    assert_eq!(
+        weights.len(),
+        g.edge_count(),
+        "weight vector length must match edge count"
+    );
+    debug_assert!(
+        weights.iter().all(|w| w.is_finite() && *w > 0.0),
+        "link weights must be positive finite reals"
+    );
+
+    let n = g.node_count();
+    let mut dist = vec![INFINITY; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[target.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: target,
+    });
+
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if done[v.index()] {
+            continue;
+        }
+        done[v.index()] = true;
+        // Relax incoming edges: a path u -> v -> ... -> target.
+        for &e in g.in_edges(v) {
+            let u = g.src(e);
+            let nd = d + weights[e.index()];
+            if nd + EPS < dist[u.index()] {
+                dist[u.index()] = nd;
+                heap.push(HeapEntry { dist: nd, node: u });
+            }
+        }
+    }
+    dist
+}
+
+/// The shortest-path DAG towards a fixed target node.
+///
+/// Produced by [`shortest_path_dag`]; consumed by the ECMP flow engine and by
+/// the waypoint optimizer, which both propagate flow along `order`.
+#[derive(Clone, Debug)]
+pub struct SpDag {
+    /// The destination all distances refer to.
+    pub target: NodeId,
+    /// `dist[v]` = cost of the cheapest `v -> target` path ([`INFINITY`] if
+    /// none exists).
+    pub dist: Vec<f64>,
+    /// `edge_on_dag[e]` is `true` iff edge `e = (u, v)` satisfies
+    /// `dist(u) = w(e) + dist(v)`, i.e. lies on some shortest path to the
+    /// target.
+    pub edge_on_dag: Vec<bool>,
+    /// For each node, its outgoing DAG edges (the ECMP next-hop set).
+    pub dag_out: Vec<Vec<EdgeId>>,
+    /// Nodes with a finite distance, sorted by *decreasing* distance. Since
+    /// weights are strictly positive this is a topological order of the DAG:
+    /// every DAG edge goes from an earlier to a later element.
+    pub order: Vec<NodeId>,
+}
+
+impl SpDag {
+    /// ECMP split degree of `v` towards the target (number of shortest-path
+    /// next hops).
+    #[inline]
+    pub fn split_degree(&self, v: NodeId) -> usize {
+        self.dag_out[v.index()].len()
+    }
+
+    /// `true` if a shortest path from `v` to the target exists.
+    #[inline]
+    pub fn reaches_target(&self, v: NodeId) -> bool {
+        self.dist[v.index()].is_finite()
+    }
+}
+
+/// Builds the shortest-path DAG towards `target` under `weights`.
+///
+/// Edge membership uses the scaled tolerance of [`approx_eq`], so weight
+/// settings produced from exact integer arithmetic (all optimizers in this
+/// workspace emit integral weights) classify ties exactly.
+pub fn shortest_path_dag(g: &Digraph, weights: &[f64], target: NodeId) -> SpDag {
+    let dist = single_target_distances(g, weights, target);
+    let mut edge_on_dag = vec![false; g.edge_count()];
+    let mut dag_out: Vec<Vec<EdgeId>> = vec![Vec::new(); g.node_count()];
+
+    for (e, u, v) in g.edges() {
+        let du = dist[u.index()];
+        let dv = dist[v.index()];
+        if du.is_finite() && dv.is_finite() && approx_eq(du, weights[e.index()] + dv) {
+            edge_on_dag[e.index()] = true;
+            dag_out[u.index()].push(e);
+        }
+    }
+
+    let mut order: Vec<NodeId> = g.nodes().filter(|v| dist[v.index()].is_finite()).collect();
+    order.sort_by(|a, b| {
+        dist[b.index()]
+            .partial_cmp(&dist[a.index()])
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+
+    SpDag {
+        target,
+        dist,
+        edge_on_dag,
+        dag_out,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The diamond with asymmetric weights:
+    /// 0 -> 1 (1), 1 -> 3 (1), 0 -> 2 (1), 2 -> 3 (2), 0 -> 3 (2)
+    fn weighted_diamond() -> (Digraph, Vec<f64>) {
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(3));
+        (g, vec![1.0, 1.0, 1.0, 2.0, 2.0])
+    }
+
+    #[test]
+    fn distances_to_target() {
+        let (g, w) = weighted_diamond();
+        let d = single_target_distances(&g, &w, NodeId(3));
+        assert_eq!(d[3], 0.0);
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[2], 2.0);
+        assert_eq!(d[0], 2.0); // via 1 or the direct edge
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        // node 2 cannot reach node 1
+        let d = single_target_distances(&g, &[1.0], NodeId(1));
+        assert!(d[2].is_infinite());
+        assert_eq!(d[0], 1.0);
+    }
+
+    #[test]
+    fn dag_contains_exactly_tight_edges() {
+        let (g, w) = weighted_diamond();
+        let dag = shortest_path_dag(&g, &w, NodeId(3));
+        // shortest paths from 0: 0-1-3 (cost 2) and 0-3 (cost 2); 0-2-3 costs 3.
+        assert!(dag.edge_on_dag[0]); // 0->1
+        assert!(dag.edge_on_dag[1]); // 1->3
+        assert!(!dag.edge_on_dag[2]); // 0->2 (not tight for node 0)
+        assert!(dag.edge_on_dag[3]); // 2->3 is node 2's own shortest path
+        assert!(dag.edge_on_dag[4]); // 0->3 direct
+        assert_eq!(dag.split_degree(NodeId(0)), 2);
+        assert_eq!(dag.split_degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn order_is_topological() {
+        let (g, w) = weighted_diamond();
+        let dag = shortest_path_dag(&g, &w, NodeId(3));
+        let pos: Vec<usize> = {
+            let mut p = vec![usize::MAX; g.node_count()];
+            for (i, v) in dag.order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for (e, u, v) in g.edges() {
+            if dag.edge_on_dag[e.index()] {
+                assert!(pos[u.index()] < pos[v.index()], "edge {e:?} violates order");
+            }
+        }
+        assert_eq!(*dag.order.last().unwrap(), NodeId(3));
+    }
+
+    #[test]
+    fn parallel_shortest_edges_both_on_dag() {
+        let mut g = Digraph::new(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        let dag = shortest_path_dag(&g, &[1.0, 1.0], NodeId(1));
+        assert_eq!(dag.split_degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn tie_detection_with_integer_weights() {
+        // Two equal-cost two-hop paths.
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let dag = shortest_path_dag(&g, &[5.0, 7.0, 4.0, 8.0], NodeId(3));
+        assert_eq!(dag.dist[0], 12.0);
+        assert_eq!(dag.split_degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn wrong_weight_length_panics() {
+        let (g, _) = weighted_diamond();
+        single_target_distances(&g, &[1.0], NodeId(0));
+    }
+
+    #[test]
+    fn reaches_target_reports_reachability() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        let dag = shortest_path_dag(&g, &[1.0], NodeId(1));
+        assert!(dag.reaches_target(NodeId(0)));
+        assert!(!dag.reaches_target(NodeId(2)));
+    }
+}

@@ -1,0 +1,478 @@
+//! Maximum flows, acyclic maximum flows, and path decompositions.
+//!
+//! The paper's weight-approximation algorithm LWO-APX (§5) starts from an
+//! *acyclic* maximum `(s,t)`-flow `f*` and its support DAG `G*`; the upper
+//! bound of Theorem 4.3 uses a *flow decomposition* of `f*` into paths.
+//! This module provides all three primitives on real-valued capacities:
+//!
+//! 1. [`max_flow`] — Dinic's algorithm (BFS level graph + blocking DFS),
+//! 2. [`acyclic_max_flow`] — cycle cancellation exactly as described in
+//!    paper §2 ("Acyclic Maximum Flow"): repeatedly find a cycle in the flow
+//!    support, subtract the smallest flow value on it,
+//! 3. [`decompose_into_paths`] — peel source→target paths off an acyclic
+//!    flow; by the flow-decomposition theorem at most `|E|` paths result.
+
+use crate::digraph::{Digraph, EdgeId, NodeId};
+use crate::topo::find_cycle;
+use crate::EPS;
+use std::collections::VecDeque;
+
+/// A feasible `(s, t)`-flow: per-edge amounts plus its total value.
+#[derive(Clone, Debug)]
+pub struct Flow {
+    /// Flow source.
+    pub source: NodeId,
+    /// Flow target.
+    pub target: NodeId,
+    /// `on_edge[e]` = amount of flow routed over edge `e` (≥ 0).
+    pub on_edge: Vec<f64>,
+    /// Total flow value `|f|` leaving the source.
+    pub value: f64,
+}
+
+impl Flow {
+    /// Boolean support mask: `true` where the edge carries positive flow.
+    pub fn support_mask(&self) -> Vec<bool> {
+        self.on_edge.iter().map(|&f| f > EPS).collect()
+    }
+
+    /// Verifies flow conservation at every node other than `source`/`target`
+    /// and non-negativity everywhere; `capacities`, when provided, is also
+    /// checked. Intended for tests and debug assertions.
+    pub fn validate(&self, g: &Digraph, capacities: Option<&[f64]>) -> Result<(), String> {
+        if self.on_edge.len() != g.edge_count() {
+            return Err("flow vector length mismatch".into());
+        }
+        for (e, amount) in self.on_edge.iter().enumerate() {
+            if *amount < -EPS {
+                return Err(format!("negative flow {amount} on edge {e}"));
+            }
+            if let Some(c) = capacities {
+                if *amount > c[e] + EPS * (1.0 + c[e].abs()) {
+                    return Err(format!("edge {e} overloaded: {amount} > {}", c[e]));
+                }
+            }
+        }
+        for v in g.nodes() {
+            if v == self.source || v == self.target {
+                continue;
+            }
+            let inflow: f64 = g.in_edges(v).iter().map(|e| self.on_edge[e.index()]).sum();
+            let outflow: f64 = g.out_edges(v).iter().map(|e| self.on_edge[e.index()]).sum();
+            let scale = 1.0_f64.max(inflow.abs()).max(outflow.abs());
+            if (inflow - outflow).abs() > 1e-6 * scale {
+                return Err(format!("conservation violated at {v:?}: in={inflow} out={outflow}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Internal residual-network representation for Dinic's algorithm.
+struct Dinic<'g> {
+    g: &'g Digraph,
+    /// Residual capacity of the forward copy of each edge.
+    fwd: Vec<f64>,
+    /// Residual capacity of the backward copy of each edge (== flow pushed).
+    bwd: Vec<f64>,
+    level: Vec<i32>,
+    /// Per-node iterator positions: (out index, in index).
+    it_out: Vec<usize>,
+    it_in: Vec<usize>,
+}
+
+impl<'g> Dinic<'g> {
+    fn new(g: &'g Digraph, capacities: &[f64]) -> Self {
+        Self {
+            g,
+            fwd: capacities.to_vec(),
+            bwd: vec![0.0; g.edge_count()],
+            level: vec![-1; g.node_count()],
+            it_out: vec![0; g.node_count()],
+            it_in: vec![0; g.node_count()],
+        }
+    }
+
+    /// BFS over the residual graph; returns true when `t` is reachable.
+    fn bfs(&mut self, s: NodeId, t: NodeId) -> bool {
+        self.level.fill(-1);
+        self.level[s.index()] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            let next_level = self.level[v.index()] + 1;
+            for &e in self.g.out_edges(v) {
+                let w = self.g.dst(e);
+                if self.fwd[e.index()] > EPS && self.level[w.index()] < 0 {
+                    self.level[w.index()] = next_level;
+                    q.push_back(w);
+                }
+            }
+            for &e in self.g.in_edges(v) {
+                let w = self.g.src(e);
+                if self.bwd[e.index()] > EPS && self.level[w.index()] < 0 {
+                    self.level[w.index()] = next_level;
+                    q.push_back(w);
+                }
+            }
+        }
+        self.level[t.index()] >= 0
+    }
+
+    /// Blocking-flow DFS from `v` pushing at most `limit`.
+    fn dfs(&mut self, v: NodeId, t: NodeId, limit: f64) -> f64 {
+        if v == t {
+            return limit;
+        }
+        // Forward residual arcs.
+        while self.it_out[v.index()] < self.g.out_edges(v).len() {
+            let e = self.g.out_edges(v)[self.it_out[v.index()]];
+            let w = self.g.dst(e);
+            if self.fwd[e.index()] > EPS && self.level[w.index()] == self.level[v.index()] + 1 {
+                let pushed = self.dfs(w, t, limit.min(self.fwd[e.index()]));
+                if pushed > EPS {
+                    self.fwd[e.index()] -= pushed;
+                    self.bwd[e.index()] += pushed;
+                    return pushed;
+                }
+            }
+            self.it_out[v.index()] += 1;
+        }
+        // Backward residual arcs (undo previously pushed flow).
+        while self.it_in[v.index()] < self.g.in_edges(v).len() {
+            let e = self.g.in_edges(v)[self.it_in[v.index()]];
+            let w = self.g.src(e);
+            if self.bwd[e.index()] > EPS && self.level[w.index()] == self.level[v.index()] + 1 {
+                let pushed = self.dfs(w, t, limit.min(self.bwd[e.index()]));
+                if pushed > EPS {
+                    self.bwd[e.index()] -= pushed;
+                    self.fwd[e.index()] += pushed;
+                    return pushed;
+                }
+            }
+            self.it_in[v.index()] += 1;
+        }
+        0.0
+    }
+}
+
+/// Computes a maximum `(s, t)`-flow with Dinic's algorithm.
+///
+/// ```
+/// use segrout_graph::{max_flow, Digraph, NodeId};
+///
+/// let mut g = Digraph::new(3);
+/// g.add_edge(NodeId(0), NodeId(1));
+/// g.add_edge(NodeId(1), NodeId(2));
+/// let flow = max_flow(&g, &[5.0, 3.0], NodeId(0), NodeId(2));
+/// assert!((flow.value - 3.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+/// Panics if `capacities.len() != g.edge_count()`, any capacity is negative
+/// or non-finite, or `s == t`.
+pub fn max_flow(g: &Digraph, capacities: &[f64], s: NodeId, t: NodeId) -> Flow {
+    assert_eq!(
+        capacities.len(),
+        g.edge_count(),
+        "capacity vector length must match edge count"
+    );
+    assert!(s != t, "source and target must differ");
+    assert!(
+        capacities.iter().all(|c| c.is_finite() && *c >= 0.0),
+        "capacities must be non-negative finite reals"
+    );
+
+    let mut dinic = Dinic::new(g, capacities);
+    let mut value = 0.0;
+    while dinic.bfs(s, t) {
+        dinic.it_out.fill(0);
+        dinic.it_in.fill(0);
+        loop {
+            let pushed = dinic.dfs(s, t, f64::INFINITY);
+            if pushed <= EPS {
+                break;
+            }
+            value += pushed;
+        }
+    }
+    let on_edge: Vec<f64> = dinic.bwd.iter().map(|&f| if f > EPS { f } else { 0.0 }).collect();
+    Flow {
+        source: s,
+        target: t,
+        on_edge,
+        value,
+    }
+}
+
+/// Turns any feasible flow into an acyclic one of equal value by cycle
+/// cancellation (paper §2): while the support contains a directed cycle,
+/// subtract the minimum flow value along that cycle from all of its edges.
+pub fn cancel_cycles(g: &Digraph, flow: &mut Flow) {
+    loop {
+        let mask = flow.support_mask();
+        let Some(cycle) = find_cycle(g, &mask) else {
+            return;
+        };
+        let min_on_cycle = cycle
+            .iter()
+            .map(|e| flow.on_edge[e.index()])
+            .fold(f64::INFINITY, f64::min);
+        for e in cycle {
+            let val = &mut flow.on_edge[e.index()];
+            *val -= min_on_cycle;
+            if *val < EPS {
+                *val = 0.0; // snap to zero so the support strictly shrinks
+            }
+        }
+    }
+}
+
+/// Computes an acyclic maximum `(s, t)`-flow: [`max_flow`] followed by
+/// [`cancel_cycles`]. This is the flow `f*` that seeds LWO-APX (paper §5).
+pub fn acyclic_max_flow(g: &Digraph, capacities: &[f64], s: NodeId, t: NodeId) -> Flow {
+    let mut flow = max_flow(g, capacities, s, t);
+    cancel_cycles(g, &mut flow);
+    debug_assert!(crate::topo::is_acyclic(g, &flow.support_mask()));
+    flow
+}
+
+/// One path of a flow decomposition: the edges from source to target plus the
+/// amount of flow carried along them.
+#[derive(Clone, Debug)]
+pub struct FlowPath {
+    /// Edge ids from source to target, in order.
+    pub edges: Vec<EdgeId>,
+    /// The amount of flow this path carries (the paper's `c(p)`, the capacity
+    /// of the weakest link of the path within the decomposition).
+    pub amount: f64,
+}
+
+impl FlowPath {
+    /// The node sequence of the path, source first.
+    pub fn nodes(&self, g: &Digraph) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(self.edges.len() + 1);
+        if let Some(&first) = self.edges.first() {
+            nodes.push(g.src(first));
+        }
+        for &e in &self.edges {
+            nodes.push(g.dst(e));
+        }
+        nodes
+    }
+}
+
+/// Decomposes an *acyclic* flow into at most `|E|` source→target paths whose
+/// amounts sum to the flow value (flow-decomposition theorem, used in paper
+/// Theorem 4.3).
+///
+/// # Panics
+/// Panics (in debug builds) if the flow support is cyclic; call
+/// [`cancel_cycles`] first.
+pub fn decompose_into_paths(g: &Digraph, flow: &Flow) -> Vec<FlowPath> {
+    debug_assert!(
+        crate::topo::is_acyclic(g, &flow.support_mask()),
+        "decompose_into_paths requires an acyclic flow"
+    );
+    let mut residual = flow.on_edge.clone();
+    let mut paths = Vec::new();
+    // Tolerance for "still carries flow": relative to the flow value so that
+    // tiny numerical residue does not generate spurious paths.
+    let tol = EPS * (1.0 + flow.value.abs());
+    loop {
+        // Greedy walk from source following positive-residual edges.
+        let mut v = flow.source;
+        let mut edges = Vec::new();
+        while v != flow.target {
+            let Some(&e) = g
+                .out_edges(v)
+                .iter()
+                .find(|e| residual[e.index()] > tol)
+            else {
+                break;
+            };
+            edges.push(e);
+            v = g.dst(e);
+        }
+        if v != flow.target || edges.is_empty() {
+            return paths;
+        }
+        let amount = edges
+            .iter()
+            .map(|e| residual[e.index()])
+            .fold(f64::INFINITY, f64::min);
+        for &e in &edges {
+            residual[e.index()] -= amount;
+        }
+        paths.push(FlowPath { edges, amount });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic max-flow example: value 2 through a diamond with a cross edge.
+    fn cross_diamond() -> (Digraph, Vec<f64>) {
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1)); // cap 1
+        g.add_edge(NodeId(0), NodeId(2)); // cap 1
+        g.add_edge(NodeId(1), NodeId(2)); // cap 1 (cross)
+        g.add_edge(NodeId(1), NodeId(3)); // cap 1
+        g.add_edge(NodeId(2), NodeId(3)); // cap 1
+        (g, vec![1.0, 1.0, 1.0, 1.0, 1.0])
+    }
+
+    #[test]
+    fn max_flow_on_diamond() {
+        let (g, c) = cross_diamond();
+        let f = max_flow(&g, &c, NodeId(0), NodeId(3));
+        assert!((f.value - 2.0).abs() < 1e-9);
+        f.validate(&g, Some(&c)).unwrap();
+    }
+
+    #[test]
+    fn max_flow_respects_bottleneck() {
+        // s -> a -> t with caps 5 and 3: value 3.
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let f = max_flow(&g, &[5.0, 3.0], NodeId(0), NodeId(2));
+        assert!((f.value - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_flow_uses_augmenting_through_back_edges() {
+        // The classic example where the greedy path must be partially undone.
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1)); // 1
+        g.add_edge(NodeId(0), NodeId(2)); // 1
+        g.add_edge(NodeId(1), NodeId(2)); // 1
+        g.add_edge(NodeId(2), NodeId(3)); // 1
+        g.add_edge(NodeId(1), NodeId(3)); // 1
+        let f = max_flow(&g, &[1.0; 5], NodeId(0), NodeId(3));
+        assert!((f.value - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_target_gives_zero_flow() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        let f = max_flow(&g, &[1.0], NodeId(0), NodeId(2));
+        assert_eq!(f.value, 0.0);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        // Harmonic parallel paths, as in paper TE-Instance 2 with m = 4:
+        // max flow = 1 + 1/2 + 1/3 + 1/4.
+        let mut g = Digraph::new(6);
+        let (s, t) = (NodeId(0), NodeId(5));
+        let mut caps = Vec::new();
+        for j in 1..=4u32 {
+            let w = NodeId(j);
+            g.add_edge(s, w);
+            caps.push(1.0 / j as f64);
+            g.add_edge(w, t);
+            caps.push(1.0 / j as f64);
+        }
+        let f = max_flow(&g, &caps, s, t);
+        let expected = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+        assert!((f.value - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancel_cycles_removes_circulation() {
+        // Feasible flow with a superfluous 3-cycle on top of an s->t path.
+        let mut g = Digraph::new(4);
+        let p1 = g.add_edge(NodeId(0), NodeId(1));
+        let p2 = g.add_edge(NodeId(1), NodeId(3));
+        let c1 = g.add_edge(NodeId(1), NodeId(2));
+        let c2 = g.add_edge(NodeId(2), NodeId(1));
+        let mut flow = Flow {
+            source: NodeId(0),
+            target: NodeId(3),
+            on_edge: {
+                let mut v = vec![0.0; g.edge_count()];
+                v[p1.index()] = 1.0;
+                v[p2.index()] = 1.0;
+                v[c1.index()] = 0.5;
+                v[c2.index()] = 0.5;
+                v
+            },
+            value: 1.0,
+        };
+        cancel_cycles(&g, &mut flow);
+        assert_eq!(flow.on_edge[c1.index()], 0.0);
+        assert_eq!(flow.on_edge[c2.index()], 0.0);
+        assert_eq!(flow.on_edge[p1.index()], 1.0);
+        assert!((flow.value - 1.0).abs() < 1e-9);
+        flow.validate(&g, None).unwrap();
+    }
+
+    #[test]
+    fn acyclic_max_flow_has_acyclic_support() {
+        let (g, c) = cross_diamond();
+        let f = acyclic_max_flow(&g, &c, NodeId(0), NodeId(3));
+        assert!(crate::topo::is_acyclic(&g, &f.support_mask()));
+        assert!((f.value - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decomposition_amounts_sum_to_value() {
+        let (g, c) = cross_diamond();
+        let f = acyclic_max_flow(&g, &c, NodeId(0), NodeId(3));
+        let paths = decompose_into_paths(&g, &f);
+        let total: f64 = paths.iter().map(|p| p.amount).sum();
+        assert!((total - f.value).abs() < 1e-6);
+        assert!(paths.len() <= g.edge_count());
+        for p in &paths {
+            let nodes = p.nodes(&g);
+            assert_eq!(nodes.first().copied(), Some(NodeId(0)));
+            assert_eq!(nodes.last().copied(), Some(NodeId(3)));
+        }
+    }
+
+    #[test]
+    fn decomposition_of_harmonic_paths() {
+        let mut g = Digraph::new(5);
+        let (s, t) = (NodeId(0), NodeId(4));
+        let mut caps = Vec::new();
+        for j in 1..=3u32 {
+            let w = NodeId(j);
+            g.add_edge(s, w);
+            caps.push(1.0 / j as f64);
+            g.add_edge(w, t);
+            caps.push(1.0 / j as f64);
+        }
+        let f = acyclic_max_flow(&g, &caps, s, t);
+        let paths = decompose_into_paths(&g, &f);
+        assert_eq!(paths.len(), 3);
+        let mut amounts: Vec<f64> = paths.iter().map(|p| p.amount).collect();
+        amounts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((amounts[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((amounts[1] - 0.5).abs() < 1e-9);
+        assert!((amounts[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_catches_conservation_violation() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let bogus = Flow {
+            source: NodeId(0),
+            target: NodeId(2),
+            on_edge: vec![1.0, 0.5],
+            value: 1.0,
+        };
+        assert!(bogus.validate(&g, None).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_source_target_panics() {
+        let g = Digraph::new(2);
+        max_flow(&g, &[], NodeId(0), NodeId(0));
+    }
+}

@@ -1,0 +1,183 @@
+//! Structural metrics of a directed graph: SCCs, diameter, degree
+//! statistics. Used by the topology suite to sanity-check generated and
+//! parsed networks against the published properties of their real
+//! counterparts.
+
+use crate::digraph::{Digraph, NodeId};
+use crate::traversal::bfs_hops;
+
+/// Strongly connected components via Tarjan's algorithm (iterative).
+/// Returns a component id per node; ids are dense in `0..count`.
+pub fn strongly_connected_components(g: &Digraph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comp_count = 0usize;
+
+    // Iterative Tarjan: call stack of (node, next-out-edge position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ei)) = call.last_mut() {
+            if *ei == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let outs = g.out_edges(NodeId(v as u32));
+            if *ei < outs.len() {
+                let w = g.dst(outs[*ei]).index();
+                *ei += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                if lowlink[v] == index[v] {
+                    // v is a component root: pop its members.
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w] = false;
+                        comp[w] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+            }
+        }
+    }
+    (comp, comp_count)
+}
+
+/// Summary metrics of a directed graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphMetrics {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Smallest out-degree.
+    pub min_out_degree: usize,
+    /// Largest out-degree (the paper's `Δ*`).
+    pub max_out_degree: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Hop diameter (longest shortest hop-path); `None` when not strongly
+    /// connected.
+    pub diameter: Option<usize>,
+    /// Number of strongly connected components.
+    pub scc_count: usize,
+}
+
+/// Computes [`GraphMetrics`]. Diameter is exact (all-pairs BFS), fine for
+/// the backbone sizes in this workspace.
+pub fn metrics(g: &Digraph) -> GraphMetrics {
+    let n = g.node_count();
+    let (_, scc_count) = strongly_connected_components(g);
+    let degrees: Vec<usize> = g.nodes().map(|v| g.out_degree(v)).collect();
+    let diameter = if scc_count == 1 && n > 0 {
+        let mut d = 0usize;
+        for v in g.nodes() {
+            let hops = bfs_hops(g, v);
+            d = d.max(hops.into_iter().filter(|&h| h != usize::MAX).max().unwrap_or(0));
+        }
+        Some(d)
+    } else {
+        None
+    };
+    GraphMetrics {
+        nodes: n,
+        edges: g.edge_count(),
+        min_out_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_out_degree: degrees.iter().copied().max().unwrap_or(0),
+        avg_out_degree: if n == 0 {
+            0.0
+        } else {
+            g.edge_count() as f64 / n as f64
+        },
+        diameter,
+        scc_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scc_of_a_cycle_is_one() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(0));
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 1);
+        assert!(comp.iter().all(|&c| c == comp[0]));
+    }
+
+    #[test]
+    fn scc_of_a_dag_is_per_node() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 3);
+        // DAG edges go from later to earlier Tarjan components.
+        assert!(comp[0] > comp[1] && comp[1] > comp[2]);
+    }
+
+    #[test]
+    fn scc_mixed_structure() {
+        // Two 2-cycles joined by a one-way edge: 2 components.
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(0));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(3), NodeId(2));
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn metrics_of_a_ring() {
+        let mut g = Digraph::new(6);
+        for i in 0..6u32 {
+            g.add_edge(NodeId(i), NodeId((i + 1) % 6));
+            g.add_edge(NodeId((i + 1) % 6), NodeId(i));
+        }
+        let m = metrics(&g);
+        assert_eq!(m.nodes, 6);
+        assert_eq!(m.edges, 12);
+        assert_eq!(m.min_out_degree, 2);
+        assert_eq!(m.max_out_degree, 2);
+        assert_eq!(m.scc_count, 1);
+        assert_eq!(m.diameter, Some(3));
+    }
+
+    #[test]
+    fn metrics_of_disconnected_graph_has_no_diameter() {
+        let g = Digraph::new(4);
+        let m = metrics(&g);
+        assert_eq!(m.diameter, None);
+        assert_eq!(m.scc_count, 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Minimum `(s,t)` edge cuts, extracted from a maximum flow.
+//!
+//! Theorem 4.2 of the paper reasons about `cut(s, t)` — the capacity of a
+//! minimum edge cut — via Menger's theorem. This module recovers the cut
+//! itself: after a max-flow computation, the source side of the cut is the
+//! set of nodes reachable from `s` in the residual network, and the cut
+//! edges are those leaving that set.
+
+use crate::digraph::{Digraph, EdgeId, NodeId};
+use crate::maxflow::max_flow;
+use crate::EPS;
+use std::collections::VecDeque;
+
+/// A minimum `(s, t)` edge cut.
+#[derive(Clone, Debug)]
+pub struct MinCut {
+    /// Total capacity of the cut (equals the max-flow value).
+    pub capacity: f64,
+    /// The cut edges: every `s → t` path crosses one of them.
+    pub edges: Vec<EdgeId>,
+    /// Membership of the source side `S` (with `s ∈ S`, `t ∉ S`).
+    pub source_side: Vec<bool>,
+}
+
+/// Computes a minimum `(s, t)` edge cut via max-flow / min-cut duality.
+///
+/// # Panics
+/// Inherits the preconditions of [`max_flow`].
+pub fn min_cut(g: &Digraph, capacities: &[f64], s: NodeId, t: NodeId) -> MinCut {
+    let flow = max_flow(g, capacities, s, t);
+    // Residual BFS from s: forward edges with slack, backward edges with flow.
+    let mut side = vec![false; g.node_count()];
+    side[s.index()] = true;
+    let mut q = VecDeque::new();
+    q.push_back(s);
+    while let Some(v) = q.pop_front() {
+        for &e in g.out_edges(v) {
+            let w = g.dst(e);
+            let slack = capacities[e.index()] - flow.on_edge[e.index()];
+            if slack > EPS && !side[w.index()] {
+                side[w.index()] = true;
+                q.push_back(w);
+            }
+        }
+        for &e in g.in_edges(v) {
+            let w = g.src(e);
+            if flow.on_edge[e.index()] > EPS && !side[w.index()] {
+                side[w.index()] = true;
+                q.push_back(w);
+            }
+        }
+    }
+    debug_assert!(!side[t.index()], "t must lie outside the source side");
+    let edges: Vec<EdgeId> = g
+        .edges()
+        .filter(|&(_, u, v)| side[u.index()] && !side[v.index()])
+        .map(|(e, _, _)| e)
+        .collect();
+    MinCut {
+        capacity: flow.value,
+        edges,
+        source_side: side,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_on_a_bottleneck_chain() {
+        // 0 -5-> 1 -2-> 2 -7-> 3: the cut is the middle edge.
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        let mid = g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let cut = min_cut(&g, &[5.0, 2.0, 7.0], NodeId(0), NodeId(3));
+        assert!((cut.capacity - 2.0).abs() < 1e-9);
+        assert_eq!(cut.edges, vec![mid]);
+        assert!(cut.source_side[0] && cut.source_side[1]);
+        assert!(!cut.source_side[2] && !cut.source_side[3]);
+    }
+
+    #[test]
+    fn cut_capacity_equals_sum_of_cut_edges() {
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(3));
+        let caps = [3.0, 1.0, 2.0, 5.0];
+        let cut = min_cut(&g, &caps, NodeId(0), NodeId(3));
+        let total: f64 = cut.edges.iter().map(|e| caps[e.index()]).sum();
+        assert!((total - cut.capacity).abs() < 1e-9);
+        // max flow = min(3,2) + min(1,5) = 3.
+        assert!((cut.capacity - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_cut_is_empty() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        let cut = min_cut(&g, &[1.0], NodeId(0), NodeId(2));
+        assert_eq!(cut.capacity, 0.0);
+        assert!(cut.edges.is_empty());
+    }
+
+    #[test]
+    fn every_path_crosses_the_cut() {
+        // Verify the defining property on a denser graph.
+        let mut g = Digraph::new(5);
+        let caps = vec![2.0, 2.0, 1.0, 1.0, 2.0, 3.0];
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(1), NodeId(4));
+        g.add_edge(NodeId(3), NodeId(4));
+        let cut = min_cut(&g, &caps, NodeId(0), NodeId(4));
+        // Removing the cut edges must disconnect 0 from 4.
+        let mut mask = vec![true; g.edge_count()];
+        for e in &cut.edges {
+            mask[e.index()] = false;
+        }
+        // BFS over surviving edges.
+        let mut seen = [false; 5];
+        seen[0] = true;
+        let mut q = vec![NodeId(0)];
+        while let Some(v) = q.pop() {
+            for &e in g.out_edges(v) {
+                if mask[e.index()] && !seen[g.dst(e).index()] {
+                    seen[g.dst(e).index()] = true;
+                    q.push(g.dst(e));
+                }
+            }
+        }
+        assert!(!seen[4], "cut must disconnect s from t");
+    }
+}

@@ -1,0 +1,198 @@
+//! Topological orderings and acyclicity checks for edge-masked subgraphs.
+//!
+//! Both the effective-capacity computation (paper Definition 5.1) and the
+//! even-split flow engine process nodes "in the reverse topological ordering"
+//! of a DAG that is given as a *subset of edges* of the full network (the
+//! support of an acyclic maximum flow, or a pruned copy of it). We therefore
+//! expose Kahn's algorithm over a boolean edge mask rather than over a
+//! separate graph value.
+
+use crate::digraph::{Digraph, NodeId};
+
+/// Computes a topological order of the subgraph of `g` induced by the edges
+/// with `mask[e] == true`. All nodes of `g` appear in the output (isolated
+/// nodes are emitted too).
+///
+/// Returns `None` when the masked subgraph contains a directed cycle.
+pub fn topological_order(g: &Digraph, mask: &[bool]) -> Option<Vec<NodeId>> {
+    assert_eq!(mask.len(), g.edge_count(), "mask length must match edge count");
+    let n = g.node_count();
+    let mut indeg = vec![0usize; n];
+    for (e, _, v) in g.edges() {
+        if mask[e.index()] {
+            indeg[v.index()] += 1;
+        }
+    }
+    let mut stack: Vec<NodeId> = g.nodes().filter(|v| indeg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        for &e in g.out_edges(v) {
+            if mask[e.index()] {
+                let w = g.dst(e);
+                indeg[w.index()] -= 1;
+                if indeg[w.index()] == 0 {
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// `true` iff the masked subgraph is acyclic.
+pub fn is_acyclic(g: &Digraph, mask: &[bool]) -> bool {
+    topological_order(g, mask).is_some()
+}
+
+/// Finds a directed cycle in the masked subgraph, returned as the list of
+/// edge ids along the cycle, or `None` if the subgraph is acyclic.
+///
+/// Used by the acyclic-maximum-flow routine (paper §2): "find a cycle and a
+/// link with the smallest flow value on this cycle".
+pub fn find_cycle(g: &Digraph, mask: &[bool]) -> Option<Vec<crate::EdgeId>> {
+    assert_eq!(mask.len(), g.edge_count(), "mask length must match edge count");
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = g.node_count();
+    let mut color = vec![Color::White; n];
+    // For each gray node, the edge we took to enter it (None for DFS roots).
+    let mut entry_edge: Vec<Option<crate::EdgeId>> = vec![None; n];
+
+    for root in g.nodes() {
+        if color[root.index()] != Color::White {
+            continue;
+        }
+        // Iterative DFS: stack of (node, next out-edge index to try).
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        color[root.index()] = Color::Gray;
+        entry_edge[root.index()] = None;
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            let outs = g.out_edges(v);
+            let mut advanced = false;
+            while *idx < outs.len() {
+                let e = outs[*idx];
+                *idx += 1;
+                if !mask[e.index()] {
+                    continue;
+                }
+                let w = g.dst(e);
+                match color[w.index()] {
+                    Color::White => {
+                        color[w.index()] = Color::Gray;
+                        entry_edge[w.index()] = Some(e);
+                        stack.push((w, 0));
+                        advanced = true;
+                        break;
+                    }
+                    Color::Gray => {
+                        // Found a cycle: walk entry edges back from v to w.
+                        let mut cycle = vec![e];
+                        let mut cur = v;
+                        while cur != w {
+                            let pe = entry_edge[cur.index()]
+                                .expect("gray non-root node must have an entry edge");
+                            cycle.push(pe);
+                            cur = g.src(pe);
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Color::Black => {}
+                }
+            }
+            if !advanced {
+                color[v.index()] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::Digraph;
+
+    fn full_mask(g: &Digraph) -> Vec<bool> {
+        vec![true; g.edge_count()]
+    }
+
+    #[test]
+    fn orders_a_chain() {
+        let mut g = Digraph::new(4);
+        for i in 0..3 {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let order = topological_order(&g, &full_mask(&g)).unwrap();
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(0));
+        assert!(topological_order(&g, &full_mask(&g)).is_none());
+        assert!(!is_acyclic(&g, &full_mask(&g)));
+        let cycle = find_cycle(&g, &full_mask(&g)).unwrap();
+        assert_eq!(cycle.len(), 3);
+        // The cycle edges must chain: dst of each == src of the next.
+        for i in 0..cycle.len() {
+            let next = cycle[(i + 1) % cycle.len()];
+            assert_eq!(g.dst(cycle[i]), g.src(next));
+        }
+    }
+
+    #[test]
+    fn masking_breaks_the_cycle() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let back = g.add_edge(NodeId(2), NodeId(0));
+        let mut mask = full_mask(&g);
+        mask[back.index()] = false;
+        assert!(is_acyclic(&g, &mask));
+        assert!(find_cycle(&g, &mask).is_none());
+    }
+
+    #[test]
+    fn isolated_nodes_are_included() {
+        let g = Digraph::new(5);
+        let order = topological_order(&g, &[]).unwrap();
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn finds_cycle_beyond_first_component() {
+        // Component A: 0 -> 1 (acyclic); component B: 2 <-> 3 (cycle).
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(3), NodeId(2));
+        let cycle = find_cycle(&g, &full_mask(&g)).unwrap();
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn self_contained_two_cycles() {
+        // Two disjoint 2-cycles; the finder returns one of them.
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(0));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(3), NodeId(2));
+        let cycle = find_cycle(&g, &full_mask(&g)).unwrap();
+        assert_eq!(cycle.len(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Reachability helpers: BFS over forward or reverse adjacency.
+
+use crate::digraph::{Digraph, NodeId};
+use std::collections::VecDeque;
+
+/// Nodes reachable *from* `start` following edge directions (including
+/// `start` itself), as a boolean membership vector.
+pub fn reachable_from(g: &Digraph, start: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut q = VecDeque::new();
+    seen[start.index()] = true;
+    q.push_back(start);
+    while let Some(v) = q.pop_front() {
+        for &e in g.out_edges(v) {
+            let w = g.dst(e);
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                q.push_back(w);
+            }
+        }
+    }
+    seen
+}
+
+/// Nodes that can reach `goal` following edge directions (including `goal`
+/// itself), as a boolean membership vector.
+pub fn can_reach(g: &Digraph, goal: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut q = VecDeque::new();
+    seen[goal.index()] = true;
+    q.push_back(goal);
+    while let Some(v) = q.pop_front() {
+        for &e in g.in_edges(v) {
+            let u = g.src(e);
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                q.push_back(u);
+            }
+        }
+    }
+    seen
+}
+
+/// `true` iff every ordered pair of nodes is connected by a directed path
+/// (strong connectivity). ISP backbone topologies are expected to satisfy
+/// this; the demand generators assert it.
+pub fn is_strongly_connected(g: &Digraph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let root = NodeId(0);
+    reachable_from(g, root).iter().all(|&b| b) && can_reach(g, root).iter().all(|&b| b)
+}
+
+/// Minimum number of hops from `start` to every node (`usize::MAX` when
+/// unreachable). Used by topology generators to measure diameters.
+pub fn bfs_hops(g: &Digraph, start: NodeId) -> Vec<usize> {
+    let mut hops = vec![usize::MAX; g.node_count()];
+    let mut q = VecDeque::new();
+    hops[start.index()] = 0;
+    q.push_back(start);
+    while let Some(v) = q.pop_front() {
+        for &e in g.out_edges(v) {
+            let w = g.dst(e);
+            if hops[w.index()] == usize::MAX {
+                hops[w.index()] = hops[v.index()] + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_on_a_path() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let r = reachable_from(&g, NodeId(1));
+        assert_eq!(r, vec![false, true, true]);
+        let c = can_reach(&g, NodeId(1));
+        assert_eq!(c, vec![true, true, false]);
+    }
+
+    #[test]
+    fn strong_connectivity_of_a_cycle() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(0));
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn path_is_not_strongly_connected() {
+        let mut g = Digraph::new(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn singleton_graph_is_strongly_connected() {
+        assert!(is_strongly_connected(&Digraph::new(1)));
+        assert!(is_strongly_connected(&Digraph::new(0)));
+    }
+
+    #[test]
+    fn hop_counts() {
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(2));
+        let h = bfs_hops(&g, NodeId(0));
+        assert_eq!(h[0], 0);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[3], usize::MAX);
+    }
+}

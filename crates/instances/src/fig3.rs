@@ -1,0 +1,71 @@
+//! The two worked examples of paper Figure 3, illustrating effective
+//! capacities (Definition 5.1). Exposed so the `fig3` experiment binary and
+//! the documentation examples can reproduce the figure's numbers.
+
+use segrout_core::{Network, NodeId};
+
+/// Figure 3a: `ec(s) = 3/2 = |f*|` — the even split at `s` is lossless.
+///
+/// Node ids: `s = 0`, `v1..v3 = 1..3`, `t = 4`. Returns the network and the
+/// `(s, t)` pair.
+/// Note on capacities: the figure's headline identity is
+/// `ec(s) = 3 · ec((s,v1)) = 3/2 = |f*|`. We set `c(s,v3) = 1/2` (rather
+/// than `3/4`) so the maximum flow is exactly `3/2`; with `3/4` it would be
+/// `7/4`, contradicting the printed `|f*|`.
+pub fn figure3a() -> (Network, NodeId, NodeId) {
+    let mut b = Network::builder(5);
+    b.link(NodeId(0), NodeId(1), 0.5);
+    b.link(NodeId(0), NodeId(2), 0.5);
+    b.link(NodeId(0), NodeId(3), 0.5);
+    b.link(NodeId(1), NodeId(4), 0.5);
+    b.link(NodeId(2), NodeId(4), 0.25);
+    b.link(NodeId(2), NodeId(4), 0.25); // parallel second link
+    b.link(NodeId(3), NodeId(4), 0.75);
+    (b.build().expect("valid construction"), NodeId(0), NodeId(4))
+}
+
+/// Figure 3b: `ec(s) = 2/3 < |f*| = 3/2` — naive everywhere-splitting loses
+/// a factor 2.25; LWO-APX prunes to recover the best even split.
+///
+/// Node ids: `s = 0`, `v1..v4 = 1..4`, `t = 5`.
+pub fn figure3b() -> (Network, NodeId, NodeId) {
+    let mut b = Network::builder(6);
+    b.link(NodeId(0), NodeId(1), 0.5);
+    b.link(NodeId(0), NodeId(2), 1.0);
+    b.link(NodeId(1), NodeId(3), 1.0 / 6.0);
+    b.link(NodeId(1), NodeId(4), 1.0 / 3.0);
+    b.link(NodeId(2), NodeId(3), 1.0 / 3.0);
+    b.link(NodeId(2), NodeId(4), 2.0 / 3.0);
+    b.link(NodeId(3), NodeId(5), 0.5);
+    b.link(NodeId(4), NodeId(5), 1.0);
+    (b.build().expect("valid construction"), NodeId(0), NodeId(5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_core::esflow::effective_capacities;
+    use segrout_graph::acyclic_max_flow;
+
+    #[test]
+    fn figure_3a_numbers() {
+        let (net, s, t) = figure3a();
+        let f = acyclic_max_flow(net.graph(), net.capacities(), s, t);
+        assert!((f.value - 1.5).abs() < 1e-9);
+        let mask = vec![true; net.edge_count()];
+        let (ec, _) = effective_capacities(net.graph(), net.capacities(), &mask, t).unwrap();
+        assert!((ec[s.index()] - 1.5).abs() < 1e-9, "ec(s) = |f*| in 3a");
+    }
+
+    #[test]
+    fn figure_3b_numbers() {
+        let (net, s, t) = figure3b();
+        let f = acyclic_max_flow(net.graph(), net.capacities(), s, t);
+        assert!((f.value - 1.5).abs() < 1e-9);
+        let mask = vec![true; net.edge_count()];
+        let (ec, _) = effective_capacities(net.graph(), net.capacities(), &mask, t).unwrap();
+        assert!((ec[s.index()] - 2.0 / 3.0).abs() < 1e-9);
+        // |f*| = 2.25 * ec(s), as printed in the figure.
+        assert!((f.value / ec[s.index()] - 2.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,263 @@
+//! TE-Instance 1 (paper Figure 1) and its variants.
+//!
+//! A chain `s = v₁ → v₂ → … → v_m` of thick links (capacity `m`) with a thin
+//! bi-directed link (capacity 1) from every chain node to the extra target
+//! `t`; `m = n − 1` unit demands from `s` to `t`.
+//!
+//! * `OPT = Joint = 1` with one waypoint per demand (Lemma 3.5),
+//! * `LWO ≥ (n−1)/2` (Lemma 3.6),
+//! * `WPO ≥ (n−1)/3` under all standard weight settings (Lemma 3.7),
+//!
+//! giving the linear TE gap of Theorem 3.4.
+
+use crate::PaperInstance;
+use segrout_core::{DemandList, Network, NodeId, WaypointSetting, WeightSetting};
+
+/// Node ids: chain nodes `v_1..v_m` are `0..m-1`, the target `t` is `m`.
+///
+/// ```
+/// use segrout_core::Router;
+/// let inst = segrout_instances::instance1(8);
+/// let router = Router::new(&inst.network, &inst.joint_weights);
+/// let mlu = router.evaluate(&inst.demands, &inst.joint_waypoints).unwrap().mlu;
+/// assert!((mlu - 1.0).abs() < 1e-9); // Lemma 3.5
+/// ```
+pub fn instance1(m: usize) -> PaperInstance {
+    assert!(m >= 2, "instance 1 needs m >= 2");
+    let mf = m as f64;
+    let t = NodeId(m as u32);
+    let mut b = Network::builder(m + 1);
+    // Horizontal chain, capacity m.
+    for i in 0..m - 1 {
+        b.link(NodeId(i as u32), NodeId(i as u32 + 1), mf);
+    }
+    // Thin bi-directed links to t, capacity 1.
+    for i in 0..m {
+        b.bilink(NodeId(i as u32), t, 1.0);
+    }
+    let network = b.build().expect("valid construction");
+
+    let mut demands = DemandList::new();
+    for _ in 0..m {
+        demands.push(NodeId(0), t, 1.0);
+    }
+
+    // Lemma 3.5 joint setting: waypoint v_i for the i-th demand; weight m on
+    // every link touching t, weight 1 on the chain.
+    let g = network.graph();
+    let mut w = vec![1.0; g.edge_count()];
+    for (e, u, v) in g.edges() {
+        if u == t || v == t {
+            w[e.index()] = mf;
+        }
+    }
+    let joint_weights = WeightSetting::new(&network, w).expect("positive weights");
+    let mut joint_waypoints = WaypointSetting::none(m);
+    for i in 0..m {
+        // v_1 = s: the first demand routes directly (degenerate waypoint).
+        joint_waypoints.set(i, vec![NodeId(i as u32)]);
+    }
+
+    PaperInstance {
+        network,
+        demands,
+        source: NodeId(0),
+        target: t,
+        joint_weights,
+        joint_waypoints,
+        joint_mlu: 1.0,
+    }
+}
+
+/// The optimal LWO weight setting of Lemma 3.6: weight 2 on the direct link
+/// `(s, t)`, weight 1 elsewhere. The induced ECMP flow splits evenly at `s`
+/// over `(s,t)` and `(s,v₂,t)`, achieving the best possible even-split MLU
+/// of `m/2`.
+pub fn lwo_optimal_weights(inst: &PaperInstance) -> WeightSetting {
+    let g = inst.network.graph();
+    let mut w = vec![1.0; g.edge_count()];
+    let direct = g
+        .find_edge(inst.source, inst.target)
+        .expect("instance 1 has a direct (s,t) link");
+    w[direct.index()] = 2.0;
+    WeightSetting::new(&inst.network, w).expect("positive weights")
+}
+
+/// The adversarial "arbitrary" weight setting of Lemma 3.7: weight `1/3` on
+/// every link touching `t`, weight 1 elsewhere. All shortest paths from `s`
+/// then leave through `(s, t)`, making waypoints useless.
+pub fn arbitrary_adversarial_weights(inst: &PaperInstance) -> WeightSetting {
+    let g = inst.network.graph();
+    let t = inst.target;
+    let mut w = vec![1.0; g.edge_count()];
+    for (e, u, v) in g.edges() {
+        if u == t || v == t {
+            w[e.index()] = 1.0 / 3.0;
+        }
+    }
+    WeightSetting::new(&inst.network, w).expect("positive weights")
+}
+
+/// Theorem 3.8's uniform-capacity variant: all capacities raised to `m`,
+/// with one extra saturating demand `(u, v, m − c(u,v))` per original thin
+/// link. The TE gaps of Instance 1 survive under uniform capacities once
+/// these filler demands occupy the added headroom.
+pub fn instance1_uniform(m: usize) -> (Network, DemandList, NodeId, NodeId) {
+    let base = instance1(m);
+    let mf = m as f64;
+    let g = base.network.graph();
+    let mut b = Network::builder(g.node_count());
+    for (_, u, v) in g.edges() {
+        b.link(u, v, mf);
+    }
+    let network = b.build().expect("valid construction");
+    let mut demands = base.demands.clone();
+    for (e, u, v) in g.edges() {
+        let c = base.network.capacities()[e.index()];
+        if c < mf {
+            demands.push(u, v, mf - c);
+        }
+    }
+    (network, demands, base.source, base.target)
+}
+
+/// Lemma 3.7's inverse-of-capacities variant `I'₁`: the links `(s, v₂)` and
+/// `(v₂, v₃)` are replaced by `m` parallel unit-capacity 3-hop paths
+/// `s → u_j → z_j → v₃`, so that under `w = 1/c` the detour through `t`
+/// becomes the unique shortest path to every `v_i`.
+///
+/// Nodes: `v_1..v_m` are `0..m-1`, `t` is `m`, `u_j` is `m+1+j`, `z_j` is
+/// `m+1+m+j` for `j in 0..m`.
+pub fn instance1_invcap_variant(m: usize) -> (Network, DemandList, NodeId, NodeId) {
+    assert!(m >= 3, "the variant needs m >= 3");
+    let mf = m as f64;
+    let t = NodeId(m as u32);
+    let mut b = Network::builder(m + 1 + 2 * m);
+    // Chain links except (s,v2) and (v2,v3).
+    for i in 2..m - 1 {
+        b.link(NodeId(i as u32), NodeId(i as u32 + 1), mf);
+    }
+    // Thin bi-directed links to t.
+    for i in 0..m {
+        b.bilink(NodeId(i as u32), t, 1.0);
+    }
+    // Parallel replacement paths s -> u_j -> z_j -> v3.
+    for j in 0..m {
+        let u = NodeId((m + 1 + j) as u32);
+        let z = NodeId((m + 1 + m + j) as u32);
+        b.link(NodeId(0), u, 1.0);
+        b.link(u, z, 1.0);
+        b.link(z, NodeId(2), 1.0);
+    }
+    let network = b.build().expect("valid construction");
+    let mut demands = DemandList::new();
+    for _ in 0..m {
+        demands.push(NodeId(0), t, 1.0);
+    }
+    (network, demands, NodeId(0), t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_core::Router;
+
+    #[test]
+    fn lemma_3_5_joint_is_opt() {
+        for m in [3usize, 5, 9, 16] {
+            let inst = instance1(m);
+            let router = Router::new(&inst.network, &inst.joint_weights);
+            let report = router
+                .evaluate(&inst.demands, &inst.joint_waypoints)
+                .unwrap();
+            assert!(
+                (report.mlu - 1.0).abs() < 1e-9,
+                "Joint must achieve MLU 1 at m={m}, got {}",
+                report.mlu
+            );
+        }
+    }
+
+    #[test]
+    fn joint_waypoint_budget_is_one() {
+        let inst = instance1(6);
+        assert!(inst.joint_waypoints.max_used() <= 1);
+    }
+
+    #[test]
+    fn lemma_3_6_lwo_optimal_weights_give_m_over_2() {
+        for m in [4usize, 8] {
+            let inst = instance1(m);
+            let w = lwo_optimal_weights(&inst);
+            let router = Router::new(&inst.network, &w);
+            let mlu = router.mlu(&inst.demands).unwrap();
+            assert!(
+                (mlu - m as f64 / 2.0).abs() < 1e-9,
+                "LWO-optimal weights yield m/2 at m={m}, got {mlu}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_3_7_adversarial_weights_route_everything_via_st() {
+        let m = 6;
+        let inst = instance1(m);
+        let w = arbitrary_adversarial_weights(&inst);
+        let router = Router::new(&inst.network, &w);
+        // Even with ANY single waypoint the flow crosses (s,t): check a few.
+        let mlu_direct = router.mlu(&inst.demands).unwrap();
+        assert!((mlu_direct - m as f64).abs() < 1e-9);
+        // Shortest path from s to every v_i goes through t.
+        for i in 1..m {
+            let dag = router.dag(NodeId(i as u32));
+            let dist_via_t = 1.0 / 3.0 + 1.0 / 3.0;
+            assert!(
+                (dag.dist[0] - dist_via_t).abs() < 1e-9,
+                "s reaches v_{} through t",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_variant_has_uniform_capacities() {
+        let (net, demands, s, t) = instance1_uniform(5);
+        assert!(net.has_uniform_capacities());
+        assert_eq!(s, NodeId(0));
+        assert_eq!(t, NodeId(5));
+        // Demands: m unit (s,t) + one per thin link (2 per chain node).
+        assert_eq!(demands.len(), 5 + 10);
+    }
+
+    #[test]
+    fn invcap_variant_detour_dominates() {
+        let m = 5;
+        let (net, _, s, t) = instance1_invcap_variant(m);
+        let w = WeightSetting::inverse_capacity(&net);
+        let router = Router::new(&net, &w);
+        // Shortest path s -> v_i (i >= 3) must cost 2 (via t), cheaper than
+        // any 3-hop unit path (cost 3).
+        for i in 2..m {
+            let dag = router.dag(NodeId(i as u32));
+            assert!(
+                (dag.dist[s.index()] - 2.0).abs() < 1e-9,
+                "s -> v_{} should cost 2 via t",
+                i + 1
+            );
+        }
+        let _ = t;
+    }
+
+    #[test]
+    fn max_flow_is_m() {
+        // m disjoint unit paths exist (one per chain node).
+        let inst = instance1(7);
+        let f = segrout_graph::acyclic_max_flow(
+            inst.network.graph(),
+            inst.network.capacities(),
+            inst.source,
+            inst.target,
+        );
+        assert!((f.value - 7.0).abs() < 1e-9);
+    }
+}

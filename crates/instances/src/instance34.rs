@@ -1,0 +1,221 @@
+//! TE-Instances 3 and 4 (paper Figures 2b and 2c): the `Ω(n log n)` gap
+//! constructions.
+//!
+//! Both share the same graph: an upper chain `s = v₁ → … → v_m`, a lower
+//! chain `w₁ → … → w_m` ending in the target `t = w_m`, both with capacity
+//! `D` (the total demand size), and a complete bi-directed bipartite layer of
+//! thin links between the chains. They differ only in the thin capacities:
+//!
+//! * Instance 3: `c(v_i, w_j) = 1/j` (harmonic in the *column*),
+//! * Instance 4: `c(v_i, w_j) = 1/(m − i + 1)` (harmonic in the *row*).
+//!
+//! The demand list consists of `m²` demands from `s` to `t` partitioned into
+//! `m` harmonic sets `H_m`. With two waypoints `v_i, w_j` per demand, Joint
+//! routes every demand over the thin link matching its size exactly
+//! (Lemmas 3.11 / 3.13), while LWO (I3) and WPO (I4) lose `Ω(n log n)`.
+
+use crate::PaperInstance;
+use segrout_core::{DemandList, Network, NodeId, WaypointSetting, WeightSetting};
+
+/// Which thin-capacity pattern to build.
+enum Variant {
+    Instance3,
+    Instance4,
+}
+
+/// Node ids: `v_i = i - 1` (so `s = 0`), `w_j = m + j - 1` (so `t = 2m - 1`).
+fn build(m: usize, variant: Variant) -> PaperInstance {
+    assert!(m >= 2, "instances 3/4 need m >= 2");
+    let d_total = m as f64 * crate::harmonic(m);
+    let v = |i: usize| NodeId((i - 1) as u32); // 1-based
+    let w = |j: usize| NodeId((m + j - 1) as u32); // 1-based
+    let s = v(1);
+    let t = w(m);
+
+    let mut b = Network::builder(2 * m);
+    // Upper and lower chains, capacity D.
+    for i in 1..m {
+        b.link(v(i), v(i + 1), d_total);
+        b.link(w(i), w(i + 1), d_total);
+    }
+    // Thin bipartite layer, bi-directed.
+    for i in 1..=m {
+        for j in 1..=m {
+            let c = match variant {
+                Variant::Instance3 => 1.0 / j as f64,
+                Variant::Instance4 => 1.0 / (m - i + 1) as f64,
+            };
+            b.bilink(v(i), w(j), c);
+        }
+    }
+    let network = b.build().expect("valid construction");
+
+    // m harmonic demand groups; demand (g, j) has size 1/j.
+    let mut demands = DemandList::new();
+    for _group in 1..=m {
+        for j in 1..=m {
+            demands.push(s, t, 1.0 / j as f64);
+        }
+    }
+
+    // Lemmas 3.11 / 3.13 joint setting: weight m on every thin link, weight
+    // 1 on the chains; waypoints [v_i, w_j] so that the flow of each demand
+    // crosses the thin link with matching capacity.
+    let g = network.graph();
+    let mut weights = vec![m as f64; g.edge_count()];
+    for (e, a, bb) in g.edges() {
+        let upper = |x: NodeId| (x.0 as usize) < m;
+        if upper(a) == upper(bb) {
+            weights[e.index()] = 1.0; // chain link
+        }
+    }
+    let joint_weights = WeightSetting::new(&network, weights).expect("positive weights");
+
+    let mut joint_waypoints = WaypointSetting::none(demands.len());
+    let mut idx = 0usize;
+    for group in 1..=m {
+        for j in 1..=m {
+            let i = match variant {
+                // I3: group g uses row v_g; demand of size 1/j crosses
+                // (v_g, w_j) with capacity 1/j.
+                Variant::Instance3 => group,
+                // I4: demand of size 1/j must cross a link of capacity
+                // 1/(m - i + 1) = 1/j, i.e. row i = m - j + 1; the group
+                // index spreads demands over columns w_group.
+                Variant::Instance4 => m - j + 1,
+            };
+            let col = match variant {
+                Variant::Instance3 => j,
+                Variant::Instance4 => group,
+            };
+            joint_waypoints.set(idx, vec![v(i), w(col)]);
+            idx += 1;
+        }
+    }
+
+    PaperInstance {
+        network,
+        demands,
+        source: s,
+        target: t,
+        joint_weights,
+        joint_waypoints,
+        joint_mlu: 1.0,
+    }
+}
+
+/// TE-Instance 3 (Figure 2b): thin capacities harmonic per column.
+pub fn instance3(m: usize) -> PaperInstance {
+    build(m, Variant::Instance3)
+}
+
+/// TE-Instance 4 (Figure 2c): thin capacities harmonic per row.
+pub fn instance4(m: usize) -> PaperInstance {
+    build(m, Variant::Instance4)
+}
+
+/// The optimal-LWO weight setting for Instance 3 from the proof of
+/// Lemma 3.14.ii: `ε = 1/(2(m+1))`,
+/// weight `2ε` on `(s, w₁)`, `ε` on `(v₂, w₁)`, on all chain links and on
+/// `(w₁, v_i)`, and weight 1 elsewhere. It realizes the maximum even-split
+/// flow of 2 units over the two unit-capacity shortest paths.
+pub fn instance3_lwo_optimal_weights(inst: &PaperInstance) -> WeightSetting {
+    let g = inst.network.graph();
+    let n = g.node_count();
+    let m = n / 2;
+    let v = |i: usize| NodeId((i - 1) as u32);
+    let w = |j: usize| NodeId((m + j - 1) as u32);
+    let eps = 1.0 / (2.0 * (m as f64 + 1.0));
+    let mut weights = vec![1.0; g.edge_count()];
+    let mut set = |u: NodeId, x: NodeId, val: f64| {
+        if let Some(e) = g.find_edge(u, x) {
+            weights[e.index()] = val;
+        }
+    };
+    set(v(1), w(1), 2.0 * eps); // (s, w1)
+    set(v(2), w(1), eps);
+    for i in 1..m {
+        set(v(i), v(i + 1), eps);
+        set(w(i), w(i + 1), eps);
+    }
+    for i in 1..=m {
+        set(w(1), v(i), eps);
+    }
+    WeightSetting::new(&inst.network, weights).expect("positive weights")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harmonic;
+    use segrout_core::Router;
+
+    #[test]
+    fn lemma_3_11_joint_is_one_on_i3() {
+        for m in [2usize, 4, 7] {
+            let inst = instance3(m);
+            let router = Router::new(&inst.network, &inst.joint_weights);
+            let r = router
+                .evaluate(&inst.demands, &inst.joint_waypoints)
+                .unwrap();
+            assert!(
+                (r.mlu - 1.0).abs() < 1e-9,
+                "I3 m={m}: joint MLU should be 1, got {}",
+                r.mlu
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_3_13_joint_is_one_on_i4() {
+        for m in [2usize, 4, 7] {
+            let inst = instance4(m);
+            let router = Router::new(&inst.network, &inst.joint_weights);
+            let r = router
+                .evaluate(&inst.demands, &inst.joint_waypoints)
+                .unwrap();
+            assert!(
+                (r.mlu - 1.0).abs() < 1e-9,
+                "I4 m={m}: joint MLU should be 1, got {}",
+                r.mlu
+            );
+        }
+    }
+
+    #[test]
+    fn demand_totals_match_the_paper() {
+        let m = 5;
+        let inst = instance3(m);
+        assert_eq!(inst.demands.len(), m * m);
+        assert!((inst.demands.total_size() - m as f64 * harmonic(m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_uses_at_most_two_waypoints() {
+        assert!(instance3(4).joint_waypoints.max_used() <= 2);
+        assert!(instance4(4).joint_waypoints.max_used() <= 2);
+    }
+
+    #[test]
+    fn lemma_3_12_lwo_optimal_weights_deliver_two_units() {
+        // Under the Lemma 3.14.ii weight setting, the max even-split flow is
+        // 2 (two disjoint unit-capacity shortest paths): MLU = D / 2.
+        let m = 5;
+        let inst = instance3(m);
+        let weights = instance3_lwo_optimal_weights(&inst);
+        let router = Router::new(&inst.network, &weights);
+        let mlu = router.mlu(&inst.demands).unwrap();
+        let d_total = m as f64 * harmonic(m);
+        assert!(
+            (mlu - d_total / 2.0).abs() < 1e-6,
+            "expected D/2 = {}, got {mlu}",
+            d_total / 2.0
+        );
+    }
+
+    #[test]
+    fn node_count_is_2m() {
+        assert_eq!(instance3(6).network.node_count(), 12);
+        assert_eq!(instance4(6).network.node_count(), 12);
+    }
+}

@@ -1,0 +1,127 @@
+//! TE-Instance 5 (paper §3.5): the concatenation of Instances 3 and 4.
+//!
+//! `N₅ = N₃ ∪ N₄ ∪ {(t₃, s₄)}` with the connecting link of capacity `D`.
+//! Every `(s, t)` flow must traverse `N₃` first and then `N₄`, so the
+//! instance simultaneously inherits the `R_LWO` gap of Instance 3 and the
+//! `R_WPO` gap of Instance 4 (Theorem 3.15), yielding the combined TE gap
+//! `R* ∈ Ω(n log n / W)`.
+//!
+//! The constructive joint configuration uses the per-half lemma settings;
+//! chaining them takes four waypoints per demand (`v_i, w_j` in each half).
+//! The paper's Theorem 3.15 counts `W = 2` for Joint because each half's
+//! optimal routing needs only two; the explicit witness below is what the
+//! evaluation uses to certify `Joint = 1` end to end.
+
+use crate::instance34::{instance3, instance4};
+use crate::PaperInstance;
+use segrout_core::{DemandList, Network, NodeId, WaypointSetting, WeightSetting};
+
+/// Builds Instance 5 with parameter `m` per half (total `4m` nodes).
+///
+/// Node ids: Instance 3's nodes keep their ids (`0..2m`); Instance 4's nodes
+/// are shifted by `2m`.
+pub fn instance5(m: usize) -> PaperInstance {
+    let i3 = instance3(m);
+    let i4 = instance4(m);
+    let off = i3.network.node_count() as u32;
+    let shift = |v: NodeId| NodeId(v.0 + off);
+
+    let d_total = i3.demands.total_size();
+    let mut b = Network::builder(i3.network.node_count() + i4.network.node_count());
+    // Copy I3 links (ids preserved), then I4 links shifted, then the bridge.
+    for (e, u, v) in i3.network.graph().edges() {
+        b.link(u, v, i3.network.capacities()[e.index()]);
+    }
+    for (e, u, v) in i4.network.graph().edges() {
+        b.link(shift(u), shift(v), i4.network.capacities()[e.index()]);
+    }
+    b.link(i3.target, shift(i4.source), d_total);
+    let network = b.build().expect("valid construction");
+
+    let s = i3.source;
+    let t = shift(i4.target);
+    let mut demands = DemandList::new();
+    for d in &i3.demands {
+        demands.push(s, t, d.size);
+    }
+
+    // Joint weights: each half keeps its lemma weights; the bridge gets 1.
+    let mut weights = Vec::with_capacity(network.edge_count());
+    weights.extend_from_slice(i3.joint_weights.as_slice());
+    weights.extend_from_slice(i4.joint_weights.as_slice());
+    weights.push(1.0);
+    let joint_weights = WeightSetting::new(&network, weights).expect("positive weights");
+
+    // Joint waypoints: the I3 pair, then the I4 pair shifted.
+    let mut joint_waypoints = WaypointSetting::none(demands.len());
+    for i in 0..demands.len() {
+        let mut wps: Vec<NodeId> = i3.joint_waypoints.get(i).to_vec();
+        wps.extend(i4.joint_waypoints.get(i).iter().map(|&v| shift(v)));
+        joint_waypoints.set(i, wps);
+    }
+
+    PaperInstance {
+        network,
+        demands,
+        source: s,
+        target: t,
+        joint_weights,
+        joint_waypoints,
+        joint_mlu: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_core::Router;
+
+    #[test]
+    fn joint_achieves_one_end_to_end() {
+        for m in [2usize, 4] {
+            let inst = instance5(m);
+            let router = Router::new(&inst.network, &inst.joint_weights);
+            let r = router
+                .evaluate(&inst.demands, &inst.joint_waypoints)
+                .unwrap();
+            assert!(
+                (r.mlu - 1.0).abs() < 1e-9,
+                "I5 m={m}: joint MLU should be 1, got {}",
+                r.mlu
+            );
+        }
+    }
+
+    #[test]
+    fn node_count_is_4m() {
+        let inst = instance5(3);
+        assert_eq!(inst.network.node_count(), 12);
+    }
+
+    #[test]
+    fn all_flow_crosses_the_bridge() {
+        let inst = instance5(3);
+        let router = Router::new(&inst.network, &inst.joint_weights);
+        let r = router
+            .evaluate(&inst.demands, &inst.joint_waypoints)
+            .unwrap();
+        let bridge = inst.network.edge_count() - 1;
+        assert!(
+            (r.loads[bridge] - inst.demands.total_size()).abs() < 1e-9,
+            "the bridge carries the whole demand"
+        );
+    }
+
+    #[test]
+    fn bridge_makes_the_graph_one_way() {
+        // No edge returns from the I4 half to the I3 half.
+        let inst = instance5(3);
+        let off = 6u32; // 2m nodes in the first half
+        for (_, u, v) in inst.network.graph().edges() {
+            assert!(
+                !(u.0 >= off && v.0 < off),
+                "edge {u:?}->{v:?} must not cross back into the first half"
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! # segrout-instances
+//!
+//! Generators for every worst-case construction of the paper's gap analysis
+//! (§3), parameterized by the instance size, together with the
+//! *constructive joint settings* from the lemmas (the weight + waypoint
+//! configurations witnessing `Joint = OPT = 1`) and the adversarial weight
+//! settings used in the WPO lower bounds.
+//!
+//! | Paper object | Here |
+//! |---|---|
+//! | TE-Instance 1 (Fig. 1) | [`fn@instance1`] |
+//! | TE-Instance 2 (Fig. 2a) | [`fn@instance2`] |
+//! | TE-Instance 3 (Fig. 2b) | [`instance3`] |
+//! | TE-Instance 4 (Fig. 2c) | [`instance4`] |
+//! | TE-Instance 5 (§3.5) | [`fn@instance5`] |
+//! | uniform-capacity variant (Thm. 3.8) | [`instance1_uniform`] |
+//! | Figure 3a/3b effective-capacity examples | [`figure3a`], [`figure3b`] |
+//! | Lemma 3.6 optimal-LWO weights | [`instance1::lwo_optimal_weights`] |
+//! | Lemma 3.7 adversarial weights | [`instance1::arbitrary_adversarial_weights`] |
+//! | Lemma 3.14.ii optimal-LWO weights for I3 | [`instance34::instance3_lwo_optimal_weights`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig3;
+pub mod instance1;
+pub mod instance2;
+pub mod instance34;
+pub mod instance5;
+
+pub use fig3::{figure3a, figure3b};
+pub use instance1::{instance1, instance1_invcap_variant, instance1_uniform};
+pub use instance2::instance2;
+pub use instance34::{instance3, instance4};
+pub use instance5::instance5;
+
+use segrout_core::{DemandList, Network, NodeId, WaypointSetting, WeightSetting};
+
+/// A generated paper instance: the network and demands, plus the
+/// constructive joint configuration from the corresponding lemma (which
+/// witnesses the instance's optimal `Joint` MLU).
+#[derive(Clone, Debug)]
+pub struct PaperInstance {
+    /// The network.
+    pub network: Network,
+    /// The demand list (single source–target).
+    pub demands: DemandList,
+    /// Demand source `s`.
+    pub source: NodeId,
+    /// Demand target `t`.
+    pub target: NodeId,
+    /// The lemma's joint weight setting.
+    pub joint_weights: WeightSetting,
+    /// The lemma's joint waypoint setting.
+    pub joint_waypoints: WaypointSetting,
+    /// The MLU the lemma proves for this joint configuration (1.0 for all
+    /// instances in the paper).
+    pub joint_mlu: f64,
+}
+
+/// The harmonic number `H_m = 1 + 1/2 + … + 1/m`.
+pub fn harmonic(m: usize) -> f64 {
+    (1..=m).map(|j| 1.0 / j as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_values() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        assert!(harmonic(100) > (100.0_f64).ln());
+        assert!(harmonic(100) < (100.0_f64).ln() + 1.0);
+    }
+}

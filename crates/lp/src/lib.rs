@@ -1,0 +1,33 @@
+//! # segrout-lp
+//!
+//! A self-contained linear-programming and mixed-integer-programming solver,
+//! standing in for the Gurobi solver the paper used for its OPT / LWO / WPO /
+//! Joint formulations.
+//!
+//! * [`problem`] — model builder: bounded (optionally integer) variables,
+//!   sparse linear constraints, min/max objective.
+//! * [`simplex`] — dense two-phase primal simplex with Dantzig pricing and a
+//!   Bland anti-cycling fallback. Exact (up to floating tolerance) on the
+//!   small/medium instances where the paper itself resorted to a MILP.
+//! * [`milp`] — branch-and-bound over the simplex relaxation with
+//!   most-fractional branching, incumbent warm starts, and node/time limits
+//!   (mirroring how a commercial solver is used with a time limit on the
+//!   paper's Abilene-scale Joint MILP).
+//!
+//! The solver is deliberately dense and simple: the formulations in
+//! `segrout-milp` produce at most a few thousand variables, where a dense
+//! tableau is both fast enough and much easier to make robust than a sparse
+//! revised simplex.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lpwrite;
+pub mod milp;
+pub mod problem;
+pub mod simplex;
+
+pub use lpwrite::to_lp_format;
+pub use milp::{solve_milp, MilpOptions, MilpResult, MilpStatus};
+pub use problem::{Cmp, Problem, Sense, VarId};
+pub use simplex::{solve_lp, LpResult, LpStatus};

@@ -1,0 +1,153 @@
+//! CPLEX-LP-format export of models.
+//!
+//! Lets any formulation built here be dumped to the standard `.lp` text
+//! format and cross-checked in an external solver (Gurobi, CBC, HiGHS, …) —
+//! the natural validation path for the MILP substitution documented in
+//! DESIGN.md.
+
+use crate::problem::{Cmp, Problem, Sense};
+use std::fmt::Write;
+
+/// Renders a problem in CPLEX LP format.
+pub fn to_lp_format(p: &Problem) -> String {
+    let mut out = String::new();
+    out.push_str(match p.sense() {
+        Sense::Minimize => "Minimize\n obj:",
+        Sense::Maximize => "Maximize\n obj:",
+    });
+    let mut any = false;
+    for (j, &c) in p.objective().iter().enumerate() {
+        if c != 0.0 {
+            let _ = write!(out, " {} {}", signed(c, any), var(p, j));
+            any = true;
+        }
+    }
+    if !any {
+        out.push_str(" 0 x0");
+    }
+    out.push_str("\nSubject To\n");
+    for (i, con) in p.constraints().iter().enumerate() {
+        let _ = write!(out, " c{i}:");
+        // Accumulate duplicate terms, as the solver does.
+        let mut coeffs = std::collections::BTreeMap::new();
+        for &(v, a) in &con.terms {
+            *coeffs.entry(v.0).or_insert(0.0) += a;
+        }
+        let mut first = true;
+        for (j, a) in coeffs {
+            if a != 0.0 {
+                let _ = write!(out, " {} {}", signed(a, !first), var(p, j));
+                first = false;
+            }
+        }
+        if first {
+            out.push_str(" 0 x0");
+        }
+        let op = match con.cmp {
+            Cmp::Le => "<=",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "=",
+        };
+        let _ = writeln!(out, " {op} {}", con.rhs);
+    }
+    out.push_str("Bounds\n");
+    for j in 0..p.num_vars() {
+        let lo = p.lower_bounds()[j];
+        let hi = p.upper_bounds()[j];
+        if hi.is_finite() {
+            let _ = writeln!(out, " {lo} <= {} <= {hi}", var(p, j));
+        } else {
+            let _ = writeln!(out, " {} >= {lo}", var(p, j));
+        }
+    }
+    let ints: Vec<String> = (0..p.num_vars())
+        .filter(|&j| p.integrality()[j])
+        .map(|j| var(p, j))
+        .collect();
+    if !ints.is_empty() {
+        out.push_str("General\n ");
+        out.push_str(&ints.join(" "));
+        out.push('\n');
+    }
+    out.push_str("End\n");
+    out
+}
+
+/// LP-format-safe variable name: the user name when it is plain
+/// alphanumeric, otherwise a positional `x<j>`.
+fn var(p: &Problem, j: usize) -> String {
+    let name = p.var_name(crate::problem::VarId(j));
+    if !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    {
+        name.to_string()
+    } else {
+        format!("x{j}")
+    }
+}
+
+fn signed(c: f64, with_plus: bool) -> String {
+    if c < 0.0 {
+        format!("- {}", -c)
+    } else if with_plus {
+        format!("+ {c}")
+    } else {
+        format!("{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem, Sense};
+
+    #[test]
+    fn renders_a_small_model() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 4.0, 3.0);
+        let y = p.add_int_var("y", 0.0, 10.0, -2.0);
+        p.add_constraint(vec![(x, 1.0), (y, -1.5)], Cmp::Le, 7.0);
+        p.add_constraint(vec![(x, 2.0)], Cmp::Ge, 1.0);
+        p.add_constraint(vec![(y, 1.0)], Cmp::Eq, 3.0);
+        let lp = to_lp_format(&p);
+        assert!(lp.contains("Maximize"));
+        assert!(lp.contains("3 x - 2 y"));
+        assert!(lp.contains("c0: 1 x - 1.5 y <= 7"));
+        assert!(lp.contains("c1: 2 x >= 1"));
+        assert!(lp.contains("c2: 1 y = 3"));
+        assert!(lp.contains("0 <= x <= 4"));
+        assert!(lp.contains("General\n y"));
+        assert!(lp.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn weird_names_are_sanitized() {
+        let mut p = Problem::new(Sense::Minimize);
+        let v = p.add_var("f[t][e0]", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint(vec![(v, 1.0)], Cmp::Ge, 0.5);
+        let lp = to_lp_format(&p);
+        assert!(lp.contains("x0"), "bracketed names must be sanitized: {lp}");
+        assert!(!lp.contains('['));
+    }
+
+    #[test]
+    fn duplicate_terms_are_merged() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint(vec![(x, 1.0), (x, 2.0)], Cmp::Le, 9.0);
+        let lp = to_lp_format(&p);
+        assert!(lp.contains("3 x <= 9"), "{lp}");
+    }
+
+    #[test]
+    fn empty_objective_still_valid() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 0.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        let lp = to_lp_format(&p);
+        assert!(lp.contains("obj: 0 x0"));
+    }
+}

@@ -1,0 +1,441 @@
+//! Branch-and-bound mixed-integer solver over the simplex relaxation.
+//!
+//! Strategy: best-bound node selection, most-fractional branching, optional
+//! warm incumbent (the TE heuristics provide excellent starting solutions for
+//! the Joint MILP), and node/time limits. With the limits disabled the solver
+//! is exact; with limits it reports the best incumbent plus a global dual
+//! bound — exactly how the paper's Gurobi runs on Abilene-scale Joint
+//! instances behave in practice.
+
+use crate::problem::{Problem, Sense};
+use crate::simplex::{solve_lp_with_deadline, LpStatus};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Integrality tolerance: a relaxation value within this distance of an
+/// integer counts as integral.
+const INT_TOL: f64 = 1e-6;
+
+/// Options controlling the branch-and-bound search.
+#[derive(Clone, Debug)]
+pub struct MilpOptions {
+    /// Maximum number of explored nodes (LP solves).
+    pub node_limit: usize,
+    /// Wall-clock limit.
+    pub time_limit: Duration,
+    /// Optional warm-start incumbent (a feasible point of the problem); its
+    /// objective is used for pruning from the first node on.
+    pub warm_start: Option<Vec<f64>>,
+    /// Relative optimality gap at which the search stops early.
+    pub rel_gap: f64,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        Self {
+            node_limit: 100_000,
+            time_limit: Duration::from_secs(60),
+            warm_start: None,
+            rel_gap: 1e-6,
+        }
+    }
+}
+
+/// Termination status of the MILP search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Search tree exhausted (or gap closed): the incumbent is optimal.
+    Optimal,
+    /// No feasible integer point exists.
+    Infeasible,
+    /// A limit was hit; the incumbent (if any) is feasible but possibly
+    /// suboptimal.
+    LimitReached,
+    /// The relaxation is unbounded.
+    Unbounded,
+}
+
+/// Result of a MILP solve.
+#[derive(Clone, Debug)]
+pub struct MilpResult {
+    /// Termination status.
+    pub status: MilpStatus,
+    /// Best integer-feasible objective found (in the problem's sense).
+    pub objective: Option<f64>,
+    /// Best integer-feasible point found.
+    pub values: Option<Vec<f64>>,
+    /// Global dual bound on the optimum.
+    pub bound: f64,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+struct Node {
+    /// Priority: relaxation bound converted so that "larger is better".
+    priority: f64,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .partial_cmp(&other.priority)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Solves a mixed-integer program by branch-and-bound.
+pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
+    let start = Instant::now();
+    // Every LP solve (including the root) respects the overall time budget,
+    // so one huge relaxation cannot overshoot it.
+    let deadline = start.checked_add(options.time_limit);
+    let minimize = p.sense() == Sense::Minimize;
+    // `better(a, b)`: objective a strictly improves on b.
+    let better = |a: f64, b: f64| if minimize { a < b - 1e-12 } else { a > b + 1e-12 };
+
+    let mut incumbent_obj: Option<f64> = None;
+    let mut incumbent: Option<Vec<f64>> = None;
+    if let Some(ws) = &options.warm_start {
+        if p.is_feasible(ws, 1e-6) {
+            incumbent_obj = Some(p.objective_value(ws));
+            incumbent = Some(ws.clone());
+        }
+    }
+
+    let root = solve_lp_with_deadline(p, p.lower_bounds(), p.upper_bounds(), deadline);
+    match root.status {
+        LpStatus::IterLimit => {
+            // Could not even bound the root in time: report the warm-start
+            // incumbent (if any) with a trivial bound.
+            return MilpResult {
+                status: MilpStatus::LimitReached,
+                objective: incumbent_obj,
+                values: incumbent,
+                bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY },
+                nodes: 1,
+            };
+        }
+        LpStatus::Infeasible => {
+            return MilpResult {
+                status: if incumbent.is_some() {
+                    // A warm start cannot be feasible for an infeasible
+                    // problem (is_feasible checked), so this is defensive.
+                    MilpStatus::Optimal
+                } else {
+                    MilpStatus::Infeasible
+                },
+                objective: incumbent_obj,
+                values: incumbent,
+                bound: if minimize { f64::INFINITY } else { f64::NEG_INFINITY },
+                nodes: 1,
+            };
+        }
+        LpStatus::Unbounded => {
+            return MilpResult {
+                status: MilpStatus::Unbounded,
+                objective: incumbent_obj,
+                values: incumbent,
+                bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY },
+                nodes: 1,
+            };
+        }
+        _ => {}
+    }
+
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    let prio = |obj: f64| if minimize { -obj } else { obj };
+    heap.push(Node {
+        priority: prio(root.objective),
+        lower: p.lower_bounds().to_vec(),
+        upper: p.upper_bounds().to_vec(),
+    });
+
+    let mut nodes = 0usize;
+    let mut limit_hit = false;
+    let mut bound = root.objective;
+
+    while let Some(node) = heap.pop() {
+        // The heap is ordered best-bound-first, so the popped node's bound is
+        // the global dual bound.
+        bound = if minimize { -node.priority } else { node.priority };
+        if let Some(inc) = incumbent_obj {
+            // Prune: node cannot improve the incumbent.
+            if !better(bound, inc) {
+                // Best-bound search: nothing further can improve either.
+                return MilpResult {
+                    status: MilpStatus::Optimal,
+                    objective: incumbent_obj,
+                    values: incumbent,
+                    bound: inc,
+                    nodes,
+                };
+            }
+            let gap = (inc - bound).abs() / (1e-9 + inc.abs());
+            if gap <= options.rel_gap {
+                return MilpResult {
+                    status: MilpStatus::Optimal,
+                    objective: incumbent_obj,
+                    values: incumbent,
+                    bound,
+                    nodes,
+                };
+            }
+        }
+        if nodes >= options.node_limit || start.elapsed() >= options.time_limit {
+            limit_hit = true;
+            break;
+        }
+        nodes += 1;
+
+        let relax = solve_lp_with_deadline(p, &node.lower, &node.upper, deadline);
+        match relax.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::IterLimit => {
+                // Treat as unexplorable: drop the node (keeps soundness of
+                // the incumbent; the bound becomes heuristic). Extremely
+                // rare given the generous iteration limits.
+                limit_hit = true;
+                continue;
+            }
+            LpStatus::Unbounded => {
+                return MilpResult {
+                    status: MilpStatus::Unbounded,
+                    objective: incumbent_obj,
+                    values: incumbent,
+                    bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY },
+                    nodes,
+                };
+            }
+            LpStatus::Optimal => {}
+        }
+        if let Some(inc) = incumbent_obj {
+            if !better(relax.objective, inc) {
+                continue; // pruned by bound
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var = None;
+        let mut best_frac = INT_TOL;
+        for (j, &is_int) in p.integrality().iter().enumerate() {
+            if !is_int {
+                continue;
+            }
+            let v = relax.values[j];
+            let frac = (v - v.round()).abs();
+            if frac > best_frac {
+                let dist_to_half = (frac - 0.5).abs();
+                let cur_best_dist = (best_frac - 0.5).abs();
+                if branch_var.is_none() || dist_to_half < cur_best_dist {
+                    best_frac = frac;
+                    branch_var = Some((j, v));
+                }
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integer feasible: candidate incumbent.
+                let rounded: Vec<f64> = relax
+                    .values
+                    .iter()
+                    .zip(p.integrality())
+                    .map(|(&v, &is_int)| if is_int { v.round() } else { v })
+                    .collect();
+                let obj = p.objective_value(&rounded);
+                if incumbent_obj.is_none_or(|inc| better(obj, inc)) {
+                    incumbent_obj = Some(obj);
+                    incumbent = Some(rounded);
+                }
+            }
+            Some((j, v)) => {
+                // Down branch: x_j <= floor(v).
+                let mut up = node.upper.clone();
+                up[j] = v.floor();
+                heap.push(Node {
+                    priority: prio(relax.objective),
+                    lower: node.lower.clone(),
+                    upper: up,
+                });
+                // Up branch: x_j >= ceil(v).
+                let mut lo = node.lower.clone();
+                lo[j] = v.ceil();
+                heap.push(Node {
+                    priority: prio(relax.objective),
+                    lower: lo,
+                    upper: node.upper.clone(),
+                });
+            }
+        }
+    }
+
+    let status = if limit_hit || !heap.is_empty() {
+        MilpStatus::LimitReached
+    } else if incumbent.is_some() {
+        MilpStatus::Optimal
+    } else {
+        MilpStatus::Infeasible
+    };
+    if status == MilpStatus::Optimal {
+        bound = incumbent_obj.unwrap_or(bound);
+    }
+    MilpResult {
+        status,
+        objective: incumbent_obj,
+        values: incumbent,
+        bound,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack() {
+        // max 8a + 11b + 6c + 4d st 5a + 7b + 4c + 3d <= 14, binary.
+        // Optimum: b + c + d = 21 (weight 14).
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_bin_var("a", 8.0);
+        let b = p.add_bin_var("b", 11.0);
+        let c = p.add_bin_var("c", 6.0);
+        let d = p.add_bin_var("d", 4.0);
+        p.add_constraint(
+            vec![(a, 5.0), (b, 7.0), (c, 4.0), (d, 3.0)],
+            Cmp::Le,
+            14.0,
+        );
+        let r = solve_milp(&p, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.objective.unwrap(), 21.0);
+        let v = r.values.unwrap();
+        assert_close(v[0], 0.0);
+        assert_close(v[1], 1.0);
+    }
+
+    #[test]
+    fn integer_rounding_is_not_lp_rounding() {
+        // max y st 2y <= 7 -> LP gives 3.5, MILP must give 3.
+        let mut p = Problem::new(Sense::Maximize);
+        let y = p.add_int_var("y", 0.0, 100.0, 1.0);
+        p.add_constraint(vec![(y, 2.0)], Cmp::Le, 7.0);
+        let r = solve_milp(&p, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.objective.unwrap(), 3.0);
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // 0.4 <= x <= 0.6 has no integer point.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_int_var("x", 0.0, 1.0, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 0.4);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 0.6);
+        let r = solve_milp(&p, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Infeasible);
+        assert!(r.values.is_none());
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min x + y, x integer, x + 2y >= 5.5, y <= 1.5:
+        // x = 3, y = 1.25 -> obj 4.25 (x = 2 forces y > 1.5, infeasible).
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_int_var("x", 0.0, 100.0, 1.0);
+        let y = p.add_var("y", 0.0, 1.5, 1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Cmp::Ge, 5.5);
+        let r = solve_milp(&p, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.objective.unwrap(), 4.25);
+    }
+
+    #[test]
+    fn warm_start_is_used_and_optimality_still_proven() {
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_bin_var("a", 5.0);
+        let b = p.add_bin_var("b", 4.0);
+        p.add_constraint(vec![(a, 3.0), (b, 2.0)], Cmp::Le, 4.0);
+        let opts = MilpOptions {
+            warm_start: Some(vec![0.0, 1.0]), // feasible, obj 4
+            ..Default::default()
+        };
+        let r = solve_milp(&p, &opts);
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.objective.unwrap(), 5.0); // a=1 beats the warm start
+    }
+
+    #[test]
+    fn infeasible_warm_start_is_rejected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_bin_var("a", 1.0);
+        p.add_constraint(vec![(a, 1.0)], Cmp::Le, 0.0);
+        let opts = MilpOptions {
+            warm_start: Some(vec![1.0]), // violates the constraint
+            ..Default::default()
+        };
+        let r = solve_milp(&p, &opts);
+        assert_close(r.objective.unwrap(), 0.0);
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent() {
+        // A problem needing some branching; with node_limit 1 we may only
+        // have the root: status LimitReached but sound output.
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..6).map(|i| p.add_bin_var(format!("v{i}"), (i + 1) as f64)).collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
+        p.add_constraint(terms, Cmp::Le, 7.0);
+        let opts = MilpOptions {
+            node_limit: 1,
+            ..Default::default()
+        };
+        let r = solve_milp(&p, &opts);
+        assert_eq!(r.status, MilpStatus::LimitReached);
+        // Dual bound must be valid: >= any feasible objective (maximize).
+        assert!(r.bound >= 15.0 - 1e-6);
+    }
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0, 3.0, 2.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        let r = solve_milp(&p, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.objective.unwrap(), 4.0);
+    }
+
+    #[test]
+    fn equality_milp() {
+        // x + y = 5, x,y integer, min 3x + y -> x = 0, y = 5, obj 5.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_int_var("x", 0.0, 10.0, 3.0);
+        let y = p.add_int_var("y", 0.0, 10.0, 1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 5.0);
+        let r = solve_milp(&p, &MilpOptions::default());
+        assert_close(r.objective.unwrap(), 5.0);
+        let v = r.values.unwrap();
+        assert_close(v[0], 0.0);
+        assert_close(v[1], 5.0);
+    }
+}

@@ -1,0 +1,476 @@
+//! The hash-based ECMP stream simulator (see crate docs).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use segrout_core::{max_link_utilization, Network, NodeId, Router, TeError, WeightSetting};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// One simulated flow: `rate` units from `src` to `dst`, carried by
+/// `streams` parallel TCP streams, optionally via waypoints.
+#[derive(Clone, Debug)]
+pub struct SimFlow {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Total offered rate of the flow.
+    pub rate: f64,
+    /// Number of parallel streams the rate is divided into (nuttcp-style).
+    pub streams: usize,
+    /// Segment-routing waypoints, visited in order.
+    pub waypoints: Vec<NodeId>,
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for the per-run hash salt (each run re-hashes all streams, as
+    /// re-established TCP connections draw new source ports).
+    pub seed: u64,
+    /// Relative amplitude of multiplicative load noise modelling control
+    /// -plane chatter (the paper observed small deviations from NDP
+    /// packets); 0 disables it.
+    pub noise: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            noise: 0.015,
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Measured per-link loads.
+    pub loads: Vec<f64>,
+    /// Measured maximum link utilization.
+    pub mlu: f64,
+}
+
+/// A simulator bound to one network + weight setting.
+pub struct HashEcmpSim<'n> {
+    router: Router<'n>,
+    net: &'n Network,
+}
+
+impl<'n> HashEcmpSim<'n> {
+    /// Creates a simulator; shortest-path DAGs are shared with the exact
+    /// ECMP engine, so simulated routes are always legal ECMP routes.
+    pub fn new(net: &'n Network, weights: &WeightSetting) -> Self {
+        Self {
+            router: Router::new(net, weights),
+            net,
+        }
+    }
+
+    /// Runs one experiment with a set of failed links: the IGP reconverges
+    /// (failed links leave every shortest path; segment routing follows the
+    /// post-failure shortest paths between waypoints), then the streams are
+    /// measured. A stream whose segment destination becomes unreachable is
+    /// a hard error.
+    ///
+    /// # Errors
+    /// Fails when a failure disconnects a segment.
+    pub fn run_with_failures(
+        &self,
+        flows: &[SimFlow],
+        cfg: &SimConfig,
+        failed: &[segrout_core::EdgeId],
+    ) -> Result<SimReport, TeError> {
+        if failed.is_empty() {
+            return self.run(flows, cfg);
+        }
+        // Re-weight: failed links get a weight no shortest path can afford
+        // unless the destination is otherwise unreachable — in which case
+        // the stream walk would traverse a failed link and we error out.
+        let total: f64 = self.router.weights().iter().sum();
+        let big = total + 1.0;
+        let mut w = self.router.weights().to_vec();
+        for e in failed {
+            w[e.index()] = big;
+        }
+        let weights =
+            WeightSetting::new(self.net, w).expect("positive weights stay positive");
+        let failed_mask = {
+            let mut m = vec![false; self.net.edge_count()];
+            for e in failed {
+                m[e.index()] = true;
+            }
+            m
+        };
+        let sub = HashEcmpSim::new(self.net, &weights);
+        let report = sub.run(flows, cfg)?;
+        for (e, &is_failed) in failed_mask.iter().enumerate() {
+            if is_failed && report.loads[e] > 0.0 {
+                // The only shortest path used a failed link: disconnected.
+                let (u, v) = self.net.graph().endpoints(segrout_core::EdgeId(e as u32));
+                return Err(TeError::Unroutable { src: u, dst: v });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Runs one experiment: all flows start, run to steady state, and the
+    /// per-link loads are measured (run `runs` times with different seeds to
+    /// reproduce the spread of paper Figure 7).
+    ///
+    /// # Errors
+    /// Fails when a stream cannot reach (one of) its segment destinations.
+    pub fn run(&self, flows: &[SimFlow], cfg: &SimConfig) -> Result<SimReport, TeError> {
+        let mut loads = vec![0.0; self.net.edge_count()];
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let salt: u64 = rng.gen();
+
+        for (fid, flow) in flows.iter().enumerate() {
+            assert!(flow.streams >= 1, "flows need at least one stream");
+            let per_stream = flow.rate / flow.streams as f64;
+            for sid in 0..flow.streams {
+                // Segment endpoints: src -> w1 -> ... -> dst.
+                let mut cur = flow.src;
+                for &seg_dst in flow
+                    .waypoints
+                    .iter()
+                    .chain(std::iter::once(&flow.dst))
+                {
+                    if seg_dst == cur {
+                        continue;
+                    }
+                    self.route_stream(
+                        cur,
+                        seg_dst,
+                        per_stream,
+                        hash3(salt, fid as u64, sid as u64),
+                        &mut loads,
+                    )?;
+                    cur = seg_dst;
+                }
+            }
+        }
+
+        if cfg.noise > 0.0 {
+            for l in loads.iter_mut() {
+                // Mean-one multiplicative jitter.
+                *l *= 1.0 + cfg.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+            }
+        }
+        let mlu = max_link_utilization(&loads, self.net.capacities());
+        Ok(SimReport { loads, mlu })
+    }
+
+    /// Walks one stream from `src` to `dst`, hashing at every hop over the
+    /// ECMP next-hop set (the Linux `fib_multipath_hash_policy=1` L4 hash
+    /// keys on the 5-tuple, constant along the path — modelled by the
+    /// stream key — and is implementation-salted per router — modelled by
+    /// hashing in the node id).
+    fn route_stream(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        rate: f64,
+        stream_key: u64,
+        loads: &mut [f64],
+    ) -> Result<(), TeError> {
+        let dag = self.router.dag(dst);
+        if !dag.reaches_target(src) {
+            return Err(TeError::Unroutable { src, dst });
+        }
+        let g = self.net.graph();
+        let mut v = src;
+        while v != dst {
+            let nexts = &dag.dag_out[v.index()];
+            debug_assert!(!nexts.is_empty());
+            let pick = if nexts.len() == 1 {
+                0
+            } else {
+                (hash3(stream_key, v.0 as u64, dst.0 as u64) % nexts.len() as u64) as usize
+            };
+            let e = nexts[pick];
+            loads[e.index()] += rate;
+            v = g.dst(e);
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic 3-input hash.
+fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    (a, b, c).hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_core::{DemandList, WaypointSetting};
+    use segrout_instances::instance1;
+
+    fn no_noise() -> SimConfig {
+        SimConfig {
+            seed: 1,
+            noise: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_path_is_exact() {
+        let mut b = Network::builder(3);
+        b.link(NodeId(0), NodeId(1), 10.0);
+        b.link(NodeId(1), NodeId(2), 10.0);
+        let net = b.build().unwrap();
+        let w = WeightSetting::unit(&net);
+        let sim = HashEcmpSim::new(&net, &w);
+        let flows = vec![SimFlow {
+            src: NodeId(0),
+            dst: NodeId(2),
+            rate: 5.0,
+            streams: 8,
+            waypoints: vec![],
+        }];
+        let r = sim.run(&flows, &no_noise()).unwrap();
+        assert!((r.loads[0] - 5.0).abs() < 1e-9);
+        assert!((r.mlu - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash_split_is_uneven_with_few_streams() {
+        // Two equal-cost paths, 4 streams: the binomial split rarely lands
+        // exactly 2/2 for every seed; with many seeds we must observe at
+        // least one uneven split and never a load outside [0, rate].
+        let mut b = Network::builder(4);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        b.link(NodeId(1), NodeId(3), 1.0);
+        b.link(NodeId(0), NodeId(2), 1.0);
+        b.link(NodeId(2), NodeId(3), 1.0);
+        let net = b.build().unwrap();
+        let w = WeightSetting::unit(&net);
+        let sim = HashEcmpSim::new(&net, &w);
+        let flows = vec![SimFlow {
+            src: NodeId(0),
+            dst: NodeId(3),
+            rate: 1.0,
+            streams: 4,
+            waypoints: vec![],
+        }];
+        let mut saw_uneven = false;
+        for seed in 0..20 {
+            let r = sim
+                .run(
+                    &flows,
+                    &SimConfig {
+                        seed,
+                        noise: 0.0,
+                    },
+                )
+                .unwrap();
+            let (a, b_) = (r.loads[0], r.loads[2]);
+            assert!((a + b_ - 1.0).abs() < 1e-9, "flow conserved");
+            if (a - b_).abs() > 1e-9 {
+                saw_uneven = true;
+            }
+        }
+        assert!(saw_uneven, "hash splitting should be imperfect");
+    }
+
+    #[test]
+    fn many_streams_approach_fluid_split() {
+        let mut b = Network::builder(4);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        b.link(NodeId(1), NodeId(3), 1.0);
+        b.link(NodeId(0), NodeId(2), 1.0);
+        b.link(NodeId(2), NodeId(3), 1.0);
+        let net = b.build().unwrap();
+        let w = WeightSetting::unit(&net);
+        let sim = HashEcmpSim::new(&net, &w);
+        let flows = vec![SimFlow {
+            src: NodeId(0),
+            dst: NodeId(3),
+            rate: 1.0,
+            streams: 20_000,
+            waypoints: vec![],
+        }];
+        let r = sim.run(&flows, &no_noise()).unwrap();
+        assert!((r.loads[0] - 0.5).abs() < 0.02, "law of large numbers");
+    }
+
+    #[test]
+    fn waypoints_pin_streams_deterministically() {
+        // Figure 7's joint configuration: each demand pinned through its own
+        // waypoint gives MLU exactly 1 regardless of hashing.
+        let inst = instance1(4);
+        let sim = HashEcmpSim::new(&inst.network, &inst.joint_weights);
+        let flows: Vec<SimFlow> = (0..4)
+            .map(|i| SimFlow {
+                src: inst.source,
+                dst: inst.target,
+                rate: 1.0,
+                streams: 32,
+                waypoints: inst.joint_waypoints.get(i).to_vec(),
+            })
+            .collect();
+        let r = sim.run(&flows, &no_noise()).unwrap();
+        assert!((r.mlu - 1.0).abs() < 1e-9, "joint pinning is exact: {}", r.mlu);
+    }
+
+    #[test]
+    fn weights_only_overloads_like_figure7() {
+        // LWO-optimal weights on Instance 1: the fluid MLU is m/2 = 2; hash
+        // splitting keeps it >= 2 (any imbalance only hurts the thin link or
+        // leaves it at 2).
+        let inst = instance1(4);
+        let w = segrout_instances::instance1::lwo_optimal_weights(&inst);
+        let sim = HashEcmpSim::new(&inst.network, &w);
+        let flows: Vec<SimFlow> = (0..4)
+            .map(|_| SimFlow {
+                src: inst.source,
+                dst: inst.target,
+                rate: 1.0,
+                streams: 32,
+                waypoints: vec![],
+            })
+            .collect();
+        for seed in 0..10 {
+            let r = sim
+                .run(
+                    &flows,
+                    &SimConfig {
+                        seed,
+                        noise: 0.0,
+                    },
+                )
+                .unwrap();
+            assert!(r.mlu >= 2.0 - 0.6, "seed {seed}: mlu = {}", r.mlu);
+            assert!(r.mlu <= 4.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sim_agrees_with_fluid_engine_on_unsplit_routes() {
+        // When every ECMP set is a singleton the simulator must match the
+        // exact engine bit for bit.
+        let inst = instance1(5);
+        let router = Router::new(&inst.network, &inst.joint_weights);
+        let mut demands = DemandList::new();
+        for _ in 0..5 {
+            demands.push(inst.source, inst.target, 1.0);
+        }
+        let mut wp = WaypointSetting::none(5);
+        for i in 0..5 {
+            wp.set(i, inst.joint_waypoints.get(i).to_vec());
+        }
+        let exact = router.evaluate(&demands, &wp).unwrap();
+        let sim = HashEcmpSim::new(&inst.network, &inst.joint_weights);
+        let flows: Vec<SimFlow> = (0..5)
+            .map(|i| SimFlow {
+                src: inst.source,
+                dst: inst.target,
+                rate: 1.0,
+                streams: 32,
+                waypoints: inst.joint_waypoints.get(i).to_vec(),
+            })
+            .collect();
+        let simulated = sim.run(&flows, &no_noise()).unwrap();
+        for e in 0..inst.network.edge_count() {
+            assert!(
+                (exact.loads[e] - simulated.loads[e]).abs() < 1e-9,
+                "edge {e}: {} vs {}",
+                exact.loads[e],
+                simulated.loads[e]
+            );
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let mut b = Network::builder(2);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        let net = b.build().unwrap();
+        let w = WeightSetting::unit(&net);
+        let sim = HashEcmpSim::new(&net, &w);
+        let flows = vec![SimFlow {
+            src: NodeId(0),
+            dst: NodeId(1),
+            rate: 1.0,
+            streams: 1,
+            waypoints: vec![],
+        }];
+        let r = sim
+            .run(
+                &flows,
+                &SimConfig {
+                    seed: 3,
+                    noise: 0.05,
+                },
+            )
+            .unwrap();
+        assert!(r.mlu > 0.9 && r.mlu < 1.1);
+        assert!((r.mlu - 1.0).abs() > 1e-12, "noise should perturb");
+    }
+    #[test]
+    fn failure_reroutes_around_dead_link() {
+        // Diamond: fail the upper path's first link; everything reroutes
+        // through the lower path.
+        let mut b = Network::builder(4);
+        b.link(NodeId(0), NodeId(1), 1.0); // e0 (will fail)
+        b.link(NodeId(1), NodeId(3), 1.0);
+        b.link(NodeId(0), NodeId(2), 1.0);
+        b.link(NodeId(2), NodeId(3), 1.0);
+        let net = b.build().unwrap();
+        let w = WeightSetting::unit(&net);
+        let sim = HashEcmpSim::new(&net, &w);
+        let flows = vec![SimFlow {
+            src: NodeId(0),
+            dst: NodeId(3),
+            rate: 1.0,
+            streams: 16,
+            waypoints: vec![],
+        }];
+        let r = sim
+            .run_with_failures(&flows, &no_noise(), &[segrout_core::EdgeId(0)])
+            .unwrap();
+        assert_eq!(r.loads[0], 0.0);
+        assert!((r.loads[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_disconnecting_a_segment_errors() {
+        let mut b = Network::builder(3);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        b.link(NodeId(1), NodeId(2), 1.0);
+        let net = b.build().unwrap();
+        let w = WeightSetting::unit(&net);
+        let sim = HashEcmpSim::new(&net, &w);
+        let flows = vec![SimFlow {
+            src: NodeId(0),
+            dst: NodeId(2),
+            rate: 1.0,
+            streams: 4,
+            waypoints: vec![],
+        }];
+        assert!(sim
+            .run_with_failures(&flows, &no_noise(), &[segrout_core::EdgeId(1)])
+            .is_err());
+    }
+
+    #[test]
+    fn empty_failure_set_matches_plain_run() {
+        let inst = instance1(4);
+        let sim = HashEcmpSim::new(&inst.network, &inst.joint_weights);
+        let flows = vec![SimFlow {
+            src: inst.source,
+            dst: inst.target,
+            rate: 1.0,
+            streams: 8,
+            waypoints: vec![],
+        }];
+        let a = sim.run(&flows, &no_noise()).unwrap();
+        let b = sim.run_with_failures(&flows, &no_noise(), &[]).unwrap();
+        assert_eq!(a.loads, b.loads);
+    }
+
+}

@@ -1,0 +1,26 @@
+//! # segrout-sim
+//!
+//! A flow-level simulator of *hash-based* ECMP splitting — the substitute
+//! for the paper's Nanonet (Linux-netns) experiment in §7.2.
+//!
+//! Real routers do not split packets fluidly: each TCP stream is pinned to
+//! one equal-cost next hop by a per-router L4 hash of its 5-tuple. With few
+//! streams the split is uneven, which is exactly the phenomenon Figure 7
+//! measures: the weight-only configuration shows MLUs well above the fluid
+//! value 2 (hash imbalance across the two equal-cost routes), while the
+//! joint configuration pins every flow through a waypoint to a single
+//! deterministic route and lands on MLU ≈ 1.
+//!
+//! The simulator routes each *stream* (a demand is `streams` parallel
+//! streams, as nuttcp's 32 parallel TCP connections) hop by hop: at every
+//! node the next hop is chosen from the shortest-path next-hop set by a
+//! deterministic per-(stream, node) hash. Segment routing is honoured by
+//! routing each stream segment by segment through its waypoints. Optional
+//! multiplicative noise models background chatter (NDP etc.).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hash_ecmp;
+
+pub use hash_ecmp::{HashEcmpSim, SimConfig, SimFlow, SimReport};

@@ -1,0 +1,169 @@
+//! Embedded evaluation topologies.
+//!
+//! [`abilene`] is the real SNDLib Abilene backbone (12 nodes, 15 undirected
+//! links, OC-192 trunks plus the thin ATLAM5 tail). The remaining networks
+//! are *size-matched stand-ins*: deterministically seeded random connected
+//! topologies with the published node/link counts and SNDLib-style tiered
+//! capacities — the offline substitution documented in DESIGN.md. Real
+//! SNDLib/TopologyZoo files can be loaded with [`crate::parsers`] instead.
+
+use crate::synthetic::geo_backbone;
+use segrout_core::{Network, NodeId};
+
+/// The Abilene (Internet2) backbone as published in SNDLib: 12 PoPs,
+/// 15 undirected links. Capacities in Mbit/s: 9920 (OC-192) everywhere
+/// except the 2480 ATLAM5–ATLAng tail.
+pub fn abilene() -> Network {
+    const NAMES: [&str; 12] = [
+        "ATLAM5", "ATLAng", "CHINng", "DNVRng", "HSTNng", "IPLSng", "KSCYng", "LOSAng",
+        "NYCMng", "SNVAng", "STTLng", "WASHng",
+    ];
+    // (u, v, capacity): the 15 SNDLib links.
+    const LINKS: [(usize, usize, f64); 15] = [
+        (0, 1, 2480.0),  // ATLAM5 - ATLAng
+        (1, 4, 9920.0),  // ATLAng - HSTNng
+        (1, 5, 9920.0),  // ATLAng - IPLSng
+        (1, 11, 9920.0), // ATLAng - WASHng
+        (2, 5, 9920.0),  // CHINng - IPLSng
+        (2, 8, 9920.0),  // CHINng - NYCMng
+        (3, 6, 9920.0),  // DNVRng - KSCYng
+        (3, 9, 9920.0),  // DNVRng - SNVAng
+        (3, 10, 9920.0), // DNVRng - STTLng
+        (4, 6, 9920.0),  // HSTNng - KSCYng
+        (4, 7, 9920.0),  // HSTNng - LOSAng
+        (5, 6, 9920.0),  // IPLSng - KSCYng
+        (7, 9, 9920.0),  // LOSAng - SNVAng
+        (8, 11, 9920.0), // NYCMng - WASHng
+        (9, 10, 9920.0), // SNVAng - STTLng
+    ];
+    let mut b = Network::builder(12);
+    for &(u, v, c) in &LINKS {
+        b.bilink(NodeId(u as u32), NodeId(v as u32), c);
+    }
+    b.build()
+        .expect("valid construction")
+        .with_names(NAMES.iter().map(|s| s.to_string()).collect())
+        .expect("12 names for 12 nodes")
+}
+
+/// `(name, nodes, undirected links, seed)` for each size-matched stand-in.
+/// Node/link counts follow the published SNDLib / TopologyZoo figures.
+const STAND_INS: [(&str, usize, usize, u64); 12] = [
+    ("Geant", 22, 36, 1001),
+    ("Germany50", 50, 88, 1002),
+    ("Cost266", 37, 57, 1003),
+    ("Giul39", 39, 86, 1004),
+    ("Janos-US-CA", 39, 61, 1005),
+    ("Myren", 37, 39, 1006),
+    ("Pioro40", 40, 89, 1007),
+    ("Renater2010", 43, 56, 1008),
+    ("SwitchL3", 42, 63, 1009),
+    ("Ta2", 65, 108, 1010),
+    ("Zib54", 54, 81, 1011),
+    ("Norway", 27, 51, 1012),
+];
+
+/// All embedded topology names, Abilene first.
+pub const TOPOLOGY_NAMES: [&str; 13] = [
+    "Abilene",
+    "Geant",
+    "Germany50",
+    "Cost266",
+    "Giul39",
+    "Janos-US-CA",
+    "Myren",
+    "Pioro40",
+    "Renater2010",
+    "SwitchL3",
+    "Ta2",
+    "Zib54",
+    "Norway",
+];
+
+/// Looks up an embedded topology by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Network> {
+    if name.eq_ignore_ascii_case("abilene") {
+        return Some(abilene());
+    }
+    STAND_INS
+        .iter()
+        .find(|(n, _, _, _)| n.eq_ignore_ascii_case(name))
+        .map(|&(_, nodes, links, seed)| geo_backbone(nodes, links, seed))
+}
+
+/// The ten largest capacitated non-tree topologies of the paper's Figure 4.
+pub fn fig4_topologies() -> Vec<(&'static str, Network)> {
+    [
+        "Cost266",
+        "Germany50",
+        "Giul39",
+        "Janos-US-CA",
+        "Myren",
+        "Pioro40",
+        "Renater2010",
+        "SwitchL3",
+        "Ta2",
+        "Zib54",
+    ]
+    .iter()
+    .map(|&n| (n, by_name(n).expect("embedded")))
+    .collect()
+}
+
+/// The three SNDLib topologies with real demand matrices used in Figure 6.
+pub fn fig6_topologies() -> Vec<(&'static str, Network)> {
+    ["Abilene", "Germany50", "Geant"]
+        .iter()
+        .map(|&n| (n, by_name(n).expect("embedded")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_graph::traversal::is_strongly_connected;
+
+    #[test]
+    fn abilene_shape() {
+        let net = abilene();
+        assert_eq!(net.node_count(), 12);
+        assert_eq!(net.edge_count(), 30);
+        assert!(is_strongly_connected(net.graph()));
+        // One thin tail pair, 28 OC-192 channels.
+        let thin = net.capacities().iter().filter(|&&c| c == 2480.0).count();
+        assert_eq!(thin, 2);
+        assert_eq!(net.node_by_name("NYCMng"), Some(NodeId(8)));
+    }
+
+    #[test]
+    fn every_name_resolves() {
+        for name in TOPOLOGY_NAMES {
+            let net = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(is_strongly_connected(net.graph()), "{name} disconnected");
+        }
+        assert!(by_name("NoSuchNet").is_none());
+    }
+
+    #[test]
+    fn stand_in_sizes_match_published_figures() {
+        let g50 = by_name("Germany50").unwrap();
+        assert_eq!(g50.node_count(), 50);
+        assert_eq!(g50.edge_count(), 176);
+        let ta2 = by_name("Ta2").unwrap();
+        assert_eq!(ta2.node_count(), 65);
+        assert_eq!(ta2.edge_count(), 216);
+    }
+
+    #[test]
+    fn fig4_has_ten_topologies() {
+        let v = fig4_topologies();
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn stand_ins_are_deterministic() {
+        let a = by_name("Geant").unwrap();
+        let b = by_name("Geant").unwrap();
+        assert_eq!(a.capacities(), b.capacities());
+    }
+}

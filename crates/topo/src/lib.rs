@@ -1,0 +1,27 @@
+//! # segrout-topo
+//!
+//! The topology suite for the paper's empirical evaluation (§7):
+//!
+//! * [`embedded`] — built-in backbones: the real Abilene topology (SNDLib
+//!   structure and capacities) plus size-matched stand-ins for Géant,
+//!   Germany50 and the ten largest capacitated TopologyZoo/SNDLib networks
+//!   used in Figure 4. The stand-ins are deterministically generated with
+//!   the published node/link counts and tiered link capacities (see
+//!   DESIGN.md §3 for the substitution rationale),
+//! * [`parsers`] — minimal SNDLib-XML and GraphML readers so the real data
+//!   files drop in when available,
+//! * [`synthetic`] — random connected / Waxman / grid / ring generators for
+//!   controlled experiments and property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod embedded;
+pub mod parsers;
+pub mod stats;
+pub mod synthetic;
+
+pub use embedded::{abilene, by_name, fig4_topologies, fig6_topologies, TOPOLOGY_NAMES};
+pub use parsers::{parse_graphml, parse_sndlib_xml};
+pub use stats::{topology_stats, TopologyStats};
+pub use synthetic::{geo_backbone, grid, random_connected, ring, waxman};

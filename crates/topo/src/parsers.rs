@@ -1,0 +1,276 @@
+//! Minimal readers for the two file formats of the paper's data sources:
+//! SNDLib's native XML and TopologyZoo's GraphML.
+//!
+//! These are deliberately small, dependency-free scanners (not validating
+//! XML parsers): they extract node ids, link endpoints, link capacities and
+//! (for SNDLib) demand matrices from well-formed files, which is exactly
+//! what the evaluation pipeline needs. Undirected links become bi-directed
+//! link pairs, following the convention used throughout this workspace.
+
+use segrout_core::{DemandList, Network, TeError};
+use std::collections::HashMap;
+
+/// Extracts the inner text of the first `<tag>…</tag>` inside `s`.
+fn inner_text<'a>(s: &'a str, tag: &str) -> Option<&'a str> {
+    let open = format!("<{tag}>");
+    let close = format!("</{tag}>");
+    let start = s.find(&open)? + open.len();
+    let end = s[start..].find(&close)? + start;
+    Some(s[start..end].trim())
+}
+
+/// Iterates over the blocks `<tag …>…</tag>` (or self-closing `<tag …/>`)
+/// in `s`, yielding `(attributes_str, inner)`.
+fn blocks<'a>(s: &'a str, tag: &str) -> Vec<(&'a str, &'a str)> {
+    let mut out = Vec::new();
+    let open_prefix = format!("<{tag}");
+    let close = format!("</{tag}>");
+    let mut rest = s;
+    while let Some(pos) = rest.find(&open_prefix) {
+        let after = &rest[pos + open_prefix.len()..];
+        // Must be followed by whitespace, '>' or '/' (avoid matching
+        // <linkXYZ> when scanning for <link>).
+        match after.chars().next() {
+            Some(c) if c == ' ' || c == '>' || c == '/' || c == '\t' || c == '\n' => {}
+            _ => {
+                rest = &rest[pos + open_prefix.len()..];
+                continue;
+            }
+        }
+        let Some(tag_end) = after.find('>') else { break };
+        let attrs = &after[..tag_end];
+        if let Some(stripped) = attrs.strip_suffix('/') {
+            out.push((stripped.trim(), ""));
+            rest = &after[tag_end + 1..];
+            continue;
+        }
+        let body_start = tag_end + 1;
+        let Some(close_pos) = after[body_start..].find(&close) else {
+            break;
+        };
+        out.push((attrs.trim(), &after[body_start..body_start + close_pos]));
+        rest = &after[body_start + close_pos + close.len()..];
+    }
+    out
+}
+
+/// Extracts the value of `name="…"` from an attribute string.
+fn attr<'a>(attrs: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("{name}=\"");
+    let start = attrs.find(&pat)? + pat.len();
+    let end = attrs[start..].find('"')? + start;
+    Some(&attrs[start..end])
+}
+
+/// Parses an SNDLib native-XML file: nodes, undirected links with
+/// pre-installed capacities, and (when present) the demand matrix.
+///
+/// # Errors
+/// Returns [`TeError::InvalidWaypoints`] wrapping a message when structure
+/// is missing (no nodes/links), and capacity errors from network validation.
+pub fn parse_sndlib_xml(xml: &str) -> Result<(Network, Option<DemandList>), TeError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, u32> = HashMap::new();
+    for (attrs, _) in blocks(xml, "node") {
+        if let Some(id) = attr(attrs, "id") {
+            index.insert(id.to_string(), names.len() as u32);
+            names.push(id.to_string());
+        }
+    }
+    if names.is_empty() {
+        return Err(TeError::InvalidWaypoints("SNDLib file has no nodes".into()));
+    }
+    let mut b = Network::builder(names.len());
+    let mut any_link = false;
+    for (_, body) in blocks(xml, "link") {
+        let (Some(src), Some(dst)) = (inner_text(body, "source"), inner_text(body, "target"))
+        else {
+            continue;
+        };
+        let capacity = inner_text(body, "capacity")
+            .and_then(|c| c.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        let (Some(&u), Some(&v)) = (index.get(src), index.get(dst)) else {
+            return Err(TeError::InvalidWaypoints(format!(
+                "link references unknown node {src} or {dst}"
+            )));
+        };
+        b.bilink(segrout_core::NodeId(u), segrout_core::NodeId(v), capacity);
+        any_link = true;
+    }
+    if !any_link {
+        return Err(TeError::InvalidWaypoints("SNDLib file has no links".into()));
+    }
+    let net = b.build()?.with_names(names)?;
+
+    // Demands (optional).
+    let mut demands = DemandList::new();
+    for (_, body) in blocks(xml, "demand") {
+        let (Some(src), Some(dst), Some(val)) = (
+            inner_text(body, "source"),
+            inner_text(body, "target"),
+            inner_text(body, "demandValue"),
+        ) else {
+            continue;
+        };
+        let (Some(&u), Some(&v)) = (index.get(src), index.get(dst)) else {
+            continue;
+        };
+        if let Ok(size) = val.parse::<f64>() {
+            if size > 0.0 && u != v {
+                demands.push(segrout_core::NodeId(u), segrout_core::NodeId(v), size);
+            }
+        }
+    }
+    Ok((net, (!demands.is_empty()).then_some(demands)))
+}
+
+/// Parses a TopologyZoo GraphML file. Link capacities are taken from the
+/// edge data key whose `attr.name` is `LinkSpeedRaw` (bits/s, converted to
+/// Mbit/s); edges without one get `default_capacity_mbps`.
+///
+/// # Errors
+/// Structure errors are reported as [`TeError::InvalidWaypoints`] messages.
+pub fn parse_graphml(xml: &str, default_capacity_mbps: f64) -> Result<Network, TeError> {
+    // Which key id carries LinkSpeedRaw?
+    let mut speed_key: Option<String> = None;
+    for (attrs, _) in blocks(xml, "key") {
+        if attr(attrs, "attr.name") == Some("LinkSpeedRaw") && attr(attrs, "for") == Some("edge")
+        {
+            speed_key = attr(attrs, "id").map(str::to_string);
+        }
+    }
+    let mut names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, u32> = HashMap::new();
+    for (attrs, _) in blocks(xml, "node") {
+        if let Some(id) = attr(attrs, "id") {
+            index.insert(id.to_string(), names.len() as u32);
+            names.push(id.to_string());
+        }
+    }
+    if names.is_empty() {
+        return Err(TeError::InvalidWaypoints("GraphML file has no nodes".into()));
+    }
+    let mut b = Network::builder(names.len());
+    let mut any = false;
+    for (attrs, body) in blocks(xml, "edge") {
+        let (Some(src), Some(dst)) = (attr(attrs, "source"), attr(attrs, "target")) else {
+            continue;
+        };
+        let mut capacity = default_capacity_mbps;
+        if let Some(key) = &speed_key {
+            for (dattrs, dbody) in blocks(body, "data") {
+                if attr(dattrs, "key") == Some(key.as_str()) {
+                    if let Ok(bits) = dbody.trim().parse::<f64>() {
+                        if bits > 0.0 {
+                            capacity = bits / 1e6;
+                        }
+                    }
+                }
+            }
+        }
+        let (Some(&u), Some(&v)) = (index.get(src), index.get(dst)) else {
+            return Err(TeError::InvalidWaypoints(format!(
+                "edge references unknown node {src} or {dst}"
+            )));
+        };
+        if u == v {
+            continue; // TopologyZoo occasionally carries self-loop artifacts
+        }
+        b.bilink(segrout_core::NodeId(u), segrout_core::NodeId(v), capacity);
+        any = true;
+    }
+    if !any {
+        return Err(TeError::InvalidWaypoints("GraphML file has no edges".into()));
+    }
+    b.build()?.with_names(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_core::NodeId;
+
+    const SNDLIB_SAMPLE: &str = r#"<?xml version="1.0"?>
+<network xmlns="http://sndlib.zib.de/network" version="1.0">
+  <networkStructure>
+    <nodes coordinatesType="geographical">
+      <node id="Wien"><coordinates><x>16.37</x><y>48.21</y></coordinates></node>
+      <node id="Graz"><coordinates><x>15.44</x><y>47.07</y></coordinates></node>
+      <node id="Linz"><coordinates><x>14.29</x><y>48.31</y></coordinates></node>
+    </nodes>
+    <links>
+      <link id="L1"><source>Wien</source><target>Graz</target>
+        <preInstalledModule><capacity>40.0</capacity><cost>1.0</cost></preInstalledModule>
+      </link>
+      <link id="L2"><source>Graz</source><target>Linz</target>
+        <preInstalledModule><capacity>10.0</capacity><cost>1.0</cost></preInstalledModule>
+      </link>
+    </links>
+  </networkStructure>
+  <demands>
+    <demand id="D1"><source>Wien</source><target>Linz</target><demandValue>7.5</demandValue></demand>
+  </demands>
+</network>"#;
+
+    #[test]
+    fn sndlib_round_trip() {
+        let (net, demands) = parse_sndlib_xml(SNDLIB_SAMPLE).unwrap();
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.edge_count(), 4); // 2 undirected -> 4 directed
+        assert_eq!(net.node_by_name("Wien"), Some(NodeId(0)));
+        assert_eq!(net.capacities()[0], 40.0);
+        let d = demands.unwrap();
+        assert_eq!(d.len(), 1);
+        assert!((d[0].size - 7.5).abs() < 1e-12);
+        assert_eq!(d[0].src, NodeId(0));
+        assert_eq!(d[0].dst, NodeId(2));
+    }
+
+    const GRAPHML_SAMPLE: &str = r#"<?xml version="1.0"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="LinkSpeedRaw" attr.type="double" for="edge" id="d32"/>
+  <key attr.name="label" attr.type="string" for="node" id="d33"/>
+  <graph edgedefault="undirected">
+    <node id="n0"><data key="d33">Seattle</data></node>
+    <node id="n1"><data key="d33">Denver</data></node>
+    <node id="n2"><data key="d33">Houston</data></node>
+    <edge source="n0" target="n1"><data key="d32">10000000000</data></edge>
+    <edge source="n1" target="n2"></edge>
+  </graph>
+</graphml>"#;
+
+    #[test]
+    fn graphml_round_trip() {
+        let net = parse_graphml(GRAPHML_SAMPLE, 1000.0).unwrap();
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.edge_count(), 4);
+        assert_eq!(net.capacities()[0], 10_000.0); // 10 Gbit/s -> Mbit/s
+        assert_eq!(net.capacities()[2], 1000.0); // default
+    }
+
+    #[test]
+    fn rejects_empty_documents() {
+        assert!(parse_sndlib_xml("<network></network>").is_err());
+        assert!(parse_graphml("<graphml></graphml>", 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_link() {
+        let bad = r#"<nodes><node id="A"/></nodes>
+            <link id="L"><source>A</source><target>B</target></link>"#;
+        assert!(parse_sndlib_xml(bad).is_err());
+    }
+
+    #[test]
+    fn block_scanner_handles_self_closing() {
+        let s = r#"<node id="x"/><node id="y"></node>"#;
+        assert_eq!(blocks(s, "node").len(), 2);
+    }
+
+    #[test]
+    fn block_scanner_ignores_prefix_collisions() {
+        let s = r#"<linkSpeed>9</linkSpeed><link id="a"><source>s</source></link>"#;
+        assert_eq!(blocks(s, "link").len(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Topology statistics: the structural fingerprint used to compare
+//! stand-ins against the published properties of the real networks.
+
+use segrout_core::Network;
+use segrout_graph::metrics::{metrics, GraphMetrics};
+
+/// Structural and capacity statistics of a network.
+#[derive(Clone, Debug)]
+pub struct TopologyStats {
+    /// Graph-structural metrics (degrees, diameter, SCCs).
+    pub graph: GraphMetrics,
+    /// Smallest link capacity.
+    pub min_capacity: f64,
+    /// Largest link capacity.
+    pub max_capacity: f64,
+    /// Capacity spread `max / min`.
+    pub capacity_spread: f64,
+    /// Distinct capacity values (the "tiers").
+    pub capacity_tiers: Vec<f64>,
+}
+
+/// Computes [`TopologyStats`] for a network.
+///
+/// # Panics
+/// Panics on an edgeless network (no capacities to summarize).
+pub fn topology_stats(net: &Network) -> TopologyStats {
+    assert!(net.edge_count() > 0, "network has no links");
+    let min = net
+        .capacities()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = net.capacities().iter().cloned().fold(0.0f64, f64::max);
+    let mut tiers: Vec<f64> = net.capacities().to_vec();
+    tiers.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    tiers.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    TopologyStats {
+        graph: metrics(net.graph()),
+        min_capacity: min,
+        max_capacity: max,
+        capacity_spread: max / min,
+        capacity_tiers: tiers,
+    }
+}
+
+impl std::fmt::Display for TopologyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} nodes, {} directed links (out-degree {}..{}, avg {:.1})",
+            self.graph.nodes,
+            self.graph.edges,
+            self.graph.min_out_degree,
+            self.graph.max_out_degree,
+            self.graph.avg_out_degree
+        )?;
+        match self.graph.diameter {
+            Some(d) => writeln!(f, "strongly connected, hop diameter {d}")?,
+            None => writeln!(f, "NOT strongly connected ({} SCCs)", self.graph.scc_count)?,
+        }
+        writeln!(
+            f,
+            "capacities: {:.0} .. {:.0} Mbit/s (spread {:.0}x, {} tiers)",
+            self.min_capacity,
+            self.max_capacity,
+            self.capacity_spread,
+            self.capacity_tiers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedded::abilene;
+    use crate::synthetic::geo_backbone;
+
+    #[test]
+    fn abilene_stats() {
+        let s = topology_stats(&abilene());
+        assert_eq!(s.graph.nodes, 12);
+        assert_eq!(s.graph.edges, 30);
+        assert_eq!(s.graph.scc_count, 1);
+        assert_eq!(s.capacity_tiers.len(), 2); // 2480 + 9920
+        assert!((s.capacity_spread - 4.0).abs() < 1e-9);
+        assert!(s.graph.diameter.unwrap() >= 3);
+    }
+
+    #[test]
+    fn geo_backbone_stats_are_ring_like() {
+        let s = topology_stats(&geo_backbone(30, 48, 3));
+        assert_eq!(s.graph.scc_count, 1);
+        assert!(s.graph.min_out_degree >= 2, "ring skeleton guarantees degree 2");
+        assert!(s.capacity_spread > 100.0, "wide tier mix");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = topology_stats(&abilene()).to_string();
+        assert!(text.contains("12 nodes"));
+        assert!(text.contains("strongly connected"));
+        assert!(text.contains("spread"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no links")]
+    fn empty_network_panics() {
+        let net = Network::new(segrout_graph::Digraph::new(2), vec![]).unwrap();
+        topology_stats(&net);
+    }
+}

@@ -1,0 +1,321 @@
+//! Synthetic topology generators.
+//!
+//! All generators produce *strongly connected* networks with bi-directed
+//! links (the ISP convention: one fiber, two directed channels of equal
+//! capacity), deterministic in the seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use segrout_core::{Network, NodeId};
+use segrout_graph::traversal::is_strongly_connected;
+use std::collections::HashSet;
+
+/// Capacity tiers used when a generator needs heterogeneous link rates:
+/// 2.5G / 10G / 40G (in Mbit/s), roughly the OC-48/OC-192/OTU3 mix of the
+/// SNDLib backbones.
+pub const CAPACITY_TIERS: [f64; 3] = [2_480.0, 9_920.0, 39_680.0];
+
+/// Draws a capacity tier: mostly mid-tier with occasional thin and fat
+/// links, echoing SNDLib's distribution.
+fn draw_capacity(rng: &mut StdRng) -> f64 {
+    let r: f64 = rng.gen();
+    if r < 0.25 {
+        CAPACITY_TIERS[0]
+    } else if r < 0.85 {
+        CAPACITY_TIERS[1]
+    } else {
+        CAPACITY_TIERS[2]
+    }
+}
+
+/// A random connected network: a random spanning tree plus extra random
+/// links until `undirected_links` are present, all bi-directed with tiered
+/// capacities.
+///
+/// # Panics
+/// Panics when `undirected_links < n - 1` (a spanning tree is impossible) or
+/// exceeds the simple-graph maximum `n (n-1) / 2`.
+pub fn random_connected(n: usize, undirected_links: usize, seed: u64) -> Network {
+    assert!(n >= 2);
+    assert!(undirected_links >= n - 1, "need at least a spanning tree");
+    assert!(
+        undirected_links <= n * (n - 1) / 2,
+        "too many links for a simple graph"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Network::builder(n);
+    let mut present: HashSet<(u32, u32)> = HashSet::new();
+
+    // Random spanning tree: attach each node to a random earlier node.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let a = order[i];
+        let bnode = order[rng.gen_range(0..i)];
+        let key = (a.min(bnode), a.max(bnode));
+        present.insert(key);
+        b.bilink(NodeId(a), NodeId(bnode), draw_capacity(&mut rng));
+    }
+    // Extra links.
+    while present.len() < undirected_links {
+        let a = rng.gen_range(0..n as u32);
+        let c = rng.gen_range(0..n as u32);
+        if a == c {
+            continue;
+        }
+        let key = (a.min(c), a.max(c));
+        if present.insert(key) {
+            b.bilink(NodeId(a), NodeId(c), draw_capacity(&mut rng));
+        }
+    }
+    let net = b.build().expect("valid construction");
+    debug_assert!(is_strongly_connected(net.graph()));
+    net
+}
+
+/// A Waxman random graph on the unit square: nodes at random positions,
+/// link probability `alpha * exp(-dist / (beta * L))`, patched up to
+/// connectivity with a spanning tree. Capacities are tiered.
+pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Network {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let l = 2.0_f64.sqrt();
+    let mut b = Network::builder(n);
+    let mut present: HashSet<(u32, u32)> = HashSet::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt();
+            let p = alpha * (-d / (beta * l)).exp();
+            if rng.gen::<f64>() < p {
+                present.insert((i as u32, j as u32));
+                b.bilink(NodeId(i as u32), NodeId(j as u32), draw_capacity(&mut rng));
+            }
+        }
+    }
+    // Ensure connectivity with a random spanning tree over missing pairs.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let a = order[i];
+        let c = order[rng.gen_range(0..i)];
+        let key = (a.min(c), a.max(c));
+        if present.insert(key) {
+            b.bilink(NodeId(a), NodeId(c), draw_capacity(&mut rng));
+        }
+    }
+    let net = b.build().expect("valid construction");
+    debug_assert!(is_strongly_connected(net.graph()));
+    net
+}
+
+/// A geographically embedded backbone: nodes on the unit square, connected
+/// by a Euclidean minimum-spanning-tree-like skeleton plus the shortest
+/// remaining candidate edges — the locality structure of real ISP
+/// backbones (long chains, regional clusters, few long-haul shortcuts),
+/// which is what makes their TE instances hard. Capacities are drawn from
+/// a wide OC-12 … OTU3 tier mix *uncorrelated* with edge centrality,
+/// mirroring the capacity/traffic mismatch in the SNDLib data.
+///
+/// # Panics
+/// Panics under the same link-count constraints as [`random_connected`].
+pub fn geo_backbone(n: usize, undirected_links: usize, seed: u64) -> Network {
+    assert!(n >= 2);
+    assert!(undirected_links >= n - 1, "need at least a spanning tree");
+    assert!(
+        undirected_links <= n * (n - 1) / 2,
+        "too many links for a simple graph"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let d2 = |a: usize, b: usize| {
+        (pos[a].0 - pos[b].0).powi(2) + (pos[a].1 - pos[b].1).powi(2)
+    };
+
+    // Wide, skewed tier mix (E3 … OTU3, a ~1000x spread), assigned
+    // *uncorrelated* with edge role — TopologyZoo link speeds span several
+    // orders of magnitude within one network, and the mismatch between
+    // capacity and centrality is precisely what standard weight settings
+    // trip over in Figure 4.
+    let draw_trunk = |rng: &mut StdRng| {
+        let r: f64 = rng.gen();
+        if r < 0.10 {
+            34.0 // E3
+        } else if r < 0.30 {
+            155.0 // OC-3
+        } else if r < 0.55 {
+            622.0 // OC-12
+        } else if r < 0.75 {
+            2_480.0 // OC-48
+        } else if r < 0.95 {
+            9_920.0 // OC-192
+        } else {
+            39_680.0 // OTU3
+        }
+    };
+    let draw_regional = draw_trunk;
+
+    let mut b = Network::builder(n);
+    let mut present: HashSet<(u32, u32)> = HashSet::new();
+    // Ring skeleton: an angular tour around the centroid. Real backbones
+    // are 2-edge-connected (SDH/ring heritage); a tree skeleton would put
+    // the MCF bottleneck on a bridge, where *every* routing scheme is
+    // equal and the TE instance degenerates.
+    let cx: f64 = pos.iter().map(|p| p.0).sum::<f64>() / n as f64;
+    let cy: f64 = pos.iter().map(|p| p.1).sum::<f64>() / n as f64;
+    let mut tour: Vec<usize> = (0..n).collect();
+    tour.sort_by(|&a, &c| {
+        let aa = (pos[a].1 - cy).atan2(pos[a].0 - cx);
+        let ac = (pos[c].1 - cy).atan2(pos[c].0 - cx);
+        aa.partial_cmp(&ac).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for i in 0..n {
+        let a = tour[i];
+        let c = tour[(i + 1) % n];
+        let key = (a.min(c) as u32, a.max(c) as u32);
+        if present.insert(key) {
+            b.bilink(NodeId(a as u32), NodeId(c as u32), draw_trunk(&mut rng));
+        }
+    }
+    // Augment with the geographically shortest remaining pairs (slightly
+    // jittered so different seeds produce different shortcut sets).
+    let mut candidates: Vec<(f64, u32, u32)> = Vec::new();
+    for a in 0..n as u32 {
+        for c in a + 1..n as u32 {
+            if !present.contains(&(a, c)) {
+                let jitter = 1.0 + 0.35 * rng.gen::<f64>();
+                candidates.push((d2(a as usize, c as usize) * jitter, a, c));
+            }
+        }
+    }
+    candidates.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
+    for &(_, a, c) in candidates.iter() {
+        if present.len() >= undirected_links {
+            break;
+        }
+        present.insert((a, c));
+        b.bilink(NodeId(a), NodeId(c), draw_regional(&mut rng));
+    }
+    let net = b.build().expect("valid construction");
+    debug_assert!(is_strongly_connected(net.graph()));
+    net
+}
+
+/// A `w × h` grid with uniform capacities — handy for experiments isolating
+/// topology shape from capacity heterogeneity.
+pub fn grid(w: usize, h: usize, capacity: f64) -> Network {
+    assert!(w >= 1 && h >= 1 && w * h >= 2);
+    let id = |x: usize, y: usize| NodeId((y * w + x) as u32);
+    let mut b = Network::builder(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.bilink(id(x, y), id(x + 1, y), capacity);
+            }
+            if y + 1 < h {
+                b.bilink(id(x, y), id(x, y + 1), capacity);
+            }
+        }
+    }
+    b.build().expect("valid construction")
+}
+
+/// A bi-directed ring of `n` nodes with uniform capacities.
+pub fn ring(n: usize, capacity: f64) -> Network {
+    assert!(n >= 3);
+    let mut b = Network::builder(n);
+    for i in 0..n {
+        b.bilink(NodeId(i as u32), NodeId(((i + 1) % n) as u32), capacity);
+    }
+    b.build().expect("valid construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_connected_is_strongly_connected() {
+        for seed in 0..5 {
+            let net = random_connected(20, 35, seed);
+            assert!(is_strongly_connected(net.graph()));
+            assert_eq!(net.edge_count(), 70); // bi-directed
+            assert_eq!(net.node_count(), 20);
+        }
+    }
+
+    #[test]
+    fn random_connected_is_deterministic() {
+        let a = random_connected(15, 25, 42);
+        let b = random_connected(15, 25, 42);
+        assert_eq!(a.capacities(), b.capacities());
+        for (e, u, v) in a.graph().edges() {
+            assert_eq!(b.graph().endpoints(e), (u, v));
+        }
+    }
+
+    #[test]
+    fn capacities_come_from_tiers() {
+        let net = random_connected(10, 20, 7);
+        for &c in net.capacities() {
+            assert!(CAPACITY_TIERS.contains(&c));
+        }
+    }
+
+    #[test]
+    fn waxman_is_connected() {
+        for seed in 0..3 {
+            let net = waxman(25, 0.4, 0.3, seed);
+            assert!(is_strongly_connected(net.graph()));
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let net = grid(3, 2, 10.0);
+        assert_eq!(net.node_count(), 6);
+        // 3x2 grid: 2*2 horizontal + 3*1 vertical = 7 undirected links.
+        assert_eq!(net.edge_count(), 14);
+        assert!(net.has_uniform_capacities());
+        assert!(is_strongly_connected(net.graph()));
+    }
+
+    #[test]
+    fn ring_shape() {
+        let net = ring(5, 1.0);
+        assert_eq!(net.edge_count(), 10);
+        assert!(is_strongly_connected(net.graph()));
+    }
+
+    #[test]
+    #[should_panic(expected = "spanning tree")]
+    fn too_few_links_rejected() {
+        random_connected(10, 5, 0);
+    }
+
+    #[test]
+    fn geo_backbone_is_strongly_connected() {
+        for seed in 0..4 {
+            let net = geo_backbone(30, 48, seed);
+            assert!(is_strongly_connected(net.graph()));
+            assert_eq!(net.node_count(), 30);
+            assert_eq!(net.edge_count(), 96);
+        }
+    }
+
+    #[test]
+    fn geo_backbone_is_deterministic() {
+        let a = geo_backbone(20, 32, 5);
+        let b = geo_backbone(20, 32, 5);
+        assert_eq!(a.capacities(), b.capacities());
+    }
+
+    #[test]
+    fn geo_backbone_has_wide_capacity_spread() {
+        let net = geo_backbone(40, 60, 9);
+        let max = net.capacities().iter().cloned().fold(0.0f64, f64::max);
+        let min = net.capacities().iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min >= 15.0, "spread {}", max / min);
+    }
+}

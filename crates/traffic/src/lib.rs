@@ -1,0 +1,20 @@
+//! # segrout-traffic
+//!
+//! Demand-matrix generation for the paper's evaluation (§7):
+//!
+//! * [`mcf_synthetic`] — the paper's "MCF Synthetic" method: pick 20% of
+//!   ordered node pairs at random, scale their (initially equal) demands so
+//!   the maximal concurrent multi-commodity flow achieves MLU exactly 1, and
+//!   split every pair's demand into `|E|/4` equal sub-flows,
+//! * [`gravity`] — skewed full-mesh matrices standing in for SNDLib's real
+//!   traffic (all pairs active, heavy log-normal skew — the two properties
+//!   the paper highlights), also MCF-normalized,
+//! * [`scale_to_unit_mlu`] — the shared normalization step, so "MLU = 2"
+//!   always means *twice the fluid optimum* regardless of topology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+
+pub use generators::{drifting_series, gravity, mcf_synthetic, scale_to_unit_mlu, TrafficConfig};

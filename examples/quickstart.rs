@@ -1,0 +1,66 @@
+//! Quickstart: build a network, declare demands, and jointly optimize link
+//! weights and segment-routing waypoints.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use segrout_algos::{joint_heur, JointHeurConfig};
+use segrout_core::{DemandList, Network, NodeId, Router, WaypointSetting, WeightSetting};
+
+fn main() {
+    // A small ISP-like network: a fast ring with one thin shortcut.
+    //
+    //      0 ──40── 1
+    //      │╲       │
+    //     40 2.5   40
+    //      │    ╲   │
+    //      3 ──40── 2
+    let mut b = Network::builder(4);
+    b.bilink(NodeId(0), NodeId(1), 40.0);
+    b.bilink(NodeId(1), NodeId(2), 40.0);
+    b.bilink(NodeId(2), NodeId(3), 40.0);
+    b.bilink(NodeId(3), NodeId(0), 40.0);
+    b.bilink(NodeId(0), NodeId(2), 2.5); // thin diagonal
+    let net = b.build().expect("valid network");
+
+    // Two demands that both want the diagonal under naive weights.
+    let mut demands = DemandList::new();
+    demands.push(NodeId(0), NodeId(2), 30.0);
+    demands.push(NodeId(1), NodeId(3), 10.0);
+
+    // Baseline: unit weights. The 0 -> 2 demand takes the thin diagonal.
+    let unit = WeightSetting::unit(&net);
+    let router = Router::new(&net, &unit);
+    let baseline = router
+        .evaluate(&demands, &WaypointSetting::none(demands.len()))
+        .expect("connected");
+    println!("unit weights:              MLU = {:.3}", baseline.mlu);
+
+    // Joint optimization: HeurOSPF weights + greedy waypoints.
+    let result = joint_heur(&net, &demands, &JointHeurConfig::default()).expect("connected");
+    println!("JOINT-Heur (weights only): MLU = {:.3}", result.mlu_weights_only);
+    println!("JOINT-Heur (joint):        MLU = {:.3}", result.mlu);
+
+    // Inspect the configuration the optimizer chose.
+    println!("\nchosen link weights:");
+    for (e, u, v) in net.graph().edges() {
+        println!(
+            "  {} -> {}: w = {:>2}  (capacity {})",
+            u,
+            v,
+            result.weights.get(e),
+            net.capacity(e)
+        );
+    }
+    for i in 0..demands.len() {
+        let wps = result.waypoints.get(i);
+        if wps.is_empty() {
+            println!("demand {i}: routed directly");
+        } else {
+            println!("demand {i}: via waypoint(s) {:?}", wps);
+        }
+    }
+
+    assert!(result.mlu <= baseline.mlu + 1e-9);
+}

@@ -1,0 +1,77 @@
+//! Reacting to a traffic shift without rewriting the whole IGP: the
+//! reconfiguration-aware re-optimization extension (paper §8 future work).
+//!
+//! ```sh
+//! cargo run --release --example reoptimization
+//! ```
+
+use segrout::algos::{
+    heur_ospf, reoptimize_joint, reoptimize_unconstrained, reoptimize_weights, HeurOspfConfig,
+    ReoptimizeConfig,
+};
+use segrout::core::Router;
+use segrout::topo::abilene;
+use segrout::traffic::{drifting_series, TrafficConfig};
+
+fn main() {
+    let net = abilene();
+    // Two snapshots of a drifting gravity matrix.
+    let series = drifting_series(
+        &net,
+        &TrafficConfig {
+            seed: 42,
+            ..Default::default()
+        },
+        2,
+        0.6,
+    )
+    .expect("abilene is connected");
+    let (yesterday, today) = (&series[0], &series[1]);
+
+    // The deployed configuration was tuned for yesterday's traffic.
+    let ospf = HeurOspfConfig {
+        seed: 1,
+        ..Default::default()
+    };
+    let deployed = heur_ospf(&net, yesterday, &ospf);
+    println!(
+        "deployed weights on yesterday's matrix: MLU = {:.3}",
+        Router::new(&net, &deployed).mlu(yesterday).expect("routes")
+    );
+    println!(
+        "same weights on today's matrix:         MLU = {:.3}  <- the drift penalty",
+        Router::new(&net, &deployed).mlu(today).expect("routes")
+    );
+
+    // How much does each reaction cost/recover?
+    println!("\nreaction options for today's traffic:");
+    for budget in [0usize, 1, 3] {
+        let cfg = ReoptimizeConfig {
+            max_weight_changes: budget,
+            ospf: ospf.clone(),
+            ..Default::default()
+        };
+        let w = reoptimize_weights(&net, today, &deployed, &cfg).expect("routes");
+        let j = reoptimize_joint(&net, today, &deployed, &cfg).expect("routes");
+        println!(
+            "  budget {budget} weight changes: weights-only MLU = {:.3} ({} changes), joint MLU = {:.3} ({} changes + waypoints)",
+            w.mlu, w.weight_changes, j.mlu, j.weight_changes
+        );
+    }
+    let full = reoptimize_unconstrained(
+        &net,
+        today,
+        &deployed,
+        &ReoptimizeConfig {
+            ospf,
+            ..Default::default()
+        },
+    )
+    .expect("routes");
+    println!(
+        "  full re-optimization:        MLU = {:.3}, but {} weight changes (IGP churn)",
+        full.mlu, full.weight_changes
+    );
+    println!("\nWaypoints are per-demand header state — re-assigning them costs no IGP");
+    println!("re-convergence, which makes the joint knobs the operationally cheap ones.");
+}

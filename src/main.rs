@@ -1,0 +1,298 @@
+//! The `segrout` command-line tool: optimize embedded or parsed topologies,
+//! inspect the paper's worst-case instances, and evaluate weight settings.
+//!
+//! ```text
+//! segrout topo list
+//! segrout topo show Abilene
+//! segrout optimize --topology Abilene --traffic mcf --seed 3 --algorithm joint
+//! segrout gaps --instance 1 --m 16
+//! segrout parse --sndlib network.xml
+//! ```
+
+use segrout::algos::{
+    greedy_wpo, heur_ospf, joint_heur, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig,
+};
+use segrout::core::{Network, Router, UtilizationReport, WaypointSetting, WeightSetting};
+use segrout::instances::{instance1, instance2, instance3, instance4, instance5, PaperInstance};
+use segrout::topo::{by_name, parse_graphml, parse_sndlib_xml, TOPOLOGY_NAMES};
+use segrout::traffic::{gravity, mcf_synthetic, TrafficConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "topo" => cmd_topo(&args[1..]),
+        "optimize" => cmd_optimize(&flags),
+        "gaps" => cmd_gaps(&flags),
+        "parse" => cmd_parse(&flags),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "segrout — traffic engineering with joint link weight and segment optimization
+
+USAGE:
+  segrout topo list
+  segrout topo show <name>
+  segrout optimize --topology <name> [--traffic mcf|gravity] [--seed N]
+                   [--algorithm unit|invcap|heurospf|greedywpo|joint] [--pairs F] [--top K]
+                   [--save <config-file>] [--load <config-file>]
+  segrout gaps --instance 1|2|3|4|5 [--m N]
+  segrout parse (--sndlib <file> | --graphml <file>)"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".to_string());
+            let consumed = if value == "true" && args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+                1
+            } else {
+                2
+            };
+            flags.insert(name.to_string(), value);
+            i += consumed;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn cmd_topo(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for name in TOPOLOGY_NAMES {
+                let net = by_name(name).ok_or("embedded topology missing")?;
+                println!(
+                    "{name:<14} {:>3} nodes, {:>3} directed links",
+                    net.node_count(),
+                    net.edge_count()
+                );
+            }
+            Ok(())
+        }
+        Some("show") => {
+            let name = args.get(1).ok_or("topo show needs a name")?;
+            let net = by_name(name).ok_or_else(|| format!("unknown topology '{name}'"))?;
+            println!("{name}:");
+            print!("{}", segrout::topo::topology_stats(&net));
+            for (e, u, v) in net.graph().edges() {
+                println!(
+                    "  {} -> {}  {:.0} Mbit/s",
+                    net.node_name(u),
+                    net.node_name(v),
+                    net.capacity(e)
+                );
+            }
+            Ok(())
+        }
+        _ => Err("topo subcommands: list, show <name>".into()),
+    }
+}
+
+fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
+    let topo_name = flags
+        .get("topology")
+        .map(String::as_str)
+        .unwrap_or("Abilene");
+    let net = by_name(topo_name).ok_or_else(|| format!("unknown topology '{topo_name}'"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let pairs: f64 = flags
+        .get("pairs")
+        .map(|s| s.parse().map_err(|_| "bad --pairs"))
+        .transpose()?
+        .unwrap_or(0.2);
+    let cfg = TrafficConfig {
+        seed,
+        pair_fraction: pairs,
+        ..Default::default()
+    };
+    let demands = match flags.get("traffic").map(String::as_str).unwrap_or("mcf") {
+        "mcf" => mcf_synthetic(&net, &cfg),
+        "gravity" => gravity(&net, &cfg),
+        other => return Err(format!("unknown traffic model '{other}'")),
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{topo_name}: {} nodes, {} links; {} demands totalling {:.1}",
+        net.node_count(),
+        net.edge_count(),
+        demands.len(),
+        demands.total_size()
+    );
+
+    let algorithm = flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("joint");
+    let (weights, waypoints) = if let Some(path) = flags.get("load") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        segrout::core::read_config(&net, &demands, &text).map_err(|e| e.to_string())?
+    } else {
+        run_algorithm(&net, &demands, algorithm, seed)?
+    };
+    if let Some(path) = flags.get("save") {
+        let text = segrout::core::write_config(&net, &weights, &waypoints);
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        println!("configuration saved to {path}");
+    }
+    let router = Router::new(&net, &weights);
+    let report = router
+        .evaluate(&demands, &waypoints)
+        .map_err(|e| e.to_string())?;
+    println!("algorithm: {algorithm}");
+    println!("MLU: {:.4}", report.mlu);
+    let with_wp = (0..demands.len())
+        .filter(|&i| !waypoints.get(i).is_empty())
+        .count();
+    if with_wp > 0 {
+        println!("waypointed demands: {with_wp}/{}", demands.len());
+    }
+    let top: usize = flags
+        .get("top")
+        .map(|s| s.parse().map_err(|_| "bad --top"))
+        .transpose()?
+        .unwrap_or(5);
+    let util = UtilizationReport::new(&net, &report.loads);
+    println!("\nhottest links:\n{}", util.format_top(&net, top));
+    Ok(())
+}
+
+fn run_algorithm(
+    net: &Network,
+    demands: &segrout::core::DemandList,
+    algorithm: &str,
+    seed: u64,
+) -> Result<(WeightSetting, WaypointSetting), String> {
+    let none = WaypointSetting::none(demands.len());
+    let ospf = HeurOspfConfig {
+        seed,
+        ..Default::default()
+    };
+    match algorithm {
+        "unit" => Ok((WeightSetting::unit(net), none)),
+        "invcap" => Ok((WeightSetting::inverse_capacity(net), none)),
+        "heurospf" => Ok((heur_ospf(net, demands, &ospf), none)),
+        "greedywpo" => {
+            let w = WeightSetting::inverse_capacity(net);
+            let wp = greedy_wpo(net, demands, &w, &GreedyWpoConfig::default())
+                .map_err(|e| e.to_string())?;
+            Ok((w, wp))
+        }
+        "joint" => {
+            let r = joint_heur(
+                net,
+                demands,
+                &JointHeurConfig {
+                    ospf,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            Ok((r.weights, r.waypoints))
+        }
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn cmd_gaps(flags: &HashMap<String, String>) -> Result<(), String> {
+    let which: u32 = flags
+        .get("instance")
+        .ok_or("gaps needs --instance")?
+        .parse()
+        .map_err(|_| "bad --instance")?;
+    let m: usize = flags
+        .get("m")
+        .map(|s| s.parse().map_err(|_| "bad --m"))
+        .transpose()?
+        .unwrap_or(8);
+    let inst: PaperInstance = match which {
+        1 => instance1(m),
+        2 => instance2(m),
+        3 => instance3(m),
+        4 => instance4(m),
+        5 => instance5(m),
+        other => return Err(format!("no TE-Instance {other}")),
+    };
+    let router = Router::new(&inst.network, &inst.joint_weights);
+    let joint = router
+        .evaluate(&inst.demands, &inst.joint_waypoints)
+        .map_err(|e| e.to_string())?
+        .mlu;
+    println!(
+        "TE-Instance {which} (m = {m}): {} nodes, {} links, {} demands (D = {:.3})",
+        inst.network.node_count(),
+        inst.network.edge_count(),
+        inst.demands.len(),
+        inst.demands.total_size()
+    );
+    println!("Joint (constructive lemma setting): MLU = {joint:.4}");
+    // A quick LWO reference point via the unit setting and LWO-APX.
+    let unit = Router::new(&inst.network, &WeightSetting::unit(&inst.network))
+        .mlu(&inst.demands)
+        .map_err(|e| e.to_string())?;
+    println!("unit weights (no waypoints):        MLU = {unit:.4}");
+    let apx = segrout::algos::lwo_apx(&inst.network, inst.source, inst.target)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "LWO-APX: |f*| = {:.4}, ES-flow = {:.4} (ratio {:.3})",
+        apx.max_flow_value,
+        apx.es_flow_value,
+        apx.achieved_ratio()
+    );
+    Ok(())
+}
+
+fn cmd_parse(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (net, demands) = if let Some(path) = flags.get("sndlib") {
+        let xml = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let (n, d) = parse_sndlib_xml(&xml).map_err(|e| e.to_string())?;
+        (n, d)
+    } else if let Some(path) = flags.get("graphml") {
+        let xml = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        (parse_graphml(&xml, 1000.0).map_err(|e| e.to_string())?, None)
+    } else {
+        return Err("parse needs --sndlib <file> or --graphml <file>".into());
+    };
+    println!(
+        "parsed: {} nodes, {} directed links",
+        net.node_count(),
+        net.edge_count()
+    );
+    if let Some(d) = demands {
+        println!("demand matrix: {} entries totalling {:.1}", d.len(), d.total_size());
+    }
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the `segrout` CLI binary.
+
+use std::process::Command;
+
+fn segrout(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_segrout"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn topo_list_shows_all_embedded_networks() {
+    let (ok, stdout, _) = segrout(&["topo", "list"]);
+    assert!(ok);
+    for name in ["Abilene", "Germany50", "Ta2"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn topo_show_prints_stats_and_links() {
+    let (ok, stdout, _) = segrout(&["topo", "show", "Abilene"]);
+    assert!(ok);
+    assert!(stdout.contains("12 nodes"));
+    assert!(stdout.contains("strongly connected"));
+    assert!(stdout.contains("ATLAM5"));
+}
+
+#[test]
+fn gaps_reports_instance_1() {
+    let (ok, stdout, _) = segrout(&["gaps", "--instance", "1", "--m", "6"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Joint (constructive lemma setting): MLU = 1.0000"));
+    assert!(stdout.contains("LWO-APX"));
+}
+
+#[test]
+fn optimize_with_baseline_algorithm() {
+    let (ok, stdout, _) = segrout(&[
+        "optimize",
+        "--topology",
+        "Abilene",
+        "--algorithm",
+        "invcap",
+        "--seed",
+        "3",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("MLU:"));
+    assert!(stdout.contains("hottest links"));
+}
+
+#[test]
+fn save_and_load_round_trip() {
+    let dir = std::env::temp_dir().join("segrout-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cfg.txt");
+    let path_str = path.to_str().unwrap();
+
+    let (ok, stdout, _) = segrout(&[
+        "optimize",
+        "--topology",
+        "Abilene",
+        "--algorithm",
+        "greedywpo",
+        "--seed",
+        "7",
+        "--save",
+        path_str,
+    ]);
+    assert!(ok, "{stdout}");
+    let mlu_line = stdout
+        .lines()
+        .find(|l| l.starts_with("MLU:"))
+        .expect("MLU printed")
+        .to_string();
+
+    let (ok2, stdout2, _) = segrout(&[
+        "optimize",
+        "--topology",
+        "Abilene",
+        "--seed",
+        "7",
+        "--load",
+        path_str,
+    ]);
+    assert!(ok2, "{stdout2}");
+    assert!(
+        stdout2.contains(&mlu_line),
+        "loaded config must reproduce '{mlu_line}' in:\n{stdout2}"
+    );
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = segrout(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn unknown_topology_fails_cleanly() {
+    let (ok, _, stderr) = segrout(&["optimize", "--topology", "NoSuchNet"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown topology"));
+}
+
+#[test]
+fn parse_rejects_missing_file() {
+    let (ok, _, stderr) = segrout(&["parse", "--sndlib", "/nonexistent/file.xml"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}

@@ -1,0 +1,198 @@
+//! End-to-end pipeline tests: topology -> traffic -> optimizers ->
+//! evaluation, exactly as the experiment harness wires them together.
+
+use segrout_algos::{
+    greedy_wpo, heur_ospf, joint_heur, max_concurrent_flow, GreedyWpoConfig, HeurOspfConfig,
+    JointHeurConfig,
+};
+use segrout_core::{Router, WaypointSetting, WeightSetting};
+use segrout_milp::{wpo_ilp, WpoIlpOptions};
+use segrout_topo::{abilene, by_name};
+use segrout_traffic::{gravity, mcf_synthetic, TrafficConfig};
+
+fn quick_ospf(seed: u64) -> HeurOspfConfig {
+    HeurOspfConfig {
+        seed,
+        restarts: 0,
+        max_passes: 6,
+        ..Default::default()
+    }
+}
+
+/// The Figure-4 pipeline on Abilene: every optimizer runs, and the quality
+/// ordering InverseCapacity >= HeurOSPF >= JointHeur holds.
+#[test]
+fn abilene_pipeline_quality_ordering() {
+    let net = abilene();
+    let demands = mcf_synthetic(
+        &net,
+        &TrafficConfig {
+            seed: 42,
+            ..Default::default()
+        },
+    )
+    .expect("connected");
+
+    let inv = WeightSetting::inverse_capacity(&net);
+    let inv_mlu = Router::new(&net, &inv).mlu(&demands).expect("routes");
+
+    let joint = joint_heur(
+        &net,
+        &demands,
+        &JointHeurConfig {
+            ospf: quick_ospf(1),
+            ..Default::default()
+        },
+    )
+    .expect("routes");
+
+    assert!(joint.mlu_weights_only <= inv_mlu + 1e-9, "HeurOSPF beats InverseCapacity");
+    assert!(joint.mlu <= joint.mlu_weights_only + 1e-9, "waypoints never hurt");
+
+    // Everything is still at least the fluid optimum (~1 by normalization).
+    assert!(joint.mlu >= 0.85, "MLU cannot beat the fluid optimum: {}", joint.mlu);
+}
+
+/// Gravity demands route on all three Figure-6 topologies and the joint
+/// optimizer improves on the weights-only stage.
+#[test]
+fn gravity_pipeline_on_fig6_topologies() {
+    for name in ["Abilene", "Geant"] {
+        let net = by_name(name).expect("embedded");
+        let demands = gravity(
+            &net,
+            &TrafficConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .expect("connected");
+        let joint = joint_heur(
+            &net,
+            &demands,
+            &JointHeurConfig {
+                ospf: quick_ospf(2),
+                ..Default::default()
+            },
+        )
+        .expect("routes");
+        assert!(joint.mlu <= joint.mlu_weights_only + 1e-9, "{name}");
+        assert!(joint.mlu.is_finite() && joint.mlu > 0.0);
+    }
+}
+
+/// GreedyWPO vs the exact WPO MILP under the same fixed weights: the MILP
+/// is never worse (Figure 5's GreedyWaypoints vs ILP-Waypoints columns).
+#[test]
+fn greedy_vs_exact_waypoints_on_abilene() {
+    let net = abilene();
+    let demands = mcf_synthetic(
+        &net,
+        &TrafficConfig {
+            seed: 3,
+            flows_per_pair: Some(1),
+            ..Default::default()
+        },
+    )
+    .expect("connected");
+    let weights = WeightSetting::inverse_capacity(&net);
+
+    let greedy = greedy_wpo(&net, &demands, &weights, &GreedyWpoConfig::default())
+        .expect("routes");
+    let greedy_mlu = Router::new(&net, &weights)
+        .evaluate(&demands, &greedy)
+        .expect("routes")
+        .mlu;
+
+    let opts = WpoIlpOptions {
+        milp: segrout_lp::MilpOptions {
+            node_limit: 5_000,
+            time_limit: std::time::Duration::from_secs(15),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let exact = wpo_ilp(&net, &demands, &weights, &opts).expect("routes");
+    assert!(
+        exact.mlu <= greedy_mlu + 1e-9,
+        "exact {} vs greedy {greedy_mlu}",
+        exact.mlu
+    );
+}
+
+/// The normalization invariant behind every figure: after MCF scaling, the
+/// fluid optimum is ~1 and every ECMP-based algorithm sits above it.
+#[test]
+fn normalization_makes_one_the_floor() {
+    let net = by_name("Cost266").expect("embedded");
+    let demands = mcf_synthetic(
+        &net,
+        &TrafficConfig {
+            seed: 11,
+            ..Default::default()
+        },
+    )
+    .expect("connected");
+    let opt = max_concurrent_flow(&net, &demands, 0.05)
+        .expect("connected")
+        .opt_mlu;
+    assert!((opt - 1.0).abs() < 0.15, "normalized optimum ~1, got {opt}");
+
+    let w = heur_ospf(&net, &demands, &quick_ospf(5));
+    let mlu = Router::new(&net, &w).mlu(&demands).expect("routes");
+    assert!(mlu >= opt - 0.15, "ECMP cannot beat the fluid optimum");
+}
+
+/// Waypoint settings produced by the optimizers are always within budget
+/// and evaluate identically when re-applied (reproducibility).
+#[test]
+fn optimizer_outputs_are_reproducible() {
+    let net = abilene();
+    let demands = mcf_synthetic(
+        &net,
+        &TrafficConfig {
+            seed: 8,
+            flows_per_pair: Some(2),
+            ..Default::default()
+        },
+    )
+    .expect("connected");
+    let cfg = JointHeurConfig {
+        ospf: quick_ospf(9),
+        ..Default::default()
+    };
+    let a = joint_heur(&net, &demands, &cfg).expect("routes");
+    let b = joint_heur(&net, &demands, &cfg).expect("routes");
+    assert_eq!(a.weights.as_slice(), b.weights.as_slice());
+    assert!((a.mlu - b.mlu).abs() < 1e-12);
+    assert!(a.waypoints.max_used() <= 1);
+
+    // Re-evaluating the returned configuration reproduces the claimed MLU.
+    let router = Router::new(&net, &a.weights);
+    let again = router.evaluate(&demands, &a.waypoints).expect("routes").mlu;
+    assert!((again - a.mlu).abs() < 1e-12);
+}
+
+/// The plain-ECMP special case: a joint result with no waypoints must agree
+/// with the weights-only evaluation path.
+#[test]
+fn no_waypoints_matches_weights_only_path() {
+    let net = abilene();
+    let demands = mcf_synthetic(
+        &net,
+        &TrafficConfig {
+            seed: 21,
+            flows_per_pair: Some(1),
+            ..Default::default()
+        },
+    )
+    .expect("connected");
+    let w = heur_ospf(&net, &demands, &quick_ospf(3));
+    let router = Router::new(&net, &w);
+    let a = router.mlu(&demands).expect("routes");
+    let b = router
+        .evaluate(&demands, &WaypointSetting::none(demands.len()))
+        .expect("routes")
+        .mlu;
+    assert_eq!(a, b);
+}

@@ -1,0 +1,210 @@
+//! Validation of the paper's §3 lemmas with *exact* optimization (MILPs)
+//! on small instances — where greedy heuristics would only give one-sided
+//! bounds.
+
+use segrout_algos::lwo_apx;
+use segrout_core::{Router, WeightSetting};
+use segrout_instances::{
+    instance1, instance1::arbitrary_adversarial_weights, instance1::lwo_optimal_weights,
+    instance2, instance3, instance4,
+};
+use segrout_lp::{MilpOptions, MilpStatus};
+use segrout_milp::{wpo_ilp, WpoIlpOptions};
+use std::time::Duration;
+
+fn exact_opts() -> WpoIlpOptions {
+    WpoIlpOptions {
+        milp: MilpOptions {
+            node_limit: 50_000,
+            time_limit: Duration::from_secs(60),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Lemma 3.7 (unit weights): the *optimal* single-waypoint WPO on
+/// TE-Instance 1 is at least (n-1)/3.
+#[test]
+fn lemma_3_7_unit_weights_exact() {
+    let m = 6;
+    let inst = instance1(m);
+    let unit = WeightSetting::unit(&inst.network);
+    let r = wpo_ilp(&inst.network, &inst.demands, &unit, &exact_opts()).expect("routes");
+    assert_eq!(r.status, MilpStatus::Optimal, "instance small enough for exactness");
+    let bound = m as f64 / 3.0;
+    assert!(
+        r.mlu >= bound - 1e-6,
+        "exact WPO {} must be >= m/3 = {bound}",
+        r.mlu
+    );
+}
+
+/// Lemma 3.7 (arbitrary adversarial weights): every waypoint choice routes
+/// through (s, t), so exact WPO equals m = n - 1.
+#[test]
+fn lemma_3_7_adversarial_weights_exact() {
+    let m = 5;
+    let inst = instance1(m);
+    let w = arbitrary_adversarial_weights(&inst);
+    let r = wpo_ilp(&inst.network, &inst.demands, &w, &exact_opts()).expect("routes");
+    assert_eq!(r.status, MilpStatus::Optimal);
+    assert!(
+        (r.mlu - m as f64).abs() < 1e-6,
+        "all flow crosses (s,t): WPO = m, got {}",
+        r.mlu
+    );
+}
+
+/// Lemma 3.7 (optimal LWO weights): exact WPO stays Ω(n) — around m/3,
+/// using only the waypoints v2/v3 and the direct route.
+#[test]
+fn lemma_3_7_optimal_weights_exact() {
+    let m = 6;
+    let inst = instance1(m);
+    let w = lwo_optimal_weights(&inst);
+    let r = wpo_ilp(&inst.network, &inst.demands, &w, &exact_opts()).expect("routes");
+    assert_eq!(r.status, MilpStatus::Optimal);
+    assert!(
+        r.mlu >= m as f64 / 3.0 - 1e-6,
+        "exact WPO {} under optimal weights must be >= m/3",
+        r.mlu
+    );
+    // And strictly worse than Joint = 1: the gap R_WPO is real.
+    assert!(r.mlu > 1.5);
+}
+
+/// Theorem 3.4 assembled from exact parts on one instance: R* >= (n-1)/3.
+#[test]
+fn theorem_3_4_te_gap_exact() {
+    let m = 5;
+    let inst = instance1(m);
+    let joint = Router::new(&inst.network, &inst.joint_weights)
+        .evaluate(&inst.demands, &inst.joint_waypoints)
+        .expect("routes")
+        .mlu;
+    assert!((joint - 1.0).abs() < 1e-9);
+
+    // R_LWO: the best even-split weight setting yields m/2 (Lemma 3.6).
+    let lwo = Router::new(&inst.network, &lwo_optimal_weights(&inst))
+        .mlu(&inst.demands)
+        .expect("routes");
+    let r_lwo = lwo / joint;
+
+    // R_WPO under unit and LWO-optimal weights, exactly. (The inverse-of-
+    // capacities case needs the transformed instance I'_1 — Lemma 3.7
+    // builds it precisely because on the plain Instance 1, 1/c weights let
+    // waypoints pin every demand and the WPO gap vanishes; see the
+    // dedicated test below.)
+    let mut r_wpo = f64::INFINITY;
+    for w in [WeightSetting::unit(&inst.network), lwo_optimal_weights(&inst)] {
+        let r = wpo_ilp(&inst.network, &inst.demands, &w, &exact_opts()).expect("routes");
+        r_wpo = r_wpo.min(r.mlu / joint);
+    }
+
+    let r_star = r_lwo.min(r_wpo);
+    assert!(
+        r_star >= (m as f64) / 3.0 - 1e-6,
+        "TE gap {r_star} below the Theorem 3.4 bound"
+    );
+}
+
+/// Lemma 3.7 (inverse of capacities) on the transformed instance I'_1.
+///
+/// The paper argues every waypointed path to a chain node v_i crosses
+/// (s, t) and concludes WPO = m. Our exact solver shows the bound is
+/// actually m/2: a waypoint placed on a *replacement-path* node u_j (which
+/// the paper's argument does not consider) pins a demand onto the
+/// unit-capacity detour s → u_j → z_j → v3 → t, and splitting the load
+/// between (s, t) and (v3, t) halves the MLU. The lemma's conclusion —
+/// WPO ∈ Ω(n) while Joint = 1 — survives unchanged with constant 1/2.
+#[test]
+fn lemma_3_7_inverse_capacity_exact_on_variant() {
+    let m = 4;
+    let (net, demands, _s, _t) = segrout_instances::instance1_invcap_variant(m);
+    let w = WeightSetting::inverse_capacity(&net);
+    let r = wpo_ilp(&net, &demands, &w, &exact_opts()).expect("routes");
+    assert_eq!(r.status, MilpStatus::Optimal);
+    assert!(
+        (r.mlu - m as f64 / 2.0).abs() < 1e-6,
+        "exact WPO on I'_1 is m/2 = {}, got {}",
+        m as f64 / 2.0,
+        r.mlu
+    );
+}
+
+/// On the *plain* Instance 1 the inverse-capacity weights do admit perfect
+/// waypointing (the observation that motivates the paper's I'_1
+/// transformation): exact WPO = 1.
+#[test]
+fn inverse_capacity_on_plain_instance1_has_no_gap() {
+    let m = 5;
+    let inst = instance1(m);
+    let w = WeightSetting::inverse_capacity(&inst.network);
+    let r = wpo_ilp(&inst.network, &inst.demands, &w, &exact_opts()).expect("routes");
+    assert!((r.mlu - 1.0).abs() < 1e-6, "got {}", r.mlu);
+}
+
+/// Lemma 3.9/3.10 via LWO-APX: on Instance 2 the best even-split flow is a
+/// harmonic prefix of value exactly 1 — so LWO-APX's pruned DAG must keep a
+/// prefix of the parallel paths.
+#[test]
+fn lemma_3_9_prefix_structure() {
+    let m = 9;
+    let inst = instance2(m);
+    let r = lwo_apx(&inst.network, inst.source, inst.target).expect("routes");
+    assert!((r.es_flow_value - 1.0).abs() < 1e-9);
+    // The kept paths must form a prefix: if path j is kept, so is j-1
+    // (edges are laid out pairwise per path: 2j, 2j+1).
+    let kept: Vec<bool> = (0..m)
+        .map(|j| r.dag_mask[2 * j] && r.dag_mask[2 * j + 1])
+        .collect();
+    let first_gap = kept.iter().position(|&k| !k).unwrap_or(m);
+    assert!(
+        kept[first_gap..].iter().all(|&k| !k),
+        "kept paths {kept:?} are not a prefix"
+    );
+    assert!(first_gap >= 1, "at least the widest path is kept");
+}
+
+/// Lemma 3.12 via LWO-APX on Instance 3: the best even-split flow from s
+/// is exactly 2 units.
+#[test]
+fn lemma_3_12_es_flow_is_two() {
+    for m in [4usize, 6] {
+        let inst = instance3(m);
+        let r = lwo_apx(&inst.network, inst.source, inst.target).expect("routes");
+        assert!(
+            (r.es_flow_value - 2.0).abs() < 1e-9,
+            "m={m}: ES-flow should be 2, got {}",
+            r.es_flow_value
+        );
+    }
+}
+
+/// Instance 4's thin-layer capacities: total bipartite capacity equals
+/// m * H_m = D, and Joint saturates every thin link exactly.
+#[test]
+fn instance4_thin_layer_saturation() {
+    let m = 5;
+    let inst = instance4(m);
+    let router = Router::new(&inst.network, &inst.joint_weights);
+    let report = router
+        .evaluate(&inst.demands, &inst.joint_waypoints)
+        .expect("routes");
+    // Every downward thin link (v_i -> w_j) carries exactly its capacity.
+    let g = inst.network.graph();
+    let mut saturated = 0;
+    for (e, u, v) in g.edges() {
+        let upper = (u.0 as usize) < m;
+        let lower_dst = (v.0 as usize) >= m;
+        if upper && lower_dst {
+            let util = report.loads[e.index()] / inst.network.capacities()[e.index()];
+            assert!(util <= 1.0 + 1e-9);
+            if (util - 1.0).abs() < 1e-9 {
+                saturated += 1;
+            }
+        }
+    }
+    assert_eq!(saturated, m * m, "all m^2 thin links saturated");
+}

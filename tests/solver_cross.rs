@@ -1,0 +1,128 @@
+//! Cross-validation of the LP/MILP solver against independent oracles:
+//! brute-force enumeration for small integer programs, and the
+//! combinatorial max-flow solver for flow LPs.
+
+use proptest::prelude::*;
+use segrout_core::{DemandList, NodeId};
+use segrout_graph::max_flow;
+use segrout_lp::{solve_lp, solve_milp, Cmp, MilpOptions, Problem, Sense};
+use segrout_milp::{max_concurrent_lp, opt_mlu_lp};
+use segrout_topo::random_connected;
+
+/// Brute force: maximize c·x over binary x subject to one knapsack row.
+fn brute_force_knapsack(values: &[f64], weights: &[f64], cap: f64) -> f64 {
+    let n = values.len();
+    let mut best = 0.0f64;
+    for mask in 0u32..(1 << n) {
+        let mut v = 0.0;
+        let mut w = 0.0;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                v += values[i];
+                w += weights[i];
+            }
+        }
+        if w <= cap + 1e-9 {
+            best = best.max(v);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MILP knapsacks match brute force exactly.
+    #[test]
+    fn milp_matches_brute_force(
+        values in proptest::collection::vec(1u32..50, 2..10),
+        weights in proptest::collection::vec(1u32..30, 2..10),
+        cap in 5u32..60,
+    ) {
+        let n = values.len().min(weights.len());
+        let values: Vec<f64> = values[..n].iter().map(|&v| v as f64).collect();
+        let weights: Vec<f64> = weights[..n].iter().map(|&w| w as f64).collect();
+        let cap = cap as f64;
+
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| p.add_bin_var(format!("x{i}"), v))
+            .collect();
+        p.add_constraint(
+            vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect(),
+            Cmp::Le,
+            cap,
+        );
+        let r = solve_milp(&p, &MilpOptions::default());
+        let expected = brute_force_knapsack(&values, &weights, cap);
+        let got = r.objective.unwrap_or(0.0);
+        prop_assert!((got - expected).abs() < 1e-6, "{got} vs {expected}");
+    }
+
+    /// The LP relaxation never undercuts the integer optimum (maximize) and
+    /// the MILP solution is feasible.
+    #[test]
+    fn relaxation_bounds_integer_optimum(
+        values in proptest::collection::vec(1u32..20, 2..8),
+        cap in 3u32..40,
+    ) {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| p.add_bin_var(format!("x{i}"), v as f64))
+            .collect();
+        p.add_constraint(
+            vars.iter().enumerate().map(|(i, &v)| (v, (i % 3 + 1) as f64)).collect(),
+            Cmp::Le,
+            cap as f64,
+        );
+        let relax = solve_lp(&p);
+        let exact = solve_milp(&p, &MilpOptions::default());
+        let int_obj = exact.objective.unwrap_or(0.0);
+        prop_assert!(relax.objective >= int_obj - 1e-6);
+        if let Some(v) = &exact.values {
+            prop_assert!(p.is_feasible(v, 1e-6));
+        }
+    }
+}
+
+/// Single-commodity OPT MLU from the LP equals D / maxflow (non-property
+/// deterministic sweep over random networks).
+#[test]
+fn opt_lp_matches_max_flow_single_commodity() {
+    for seed in 0..8u64 {
+        let net = random_connected(10, 16, 200 + seed);
+        let (s, t) = (NodeId(0), NodeId(5));
+        let mf = max_flow(net.graph(), net.capacities(), s, t);
+        let d_total = 3.0;
+        let mut demands = DemandList::new();
+        demands.push(s, t, d_total);
+        let lp = opt_mlu_lp(&net, &demands).expect("connected").objective;
+        assert!(
+            (lp - d_total / mf.value).abs() < 1e-5 * (1.0 + lp),
+            "seed {seed}: LP {lp} vs D/maxflow {}",
+            d_total / mf.value
+        );
+        // Max concurrent LP is the reciprocal relationship.
+        let lambda = max_concurrent_lp(&net, &demands).expect("connected").objective;
+        assert!((lambda * lp - 1.0).abs() < 1e-5, "lambda {lambda} * mlu {lp} != 1");
+    }
+}
+
+/// Degenerate LPs (redundant equalities) do not cycle or crash.
+#[test]
+fn degenerate_lp_terminates() {
+    let mut p = Problem::new(Sense::Minimize);
+    let x = p.add_var("x", 0.0, 10.0, 1.0);
+    let y = p.add_var("y", 0.0, 10.0, 1.0);
+    for _ in 0..6 {
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        p.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Ge, 8.0);
+    }
+    let r = solve_lp(&p);
+    assert_eq!(r.status, segrout_lp::LpStatus::Optimal);
+    assert!((r.objective - 4.0).abs() < 1e-6);
+}

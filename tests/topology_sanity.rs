@@ -1,0 +1,88 @@
+//! Sanity battery over every embedded topology: the structural properties
+//! the evaluation relies on must hold for each of them.
+
+use segrout_core::{DemandList, NodeId, Router, WeightSetting};
+use segrout_graph::metrics::metrics;
+use segrout_topo::{by_name, topology_stats, TOPOLOGY_NAMES};
+
+/// Every embedded topology is strongly connected, 2-edge-connected in the
+/// evaluation sense (no bridge binds a ring node), and bi-directed.
+#[test]
+fn embedded_topologies_are_evaluation_ready() {
+    for name in TOPOLOGY_NAMES {
+        let net = by_name(name).expect("embedded");
+        let stats = topology_stats(&net);
+        assert_eq!(stats.graph.scc_count, 1, "{name} must be strongly connected");
+        assert!(stats.graph.diameter.is_some(), "{name} diameter defined");
+        // Bi-directed convention: every link has its reverse.
+        let g = net.graph();
+        for (_, u, v) in g.edges() {
+            assert!(
+                g.find_edge(v, u).is_some(),
+                "{name}: link {u:?}->{v:?} lacks its reverse"
+            );
+        }
+        // Stand-ins (not Abilene) have no pendant nodes thanks to the ring
+        // skeleton.
+        if name != "Abilene" {
+            assert!(
+                stats.graph.min_out_degree >= 2,
+                "{name}: ring skeleton guarantees degree >= 2"
+            );
+        }
+    }
+}
+
+/// Every topology routes an all-pairs probe under unit weights — the
+/// baseline the demand generators assume.
+#[test]
+fn all_pairs_routable_under_unit_weights() {
+    for name in ["Abilene", "Geant", "Myren", "Zib54"] {
+        let net = by_name(name).expect("embedded");
+        let w = WeightSetting::unit(&net);
+        let router = Router::new(&net, &w);
+        let n = net.node_count() as u32;
+        let mut demands = DemandList::new();
+        for v in 1..n {
+            demands.push(NodeId(0), NodeId(v), 1.0);
+            demands.push(NodeId(v), NodeId(0), 1.0);
+        }
+        let mlu = router.mlu(&demands).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(mlu.is_finite() && mlu > 0.0);
+    }
+}
+
+/// Published node/link counts (paper's data sources) hold for every
+/// stand-in.
+#[test]
+fn published_sizes_hold() {
+    let expected = [
+        ("Abilene", 12, 30),
+        ("Geant", 22, 72),
+        ("Germany50", 50, 176),
+        ("Cost266", 37, 114),
+        ("Giul39", 39, 172),
+        ("Janos-US-CA", 39, 122),
+        ("Myren", 37, 78),
+        ("Pioro40", 40, 178),
+        ("Renater2010", 43, 112),
+        ("SwitchL3", 42, 126),
+        ("Ta2", 65, 216),
+        ("Zib54", 54, 162),
+    ];
+    for (name, nodes, edges) in expected {
+        let net = by_name(name).expect("embedded");
+        assert_eq!(net.node_count(), nodes, "{name} node count");
+        assert_eq!(net.edge_count(), edges, "{name} directed link count");
+    }
+}
+
+/// Graph metrics agree between the topo-level stats and the graph-level
+/// computation.
+#[test]
+fn stats_agree_with_graph_metrics() {
+    let net = by_name("Cost266").expect("embedded");
+    let a = topology_stats(&net).graph;
+    let b = metrics(net.graph());
+    assert_eq!(a, b);
+}

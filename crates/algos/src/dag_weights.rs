@@ -107,7 +107,10 @@ mod tests {
         let w = dag_realizing_weights(&net, &mask).unwrap();
         for &val in w.as_slice() {
             assert!(val >= 1.0);
-            assert!((val - val.round()).abs() < 1e-12, "weights should be integral");
+            assert!(
+                (val - val.round()).abs() < 1e-12,
+                "weights should be integral"
+            );
         }
     }
 

@@ -15,6 +15,7 @@ use segrout_core::{
     max_link_utilization, DemandList, EdgeId, Network, NodeId, Router, TeError, WaypointSetting,
     WeightSetting,
 };
+use segrout_obs::{event, Level};
 
 /// Sparse per-edge load delta of one candidate routing.
 type SparseLoads = Vec<(EdgeId, f64)>;
@@ -55,6 +56,9 @@ pub fn greedy_wpo(
     weights: &WeightSetting,
     cfg: &GreedyWpoConfig,
 ) -> Result<WaypointSetting, TeError> {
+    let _span = segrout_obs::span("greedywpo");
+    let candidates_evaluated = segrout_obs::counter("greedywpo.candidates_evaluated");
+    let waypoints_set = segrout_obs::counter("greedywpo.waypoints_set");
     let router = Router::new(net, weights);
     let caps = net.capacities();
     let mut setting = WaypointSetting::none(demands.len());
@@ -62,27 +66,30 @@ pub fn greedy_wpo(
     // Loads of the all-direct routing.
     let mut loads = router.evaluate(demands, &setting).map(|r| r.loads)?;
     let mut u_min = max_link_utilization(&loads, caps);
+    event!(
+        Level::Debug,
+        "greedywpo.start",
+        demands = demands.len(),
+        initial_mlu = u_min,
+    );
 
     let all_nodes: Vec<NodeId> = net.graph().nodes().collect();
     let candidates: &[NodeId] = cfg.candidates.as_deref().unwrap_or(&all_nodes);
 
     // Sparse loads of routing `amount` along the segment chain
     // src -> chain[0] -> ... -> dst (degenerate hops skipped).
-    let chain_loads = |chain: &[NodeId],
-                       src: NodeId,
-                       dst: NodeId,
-                       amount: f64|
-     -> Result<SparseLoads, TeError> {
-        let mut out = Vec::new();
-        let mut cur = src;
-        for &hop in chain.iter().chain(std::iter::once(&dst)) {
-            if hop != cur {
-                out.extend(router.segment_loads_sparse(cur, hop, amount)?);
-                cur = hop;
+    let chain_loads =
+        |chain: &[NodeId], src: NodeId, dst: NodeId, amount: f64| -> Result<SparseLoads, TeError> {
+            let mut out = Vec::new();
+            let mut cur = src;
+            for &hop in chain.iter().chain(std::iter::once(&dst)) {
+                if hop != cur {
+                    out.extend(router.segment_loads_sparse(cur, hop, amount)?);
+                    cur = hop;
+                }
             }
-        }
-        Ok(out)
-    };
+            Ok(out)
+        };
 
     let mut scratch = loads.clone();
     // One greedy pass per waypoint of budget: each pass may insert one more
@@ -103,6 +110,7 @@ pub fn greedy_wpo(
             }
 
             let mut best: Option<(Vec<NodeId>, f64, SparseLoads)> = None;
+            let mut probed: u64 = 0;
             for pos in 0..=chain.len() {
                 for &w in candidates {
                     if w == d.src || w == d.dst || chain.contains(&w) {
@@ -113,6 +121,7 @@ pub fn greedy_wpo(
                     let Ok(delta) = chain_loads(&cand, d.src, d.dst, d.size) else {
                         continue;
                     };
+                    probed += 1;
                     scratch.copy_from_slice(&loads);
                     for &(e, l) in &delta {
                         scratch[e.index()] += l;
@@ -125,16 +134,31 @@ pub fn greedy_wpo(
                 }
             }
 
+            candidates_evaluated.add(probed);
             match best {
                 Some((cand, u, delta)) => {
+                    event!(
+                        Level::Debug,
+                        "greedywpo.pick",
+                        demand = i,
+                        waypoints = cand.len(),
+                        mlu = u,
+                    );
                     setting.set(i, cand);
                     for (e, l) in delta {
                         loads[e.index()] += l;
                     }
                     u_min = u;
+                    waypoints_set.inc();
                     inserted_any = true;
                 }
                 None => {
+                    event!(
+                        Level::Trace,
+                        "greedywpo.reject",
+                        demand = i,
+                        probed = probed
+                    );
                     // Keep the current chain.
                     for (e, l) in current {
                         loads[e.index()] += l;
@@ -146,6 +170,14 @@ pub fn greedy_wpo(
             break;
         }
     }
+    segrout_obs::gauge("greedywpo.final_mlu").set(u_min);
+    event!(
+        Level::Info,
+        "greedywpo.done",
+        candidates_evaluated = candidates_evaluated.get(),
+        waypoints = waypoints_set.get(),
+        mlu = u_min,
+    );
     Ok(setting)
 }
 
@@ -265,7 +297,10 @@ mod tests {
             &net,
             &d,
             &w,
-            &GreedyWpoConfig { max_waypoints: 2, ..Default::default() },
+            &GreedyWpoConfig {
+                max_waypoints: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let u1 = router.evaluate(&d, &one).unwrap().mlu;
@@ -273,5 +308,4 @@ mod tests {
         assert!(u2 <= u1 + 1e-9, "W=2 never worse: {u2} vs {u1}");
         assert!(two.max_used() <= 2);
     }
-
 }

@@ -12,10 +12,9 @@
 //! congestion cost `Φ` (which correlates with, and tie-breaks on, MLU); the
 //! evaluation in §7 reports MLU. Both orderings are supported.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use segrout_core::rng::{SliceRandom, StdRng};
 use segrout_core::{fortz_phi, DemandList, Network, Router, WaypointSetting, WeightSetting};
+use segrout_obs::{event, Level};
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
@@ -61,6 +60,14 @@ impl Default for HeurOspfConfig {
 struct Score(f64, f64);
 
 impl Score {
+    /// The MLU component of the lexicographic pair.
+    fn mlu(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::PhiThenMlu => self.1,
+            Objective::MluThenPhi => self.0,
+        }
+    }
+
     fn better_than(&self, other: &Score) -> bool {
         const REL: f64 = 1e-9;
         let tol0 = REL * (1.0 + other.0.abs());
@@ -82,12 +89,7 @@ fn hash_weights(w: &[u32]) -> u64 {
 
 /// Evaluates integer weights, returning the configured lexicographic score.
 /// Unroutable demand sets score infinitely bad.
-fn score(
-    net: &Network,
-    demands: &DemandList,
-    weights: &[u32],
-    objective: Objective,
-) -> Score {
+fn score(net: &Network, demands: &DemandList, weights: &[u32], objective: Objective) -> Score {
     let w = WeightSetting::new(net, weights.iter().map(|&x| x as f64).collect())
         .expect("integer weights in range are always valid");
     let router = Router::new(net, &w);
@@ -126,12 +128,30 @@ fn inverse_capacity_start(net: &Network, max_weight: u32) -> Vec<u32> {
 /// weight setting make every score infinite; the inverse-capacity start is
 /// then returned unchanged.
 pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> WeightSetting {
-    assert!(cfg.max_weight >= 2, "max_weight must allow at least {{1, 2}}");
+    assert!(
+        cfg.max_weight >= 2,
+        "max_weight must allow at least {{1, 2}}"
+    );
+    let _span = segrout_obs::span("heurospf");
+    // `heurospf.iterations` counts candidate-weight evaluations (one full
+    // ECMP scoring each); the trajectory series records the incumbent MLU at
+    // every accepted move — the Figure 4-6 convergence signal.
+    let iterations = segrout_obs::counter("heurospf.iterations");
+    let trajectory = segrout_obs::series("heurospf.mlu_trajectory");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let m = net.edge_count();
 
     let mut best: Vec<u32> = inverse_capacity_start(net, cfg.max_weight);
     let mut best_score = score(net, demands, &best, cfg.objective);
+    iterations.inc();
+    trajectory.push(best_score.mlu(cfg.objective));
+    event!(
+        Level::Debug,
+        "heurospf.start",
+        edges = m,
+        restarts = cfg.restarts,
+        start_mlu = best_score.mlu(cfg.objective),
+    );
 
     for restart in 0..=cfg.restarts {
         let mut cur: Vec<u32> = if restart == 0 {
@@ -140,12 +160,22 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
             (0..m).map(|_| rng.gen_range(1..=cfg.max_weight)).collect()
         };
         let mut cur_score = score(net, demands, &cur, cfg.objective);
+        iterations.inc();
+        event!(
+            Level::Debug,
+            "heurospf.restart",
+            restart = restart,
+            mlu = cur_score.mlu(cfg.objective),
+        );
         let mut visited: HashSet<u64> = HashSet::new();
         visited.insert(hash_weights(&cur));
 
         let mut edge_order: Vec<usize> = (0..m).collect();
-        for _pass in 0..cfg.max_passes {
+        for pass in 0..cfg.max_passes {
             let mut improved = false;
+            // Batched locally and flushed once per pass so the hot candidate
+            // loop pays no atomic traffic.
+            let mut pass_evals: u64 = 0;
             edge_order.shuffle(&mut rng);
             for &e in &edge_order {
                 let old = cur[e];
@@ -171,14 +201,33 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                         continue;
                     }
                     let s = score(net, demands, &cur, cfg.objective);
+                    pass_evals += 1;
                     if s.better_than(&cur_score) {
                         cur_score = s;
                         improved = true;
+                        trajectory.push(cur_score.mlu(cfg.objective));
+                        event!(
+                            Level::Trace,
+                            "heurospf.accept",
+                            edge = e,
+                            weight = cand,
+                            mlu = cur_score.mlu(cfg.objective),
+                        );
                         break; // first improvement: keep cand
                     }
                     cur[e] = old;
                 }
             }
+            iterations.add(pass_evals);
+            event!(
+                Level::Debug,
+                "heurospf.pass",
+                restart = restart,
+                pass = pass,
+                evals = pass_evals,
+                improved = improved,
+                mlu = cur_score.mlu(cfg.objective),
+            );
             if !improved {
                 break;
             }
@@ -189,6 +238,13 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
         }
     }
 
+    segrout_obs::gauge("heurospf.best_mlu").set(best_score.mlu(cfg.objective));
+    event!(
+        Level::Info,
+        "heurospf.done",
+        evals = iterations.get(),
+        best_mlu = best_score.mlu(cfg.objective),
+    );
     WeightSetting::new(net, best.iter().map(|&x| x as f64).collect())
         .expect("integer weights in range are always valid")
 }

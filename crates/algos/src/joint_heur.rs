@@ -12,6 +12,7 @@
 use crate::greedy_wpo::{greedy_wpo, GreedyWpoConfig};
 use crate::heur_ospf::{heur_ospf, HeurOspfConfig};
 use segrout_core::{DemandList, Network, Router, TeError, WaypointSetting, WeightSetting};
+use segrout_obs::{event, Level};
 
 /// Configuration of JOINT-Heur.
 #[derive(Clone, Debug, Default)]
@@ -51,6 +52,7 @@ pub fn joint_heur(
     demands: &DemandList,
     cfg: &JointHeurConfig,
 ) -> Result<JointHeurResult, TeError> {
+    let _span = segrout_obs::span("joint_heur");
     // Stage 1: link-weight optimization (or the caller's precomputed one).
     let omega = match &cfg.stage1_weights {
         Some(w) => w.clone(),
@@ -58,11 +60,15 @@ pub fn joint_heur(
     };
     let router = Router::new(net, &omega);
     let mlu_weights_only = router.mlu(demands)?;
+    segrout_obs::gauge("joint.stage1_mlu").set(mlu_weights_only);
+    event!(Level::Info, "joint.stage1", mlu = mlu_weights_only);
 
     // Stage 2: greedy waypoints under omega.
     let pi = greedy_wpo(net, demands, &omega, &cfg.wpo)?;
     let mut best_mlu = router.evaluate(demands, &pi)?.mlu;
     let mut best_weights = omega.clone();
+    segrout_obs::gauge("joint.stage2_mlu").set(best_mlu);
+    event!(Level::Info, "joint.stage2", mlu = best_mlu);
 
     // Stages 3-4: re-optimize weights on the segment-expanded demands.
     if cfg.second_weight_pass {
@@ -75,12 +81,19 @@ pub fn joint_heur(
         let omega2 = heur_ospf(net, &expanded, &cfg.ospf);
         let router2 = Router::new(net, &omega2);
         let mlu2 = router2.evaluate(demands, &pi)?.mlu;
+        event!(
+            Level::Info,
+            "joint.second_pass",
+            mlu = mlu2,
+            accepted = mlu2 < best_mlu,
+        );
         if mlu2 < best_mlu {
             best_mlu = mlu2;
             best_weights = omega2;
         }
     }
 
+    segrout_obs::gauge("joint.final_mlu").set(best_mlu);
     Ok(JointHeurResult {
         weights: best_weights,
         waypoints: pi,
@@ -125,7 +138,11 @@ mod tests {
             r.mlu,
             r.mlu_weights_only
         );
-        assert!(r.mlu <= 1.5 + 1e-9, "joint heuristic should approach 1.0, got {}", r.mlu);
+        assert!(
+            r.mlu <= 1.5 + 1e-9,
+            "joint heuristic should approach 1.0, got {}",
+            r.mlu
+        );
     }
 
     #[test]

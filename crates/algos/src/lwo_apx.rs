@@ -26,8 +26,9 @@ pub struct LwoApxResult {
     pub weights: WeightSetting,
     /// The pruned DAG the weights realize (edge mask).
     pub dag_mask: Vec<bool>,
-    /// Effective capacity of the source on the pruned DAG — the size of the
-    /// even-split flow deliverable under `weights` while respecting `c*`.
+    /// The exact size of the even-split flow deliverable under `weights`
+    /// while respecting the usable capacities `c*` — computed by routing the
+    /// realized splits, not from the (optimistic) per-node recursion.
     pub es_flow_value: f64,
     /// Size `|f*|` of the maximum `(s,t)`-flow (the OPT denominator).
     pub max_flow_value: f64,
@@ -68,6 +69,7 @@ impl LwoApxResult {
 /// # Errors
 /// Returns [`TeError::Unroutable`] when `t` is unreachable from `s`.
 pub fn lwo_apx(net: &Network, s: NodeId, t: NodeId) -> Result<LwoApxResult, TeError> {
+    let _span = segrout_obs::span("lwo_apx");
     let g = net.graph();
     let flow = acyclic_max_flow(g, net.capacities(), s, t);
     if flow.value <= EPS {
@@ -78,8 +80,7 @@ pub fn lwo_apx(net: &Network, s: NodeId, t: NodeId) -> Result<LwoApxResult, TeEr
     let mut mask = flow.support_mask();
     let usable: Vec<f64> = flow.on_edge.clone();
 
-    let order = topological_order(g, &mask)
-        .expect("support of an acyclic flow must be acyclic");
+    let order = topological_order(g, &mask).expect("support of an acyclic flow must be acyclic");
 
     // Effective capacities, maximizing j * ec(l_j) at every node and pruning
     // the losing links (Algorithm 1 lines 5-10). Nodes are processed in
@@ -151,13 +152,75 @@ pub fn lwo_apx(net: &Network, s: NodeId, t: NodeId) -> Result<LwoApxResult, TeEr
     // to t.
     prune_dead_ends(net, &mut mask, t);
 
+    // The recursion above decides the pruning, but its value ec(s) can
+    // overestimate the deliverable flow: it bounds each in-edge of v by
+    // min(c*, ec(v)) without bounding their sum, so where several kept
+    // in-edges converge the even split pushes more through v than its kept
+    // out-links can forward. Emit the exact value instead: route a unit
+    // even-split flow through the realized splits and scale it to the
+    // tightest usable capacity, so routing `es_flow_value` under the
+    // Lemma 4.1 weights never exceeds c*.
+    let es_flow_value = exact_es_flow(net, &mask, &usable, s, t);
+
     let weights = dag_realizing_weights(net, &mask)?;
+    segrout_obs::counter("lwoapx.runs").inc();
+    segrout_obs::event!(
+        segrout_obs::Level::Debug,
+        "lwoapx.done",
+        es_flow = es_flow_value,
+        max_flow = flow.value,
+        kept_edges = mask.iter().filter(|&&b| b).count(),
+    );
     Ok(LwoApxResult {
         weights,
         dag_mask: mask,
-        es_flow_value: ec_node[s.index()],
+        es_flow_value,
         max_flow_value: flow.value,
     })
+}
+
+/// The exact maximum even-split flow on the pruned DAG under capacities
+/// `usable`: per-edge loads of a unit ES-flow from `s`, scaled to the
+/// tightest edge.
+fn exact_es_flow(net: &Network, mask: &[bool], usable: &[f64], s: NodeId, t: NodeId) -> f64 {
+    let g = net.graph();
+    let order = topological_order(g, mask).expect("pruned DAG stays acyclic");
+    let mut inflow = vec![0.0; g.node_count()];
+    let mut unit_load = vec![0.0; g.edge_count()];
+    inflow[s.index()] = 1.0;
+    for &v in &order {
+        if v == t || inflow[v.index()] <= EPS {
+            continue;
+        }
+        let outs: Vec<_> = g
+            .out_edges(v)
+            .iter()
+            .copied()
+            .filter(|e| mask[e.index()])
+            .collect();
+        if outs.is_empty() {
+            return 0.0; // s cut off from t
+        }
+        let share = inflow[v.index()] / outs.len() as f64;
+        for e in outs {
+            unit_load[e.index()] += share;
+            inflow[g.endpoints(e).1.index()] += share;
+        }
+    }
+    if inflow[t.index()] <= EPS {
+        return 0.0;
+    }
+    let mut scale = f64::INFINITY;
+    for e in 0..g.edge_count() {
+        if unit_load[e] > EPS {
+            scale = scale.min(usable[e] / unit_load[e]);
+        }
+    }
+    if scale.is_finite() {
+        scale
+    } else {
+        0.0
+    }
 }
 
 /// Removes masked edges that lead to nodes with no masked path to `t`.

@@ -16,6 +16,7 @@
 
 use segrout_core::{DemandList, Network, NodeId, TeError};
 use segrout_graph::EPS;
+use segrout_obs::{event, Level};
 use std::collections::HashMap;
 
 /// Result of [`max_concurrent_flow`].
@@ -52,6 +53,8 @@ pub fn max_concurrent_flow(
         "epsilon must lie in (0, 0.5]"
     );
     assert!(!demands.is_empty(), "demand list must be non-empty");
+    let _span = segrout_obs::span("mcf");
+    let augmentations = segrout_obs::counter("mcf.augmentations");
 
     let g = net.graph();
     let caps = net.capacities();
@@ -96,9 +99,11 @@ pub fn max_concurrent_flow(
     const MIN_PHASES: usize = 3;
     const MAX_PHASES: usize = 100_000;
     'phases: for _phase in 0..MAX_PHASES {
+        let mut phase_augs: u64 = 0;
         for &((s, t), dk) in &commodities {
             let mut remaining = dk;
             while remaining > EPS * dk {
+                phase_augs += 1;
                 // Extract one shortest path s -> t via parent pointers (a
                 // tree walk cannot loop, unlike a greedy descent over
                 // distance labels that may tie numerically when lengths
@@ -106,10 +111,7 @@ pub fn max_concurrent_flow(
                 let Some(path) = shortest_path_edges(net, &length, s, t) else {
                     return Err(TeError::Unroutable { src: s, dst: t });
                 };
-                let bottleneck = path
-                    .iter()
-                    .map(|&e| caps[e])
-                    .fold(f64::INFINITY, f64::min);
+                let bottleneck = path.iter().map(|&e| caps[e]).fold(f64::INFINITY, f64::min);
                 let push = remaining.min(bottleneck);
                 for &e in &path {
                     flow[e] += push;
@@ -119,8 +121,16 @@ pub fn max_concurrent_flow(
             }
         }
         full_phases += 1;
+        augmentations.add(phase_augs);
         flow_at_phase_end.copy_from_slice(&flow);
         let dual: f64 = length.iter().zip(caps).map(|(l, c)| l * c).sum();
+        event!(
+            Level::Trace,
+            "mcf.phase",
+            phase = full_phases,
+            augmentations = phase_augs,
+            dual = dual,
+        );
         if dual >= 1.0 && full_phases >= MIN_PHASES {
             break 'phases;
         }
@@ -144,6 +154,14 @@ pub fn max_concurrent_flow(
         .map(|f| f / (full_phases as f64 * zeta))
         .collect();
 
+    segrout_obs::counter("mcf.phases").add(full_phases as u64);
+    event!(
+        Level::Info,
+        "mcf.done",
+        phases = full_phases,
+        lambda = lambda,
+        opt_mlu = opt_mlu,
+    );
     Ok(McfResult {
         lambda,
         opt_mlu,

@@ -17,12 +17,11 @@
 
 use crate::greedy_wpo::{greedy_wpo, GreedyWpoConfig};
 use crate::heur_ospf::{heur_ospf, HeurOspfConfig, Objective};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use segrout_core::rng::{SliceRandom, StdRng};
 use segrout_core::{
     fortz_phi, DemandList, Network, Router, TeError, WaypointSetting, WeightSetting,
 };
+use segrout_obs::{event, Level};
 
 /// Configuration for reconfiguration-aware re-optimization.
 #[derive(Clone, Debug)]
@@ -100,6 +99,8 @@ pub fn reoptimize_weights(
     deployed: &WeightSetting,
     cfg: &ReoptimizeConfig,
 ) -> Result<ReoptimizeResult, TeError> {
+    let _span = segrout_obs::span("reopt.weights");
+    let evals = segrout_obs::counter("reopt.evaluations");
     let m = net.edge_count();
     let base: Vec<u32> = deployed
         .as_slice()
@@ -137,6 +138,7 @@ pub fn reoptimize_weights(
                 }
                 cur[e] = cand;
                 let s = score(net, demands, &cur, cfg.ospf.objective);
+                evals.inc();
                 if s.0 < cur_score.0 - 1e-12
                     || (s.0 <= cur_score.0 + 1e-12 && s.1 < cur_score.1 - 1e-12)
                 {
@@ -163,12 +165,15 @@ pub fn reoptimize_weights(
         .expect("integer weights are valid");
     let router = Router::new(net, &weights);
     let mlu = router.mlu(demands)?;
-    let weight_changes = cur
-        .iter()
-        .zip(&base)
-        .filter(|(a, b)| a != b)
-        .count();
+    let weight_changes = cur.iter().zip(&base).filter(|(a, b)| a != b).count();
     debug_assert!(weight_changes <= cfg.max_weight_changes);
+    event!(
+        Level::Info,
+        "reopt.weights_done",
+        mlu = mlu,
+        weight_changes = weight_changes,
+        budget = cfg.max_weight_changes,
+    );
     Ok(ReoptimizeResult {
         weights,
         waypoints: WaypointSetting::none(demands.len()),
@@ -190,10 +195,12 @@ pub fn reoptimize_joint(
     deployed: &WeightSetting,
     cfg: &ReoptimizeConfig,
 ) -> Result<ReoptimizeResult, TeError> {
+    let _span = segrout_obs::span("reopt.joint");
     // Stage 1: waypoints on deployed weights.
     let router_old = Router::new(net, deployed);
     let wp1 = greedy_wpo(net, demands, deployed, &cfg.wpo)?;
     let mlu1 = router_old.evaluate(demands, &wp1)?.mlu;
+    event!(Level::Debug, "reopt.joint_stage1", mlu = mlu1);
 
     // Stage 2: constrained weight changes (on the direct demands; the
     // waypoint stage is cheap to re-run afterwards).
@@ -203,6 +210,13 @@ pub fn reoptimize_joint(
     let wp3 = greedy_wpo(net, demands, &rw.weights, &cfg.wpo)?;
     let router_new = Router::new(net, &rw.weights);
     let mlu3 = router_new.evaluate(demands, &wp3)?.mlu;
+    event!(
+        Level::Info,
+        "reopt.joint_done",
+        waypoints_only_mlu = mlu1,
+        reweighted_mlu = mlu3,
+        kept_deployed_weights = mlu1 <= mlu3,
+    );
 
     if mlu1 <= mlu3 {
         Ok(ReoptimizeResult {

@@ -54,17 +54,18 @@ pub fn wpo_local_search(
     let candidates: &[NodeId] = cfg.base.candidates.as_deref().unwrap_or(&all_nodes);
     let mut scratch = loads.clone();
 
-    let route = |chain: &[NodeId], d: &segrout_core::Demand| -> Result<Vec<(EdgeId, f64)>, TeError> {
-        let mut out = Vec::new();
-        let mut cur = d.src;
-        for &hop in chain.iter().chain(std::iter::once(&d.dst)) {
-            if hop != cur {
-                out.extend(router.segment_loads_sparse(cur, hop, d.size)?);
-                cur = hop;
+    let route =
+        |chain: &[NodeId], d: &segrout_core::Demand| -> Result<Vec<(EdgeId, f64)>, TeError> {
+            let mut out = Vec::new();
+            let mut cur = d.src;
+            for &hop in chain.iter().chain(std::iter::once(&d.dst)) {
+                if hop != cur {
+                    out.extend(router.segment_loads_sparse(cur, hop, d.size)?);
+                    cur = hop;
+                }
             }
-        }
-        Ok(out)
-    };
+            Ok(out)
+        };
 
     for _sweep in 0..cfg.max_sweeps {
         let mut moved = false;

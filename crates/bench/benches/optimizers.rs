@@ -1,28 +1,37 @@
 //! Benchmarks of the paper's optimizers: LWO-APX (Algorithm 1), GreedyWPO
 //! (Algorithm 3), one HeurOSPF descent, and the end-to-end JOINT-Heur.
+//!
+//! Plain timing harness (`harness = false`); run with
+//! `cargo bench -p segrout-bench --bench optimizers`. Accepts the shared
+//! `--log-level` / `--metrics-out` observability flags.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use segrout_algos::{
     greedy_wpo, heur_ospf, joint_heur, lwo_apx, max_concurrent_flow, GreedyWpoConfig,
     HeurOspfConfig, JointHeurConfig,
 };
+use segrout_bench::{banner, time_it};
 use segrout_core::WeightSetting;
 use segrout_instances::{instance1, instance3};
 use segrout_topo::{abilene, by_name};
 use segrout_traffic::{mcf_synthetic, TrafficConfig};
 
-fn bench_optimizers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimizers");
+fn main() {
+    banner("bench: optimizers (LWO-APX, GreedyWPO, HeurOSPF, JOINT-Heur, MCF)");
+    const SAMPLES: usize = 10;
 
     // LWO-APX on the adversarial constructions.
     for m in [16usize, 64] {
         let inst = instance1(m);
-        group.bench_with_input(BenchmarkId::new("lwo_apx_instance1", m), &inst, |b, inst| {
-            b.iter(|| lwo_apx(&inst.network, inst.source, inst.target).expect("routes").es_flow_value)
+        time_it(&format!("lwo_apx_instance1/{m}"), SAMPLES, || {
+            lwo_apx(&inst.network, inst.source, inst.target)
+                .expect("routes")
+                .es_flow_value
         });
         let i3 = instance3(m.min(24));
-        group.bench_with_input(BenchmarkId::new("lwo_apx_instance3", m.min(24)), &i3, |b, i3| {
-            b.iter(|| lwo_apx(&i3.network, i3.source, i3.target).expect("routes").es_flow_value)
+        time_it(&format!("lwo_apx_instance3/{}", m.min(24)), SAMPLES, || {
+            lwo_apx(&i3.network, i3.source, i3.target)
+                .expect("routes")
+                .es_flow_value
         });
     }
 
@@ -37,30 +46,28 @@ fn bench_optimizers(c: &mut Criterion) {
     )
     .expect("connected");
     let inv = WeightSetting::inverse_capacity(&net);
-    group.bench_function("greedy_wpo_abilene", |b| {
-        b.iter(|| greedy_wpo(&net, &demands, &inv, &GreedyWpoConfig::default()).expect("routes"))
+    time_it("greedy_wpo_abilene", SAMPLES, || {
+        greedy_wpo(&net, &demands, &inv, &GreedyWpoConfig::default()).expect("routes")
     });
     let quick = HeurOspfConfig {
         restarts: 0,
         max_passes: 3,
         ..Default::default()
     };
-    group.bench_function("heur_ospf_abilene_3passes", |b| {
-        b.iter(|| heur_ospf(&net, &demands, &quick))
+    time_it("heur_ospf_abilene_3passes", SAMPLES, || {
+        heur_ospf(&net, &demands, &quick)
     });
-    group.bench_function("joint_heur_abilene", |b| {
-        b.iter(|| {
-            joint_heur(
-                &net,
-                &demands,
-                &JointHeurConfig {
-                    ospf: quick.clone(),
-                    ..Default::default()
-                },
-            )
-            .expect("routes")
-            .mlu
-        })
+    time_it("joint_heur_abilene", SAMPLES, || {
+        joint_heur(
+            &net,
+            &demands,
+            &JointHeurConfig {
+                ospf: quick.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("routes")
+        .mlu
     });
 
     // The MCF FPTAS on a mid-size topology.
@@ -74,16 +81,7 @@ fn bench_optimizers(c: &mut Criterion) {
         },
     )
     .expect("connected");
-    group.sample_size(10);
-    group.bench_function("mcf_fptas_germany50", |b| {
-        b.iter(|| max_concurrent_flow(&g50, &d50, 0.1).expect("routes").lambda)
+    time_it("mcf_fptas_germany50", SAMPLES, || {
+        max_concurrent_flow(&g50, &d50, 0.1).expect("routes").lambda
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_optimizers
-}
-criterion_main!(benches);

@@ -1,16 +1,21 @@
 //! Microbenchmarks of the routing substrate: Dijkstra / SP-DAG
 //! construction, full ECMP demand evaluation, max-flow, and the hash-ECMP
 //! simulator — the §7.1 runtime discussion.
+//!
+//! Plain timing harness (`harness = false`); run with
+//! `cargo bench -p segrout-bench --bench routing`. Accepts the shared
+//! `--log-level` / `--metrics-out` observability flags.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segrout_bench::{banner, time_it};
 use segrout_core::{NodeId, Router, WaypointSetting, WeightSetting};
 use segrout_graph::{acyclic_max_flow, shortest_path_dag};
 use segrout_sim::{HashEcmpSim, SimConfig, SimFlow};
 use segrout_topo::by_name;
 use segrout_traffic::{mcf_synthetic, TrafficConfig};
 
-fn bench_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing");
+fn main() {
+    banner("bench: routing substrate (SP-DAG, ECMP eval, max-flow, hash sim)");
+    const SAMPLES: usize = 20;
     for name in ["Abilene", "Germany50", "Ta2"] {
         let net = by_name(name).expect("embedded");
         let weights = WeightSetting::inverse_capacity(&net);
@@ -24,44 +29,34 @@ fn bench_routing(c: &mut Criterion) {
         )
         .expect("connected");
 
-        group.bench_with_input(BenchmarkId::new("sp_dag", name), &net, |b, net| {
-            b.iter(|| shortest_path_dag(net.graph(), weights.as_slice(), NodeId(0)))
+        time_it(&format!("sp_dag/{name}"), SAMPLES, || {
+            shortest_path_dag(net.graph(), weights.as_slice(), NodeId(0))
         });
-        group.bench_with_input(BenchmarkId::new("ecmp_eval", name), &net, |b, net| {
-            b.iter(|| {
-                let router = Router::new(net, &weights);
-                router
-                    .evaluate(&demands, &WaypointSetting::none(demands.len()))
-                    .expect("routes")
-                    .mlu
+        time_it(&format!("ecmp_eval/{name}"), SAMPLES, || {
+            let router = Router::new(&net, &weights);
+            router
+                .evaluate(&demands, &WaypointSetting::none(demands.len()))
+                .expect("routes")
+                .mlu
+        });
+        let t = NodeId((net.node_count() - 1) as u32);
+        time_it(&format!("max_flow/{name}"), SAMPLES, || {
+            acyclic_max_flow(net.graph(), net.capacities(), NodeId(0), t).value
+        });
+        let sim = HashEcmpSim::new(&net, &weights);
+        let flows: Vec<SimFlow> = demands
+            .iter()
+            .take(32)
+            .map(|d| SimFlow {
+                src: d.src,
+                dst: d.dst,
+                rate: d.size,
+                streams: 8,
+                waypoints: vec![],
             })
-        });
-        group.bench_with_input(BenchmarkId::new("max_flow", name), &net, |b, net| {
-            let t = NodeId((net.node_count() - 1) as u32);
-            b.iter(|| acyclic_max_flow(net.graph(), net.capacities(), NodeId(0), t).value)
-        });
-        group.bench_with_input(BenchmarkId::new("hash_sim", name), &net, |b, net| {
-            let sim = HashEcmpSim::new(net, &weights);
-            let flows: Vec<SimFlow> = demands
-                .iter()
-                .take(32)
-                .map(|d| SimFlow {
-                    src: d.src,
-                    dst: d.dst,
-                    rate: d.size,
-                    streams: 8,
-                    waypoints: vec![],
-                })
-                .collect();
-            b.iter(|| sim.run(&flows, &SimConfig::default()).expect("routes").mlu)
+            .collect();
+        time_it(&format!("hash_sim/{name}"), SAMPLES, || {
+            sim.run(&flows, &SimConfig::default()).expect("routes").mlu
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_routing
-}
-criterion_main!(benches);

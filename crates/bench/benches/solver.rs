@@ -1,16 +1,21 @@
 //! Benchmarks of the LP/MILP substrate: the OPT LP on real topologies and
 //! representative MILPs (WPO selection, small Joint).
+//!
+//! Plain timing harness (`harness = false`); run with
+//! `cargo bench -p segrout-bench --bench solver`. Accepts the shared
+//! `--log-level` / `--metrics-out` observability flags.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use segrout_bench::{banner, time_it};
 use segrout_core::WeightSetting;
 use segrout_lp::{solve_milp, Cmp, MilpOptions, Problem, Sense};
-use std::time::Duration;
 use segrout_milp::{opt_mlu_lp, wpo_ilp, WpoIlpOptions};
 use segrout_topo::abilene;
 use segrout_traffic::{mcf_synthetic, TrafficConfig};
+use std::time::Duration;
 
-fn bench_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver");
+fn main() {
+    banner("bench: LP/MILP substrate (OPT LP, WPO ILP, knapsack MILP)");
+    const SAMPLES: usize = 10;
     let net = abilene();
     let demands = mcf_synthetic(
         &net,
@@ -22,9 +27,8 @@ fn bench_solver(c: &mut Criterion) {
     )
     .expect("connected");
 
-    group.sample_size(10);
-    group.bench_function("opt_mlu_lp_abilene", |b| {
-        b.iter(|| opt_mlu_lp(&net, &demands).expect("routes").objective)
+    time_it("opt_mlu_lp_abilene", SAMPLES, || {
+        opt_mlu_lp(&net, &demands).expect("routes").objective
     });
 
     let inv = WeightSetting::inverse_capacity(&net);
@@ -38,35 +42,23 @@ fn bench_solver(c: &mut Criterion) {
         },
         ..Default::default()
     };
-    group.bench_function("wpo_ilp_abilene", |b| {
-        b.iter(|| {
-            wpo_ilp(&net, &demands, &inv, &quick_milp)
-                .expect("routes")
-                .mlu
-        })
+    time_it("wpo_ilp_abilene", SAMPLES, || {
+        wpo_ilp(&net, &demands, &inv, &quick_milp)
+            .expect("routes")
+            .mlu
     });
 
-    group.bench_function("knapsack_milp_30", |b| {
-        b.iter(|| {
-            let mut p = Problem::new(Sense::Maximize);
-            let vars: Vec<_> = (0..30)
-                .map(|i| p.add_bin_var(format!("v{i}"), ((i * 7) % 13 + 1) as f64))
-                .collect();
-            let terms: Vec<_> = vars
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, ((i * 5) % 11 + 1) as f64))
-                .collect();
-            p.add_constraint(terms, Cmp::Le, 40.0);
-            solve_milp(&p, &MilpOptions::default()).objective
-        })
+    time_it("knapsack_milp_30", SAMPLES, || {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..30)
+            .map(|i| p.add_bin_var(format!("v{i}"), ((i * 7) % 13 + 1) as f64))
+            .collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, ((i * 5) % 11 + 1) as f64))
+            .collect();
+        p.add_constraint(terms, Cmp::Le, 40.0);
+        solve_milp(&p, &MilpOptions::default()).objective
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_solver
-}
-criterion_main!(benches);

@@ -9,12 +9,14 @@
 //! 3. the local-search effort (restarts / passes),
 //! 4. the integer weight range `w_max`.
 
-use segrout_algos::{greedy_wpo, heur_ospf, joint_heur, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig};
+use segrout_algos::{
+    greedy_wpo, heur_ospf, joint_heur, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig,
+};
 use segrout_bench::{banner, fast_mode, stat, write_json};
 use segrout_core::{DemandList, Network, Router, WaypointSetting};
+use segrout_obs::json;
 use segrout_topo::{abilene, by_name};
 use segrout_traffic::{mcf_synthetic, TrafficConfig};
-use serde_json::json;
 
 fn main() {
     banner("Ablations — JOINT-Heur design choices (§8 open questions)");
@@ -38,7 +40,11 @@ fn main() {
             },
         )
         .expect("connected");
-        println!("\n== {name} ({} nodes, {} demands) ==", net.node_count(), demands.len());
+        println!(
+            "\n== {name} ({} nodes, {} demands) ==",
+            net.node_count(),
+            demands.len()
+        );
 
         // --- 1. Second weight pass on/off ---
         let base_cfg = HeurOspfConfig {
@@ -162,8 +168,7 @@ fn stacked_waypoints(
             expanded.push(s, t, size);
         }
     }
-    let second = greedy_wpo(net, &expanded, weights, &GreedyWpoConfig::default())
-        .expect("routes");
+    let second = greedy_wpo(net, &expanded, weights, &GreedyWpoConfig::default()).expect("routes");
     Router::new(net, weights)
         .evaluate(&expanded, &second)
         .expect("routes")

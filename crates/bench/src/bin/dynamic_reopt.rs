@@ -18,9 +18,9 @@ use segrout_algos::{
 };
 use segrout_bench::{banner, fast_mode, stat, write_json};
 use segrout_core::Router;
+use segrout_obs::json;
 use segrout_topo::by_name;
 use segrout_traffic::{drifting_series, TrafficConfig};
-use serde_json::json;
 
 fn main() {
     banner("Extension — re-optimization under traffic drift with reconfiguration budgets");
@@ -68,8 +68,8 @@ fn main() {
         let b1 = reoptimize_weights(&net, demands, &deployed, &mk(1)).expect("routes");
         let b3 = reoptimize_weights(&net, demands, &deployed, &mk(3)).expect("routes");
         let jb3 = reoptimize_joint(&net, demands, &deployed, &mk(3)).expect("routes");
-        let full = reoptimize_unconstrained(&net, demands, &deployed, &mk(usize::MAX))
-            .expect("routes");
+        let full =
+            reoptimize_unconstrained(&net, demands, &deployed, &mk(usize::MAX)).expect("routes");
 
         println!(
             "{:>4} {:>8.3} {:>9.3} {:>11.3} {:>11.3} {:>13.3} {:>12.3} ({:>3})",

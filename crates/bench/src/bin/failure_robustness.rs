@@ -12,10 +12,10 @@
 use segrout_algos::{joint_heur, HeurOspfConfig, JointHeurConfig};
 use segrout_bench::{banner, fast_mode, stat, write_json};
 use segrout_core::EdgeId;
+use segrout_obs::json;
 use segrout_sim::{HashEcmpSim, SimConfig, SimFlow};
 use segrout_topo::by_name;
 use segrout_traffic::{gravity, TrafficConfig};
-use serde_json::json;
 
 fn main() {
     banner("Extension — MLU after single-link failure (weights-only vs joint)");
@@ -78,7 +78,10 @@ fn main() {
     let mut wo_mlus = Vec::new();
     let mut j_mlus = Vec::new();
     let mut disconnects = 0usize;
-    println!("{:<24} {:>14} {:>11}", "failed link", "weights-only", "joint");
+    println!(
+        "{:<24} {:>14} {:>11}",
+        "failed link", "weights-only", "joint"
+    );
     for e in 0..net.edge_count() {
         let failed = [EdgeId(e as u32)];
         let wo = sim.run_with_failures(&mk_flows(false), &cfg, &failed);

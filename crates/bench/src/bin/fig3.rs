@@ -9,7 +9,7 @@ use segrout_bench::{banner, write_json};
 use segrout_core::esflow::effective_capacities;
 use segrout_graph::acyclic_max_flow;
 use segrout_instances::{figure3a, figure3b};
-use serde_json::json;
+use segrout_obs::json;
 
 fn main() {
     banner("Figure 3 — effective capacities (Definition 5.1)");

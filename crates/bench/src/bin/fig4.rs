@@ -24,9 +24,9 @@ use segrout_algos::{
 };
 use segrout_bench::{banner, fast_mode, seeds, stat, write_json};
 use segrout_core::{Network, Router, WeightSetting};
+use segrout_obs::json;
 use segrout_topo::fig4_topologies;
 use segrout_traffic::{mcf_synthetic, TrafficConfig};
-use serde_json::json;
 use std::time::Instant;
 
 fn main() {
@@ -35,12 +35,21 @@ fn main() {
     println!("demand sets per topology: {n_seeds} (paper: 10; SEGROUT_SEEDS to change)");
 
     let mut blocks = Vec::new();
-    for (regime, pair_fraction) in [("20% pairs (paper setting)", 0.2), ("5% pairs (concentrated)", 0.05)]
-    {
+    for (regime, pair_fraction) in [
+        ("20% pairs (paper setting)", 0.2),
+        ("5% pairs (concentrated)", 0.05),
+    ] {
         println!("\n--- regime: {regime} ---");
         println!(
             "{:<14} {:>5} {:>5} | {:>17} {:>17} {:>17} {:>17} | {:>7}",
-            "topology", "n", "|E|", "InverseCapacity", "HeurOSPF", "GreedyWaypoints", "JointHeur", "time(s)"
+            "topology",
+            "n",
+            "|E|",
+            "InverseCapacity",
+            "HeurOSPF",
+            "GreedyWaypoints",
+            "JointHeur",
+            "time(s)"
         );
 
         let mut per_topo = Vec::new();
@@ -101,7 +110,12 @@ fn main() {
         }
 
         println!("\noverall averages ({regime}):");
-        let labels = ["InverseCapacity", "HeurOSPF", "GreedyWaypoints", "JointHeur"];
+        let labels = [
+            "InverseCapacity",
+            "HeurOSPF",
+            "GreedyWaypoints",
+            "JointHeur",
+        ];
         let mut avgs = Vec::new();
         for (label, xs) in labels.iter().zip(&all) {
             let s = stat(xs);

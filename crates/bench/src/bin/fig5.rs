@@ -9,14 +9,16 @@
 //! their columns are incumbents (upper bounds) exactly like a time-limited
 //! Gurobi run; the WPO MILP (fixed weights) is solved to proven optimality.
 
-use segrout_algos::{greedy_wpo, heur_ospf, joint_heur, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig};
+use segrout_algos::{
+    greedy_wpo, heur_ospf, joint_heur, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig,
+};
 use segrout_bench::{banner, fast_mode, seeds, stat, write_json};
 use segrout_core::{Router, WaypointSetting, WeightSetting};
 use segrout_lp::MilpOptions;
 use segrout_milp::{joint_milp, lwo_ilp, wpo_ilp, JointMilpOptions, WpoIlpOptions};
+use segrout_obs::json;
 use segrout_topo::abilene;
 use segrout_traffic::{mcf_synthetic, TrafficConfig};
-use serde_json::json;
 use std::time::Duration;
 
 fn main() {
@@ -27,9 +29,7 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(if fast_mode() { 5 } else { 60 });
-    println!(
-        "demand sets: {n_seeds}; MILP time limit: {milp_secs}s (SEGROUT_MILP_SECS)\n"
-    );
+    println!("demand sets: {n_seeds}; MILP time limit: {milp_secs}s (SEGROUT_MILP_SECS)\n");
 
     const LABELS: [&str; 8] = [
         "UnitWeights",
@@ -143,7 +143,10 @@ fn main() {
         );
     }
 
-    println!("\n{:<16} {:>8} {:>8} {:>8}", "algorithm", "min", "avg", "max");
+    println!(
+        "\n{:<16} {:>8} {:>8} {:>8}",
+        "algorithm", "min", "avg", "max"
+    );
     let mut rows = Vec::new();
     for (label, col) in LABELS.iter().zip(&columns) {
         let s = stat(col);

@@ -7,12 +7,14 @@
 //! though a huge skew can be observed"). Paper averages: HeurOSPF 1.11 →
 //! JointHeur 1.05.
 
-use segrout_algos::{greedy_wpo, heur_ospf, joint_heur, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig};
+use segrout_algos::{
+    greedy_wpo, heur_ospf, joint_heur, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig,
+};
 use segrout_bench::{banner, fast_mode, seeds, stat, write_json};
 use segrout_core::{Router, WeightSetting};
+use segrout_obs::json;
 use segrout_topo::fig6_topologies;
 use segrout_traffic::{gravity, TrafficConfig};
-use serde_json::json;
 
 fn main() {
     banner("Figure 6 — real-like (gravity) demands on Abilene / Germany50 / Géant");
@@ -54,8 +56,8 @@ fn main() {
             let heur_w = heur_ospf(&net, &demands, &ospf_cfg);
             cols[1].push(Router::new(&net, &heur_w).mlu(&demands).expect("routes"));
 
-            let wp = greedy_wpo(&net, &demands, &inv_w, &GreedyWpoConfig::default())
-                .expect("routes");
+            let wp =
+                greedy_wpo(&net, &demands, &inv_w, &GreedyWpoConfig::default()).expect("routes");
             cols[2].push(
                 Router::new(&net, &inv_w)
                     .evaluate(&demands, &wp)

@@ -15,8 +15,8 @@
 
 use segrout_bench::{banner, stat, write_json};
 use segrout_instances::{instance1, instance1::lwo_optimal_weights};
+use segrout_obs::json;
 use segrout_sim::{HashEcmpSim, SimConfig, SimFlow};
-use serde_json::json;
 
 fn main() {
     banner("Figure 7 — Nanonet experiment on the hash-ECMP simulator");
@@ -68,10 +68,13 @@ fn main() {
 
     let js = stat(&joint_mlus);
     let ws = stat(&weight_mlus);
-    println!("\nJoint:   min {:.4}  median {:.4}  max {:.4}   (paper ≈ 1.0138, constant)", js.min, js.median, js.max);
-    println!("Weights: min {:.4}  median {:.4}  max {:.4}   (paper 2.1439–2.5219, median 2.2704)", ws.min, ws.median, ws.max);
-    write_json(
-        "fig7",
-        &json!({ "runs": runs, "joint": js, "weights": ws }),
+    println!(
+        "\nJoint:   min {:.4}  median {:.4}  max {:.4}   (paper ≈ 1.0138, constant)",
+        js.min, js.median, js.max
     );
+    println!(
+        "Weights: min {:.4}  median {:.4}  max {:.4}   (paper 2.1439–2.5219, median 2.2704)",
+        ws.min, ws.median, ws.max
+    );
+    write_json("fig7", &json!({ "runs": runs, "joint": js, "weights": ws }));
 }

@@ -20,11 +20,10 @@ use segrout_algos::{greedy_wpo, lwo_apx, GreedyWpoConfig};
 use segrout_bench::{banner, write_json};
 use segrout_core::{Router, WeightSetting};
 use segrout_instances::{
-    harmonic, instance1, instance2, instance3, instance5,
-    instance1::lwo_optimal_weights,
-    instance34::instance3_lwo_optimal_weights,
+    harmonic, instance1, instance1::lwo_optimal_weights, instance2, instance3,
+    instance34::instance3_lwo_optimal_weights, instance5,
 };
-use serde_json::json;
+use segrout_obs::json;
 
 fn main() {
     banner("Table 1 — TE gaps for single source-target demands (measured)");
@@ -49,7 +48,11 @@ fn main() {
             .expect("routes");
         // WPO (greedy, W = 1) under unit weights and under the LWO-optimal
         // weights.
-        let wpo_unit = wpo_mlu(&inst.network, &inst.demands, &WeightSetting::unit(&inst.network));
+        let wpo_unit = wpo_mlu(
+            &inst.network,
+            &inst.demands,
+            &WeightSetting::unit(&inst.network),
+        );
         let wpo_opt = wpo_mlu(&inst.network, &inst.demands, &lwo_w);
         println!(
             "{:>6} {:>6} {:>10.3} {:>10.3} {:>12.3} {:>12.3} {:>12.3}",
@@ -183,8 +186,7 @@ fn wpo_mlu(
     demands: &segrout_core::DemandList,
     weights: &WeightSetting,
 ) -> f64 {
-    let setting = greedy_wpo(net, demands, weights, &GreedyWpoConfig::default())
-        .expect("routes");
+    let setting = greedy_wpo(net, demands, weights, &GreedyWpoConfig::default()).expect("routes");
     Router::new(net, weights)
         .evaluate(demands, &setting)
         .expect("routes")

@@ -21,11 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use segrout_obs::Json;
 use std::fs;
 use std::path::Path;
 
 /// Summary statistics of a sample.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Stat {
     /// Minimum.
     pub min: f64,
@@ -35,6 +36,17 @@ pub struct Stat {
     pub max: f64,
     /// Median.
     pub median: f64,
+}
+
+impl From<Stat> for Json {
+    fn from(s: Stat) -> Json {
+        Json::obj([
+            ("min", Json::from(s.min)),
+            ("avg", Json::from(s.avg)),
+            ("max", Json::from(s.max)),
+            ("median", Json::from(s.median)),
+        ])
+    }
 }
 
 /// Computes summary statistics.
@@ -72,7 +84,7 @@ pub fn fast_mode() -> bool {
 }
 
 /// Writes a JSON record for an experiment under `results/`.
-pub fn write_json(name: &str, value: &serde_json::Value) {
+pub fn write_json(name: &str, value: &Json) {
     let dir = Path::new("results");
     if fs::create_dir_all(dir).is_err() {
         eprintln!("warning: cannot create results/; skipping JSON export");
@@ -81,20 +93,73 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
     // Fast (smoke-test) runs must not clobber full-run records.
     let suffix = if fast_mode() { "_fast" } else { "" };
     let path = dir.join(format!("{name}{suffix}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = fs::write(&path, s) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                println!("[results written to {}]", path.display());
+    if let Err(e) = fs::write(&path, value.render()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("[results written to {}]", path.display());
+    }
+    // Each binary's final act: also emit the run's metric registry to any
+    // `--metrics-out` JSONL sink so benchmark telemetry matches
+    // `segrout optimize`.
+    finish_obs();
+}
+
+/// Applies the shared observability CLI flags (`--log-level <level>`,
+/// `--metrics-out <file.jsonl>`) from this process's arguments, so every
+/// figure binary emits telemetry artifacts comparable to
+/// `segrout optimize`. Unknown arguments are ignored (the binaries are
+/// otherwise configured by environment variables).
+pub fn init_obs_from_args() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        match args[i].as_str() {
+            "--log-level" => match args[i + 1].parse() {
+                Ok(level) => segrout_obs::set_level(level),
+                Err(e) => eprintln!("warning: {e}"),
+            },
+            "--metrics-out" => {
+                if let Err(e) = segrout_obs::init_jsonl(Path::new(&args[i + 1])) {
+                    eprintln!("warning: cannot open {}: {e}", args[i + 1]);
+                }
+            }
+            _ => {
+                i += 1;
+                continue;
             }
         }
-        Err(e) => eprintln!("warning: JSON serialization failed: {e}"),
+        i += 2;
     }
 }
 
-/// Prints a header line for an experiment binary.
+/// Dumps the metric registry to any JSONL sink and flushes all sinks.
+/// Figure binaries call this once before exiting.
+pub fn finish_obs() {
+    segrout_obs::dump_metrics();
+}
+
+/// Times `f` over `samples` runs (after one warm-up) and prints min /
+/// median / mean wall-time in milliseconds — the plain offline replacement
+/// for the former criterion harness.
+pub fn time_it<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) {
+    let _ = std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let t0 = std::time::Instant::now();
+        let _ = std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let s = stat(&times);
+    println!(
+        "{name:<44} min {:>10.3} ms   median {:>10.3} ms   avg {:>10.3} ms",
+        s.min, s.median, s.avg
+    );
+}
+
+/// Prints a header line for an experiment binary and applies the shared
+/// observability flags (every figure binary calls this first).
 pub fn banner(title: &str) {
+    init_obs_from_args();
     println!("{}", "=".repeat(72));
     println!("{title}");
     println!("{}", "=".repeat(72));

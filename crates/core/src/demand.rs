@@ -61,7 +61,10 @@ impl DemandList {
     /// Panics on non-positive sizes or `src == dst`; use
     /// [`DemandList::from_vec`] for fallible construction.
     pub fn push(&mut self, src: NodeId, dst: NodeId, size: f64) {
-        assert!(size.is_finite() && size > 0.0, "demand size must be positive");
+        assert!(
+            size.is_finite() && size > 0.0,
+            "demand size must be positive"
+        );
         assert!(src != dst, "demand endpoints must differ");
         self.demands.push(Demand::new(src, dst, size));
     }

@@ -75,6 +75,9 @@ pub struct Router<'n> {
     net: &'n Network,
     weights: Vec<f64>,
     dags: RefCell<Vec<Option<Rc<SpDag>>>>,
+    // Handle fetched once per router so cache misses pay a single atomic
+    // add, not a registry lookup.
+    recomputes: std::sync::Arc<segrout_obs::Counter>,
 }
 
 impl<'n> Router<'n> {
@@ -84,6 +87,7 @@ impl<'n> Router<'n> {
             net,
             weights: weights.as_slice().to_vec(),
             dags: RefCell::new(vec![None; net.node_count()]),
+            recomputes: segrout_obs::counter("ecmp.recomputes"),
         }
     }
 
@@ -104,6 +108,7 @@ impl<'n> Router<'n> {
         let mut dags = self.dags.borrow_mut();
         let slot = &mut dags[t.index()];
         if slot.is_none() {
+            self.recomputes.inc();
             *slot = Some(Rc::new(shortest_path_dag(
                 self.net.graph(),
                 &self.weights,

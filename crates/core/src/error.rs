@@ -58,16 +58,28 @@ impl fmt::Display for TeError {
                 actual,
             } => write!(f, "{what} vector has length {actual}, expected {expected}"),
             TeError::InvalidWeight { edge, value } => {
-                write!(f, "weight of edge {edge} must be a positive finite real, got {value}")
+                write!(
+                    f,
+                    "weight of edge {edge} must be a positive finite real, got {value}"
+                )
             }
             TeError::InvalidCapacity { edge, value } => {
-                write!(f, "capacity of edge {edge} must be a positive finite real, got {value}")
+                write!(
+                    f,
+                    "capacity of edge {edge} must be a positive finite real, got {value}"
+                )
             }
             TeError::InvalidDemand { index, value } => {
-                write!(f, "size of demand {index} must be a positive finite real, got {value}")
+                write!(
+                    f,
+                    "size of demand {index} must be a positive finite real, got {value}"
+                )
             }
             TeError::Unroutable { src, dst } => {
-                write!(f, "no directed path from {src:?} to {dst:?}; ECMP flow undefined")
+                write!(
+                    f,
+                    "no directed path from {src:?} to {dst:?}; ECMP flow undefined"
+                )
             }
             TeError::InvalidWaypoints(msg) => write!(f, "invalid waypoint setting: {msg}"),
         }
@@ -100,6 +112,9 @@ mod tests {
     #[test]
     fn implements_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
-        takes_err(&TeError::InvalidWeight { edge: 0, value: -1.0 });
+        takes_err(&TeError::InvalidWeight {
+            edge: 0,
+            value: -1.0,
+        });
     }
 }

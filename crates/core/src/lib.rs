@@ -33,6 +33,7 @@ pub mod esflow;
 pub mod instance;
 pub mod network;
 pub mod report;
+pub mod rng;
 pub mod textio;
 pub mod waypoints;
 pub mod weights;

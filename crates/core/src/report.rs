@@ -40,7 +40,10 @@ impl UtilizationReport {
 
     /// Number of links at or above a utilization threshold.
     pub fn count_above(&self, threshold: f64) -> usize {
-        self.ranked.iter().filter(|&&(_, _, u)| u >= threshold).count()
+        self.ranked
+            .iter()
+            .filter(|&&(_, _, u)| u >= threshold)
+            .count()
     }
 
     /// Mean utilization over all links (unweighted).

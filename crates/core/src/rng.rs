@@ -1,0 +1,247 @@
+//! Vendored deterministic PRNG: xoshiro256++ seeded via splitmix64.
+//!
+//! This workspace must build with zero network access, so instead of the
+//! `rand` crate we carry the ~40 lines of generator the experiments
+//! actually need. The API deliberately mirrors the `rand` call sites it
+//! replaced (`seed_from_u64`, `gen`, `gen_range`, slice `shuffle`) so the
+//! algorithm code reads identically; sequences differ from `rand`'s
+//! `StdRng`, but every generator here is fully determined by its seed,
+//! which is all reproducibility requires.
+//!
+//! xoshiro256++ is the public-domain generator of Blackman & Vigna
+//! (<https://prng.di.unimi.it/>): 256 bits of state, passes BigCrush, and
+//! a couple of nanoseconds per draw — more than enough statistical quality
+//! for synthetic topologies, gravity traffic matrices and local-search
+//! tie-breaking.
+
+use std::ops::{Bound, RangeBounds};
+
+/// A seedable xoshiro256++ generator.
+///
+/// Named `StdRng` so the pre-vendoring call sites (`StdRng::seed_from_u64`)
+/// compile unchanged.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// splitmix64 step — used only to expand a 64-bit seed into the 256-bit
+/// xoshiro state, per the generator authors' recommendation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    /// Builds a generator whose entire state is derived from `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+
+    /// Next raw 64 bits (the xoshiro256++ output function).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw of a [`Draw`] type: `f64` in `[0,1)`, integers over
+    /// their full range, `bool` as a fair coin.
+    pub fn gen<T: Draw>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Uniform integer in `range` (half-open `a..b` or inclusive `a..=b`).
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn gen_range<T: UniformInt, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v.to_u64(),
+            Bound::Excluded(&v) => v.to_u64() + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v.to_u64(),
+            Bound::Excluded(&v) => v.to_u64().checked_sub(1).expect("gen_range: empty range"),
+            Bound::Unbounded => T::MAX_U64,
+        };
+        assert!(lo <= hi, "gen_range: empty range");
+        T::from_u64(self.uniform_u64(lo, hi))
+    }
+
+    /// Unbiased uniform draw in `[lo, hi]` via rejection sampling.
+    fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let span = span + 1;
+        // Reject draws in the final partial copy of `span` within u64 range.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % span;
+            }
+        }
+    }
+}
+
+/// Types drawable uniformly by [`StdRng::gen`].
+pub trait Draw {
+    /// Draws one uniform value.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl Draw for f64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.gen_f64()
+    }
+}
+
+impl Draw for u64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Draw for u32 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Draw for bool {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Unsigned integer types usable with [`StdRng::gen_range`].
+pub trait UniformInt: Copy {
+    /// The type's maximum, as `u64`.
+    const MAX_U64: u64;
+    /// Widens to `u64`.
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64` (caller guarantees the value fits).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            const MAX_U64: u64 = <$t>::MAX as u64;
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// In-place Fisher–Yates shuffle, as an extension trait so pre-vendoring
+/// `order.shuffle(&mut rng)` call sites compile unchanged.
+pub trait SliceRandom {
+    /// Uniformly permutes the slice.
+    fn shuffle(&mut self, rng: &mut StdRng);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle(&mut self, rng: &mut StdRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+            let w: u32 = rng.gen_range(1..=5u32);
+            assert!((1..=5).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 reachable");
+    }
+
+    #[test]
+    fn gen_range_single_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(rng.gen_range(3..4usize), 3);
+        assert_eq!(rng.gen_range(9..=9u32), 9);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seeded shuffle actually permutes");
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_centered() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+}

@@ -24,11 +24,7 @@ use crate::weights::WeightSetting;
 use segrout_graph::NodeId;
 
 /// Serializes a joint configuration to the v1 text format.
-pub fn write_config(
-    net: &Network,
-    weights: &WeightSetting,
-    waypoints: &WaypointSetting,
-) -> String {
+pub fn write_config(net: &Network, weights: &WeightSetting, waypoints: &WaypointSetting) -> String {
     let mut out = String::from("# segrout-config v1\n");
     for (e, w) in weights.as_slice().iter().enumerate() {
         let (u, v) = net.graph().endpoints(segrout_graph::EdgeId(e as u32));
@@ -43,9 +39,7 @@ pub fn write_config(
         if !wps.is_empty() {
             out.push_str(&format!(
                 "waypoint {i}{}\n",
-                wps.iter()
-                    .map(|w| format!(" {}", w.0))
-                    .collect::<String>()
+                wps.iter().map(|w| format!(" {}", w.0)).collect::<String>()
             ));
         }
     }

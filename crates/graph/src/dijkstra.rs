@@ -15,6 +15,25 @@ use std::collections::BinaryHeap;
 /// Distance value for unreachable nodes.
 pub const INFINITY: f64 = f64::INFINITY;
 
+/// The `dijkstra.relaxations` / `dijkstra.runs` counter handles, resolved
+/// once: Dijkstra runs are frequent and short, so they must not pay a
+/// registry lookup each time.
+fn counters() -> &'static (
+    std::sync::Arc<segrout_obs::Counter>,
+    std::sync::Arc<segrout_obs::Counter>,
+) {
+    static HANDLES: std::sync::OnceLock<(
+        std::sync::Arc<segrout_obs::Counter>,
+        std::sync::Arc<segrout_obs::Counter>,
+    )> = std::sync::OnceLock::new();
+    HANDLES.get_or_init(|| {
+        (
+            segrout_obs::counter("dijkstra.relaxations"),
+            segrout_obs::counter("dijkstra.runs"),
+        )
+    })
+}
+
 /// Min-heap entry: (distance, node), ordered by smallest distance first.
 #[derive(PartialEq)]
 struct HeapEntry {
@@ -72,6 +91,9 @@ pub fn single_target_distances(g: &Digraph, weights: &[f64], target: NodeId) -> 
         node: target,
     });
 
+    // Relaxations are tallied locally and flushed with one atomic add per
+    // run, so the inner loop stays free of shared-memory traffic.
+    let mut relaxations: u64 = 0;
     while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
         if done[v.index()] {
             continue;
@@ -81,12 +103,16 @@ pub fn single_target_distances(g: &Digraph, weights: &[f64], target: NodeId) -> 
         for &e in g.in_edges(v) {
             let u = g.src(e);
             let nd = d + weights[e.index()];
+            relaxations += 1;
             if nd + EPS < dist[u.index()] {
                 dist[u.index()] = nd;
                 heap.push(HeapEntry { dist: nd, node: u });
             }
         }
     }
+    let (relax_counter, runs_counter) = counters();
+    relax_counter.add(relaxations);
+    runs_counter.inc();
     dist
 }
 

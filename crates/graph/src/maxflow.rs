@@ -61,7 +61,9 @@ impl Flow {
             let outflow: f64 = g.out_edges(v).iter().map(|e| self.on_edge[e.index()]).sum();
             let scale = 1.0_f64.max(inflow.abs()).max(outflow.abs());
             if (inflow - outflow).abs() > 1e-6 * scale {
-                return Err(format!("conservation violated at {v:?}: in={inflow} out={outflow}"));
+                return Err(format!(
+                    "conservation violated at {v:?}: in={inflow} out={outflow}"
+                ));
             }
         }
         Ok(())
@@ -196,7 +198,11 @@ pub fn max_flow(g: &Digraph, capacities: &[f64], s: NodeId, t: NodeId) -> Flow {
             value += pushed;
         }
     }
-    let on_edge: Vec<f64> = dinic.bwd.iter().map(|&f| if f > EPS { f } else { 0.0 }).collect();
+    let on_edge: Vec<f64> = dinic
+        .bwd
+        .iter()
+        .map(|&f| if f > EPS { f } else { 0.0 })
+        .collect();
     Flow {
         source: s,
         target: t,
@@ -284,11 +290,7 @@ pub fn decompose_into_paths(g: &Digraph, flow: &Flow) -> Vec<FlowPath> {
         let mut v = flow.source;
         let mut edges = Vec::new();
         while v != flow.target {
-            let Some(&e) = g
-                .out_edges(v)
-                .iter()
-                .find(|e| residual[e.index()] > tol)
-            else {
+            let Some(&e) = g.out_edges(v).iter().find(|e| residual[e.index()] > tol) else {
                 break;
             };
             edges.push(e);

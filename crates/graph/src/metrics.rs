@@ -94,7 +94,12 @@ pub fn metrics(g: &Digraph) -> GraphMetrics {
         let mut d = 0usize;
         for v in g.nodes() {
             let hops = bfs_hops(g, v);
-            d = d.max(hops.into_iter().filter(|&h| h != usize::MAX).max().unwrap_or(0));
+            d = d.max(
+                hops.into_iter()
+                    .filter(|&h| h != usize::MAX)
+                    .max()
+                    .unwrap_or(0),
+            );
         }
         Some(d)
     } else {

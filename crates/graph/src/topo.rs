@@ -15,7 +15,11 @@ use crate::digraph::{Digraph, NodeId};
 ///
 /// Returns `None` when the masked subgraph contains a directed cycle.
 pub fn topological_order(g: &Digraph, mask: &[bool]) -> Option<Vec<NodeId>> {
-    assert_eq!(mask.len(), g.edge_count(), "mask length must match edge count");
+    assert_eq!(
+        mask.len(),
+        g.edge_count(),
+        "mask length must match edge count"
+    );
     let n = g.node_count();
     let mut indeg = vec![0usize; n];
     for (e, _, v) in g.edges() {
@@ -55,7 +59,11 @@ pub fn is_acyclic(g: &Digraph, mask: &[bool]) -> bool {
 /// Used by the acyclic-maximum-flow routine (paper §2): "find a cycle and a
 /// link with the smallest flow value on this cycle".
 pub fn find_cycle(g: &Digraph, mask: &[bool]) -> Option<Vec<crate::EdgeId>> {
-    assert_eq!(mask.len(), g.edge_count(), "mask length must match edge count");
+    assert_eq!(
+        mask.len(),
+        g.edge_count(),
+        "mask length must match edge count"
+    );
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
         White,

@@ -78,10 +78,11 @@ pub fn to_lp_format(p: &Problem) -> String {
 fn var(p: &Problem, j: usize) -> String {
     let name = p.var_name(crate::problem::VarId(j));
     if !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && name
             .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
-        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
     {
         name.to_string()
     } else {

@@ -105,7 +105,13 @@ pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
     let deadline = start.checked_add(options.time_limit);
     let minimize = p.sense() == Sense::Minimize;
     // `better(a, b)`: objective a strictly improves on b.
-    let better = |a: f64, b: f64| if minimize { a < b - 1e-12 } else { a > b + 1e-12 };
+    let better = |a: f64, b: f64| {
+        if minimize {
+            a < b - 1e-12
+        } else {
+            a > b + 1e-12
+        }
+    };
 
     let mut incumbent_obj: Option<f64> = None;
     let mut incumbent: Option<Vec<f64>> = None;
@@ -125,7 +131,11 @@ pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
                 status: MilpStatus::LimitReached,
                 objective: incumbent_obj,
                 values: incumbent,
-                bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY },
+                bound: if minimize {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                },
                 nodes: 1,
             };
         }
@@ -140,7 +150,11 @@ pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
                 },
                 objective: incumbent_obj,
                 values: incumbent,
-                bound: if minimize { f64::INFINITY } else { f64::NEG_INFINITY },
+                bound: if minimize {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                },
                 nodes: 1,
             };
         }
@@ -149,7 +163,11 @@ pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
                 status: MilpStatus::Unbounded,
                 objective: incumbent_obj,
                 values: incumbent,
-                bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY },
+                bound: if minimize {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                },
                 nodes: 1,
             };
         }
@@ -171,7 +189,11 @@ pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
     while let Some(node) = heap.pop() {
         // The heap is ordered best-bound-first, so the popped node's bound is
         // the global dual bound.
-        bound = if minimize { -node.priority } else { node.priority };
+        bound = if minimize {
+            -node.priority
+        } else {
+            node.priority
+        };
         if let Some(inc) = incumbent_obj {
             // Prune: node cannot improve the incumbent.
             if !better(bound, inc) {
@@ -216,7 +238,11 @@ pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
                     status: MilpStatus::Unbounded,
                     objective: incumbent_obj,
                     values: incumbent,
-                    bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY },
+                    bound: if minimize {
+                        f64::NEG_INFINITY
+                    } else {
+                        f64::INFINITY
+                    },
                     nodes,
                 };
             }
@@ -320,11 +346,7 @@ mod tests {
         let b = p.add_bin_var("b", 11.0);
         let c = p.add_bin_var("c", 6.0);
         let d = p.add_bin_var("d", 4.0);
-        p.add_constraint(
-            vec![(a, 5.0), (b, 7.0), (c, 4.0), (d, 3.0)],
-            Cmp::Le,
-            14.0,
-        );
+        p.add_constraint(vec![(a, 5.0), (b, 7.0), (c, 4.0), (d, 3.0)], Cmp::Le, 14.0);
         let r = solve_milp(&p, &MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         assert_close(r.objective.unwrap(), 21.0);
@@ -402,7 +424,9 @@ mod tests {
         // A problem needing some branching; with node_limit 1 we may only
         // have the root: status LimitReached but sound output.
         let mut p = Problem::new(Sense::Maximize);
-        let vars: Vec<_> = (0..6).map(|i| p.add_bin_var(format!("v{i}"), (i + 1) as f64)).collect();
+        let vars: Vec<_> = (0..6)
+            .map(|i| p.add_bin_var(format!("v{i}"), (i + 1) as f64))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
         p.add_constraint(terms, Cmp::Le, 7.0);
         let opts = MilpOptions {

@@ -239,11 +239,18 @@ impl Tableau {
 
     /// Runs both phases and extracts the solution.
     fn solve(mut self, p: &Problem, lower: &[f64]) -> LpResult {
+        let _span = segrout_obs::span("simplex");
         let m = self.rows;
 
         // ---- Phase 1: minimise the sum of artificial variables. ----
         let any_artificial = self.artificial.iter().any(|&b| b);
         if any_artificial {
+            segrout_obs::event!(
+                segrout_obs::Level::Trace,
+                "simplex.phase1",
+                rows = m,
+                cols = self.cols,
+            );
             self.cost.fill(0.0);
             for j in 0..self.cols {
                 if self.artificial[j] {
@@ -278,6 +285,11 @@ impl Tableau {
         }
 
         // ---- Phase 2: optimise the real objective. ----
+        segrout_obs::event!(
+            segrout_obs::Level::Trace,
+            "simplex.phase2",
+            pivots_so_far = self.iterations,
+        );
         self.cost.fill(0.0);
         let sign = match p.sense() {
             Sense::Minimize => 1.0,
@@ -427,8 +439,8 @@ impl Tableau {
             if !self.artificial[self.basis[i]] {
                 continue;
             }
-            if let Some(j) = (0..self.cols)
-                .find(|&j| !self.artificial[j] && self.at(i, j).abs() > 1e-7)
+            if let Some(j) =
+                (0..self.cols).find(|&j| !self.artificial[j] && self.at(i, j).abs() > 1e-7)
             {
                 self.pivot(i, j);
             }
@@ -436,6 +448,10 @@ impl Tableau {
     }
 
     fn result(&self, status: LpStatus, p: &Problem, lower: &[f64]) -> LpResult {
+        // One atomic add per solve, not per pivot: the hot pivot loop only
+        // bumps the local `self.iterations`.
+        segrout_obs::counter("simplex.pivots").add(self.iterations as u64);
+        segrout_obs::counter("simplex.solves").inc();
         if status != LpStatus::Optimal {
             return LpResult {
                 status,

@@ -35,9 +35,7 @@
 //! instances; on Abilene-scale inputs use the node/time limits plus the
 //! JOINT-Heur warm start and report the incumbent.
 
-use segrout_core::{
-    DemandList, Network, NodeId, Router, TeError, WaypointSetting, WeightSetting,
-};
+use segrout_core::{DemandList, Network, NodeId, Router, TeError, WaypointSetting, WeightSetting};
 use segrout_lp::{solve_milp, Cmp, MilpOptions, MilpStatus, Problem, Sense, VarId};
 use std::collections::HashMap;
 
@@ -165,9 +163,7 @@ pub fn joint_milp(
             .collect();
         let share: Vec<Option<VarId>> = all_nodes
             .iter()
-            .map(|&v| {
-                (v != t).then(|| p.add_var(format!("m[{t}][{v}]"), 0.0, f64::INFINITY, 0.0))
-            })
+            .map(|&v| (v != t).then(|| p.add_var(format!("m[{t}][{v}]"), 0.0, f64::INFINITY, 0.0)))
             .collect();
 
         for (e, u, v) in g.edges() {
@@ -278,10 +274,21 @@ pub fn joint_milp(
     }
 
     // Warm start.
-    let warm = options
-        .warm_start
-        .as_ref()
-        .and_then(|(w, wp)| build_warm_start(&p, net, demands, &dests, &blocks, &yvars, theta, &wvar, w, wp, options.max_weight));
+    let warm = options.warm_start.as_ref().and_then(|(w, wp)| {
+        build_warm_start(
+            &p,
+            net,
+            demands,
+            &dests,
+            &blocks,
+            &yvars,
+            theta,
+            &wvar,
+            w,
+            wp,
+            options.max_weight,
+        )
+    });
     let milp_opts = MilpOptions {
         warm_start: warm,
         ..options.milp.clone()
@@ -576,5 +583,4 @@ mod tests {
             );
         }
     }
-
 }

@@ -75,11 +75,7 @@ fn add_flow_block(
     fvar
 }
 
-fn extract_loads(
-    net: &Network,
-    fvar: &HashMap<NodeId, Vec<VarId>>,
-    values: &[f64],
-) -> Vec<f64> {
+fn extract_loads(net: &Network, fvar: &HashMap<NodeId, Vec<VarId>>, values: &[f64]) -> Vec<f64> {
     let mut loads = vec![0.0; net.edge_count()];
     for vars in fvar.values() {
         for (e, v) in vars.iter().enumerate() {
@@ -103,10 +99,8 @@ pub fn opt_mlu_lp(net: &Network, demands: &DemandList) -> Result<OptLpOutcome, T
     let fvar = add_flow_block(&mut p, net, &inj, None);
     // Capacity rows: sum of all commodities on e <= theta * c_e.
     for e in net.graph().edge_ids() {
-        let mut terms: Vec<(VarId, f64)> = fvar
-            .values()
-            .map(|vars| (vars[e.index()], 1.0))
-            .collect();
+        let mut terms: Vec<(VarId, f64)> =
+            fvar.values().map(|vars| (vars[e.index()], 1.0)).collect();
         terms.push((theta, -net.capacity(e)));
         p.add_constraint(terms, Cmp::Le, 0.0);
     }
@@ -139,10 +133,7 @@ pub fn max_concurrent_lp(net: &Network, demands: &DemandList) -> Result<OptLpOut
     let inj = injections(demands);
     let fvar = add_flow_block(&mut p, net, &inj, Some(lambda));
     for e in net.graph().edge_ids() {
-        let terms: Vec<(VarId, f64)> = fvar
-            .values()
-            .map(|vars| (vars[e.index()], 1.0))
-            .collect();
+        let terms: Vec<(VarId, f64)> = fvar.values().map(|vars| (vars[e.index()], 1.0)).collect();
         p.add_constraint(terms, Cmp::Le, net.capacity(e));
     }
     let r = solve_lp(&p);

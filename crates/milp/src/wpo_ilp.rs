@@ -16,7 +16,9 @@
 //! equality constraints substituted in, shrunk from `O(|E||V|)` indicator
 //! variables to `O(|D||V|)` selection variables.
 
-use segrout_core::{DemandList, EdgeId, Network, NodeId, Router, TeError, WaypointSetting, WeightSetting};
+use segrout_core::{
+    DemandList, EdgeId, Network, NodeId, Router, TeError, WaypointSetting, WeightSetting,
+};
 use segrout_lp::{solve_milp, Cmp, MilpOptions, MilpStatus, Problem, Sense, VarId};
 
 /// Per-demand routing options: `(option index, sparse loads)`; option 0 is
@@ -139,10 +141,7 @@ pub fn wpo_ilp(
                     .unwrap_or(0),
             };
             // Find the y variable whose option index matches.
-            let j = opts
-                .iter()
-                .position(|&(k, _)| k == chosen)
-                .unwrap_or(0);
+            let j = opts.iter().position(|&(k, _)| k == chosen).unwrap_or(0);
             warm[yvars[i][j].0] = 1.0;
         }
     }

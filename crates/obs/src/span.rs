@@ -1,0 +1,70 @@
+//! RAII span timers.
+//!
+//! `let _s = obs::span("heurospf");` times the enclosing scope with
+//! [`std::time::Instant`]. On drop the span records its wall-time into the
+//! `time.<name>` histogram (milliseconds) and, when `debug` logging is
+//! enabled, emits `span.end` with the duration. Spans nest: a thread-local
+//! depth counter indents the stderr pretty-printer output.
+
+use crate::log::{self, Level};
+use crate::metrics::{registry, time_bounds_ms};
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Current span nesting depth on this thread.
+pub fn current_depth() -> usize {
+    DEPTH.with(Cell::get)
+}
+
+/// An in-flight span; created by [`span`], finished on drop.
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Starts a named span. Keep the guard alive for the region being timed.
+pub fn span(name: &'static str) -> Span {
+    if log::enabled(Level::Debug) {
+        log::emit(
+            Level::Debug,
+            "span.start",
+            &[("span", crate::Json::from(name))],
+        );
+    }
+    DEPTH.with(|d| d.set(d.get() + 1));
+    Span {
+        name,
+        start: Instant::now(),
+    }
+}
+
+impl Span {
+    /// Elapsed time so far, in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ms = self.elapsed_ms();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        registry()
+            .histogram(&format!("time.{}", self.name), time_bounds_ms())
+            .observe(ms);
+        if log::enabled(Level::Debug) {
+            log::emit(
+                Level::Debug,
+                "span.end",
+                &[
+                    ("span", crate::Json::from(self.name)),
+                    ("ms", crate::Json::from(ms)),
+                ],
+            );
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Integration tests for segrout-obs: histogram bucket semantics and
+//! quantile estimation, counter atomicity under real threads, span nesting
+//! and timing monotonicity, and the JSONL event/record round-trip.
+//!
+//! Global state (registry, span depth) is shared across the test binary, so
+//! every test uses its own metric names, and sink tests drive a `JsonlSink`
+//! directly instead of mutating the global sink stack.
+
+use segrout_obs::{registry, time_bounds_ms, Event, Json, JsonlSink, Level, Sink};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+// ---------- histograms ----------
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive_upper() {
+    let h = registry().histogram("test.hist.bounds", &[1.0, 2.0, 4.0]);
+    // Bucket i counts v <= bounds[i]; the last bucket is overflow.
+    for v in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0] {
+        h.observe(v);
+    }
+    assert_eq!(h.bucket_counts(), vec![2, 2, 2, 1]);
+    assert_eq!(h.count(), 7);
+    assert!((h.sum() - 17.0).abs() < 1e-12);
+    assert_eq!(h.min(), 0.5);
+    assert_eq!(h.max(), 5.0);
+}
+
+#[test]
+fn histogram_quantiles_interpolate_and_clamp() {
+    let h = registry().histogram("test.hist.quantiles", &[10.0, 20.0, 30.0]);
+    for v in [2.0, 4.0, 6.0, 8.0, 12.0, 14.0, 16.0, 18.0, 22.0, 28.0] {
+        h.observe(v);
+    }
+    // Quantiles never leave the observed range.
+    assert_eq!(h.quantile(0.0), 2.0);
+    assert_eq!(h.quantile(1.0), 28.0);
+    // The median of 10 samples falls in the second bucket (10, 20].
+    let p50 = h.quantile(0.5);
+    assert!((10.0..=20.0).contains(&p50), "p50 = {p50}");
+    // Monotone in q.
+    let qs: Vec<f64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+        .iter()
+        .map(|&q| h.quantile(q))
+        .collect();
+    for w in qs.windows(2) {
+        assert!(w[0] <= w[1] + 1e-12, "quantiles must be monotone: {qs:?}");
+    }
+}
+
+#[test]
+fn empty_histogram_is_well_defined() {
+    let h = registry().histogram("test.hist.empty", time_bounds_ms());
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.mean(), 0.0);
+    assert_eq!(h.quantile(0.5), 0.0);
+}
+
+#[test]
+fn histogram_single_observation_quantiles_collapse() {
+    let h = registry().histogram("test.hist.single", &[1.0, 10.0]);
+    h.observe(3.5);
+    for q in [0.0, 0.5, 0.95, 1.0] {
+        assert_eq!(h.quantile(q), 3.5);
+    }
+}
+
+// ---------- counters ----------
+
+#[test]
+fn counter_is_atomic_under_threads() {
+    let c = registry().counter("test.counter.atomic");
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker thread panicked");
+    }
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn counter_handles_alias_the_same_metric() {
+    let a = registry().counter("test.counter.alias");
+    let b = registry().counter("test.counter.alias");
+    a.add(3);
+    b.add(4);
+    assert_eq!(a.get(), 7);
+}
+
+// ---------- gauges and series ----------
+
+#[test]
+fn gauge_last_write_wins() {
+    let g = registry().gauge("test.gauge");
+    g.set(1.5);
+    g.set(-2.25);
+    assert_eq!(g.get(), -2.25);
+}
+
+#[test]
+fn series_preserves_order() {
+    let s = registry().series("test.series");
+    for i in 0..5 {
+        s.push(f64::from(i));
+    }
+    assert_eq!(s.values(), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    assert_eq!(s.len(), 5);
+}
+
+// ---------- spans ----------
+
+#[test]
+fn span_nesting_tracks_depth() {
+    // Runs in its own thread so parallel tests (which may open spans of
+    // their own) cannot perturb the thread-local depth.
+    thread::spawn(|| {
+        assert_eq!(segrout_obs::current_depth(), 0);
+        {
+            let _outer = segrout_obs::span("test_outer");
+            assert_eq!(segrout_obs::current_depth(), 1);
+            {
+                let _inner = segrout_obs::span("test_inner");
+                assert_eq!(segrout_obs::current_depth(), 2);
+            }
+            assert_eq!(segrout_obs::current_depth(), 1);
+        }
+        assert_eq!(segrout_obs::current_depth(), 0);
+    })
+    .join()
+    .expect("span thread");
+}
+
+#[test]
+fn span_timing_is_monotone_and_recorded() {
+    {
+        let span = segrout_obs::span("test_timing");
+        thread::sleep(Duration::from_millis(5));
+        let early = span.elapsed_ms();
+        assert!(early >= 5.0, "elapsed {early} ms after a 5 ms sleep");
+        thread::sleep(Duration::from_millis(1));
+        let later = span.elapsed_ms();
+        assert!(later >= early, "elapsed time must not go backwards");
+    }
+    // Dropping the span records its duration into `time.<name>`.
+    let h = registry().histogram("time.test_timing", time_bounds_ms());
+    assert_eq!(h.count(), 1);
+    assert!(h.min() >= 5.0);
+}
+
+// ---------- JSONL round-trip ----------
+
+#[test]
+fn jsonl_sink_round_trips_events_and_records() {
+    let dir = std::env::temp_dir().join("segrout-obs-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.jsonl");
+
+    {
+        let mut sink = JsonlSink::create(&path).expect("create sink");
+        sink.event(&Event {
+            level: Level::Info,
+            name: "unit.test",
+            fields: &[
+                ("answer", Json::from(42)),
+                ("ratio", Json::from(0.5)),
+                ("label", Json::from("a \"quoted\" name")),
+            ],
+            t_us: 1234,
+            depth: 1,
+        });
+        sink.record(&Json::obj([
+            ("type", Json::from("counter")),
+            ("name", Json::from("unit.count")),
+            ("value", Json::from(7u64)),
+        ]));
+        sink.flush();
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+
+    let event = Json::parse(lines[0]).expect("event line parses");
+    assert_eq!(event["type"], "event");
+    assert_eq!(event["name"], "unit.test");
+    assert_eq!(event["level"], "info");
+    assert_eq!(event["t_us"].as_i64(), Some(1234));
+    assert_eq!(event["fields"]["answer"].as_i64(), Some(42));
+    assert_eq!(event["fields"]["ratio"].as_f64(), Some(0.5));
+    assert_eq!(event["fields"]["label"], "a \"quoted\" name");
+
+    let record = Json::parse(lines[1]).expect("record line parses");
+    assert_eq!(record["type"], "counter");
+    assert_eq!(record["name"], "unit.count");
+    assert_eq!(record["value"].as_i64(), Some(7));
+}
+
+// ---------- registry reporting ----------
+
+#[test]
+fn registry_records_and_summary_cover_all_kinds() {
+    registry().counter("test.report.count").add(2);
+    registry().gauge("test.report.gauge").set(1.25);
+    registry()
+        .histogram("test.report.hist", &[1.0, 2.0])
+        .observe(1.5);
+    registry().series("test.report.series").push(9.0);
+
+    let records = registry().to_json_records();
+    let find = |name: &str| {
+        records
+            .iter()
+            .find(|r| r["name"] == name)
+            .unwrap_or_else(|| panic!("record for {name}"))
+    };
+    assert_eq!(find("test.report.count")["type"], "counter");
+    assert_eq!(find("test.report.gauge")["value"].as_f64(), Some(1.25));
+    assert_eq!(find("test.report.hist")["count"].as_i64(), Some(1));
+    assert_eq!(
+        find("test.report.series")["values"]
+            .as_arr()
+            .map(<[Json]>::len),
+        Some(1)
+    );
+
+    let table = registry().summary_table();
+    for name in [
+        "test.report.count",
+        "test.report.gauge",
+        "test.report.hist",
+        "test.report.series",
+    ] {
+        assert!(table.contains(name), "summary table lists {name}");
+    }
+}
+
+#[test]
+fn level_parsing_accepts_all_names() {
+    for (s, l) in [
+        ("error", Level::Error),
+        ("WARN", Level::Warn),
+        ("warning", Level::Warn),
+        ("Info", Level::Info),
+        ("debug", Level::Debug),
+        ("trace", Level::Trace),
+    ] {
+        assert_eq!(s.parse::<Level>().unwrap(), l);
+    }
+    assert!("loud".parse::<Level>().is_err());
+}

@@ -1,7 +1,6 @@
 //! The hash-based ECMP stream simulator (see crate docs).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use segrout_core::rng::StdRng;
 use segrout_core::{max_link_utilization, Network, NodeId, Router, TeError, WeightSetting};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -94,8 +93,7 @@ impl<'n> HashEcmpSim<'n> {
         for e in failed {
             w[e.index()] = big;
         }
-        let weights =
-            WeightSetting::new(self.net, w).expect("positive weights stay positive");
+        let weights = WeightSetting::new(self.net, w).expect("positive weights stay positive");
         let failed_mask = {
             let mut m = vec![false; self.net.edge_count()];
             for e in failed {
@@ -132,11 +130,7 @@ impl<'n> HashEcmpSim<'n> {
             for sid in 0..flow.streams {
                 // Segment endpoints: src -> w1 -> ... -> dst.
                 let mut cur = flow.src;
-                for &seg_dst in flow
-                    .waypoints
-                    .iter()
-                    .chain(std::iter::once(&flow.dst))
-                {
+                for &seg_dst in flow.waypoints.iter().chain(std::iter::once(&flow.dst)) {
                     if seg_dst == cur {
                         continue;
                     }
@@ -259,15 +253,7 @@ mod tests {
         }];
         let mut saw_uneven = false;
         for seed in 0..20 {
-            let r = sim
-                .run(
-                    &flows,
-                    &SimConfig {
-                        seed,
-                        noise: 0.0,
-                    },
-                )
-                .unwrap();
+            let r = sim.run(&flows, &SimConfig { seed, noise: 0.0 }).unwrap();
             let (a, b_) = (r.loads[0], r.loads[2]);
             assert!((a + b_ - 1.0).abs() < 1e-9, "flow conserved");
             if (a - b_).abs() > 1e-9 {
@@ -314,7 +300,11 @@ mod tests {
             })
             .collect();
         let r = sim.run(&flows, &no_noise()).unwrap();
-        assert!((r.mlu - 1.0).abs() < 1e-9, "joint pinning is exact: {}", r.mlu);
+        assert!(
+            (r.mlu - 1.0).abs() < 1e-9,
+            "joint pinning is exact: {}",
+            r.mlu
+        );
     }
 
     #[test]
@@ -335,15 +325,7 @@ mod tests {
             })
             .collect();
         for seed in 0..10 {
-            let r = sim
-                .run(
-                    &flows,
-                    &SimConfig {
-                        seed,
-                        noise: 0.0,
-                    },
-                )
-                .unwrap();
+            let r = sim.run(&flows, &SimConfig { seed, noise: 0.0 }).unwrap();
             assert!(r.mlu >= 2.0 - 0.6, "seed {seed}: mlu = {}", r.mlu);
             assert!(r.mlu <= 4.0 + 1e-9);
         }
@@ -472,5 +454,4 @@ mod tests {
         let b = sim.run_with_failures(&flows, &no_noise(), &[]).unwrap();
         assert_eq!(a.loads, b.loads);
     }
-
 }

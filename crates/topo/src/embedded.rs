@@ -15,8 +15,8 @@ use segrout_core::{Network, NodeId};
 /// except the 2480 ATLAM5–ATLAng tail.
 pub fn abilene() -> Network {
     const NAMES: [&str; 12] = [
-        "ATLAM5", "ATLAng", "CHINng", "DNVRng", "HSTNng", "IPLSng", "KSCYng", "LOSAng",
-        "NYCMng", "SNVAng", "STTLng", "WASHng",
+        "ATLAM5", "ATLAng", "CHINng", "DNVRng", "HSTNng", "IPLSng", "KSCYng", "LOSAng", "NYCMng",
+        "SNVAng", "STTLng", "WASHng",
     ];
     // (u, v, capacity): the 15 SNDLib links.
     const LINKS: [(usize, usize, f64); 15] = [

@@ -37,7 +37,9 @@ fn blocks<'a>(s: &'a str, tag: &str) -> Vec<(&'a str, &'a str)> {
                 continue;
             }
         }
-        let Some(tag_end) = after.find('>') else { break };
+        let Some(tag_end) = after.find('>') else {
+            break;
+        };
         let attrs = &after[..tag_end];
         if let Some(stripped) = attrs.strip_suffix('/') {
             out.push((stripped.trim(), ""));
@@ -135,8 +137,7 @@ pub fn parse_graphml(xml: &str, default_capacity_mbps: f64) -> Result<Network, T
     // Which key id carries LinkSpeedRaw?
     let mut speed_key: Option<String> = None;
     for (attrs, _) in blocks(xml, "key") {
-        if attr(attrs, "attr.name") == Some("LinkSpeedRaw") && attr(attrs, "for") == Some("edge")
-        {
+        if attr(attrs, "attr.name") == Some("LinkSpeedRaw") && attr(attrs, "for") == Some("edge") {
             speed_key = attr(attrs, "id").map(str::to_string);
         }
     }
@@ -149,7 +150,9 @@ pub fn parse_graphml(xml: &str, default_capacity_mbps: f64) -> Result<Network, T
         }
     }
     if names.is_empty() {
-        return Err(TeError::InvalidWaypoints("GraphML file has no nodes".into()));
+        return Err(TeError::InvalidWaypoints(
+            "GraphML file has no nodes".into(),
+        ));
     }
     let mut b = Network::builder(names.len());
     let mut any = false;
@@ -181,7 +184,9 @@ pub fn parse_graphml(xml: &str, default_capacity_mbps: f64) -> Result<Network, T
         any = true;
     }
     if !any {
-        return Err(TeError::InvalidWaypoints("GraphML file has no edges".into()));
+        return Err(TeError::InvalidWaypoints(
+            "GraphML file has no edges".into(),
+        ));
     }
     b.build()?.with_names(names)
 }

@@ -90,7 +90,10 @@ mod tests {
     fn geo_backbone_stats_are_ring_like() {
         let s = topology_stats(&geo_backbone(30, 48, 3));
         assert_eq!(s.graph.scc_count, 1);
-        assert!(s.graph.min_out_degree >= 2, "ring skeleton guarantees degree 2");
+        assert!(
+            s.graph.min_out_degree >= 2,
+            "ring skeleton guarantees degree 2"
+        );
         assert!(s.capacity_spread > 100.0, "wide tier mix");
     }
 

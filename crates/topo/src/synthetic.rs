@@ -4,9 +4,7 @@
 //! links (the ISP convention: one fiber, two directed channels of equal
 //! capacity), deterministic in the seed.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use segrout_core::rng::{SliceRandom, StdRng};
 use segrout_core::{Network, NodeId};
 use segrout_graph::traversal::is_strongly_connected;
 use std::collections::HashSet;
@@ -129,9 +127,7 @@ pub fn geo_backbone(n: usize, undirected_links: usize, seed: u64) -> Network {
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
-    let d2 = |a: usize, b: usize| {
-        (pos[a].0 - pos[b].0).powi(2) + (pos[a].1 - pos[b].1).powi(2)
-    };
+    let d2 = |a: usize, b: usize| (pos[a].0 - pos[b].0).powi(2) + (pos[a].1 - pos[b].1).powi(2);
 
     // Wide, skewed tier mix (E3 … OTU3, a ~1000x spread), assigned
     // *uncorrelated* with edge role — TopologyZoo link speeds span several
@@ -315,7 +311,11 @@ mod tests {
     fn geo_backbone_has_wide_capacity_spread() {
         let net = geo_backbone(40, 60, 9);
         let max = net.capacities().iter().cloned().fold(0.0f64, f64::max);
-        let min = net.capacities().iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = net
+            .capacities()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(max / min >= 15.0, "spread {}", max / min);
     }
 }

@@ -1,9 +1,7 @@
 //! Demand generators (see crate docs).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use segrout_algos::max_concurrent_flow;
+use segrout_core::rng::{SliceRandom, StdRng};
 use segrout_core::{Demand, DemandList, Network, NodeId, TeError};
 
 /// Shared knobs of the generators.
@@ -159,11 +157,7 @@ pub fn gravity(net: &Network, cfg: &TrafficConfig) -> Result<DemandList, TeError
     for u in 0..n {
         for v in 0..n {
             if u != v {
-                base.push(
-                    NodeId(u as u32),
-                    NodeId(v as u32),
-                    masses[u] * masses[v],
-                );
+                base.push(NodeId(u as u32), NodeId(v as u32), masses[u] * masses[v]);
             }
         }
     }
@@ -257,7 +251,10 @@ mod tests {
         let mut sizes: Vec<f64> = d.iter().map(|x| x.size).collect();
         sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let skew = sizes[sizes.len() - 1] / sizes[0];
-        assert!(skew > 50.0, "gravity matrix should be heavily skewed: {skew}");
+        assert!(
+            skew > 50.0,
+            "gravity matrix should be heavily skewed: {skew}"
+        );
     }
 
     #[test]
@@ -322,5 +319,4 @@ mod tests {
             .any(|(a, b)| (a.size - b.size).abs() > 1e-9);
         assert!(moved, "drift must change sizes");
     }
-
 }

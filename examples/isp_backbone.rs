@@ -53,7 +53,10 @@ fn main() {
 
     // The joint optimizer.
     let result = joint_heur(&net, &demands, &JointHeurConfig::default()).expect("connected");
-    println!("HeurOSPF (weights only)     MLU = {:.3}", result.mlu_weights_only);
+    println!(
+        "HeurOSPF (weights only)     MLU = {:.3}",
+        result.mlu_weights_only
+    );
     println!("JOINT-Heur (joint)          MLU = {:.3}", result.mlu);
 
     // How many demands actually needed segment routing?

@@ -39,7 +39,10 @@ fn main() {
 
     // Joint optimization: HeurOSPF weights + greedy waypoints.
     let result = joint_heur(&net, &demands, &JointHeurConfig::default()).expect("connected");
-    println!("JOINT-Heur (weights only): MLU = {:.3}", result.mlu_weights_only);
+    println!(
+        "JOINT-Heur (weights only): MLU = {:.3}",
+        result.mlu_weights_only
+    );
     println!("JOINT-Heur (joint):        MLU = {:.3}", result.mlu);
 
     // Inspect the configuration the optimizer chose.

@@ -30,7 +30,10 @@ fn main() {
         .mlu(&inst.demands)
         .expect("routes");
     println!("  best link weights alone (Lemma 3.6):    MLU = {lwo:.2}  (= m/2)");
-    println!("  => gap R_LWO = {:.1}, linear in n (Theorem 3.4)\n", lwo / joint);
+    println!(
+        "  => gap R_LWO = {:.1}, linear in n (Theorem 3.4)\n",
+        lwo / joint
+    );
 
     // ---- Instance 2: where even splitting loses a log factor ----
     let m2 = 32;
@@ -38,7 +41,10 @@ fn main() {
     let apx = lwo_apx(&i2.network, i2.source, i2.target).expect("routes");
     println!("TE-Instance 2, m = {m2} (harmonic parallel paths):");
     println!("  max flow |f*| = H_m = {:.3}", apx.max_flow_value);
-    println!("  best even-split flow = {:.3} (Lemma 3.10: always 1)", apx.es_flow_value);
+    println!(
+        "  best even-split flow = {:.3} (Lemma 3.10: always 1)",
+        apx.es_flow_value
+    );
     println!(
         "  => any weight setting wastes a factor {:.2} ~ ln n here\n",
         apx.achieved_ratio()

@@ -35,6 +35,7 @@
 //! | [`traffic`] | MCF-synthetic and gravity demand matrices |
 //! | [`sim`]   | hash-based ECMP stream simulator |
 //! | [`instances`] | the paper's worst-case constructions |
+//! | [`obs`]   | structured events, span timers, metrics registry, JSONL telemetry |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +46,7 @@ pub use segrout_graph as graph;
 pub use segrout_instances as instances;
 pub use segrout_lp as lp;
 pub use segrout_milp as milp;
+pub use segrout_obs as obs;
 pub use segrout_sim as sim;
 pub use segrout_topo as topo;
 pub use segrout_traffic as traffic;

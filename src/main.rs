@@ -26,6 +26,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let flags = parse_flags(&args[1..]);
+    if let Err(e) = init_observability(&flags) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match cmd.as_str() {
         "topo" => cmd_topo(&args[1..]),
         "optimize" => cmd_optimize(&flags),
@@ -37,6 +41,9 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command '{other}'")),
     };
+    // Final telemetry: metric records go to the JSONL sink (the stderr
+    // pretty-printer ignores records), then everything is flushed.
+    segrout::obs::dump_metrics();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -58,8 +65,27 @@ USAGE:
                    [--algorithm unit|invcap|heurospf|greedywpo|joint] [--pairs F] [--top K]
                    [--save <config-file>] [--load <config-file>]
   segrout gaps --instance 1|2|3|4|5 [--m N]
-  segrout parse (--sndlib <file> | --graphml <file>)"
+  segrout parse (--sndlib <file> | --graphml <file>)
+
+OBSERVABILITY (any command):
+  --log-level error|warn|info|debug|trace   stderr event verbosity (default warn)
+  --metrics-out <file.jsonl>                write events + final metrics as JSON lines"
     );
+}
+
+/// Applies the global `--log-level` and `--metrics-out` flags.
+fn init_observability(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(level) = flags.get("log-level") {
+        let parsed = level
+            .parse::<segrout::obs::Level>()
+            .map_err(|e| format!("--log-level: {e}"))?;
+        segrout::obs::set_level(parsed);
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        segrout::obs::init_jsonl(std::path::Path::new(path))
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -72,7 +98,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
                 .filter(|v| !v.starts_with("--"))
                 .cloned()
                 .unwrap_or_else(|| "true".to_string());
-            let consumed = if value == "true" && args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+            let consumed = if value == "true" && args.get(i + 1).is_none_or(|v| v.starts_with("--"))
+            {
                 1
             } else {
                 2
@@ -119,6 +146,22 @@ fn cmd_topo(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
+    // Pre-register the core metric catalog so every run reports the same
+    // names (zero-valued when a stage did not execute).
+    for name in [
+        "simplex.pivots",
+        "simplex.solves",
+        "heurospf.iterations",
+        "greedywpo.candidates_evaluated",
+        "ecmp.recomputes",
+        "dijkstra.relaxations",
+        "dijkstra.runs",
+        "mcf.phases",
+    ] {
+        segrout::obs::counter(name);
+    }
+    segrout::obs::series("heurospf.mlu_trajectory");
+
     let topo_name = flags
         .get("topology")
         .map(String::as_str)
@@ -161,6 +204,7 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         segrout::core::read_config(&net, &demands, &text).map_err(|e| e.to_string())?
     } else {
+        let _span = segrout::obs::span("optimize");
         run_algorithm(&net, &demands, algorithm, seed)?
     };
     if let Some(path) = flags.get("save") {
@@ -187,6 +231,8 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or(5);
     let util = UtilizationReport::new(&net, &report.loads);
     println!("\nhottest links:\n{}", util.format_top(&net, top));
+    segrout::obs::gauge("run.mlu").set(report.mlu);
+    println!("\nrun summary:\n{}", segrout::obs::summary_table());
     Ok(())
 }
 
@@ -282,7 +328,10 @@ fn cmd_parse(flags: &HashMap<String, String>) -> Result<(), String> {
         (n, d)
     } else if let Some(path) = flags.get("graphml") {
         let xml = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        (parse_graphml(&xml, 1000.0).map_err(|e| e.to_string())?, None)
+        (
+            parse_graphml(&xml, 1000.0).map_err(|e| e.to_string())?,
+            None,
+        )
     } else {
         return Err("parse needs --sndlib <file> or --graphml <file>".into());
     };
@@ -292,7 +341,11 @@ fn cmd_parse(flags: &HashMap<String, String>) -> Result<(), String> {
         net.edge_count()
     );
     if let Some(d) = demands {
-        println!("demand matrix: {} entries totalling {:.1}", d.len(), d.total_size());
+        println!(
+            "demand matrix: {} entries totalling {:.1}",
+            d.len(),
+            d.total_size()
+        );
     }
     Ok(())
 }

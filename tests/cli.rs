@@ -98,6 +98,77 @@ fn save_and_load_round_trip() {
 }
 
 #[test]
+fn metrics_out_writes_valid_jsonl() {
+    let dir = std::env::temp_dir().join("segrout-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+    let path_str = path.to_str().unwrap();
+
+    let (ok, stdout, _) = segrout(&[
+        "optimize",
+        "--topology",
+        "Abilene",
+        "--traffic",
+        "mcf",
+        "--algorithm",
+        "joint",
+        "--seed",
+        "1",
+        "--metrics-out",
+        path_str,
+        "--log-level",
+        "debug",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("run summary"), "summary table printed");
+
+    let text = std::fs::read_to_string(&path).expect("telemetry file exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "telemetry must be non-empty");
+    for (i, line) in lines.iter().enumerate() {
+        let parsed = segrout::obs::Json::parse(line)
+            .unwrap_or_else(|e| panic!("line {} is not valid JSON ({e}): {line}", i + 1));
+        assert!(
+            parsed["type"] != segrout::obs::Json::Null,
+            "line {} lacks a type: {line}",
+            i + 1
+        );
+    }
+
+    // The acceptance-critical metrics all appear as records.
+    for name in [
+        "heurospf.iterations",
+        "heurospf.mlu_trajectory",
+        "greedywpo.candidates_evaluated",
+        "simplex.pivots",
+        "time.heurospf",
+        "time.greedywpo",
+        "time.optimize",
+    ] {
+        assert!(
+            text.contains(&format!("\"name\":\"{name}\"")),
+            "metric {name} missing from telemetry:\n{text}"
+        );
+    }
+
+    // The MLU trajectory is a real per-iteration series.
+    let traj_line = lines
+        .iter()
+        .find(|l| l.contains("\"name\":\"heurospf.mlu_trajectory\""))
+        .expect("trajectory record");
+    let traj = segrout::obs::Json::parse(traj_line).unwrap();
+    let values = traj["values"].as_arr().expect("values array");
+    assert!(values.len() >= 2, "trajectory should have several samples");
+}
+
+#[test]
+fn bad_log_level_fails_cleanly() {
+    let (ok, _, stderr) = segrout(&["optimize", "--log-level", "shouty"]);
+    assert!(!ok);
+    assert!(stderr.contains("--log-level"), "{stderr}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let (ok, _, stderr) = segrout(&["frobnicate"]);
     assert!(!ok);

@@ -46,11 +46,21 @@ fn abilene_pipeline_quality_ordering() {
     )
     .expect("routes");
 
-    assert!(joint.mlu_weights_only <= inv_mlu + 1e-9, "HeurOSPF beats InverseCapacity");
-    assert!(joint.mlu <= joint.mlu_weights_only + 1e-9, "waypoints never hurt");
+    assert!(
+        joint.mlu_weights_only <= inv_mlu + 1e-9,
+        "HeurOSPF beats InverseCapacity"
+    );
+    assert!(
+        joint.mlu <= joint.mlu_weights_only + 1e-9,
+        "waypoints never hurt"
+    );
 
     // Everything is still at least the fluid optimum (~1 by normalization).
-    assert!(joint.mlu >= 0.85, "MLU cannot beat the fluid optimum: {}", joint.mlu);
+    assert!(
+        joint.mlu >= 0.85,
+        "MLU cannot beat the fluid optimum: {}",
+        joint.mlu
+    );
 }
 
 /// Gravity demands route on all three Figure-6 topologies and the joint
@@ -97,8 +107,7 @@ fn greedy_vs_exact_waypoints_on_abilene() {
     .expect("connected");
     let weights = WeightSetting::inverse_capacity(&net);
 
-    let greedy = greedy_wpo(&net, &demands, &weights, &GreedyWpoConfig::default())
-        .expect("routes");
+    let greedy = greedy_wpo(&net, &demands, &weights, &GreedyWpoConfig::default()).expect("routes");
     let greedy_mlu = Router::new(&net, &weights)
         .evaluate(&demands, &greedy)
         .expect("routes")

@@ -5,8 +5,8 @@
 use segrout_algos::lwo_apx;
 use segrout_core::{Router, WeightSetting};
 use segrout_instances::{
-    instance1, instance1::arbitrary_adversarial_weights, instance1::lwo_optimal_weights,
-    instance2, instance3, instance4,
+    instance1, instance1::arbitrary_adversarial_weights, instance1::lwo_optimal_weights, instance2,
+    instance3, instance4,
 };
 use segrout_lp::{MilpOptions, MilpStatus};
 use segrout_milp::{wpo_ilp, WpoIlpOptions};
@@ -31,7 +31,11 @@ fn lemma_3_7_unit_weights_exact() {
     let inst = instance1(m);
     let unit = WeightSetting::unit(&inst.network);
     let r = wpo_ilp(&inst.network, &inst.demands, &unit, &exact_opts()).expect("routes");
-    assert_eq!(r.status, MilpStatus::Optimal, "instance small enough for exactness");
+    assert_eq!(
+        r.status,
+        MilpStatus::Optimal,
+        "instance small enough for exactness"
+    );
     let bound = m as f64 / 3.0;
     assert!(
         r.mlu >= bound - 1e-6,
@@ -97,7 +101,10 @@ fn theorem_3_4_te_gap_exact() {
     // waypoints pin every demand and the WPO gap vanishes; see the
     // dedicated test below.)
     let mut r_wpo = f64::INFINITY;
-    for w in [WeightSetting::unit(&inst.network), lwo_optimal_weights(&inst)] {
+    for w in [
+        WeightSetting::unit(&inst.network),
+        lwo_optimal_weights(&inst),
+    ] {
         let r = wpo_ilp(&inst.network, &inst.demands, &w, &exact_opts()).expect("routes");
         r_wpo = r_wpo.min(r.mlu / joint);
     }

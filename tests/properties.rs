@@ -1,43 +1,45 @@
-//! Property-based tests (proptest) over randomly generated networks,
-//! demands and weight settings: the invariants every component must hold
-//! regardless of input shape.
+//! Property-style tests over randomly generated networks, demands and
+//! weight settings: the invariants every component must hold regardless of
+//! input shape. Inputs are drawn from the vendored seeded PRNG
+//! (deterministic sweeps), so runs are reproducible and need no external
+//! test-framework dependency.
 
-use proptest::prelude::*;
 use segrout_algos::lwo_apx;
+use segrout_core::rng::StdRng;
 use segrout_core::{DemandList, Network, NodeId, Router, WaypointSetting, WeightSetting};
 use segrout_graph::{acyclic_max_flow, decompose_into_paths, is_acyclic, max_flow, min_cut};
 use segrout_topo::random_connected;
 
-/// Strategy: a strongly connected network with 4-14 nodes plus a weight
-/// vector of integer weights.
-fn net_and_weights() -> impl Strategy<Value = (Network, Vec<f64>, u64)> {
-    (4usize..14, 0u64..1000).prop_flat_map(|(n, seed)| {
-        let links = (n - 1).max(n * 3 / 2);
-        let net = random_connected(n, links.min(n * (n - 1) / 2), seed);
-        let m = net.edge_count();
-        (
-            Just(net),
-            proptest::collection::vec(1u32..=20, m)
-                .prop_map(|ws| ws.into_iter().map(|w| w as f64).collect::<Vec<_>>()),
-            Just(seed),
-        )
-    })
+const CASES: u64 = 48;
+
+/// One generated case: a strongly connected network with 4-13 nodes plus a
+/// vector of integer link weights in 1..=20.
+fn case(seed: u64) -> (Network, Vec<f64>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let n = rng.gen_range(4..14usize);
+    let links = (n - 1).max(n * 3 / 2);
+    let net = random_connected(n, links.min(n * (n - 1) / 2), seed);
+    let m = net.edge_count();
+    let weights = (0..m)
+        .map(|_| f64::from(rng.gen_range(1..=20u32)))
+        .collect();
+    (net, weights, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// ECMP flow conservation: for any single demand, total inflow at the
-    /// target equals the demand size, and every intermediate node is
-    /// balanced.
-    #[test]
-    fn ecmp_conserves_flow((net, weights, seed) in net_and_weights()) {
+/// ECMP flow conservation: for any single demand, total inflow at the
+/// target equals the demand size, and every intermediate node is balanced.
+#[test]
+fn ecmp_conserves_flow() {
+    for seed in 0..CASES {
+        let (net, weights, seed) = case(seed);
         let w = WeightSetting::new(&net, weights).expect("valid");
         let router = Router::new(&net, &w);
         let n = net.node_count() as u32;
         let src = NodeId(seed as u32 % n);
         let dst = NodeId((seed as u32 + 1 + seed as u32 % (n - 1)) % n);
-        prop_assume!(src != dst);
+        if src == dst {
+            continue;
+        }
         let mut demands = DemandList::new();
         demands.push(src, dst, 2.5);
         let report = router
@@ -54,21 +56,29 @@ proptest! {
             } else {
                 inflow - outflow
             };
-            prop_assert!(expected.abs() < 1e-9, "imbalance {expected} at {v:?}");
+            assert!(
+                expected.abs() < 1e-9,
+                "seed {seed}: imbalance {expected} at {v:?}"
+            );
         }
     }
+}
 
-    /// Waypointed routing conserves flow too, and the loads are the sum of
-    /// the segment flows.
-    #[test]
-    fn waypoints_preserve_conservation((net, weights, seed) in net_and_weights()) {
+/// Waypointed routing conserves flow too, and the loads are the sum of the
+/// segment flows.
+#[test]
+fn waypoints_preserve_conservation() {
+    for seed in 0..CASES {
+        let (net, weights, seed) = case(seed);
         let w = WeightSetting::new(&net, weights).expect("valid");
         let router = Router::new(&net, &w);
         let n = net.node_count() as u32;
         let src = NodeId(seed as u32 % n);
         let dst = NodeId((seed as u32 + 2) % n);
         let wp = NodeId((seed as u32 + 1) % n);
-        prop_assume!(src != dst && wp != src && wp != dst);
+        if src == dst || wp == src || wp == dst {
+            continue;
+        }
         let mut demands = DemandList::new();
         demands.push(src, dst, 1.0);
         let mut setting = WaypointSetting::none(1);
@@ -77,111 +87,166 @@ proptest! {
         // Waypoint node sees the full demand pass through.
         let g = net.graph();
         let inflow: f64 = g.in_edges(wp).iter().map(|e| report.loads[e.index()]).sum();
-        prop_assert!(inflow >= 1.0 - 1e-9, "waypoint must receive the flow");
+        assert!(
+            inflow >= 1.0 - 1e-9,
+            "seed {seed}: waypoint must receive the flow"
+        );
     }
+}
 
-    /// MLU is monotone and homogeneous in the demand size.
-    #[test]
-    fn mlu_scales_linearly((net, weights, seed) in net_and_weights()) {
+/// MLU is monotone and homogeneous in the demand size.
+#[test]
+fn mlu_scales_linearly() {
+    for seed in 0..CASES {
+        let (net, weights, seed) = case(seed);
         let w = WeightSetting::new(&net, weights).expect("valid");
         let router = Router::new(&net, &w);
         let n = net.node_count() as u32;
         let src = NodeId(seed as u32 % n);
         let dst = NodeId((seed as u32 + 1) % n);
-        prop_assume!(src != dst);
+        if src == dst {
+            continue;
+        }
         let mut d1 = DemandList::new();
         d1.push(src, dst, 1.0);
         let mut d3 = DemandList::new();
         d3.push(src, dst, 3.0);
         let a = router.mlu(&d1).expect("connected");
         let b = router.mlu(&d3).expect("connected");
-        prop_assert!((3.0 * a - b).abs() < 1e-9 * (1.0 + b));
+        assert!(
+            (3.0 * a - b).abs() < 1e-9 * (1.0 + b),
+            "seed {seed}: {a} vs {b}"
+        );
     }
+}
 
-    /// Max flow equals the value of its own decomposition, the support is
-    /// acyclic after cancellation, and the flow respects capacities.
-    #[test]
-    fn max_flow_decomposition_roundtrip((net, _weights, seed) in net_and_weights()) {
+/// Max flow equals the value of its own decomposition, the support is
+/// acyclic after cancellation, and the flow respects capacities.
+#[test]
+fn max_flow_decomposition_roundtrip() {
+    for seed in 0..CASES {
+        let (net, _weights, seed) = case(seed);
         let n = net.node_count() as u32;
         let s = NodeId(seed as u32 % n);
         let t = NodeId((seed as u32 + 1) % n);
-        prop_assume!(s != t);
+        if s == t {
+            continue;
+        }
         let flow = acyclic_max_flow(net.graph(), net.capacities(), s, t);
-        prop_assert!(is_acyclic(net.graph(), &flow.support_mask()));
-        flow.validate(net.graph(), Some(net.capacities())).expect("feasible");
+        assert!(is_acyclic(net.graph(), &flow.support_mask()), "seed {seed}");
+        flow.validate(net.graph(), Some(net.capacities()))
+            .expect("feasible");
         let paths = decompose_into_paths(net.graph(), &flow);
         let total: f64 = paths.iter().map(|p| p.amount).sum();
-        prop_assert!((total - flow.value).abs() < 1e-6 * (1.0 + flow.value));
+        assert!(
+            (total - flow.value).abs() < 1e-6 * (1.0 + flow.value),
+            "seed {seed}: decomposition {total} vs flow {}",
+            flow.value
+        );
         // Cycle cancellation must not change the value.
         let plain = max_flow(net.graph(), net.capacities(), s, t);
-        prop_assert!((plain.value - flow.value).abs() < 1e-6 * (1.0 + flow.value));
+        assert!(
+            (plain.value - flow.value).abs() < 1e-6 * (1.0 + flow.value),
+            "seed {seed}"
+        );
     }
+}
 
-    /// LWO-APX always honours the Theorem 5.4 guarantee and its weight
-    /// setting actually carries the claimed even-split flow.
-    #[test]
-    fn lwo_apx_guarantee_holds((net, _weights, seed) in net_and_weights()) {
+/// LWO-APX always honours the Theorem 5.4 guarantee and its weight setting
+/// actually carries the claimed even-split flow.
+#[test]
+fn lwo_apx_guarantee_holds() {
+    for seed in 0..CASES {
+        let (net, _weights, seed) = case(seed);
         let n = net.node_count() as u32;
         let s = NodeId(seed as u32 % n);
         let t = NodeId((seed as u32 + 1) % n);
-        prop_assume!(s != t);
+        if s == t {
+            continue;
+        }
         let r = lwo_apx(&net, s, t).expect("strongly connected");
-        let bound = (net.node_count() as f64)
-            * (net.graph().max_out_degree() as f64).ln().ceil().max(1.0);
-        prop_assert!(r.achieved_ratio() <= bound + 1e-9);
-        prop_assert!(r.es_flow_value > 0.0);
-        prop_assert!(r.es_flow_value <= r.max_flow_value + 1e-9);
+        let bound =
+            (net.node_count() as f64) * (net.graph().max_out_degree() as f64).ln().ceil().max(1.0);
+        assert!(r.achieved_ratio() <= bound + 1e-9, "seed {seed}");
+        assert!(r.es_flow_value > 0.0, "seed {seed}");
+        assert!(r.es_flow_value <= r.max_flow_value + 1e-9, "seed {seed}");
         // The pruned DAG is acyclic and the claimed flow fits.
-        prop_assert!(is_acyclic(net.graph(), &r.dag_mask));
+        assert!(is_acyclic(net.graph(), &r.dag_mask), "seed {seed}");
         let mut demands = DemandList::new();
         demands.push(s, t, r.es_flow_value);
         let mlu = Router::new(&net, &r.weights).mlu(&demands).expect("routes");
-        prop_assert!(mlu <= 1.0 + 1e-6, "claimed ES-flow overloads: {mlu}");
+        assert!(
+            mlu <= 1.0 + 1e-6,
+            "seed {seed}: claimed ES-flow overloads: {mlu}"
+        );
     }
+}
 
-    /// The sparse segment loads always sum to the dense evaluation.
-    #[test]
-    fn sparse_loads_match_dense((net, weights, seed) in net_and_weights()) {
+/// The sparse segment loads always sum to the dense evaluation.
+#[test]
+fn sparse_loads_match_dense() {
+    for seed in 0..CASES {
+        let (net, weights, seed) = case(seed);
         let w = WeightSetting::new(&net, weights).expect("valid");
         let router = Router::new(&net, &w);
         let n = net.node_count() as u32;
         let src = NodeId(seed as u32 % n);
         let dst = NodeId((seed as u32 + 1) % n);
-        prop_assume!(src != dst);
+        if src == dst {
+            continue;
+        }
         let sparse = router.segment_loads_sparse(src, dst, 1.5).expect("routes");
         let dense = router
-            .loads_for_segments(&[segrout_core::Segment { src, dst, amount: 1.5 }])
+            .loads_for_segments(&[segrout_core::Segment {
+                src,
+                dst,
+                amount: 1.5,
+            }])
             .expect("routes");
         let mut acc = vec![0.0; net.edge_count()];
         for (e, l) in sparse {
             acc[e.index()] += l;
         }
         for e in 0..net.edge_count() {
-            prop_assert!((acc[e] - dense[e]).abs() < 1e-9);
+            assert!((acc[e] - dense[e]).abs() < 1e-9, "seed {seed}: edge {e}");
         }
     }
+}
 
-    /// Max-flow / min-cut duality on random networks: the extracted cut's
-    /// capacity equals the flow value and removing it disconnects the pair.
-    #[test]
-    fn max_flow_min_cut_duality((net, _w, seed) in net_and_weights()) {
+/// Max-flow / min-cut duality on random networks: the extracted cut's
+/// capacity equals the flow value and removing it disconnects the pair.
+#[test]
+fn max_flow_min_cut_duality() {
+    for seed in 0..CASES {
+        let (net, _w, seed) = case(seed);
         let n = net.node_count() as u32;
         let s = NodeId(seed as u32 % n);
         let t = NodeId((seed as u32 + 1) % n);
-        prop_assume!(s != t);
+        if s == t {
+            continue;
+        }
         let flow = max_flow(net.graph(), net.capacities(), s, t);
         let cut = min_cut(net.graph(), net.capacities(), s, t);
-        prop_assert!((flow.value - cut.capacity).abs() < 1e-6 * (1.0 + flow.value));
+        assert!(
+            (flow.value - cut.capacity).abs() < 1e-6 * (1.0 + flow.value),
+            "seed {seed}"
+        );
         let cut_sum: f64 = cut.edges.iter().map(|e| net.capacities()[e.index()]).sum();
-        prop_assert!((cut_sum - cut.capacity).abs() < 1e-6 * (1.0 + cut_sum));
-        prop_assert!(cut.source_side[s.index()]);
-        prop_assert!(!cut.source_side[t.index()]);
+        assert!(
+            (cut_sum - cut.capacity).abs() < 1e-6 * (1.0 + cut_sum),
+            "seed {seed}"
+        );
+        assert!(cut.source_side[s.index()], "seed {seed}");
+        assert!(!cut.source_side[t.index()], "seed {seed}");
     }
+}
 
-    /// Segment-chained routing conserves flow end to end for random
-    /// two-waypoint chains.
-    #[test]
-    fn two_waypoint_chain_conserves((net, weights, seed) in net_and_weights()) {
+/// Segment-chained routing conserves flow end to end for random
+/// two-waypoint chains.
+#[test]
+fn two_waypoint_chain_conserves() {
+    for seed in 0..CASES {
+        let (net, weights, seed) = case(seed);
         let w = WeightSetting::new(&net, weights).expect("valid");
         let router = Router::new(&net, &w);
         let n = net.node_count() as u32;
@@ -189,20 +254,46 @@ proptest! {
         let dst = NodeId((seed as u32 + 1) % n);
         let w1 = NodeId((seed as u32 + 2) % n);
         let w2 = NodeId((seed as u32 + 3) % n);
-        prop_assume!(src != dst && w1 != w2);
+        if src == dst || w1 == w2 {
+            continue;
+        }
         let mut demands = DemandList::new();
         demands.push(src, dst, 2.0);
         let mut setting = WaypointSetting::none(1);
         setting.set(0, vec![w1, w2]);
-        let report = router.evaluate(&demands, &setting).expect("strongly connected");
+        let report = router
+            .evaluate(&demands, &setting)
+            .expect("strongly connected");
         let g = net.graph();
         // Net flow out of the source equals net flow into the target equals
         // the demand size (intermediate double-visits cancel out).
-        let out_s: f64 = g.out_edges(src).iter().map(|e| report.loads[e.index()]).sum();
-        let in_s: f64 = g.in_edges(src).iter().map(|e| report.loads[e.index()]).sum();
-        let out_t: f64 = g.out_edges(dst).iter().map(|e| report.loads[e.index()]).sum();
-        let in_t: f64 = g.in_edges(dst).iter().map(|e| report.loads[e.index()]).sum();
-        prop_assert!((out_s - in_s - 2.0).abs() < 1e-9, "source imbalance");
-        prop_assert!((in_t - out_t - 2.0).abs() < 1e-9, "target imbalance");
+        let out_s: f64 = g
+            .out_edges(src)
+            .iter()
+            .map(|e| report.loads[e.index()])
+            .sum();
+        let in_s: f64 = g
+            .in_edges(src)
+            .iter()
+            .map(|e| report.loads[e.index()])
+            .sum();
+        let out_t: f64 = g
+            .out_edges(dst)
+            .iter()
+            .map(|e| report.loads[e.index()])
+            .sum();
+        let in_t: f64 = g
+            .in_edges(dst)
+            .iter()
+            .map(|e| report.loads[e.index()])
+            .sum();
+        assert!(
+            (out_s - in_s - 2.0).abs() < 1e-9,
+            "seed {seed}: source imbalance"
+        );
+        assert!(
+            (in_t - out_t - 2.0).abs() < 1e-9,
+            "seed {seed}: target imbalance"
+        );
     }
 }

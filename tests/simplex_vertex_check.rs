@@ -1,9 +1,10 @@
 //! Independent validation of the simplex: on two-variable LPs the optimum
 //! lies on a vertex of the feasible polygon, and all vertices can be
 //! enumerated by intersecting constraint/bound lines pairwise. The simplex
-//! must agree with that brute force on every random instance.
+//! must agree with that brute force on every random instance (deterministic
+//! seeded sweeps from the vendored PRNG).
 
-use proptest::prelude::*;
+use segrout_core::rng::StdRng;
 use segrout_lp::{solve_lp, Cmp, LpStatus, Problem, Sense};
 
 /// All candidate vertices of `{a1 x + b1 y <= c1, ...} ∩ [0,U]^2`:
@@ -39,19 +40,30 @@ fn feasible(rows: &[(f64, f64, f64)], upper: f64, x: f64, y: f64) -> bool {
     rows.iter().all(|&(a, b, c)| a * x + b * y <= c + 1e-7)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Uniform draw in `[lo, hi)`.
+fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen_f64()
+}
 
-    /// Random bounded-maximization LPs in 2 variables: simplex == vertex
-    /// enumeration.
-    #[test]
-    fn simplex_matches_vertex_enumeration(
-        obj_x in 0.1f64..10.0,
-        obj_y in 0.1f64..10.0,
-        raw_rows in proptest::collection::vec((0.1f64..5.0, 0.1f64..5.0, 1.0f64..20.0), 1..6),
-    ) {
+/// Random bounded-maximization LPs in 2 variables: simplex == vertex
+/// enumeration.
+#[test]
+fn simplex_matches_vertex_enumeration() {
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let obj_x = uniform(&mut rng, 0.1, 10.0);
+        let obj_y = uniform(&mut rng, 0.1, 10.0);
+        let n_rows = rng.gen_range(1..6usize);
+        let rows: Vec<(f64, f64, f64)> = (0..n_rows)
+            .map(|_| {
+                (
+                    uniform(&mut rng, 0.1, 5.0),
+                    uniform(&mut rng, 0.1, 5.0),
+                    uniform(&mut rng, 1.0, 20.0),
+                )
+            })
+            .collect();
         let upper = 50.0;
-        let rows: Vec<(f64, f64, f64)> = raw_rows;
 
         let mut p = Problem::new(Sense::Maximize);
         let x = p.add_var("x", 0.0, upper, obj_x);
@@ -60,33 +72,47 @@ proptest! {
             p.add_constraint(vec![(x, a), (y, b)], Cmp::Le, c);
         }
         let r = solve_lp(&p);
-        prop_assert_eq!(r.status, LpStatus::Optimal, "bounded non-empty LP");
+        assert_eq!(
+            r.status,
+            LpStatus::Optimal,
+            "seed {seed}: bounded non-empty LP"
+        );
 
         let best = enumerate_vertices(&rows, upper)
             .into_iter()
             .filter(|&(vx, vy)| feasible(&rows, upper, vx, vy))
             .map(|(vx, vy)| obj_x * vx + obj_y * vy)
             .fold(0.0f64, f64::max);
-        prop_assert!(
+        assert!(
             (r.objective - best).abs() < 1e-5 * (1.0 + best),
-            "simplex {} vs vertex enumeration {}",
+            "seed {seed}: simplex {} vs vertex enumeration {}",
             r.objective,
             best
         );
     }
+}
 
-    /// Minimization with >= rows: compare against vertex enumeration of the
-    /// flipped system.
-    #[test]
-    fn minimization_matches_vertex_enumeration(
-        obj_x in 0.1f64..10.0,
-        obj_y in 0.1f64..10.0,
-        raw_rows in proptest::collection::vec((0.1f64..5.0, 0.1f64..5.0, 1.0f64..20.0), 1..5),
-    ) {
+/// Minimization with >= rows: compare against vertex enumeration of the
+/// flipped system.
+#[test]
+fn minimization_matches_vertex_enumeration() {
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe);
+        let obj_x = uniform(&mut rng, 0.1, 10.0);
+        let obj_y = uniform(&mut rng, 0.1, 10.0);
+        let n_rows = rng.gen_range(1..5usize);
+        let raw_rows: Vec<(f64, f64, f64)> = (0..n_rows)
+            .map(|_| {
+                (
+                    uniform(&mut rng, 0.1, 5.0),
+                    uniform(&mut rng, 0.1, 5.0),
+                    uniform(&mut rng, 1.0, 20.0),
+                )
+            })
+            .collect();
         let upper = 50.0;
         // a x + b y >= c  <=>  -a x - b y <= -c.
-        let rows: Vec<(f64, f64, f64)> =
-            raw_rows.iter().map(|&(a, b, c)| (-a, -b, -c)).collect();
+        let rows: Vec<(f64, f64, f64)> = raw_rows.iter().map(|&(a, b, c)| (-a, -b, -c)).collect();
 
         let mut p = Problem::new(Sense::Minimize);
         let x = p.add_var("x", 0.0, upper, obj_x);
@@ -101,17 +127,17 @@ proptest! {
             .map(|(vx, vy)| obj_x * vx + obj_y * vy)
             .fold(f64::INFINITY, f64::min);
         if best.is_finite() {
-            prop_assert_eq!(r.status, LpStatus::Optimal);
-            prop_assert!(
+            assert_eq!(r.status, LpStatus::Optimal, "seed {seed}");
+            assert!(
                 (r.objective - best).abs() < 1e-5 * (1.0 + best.abs()),
-                "simplex {} vs vertex enumeration {}",
+                "seed {seed}: simplex {} vs vertex enumeration {}",
                 r.objective,
                 best
             );
         } else {
             // The >= rows can exceed what the box [0,U]^2 can deliver: both
             // the enumeration and the simplex must agree it is infeasible.
-            prop_assert_eq!(r.status, LpStatus::Infeasible);
+            assert_eq!(r.status, LpStatus::Infeasible, "seed {seed}");
         }
     }
 }

@@ -1,8 +1,9 @@
 //! Cross-validation of the LP/MILP solver against independent oracles:
 //! brute-force enumeration for small integer programs, and the
-//! combinatorial max-flow solver for flow LPs.
+//! combinatorial max-flow solver for flow LPs. Random instances come from
+//! the vendored seeded PRNG (deterministic sweeps).
 
-use proptest::prelude::*;
+use segrout_core::rng::StdRng;
 use segrout_core::{DemandList, NodeId};
 use segrout_graph::max_flow;
 use segrout_lp::{solve_lp, solve_milp, Cmp, MilpOptions, Problem, Sense};
@@ -29,20 +30,15 @@ fn brute_force_knapsack(values: &[f64], weights: &[f64], cap: f64) -> f64 {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// MILP knapsacks match brute force exactly.
-    #[test]
-    fn milp_matches_brute_force(
-        values in proptest::collection::vec(1u32..50, 2..10),
-        weights in proptest::collection::vec(1u32..30, 2..10),
-        cap in 5u32..60,
-    ) {
-        let n = values.len().min(weights.len());
-        let values: Vec<f64> = values[..n].iter().map(|&v| v as f64).collect();
-        let weights: Vec<f64> = weights[..n].iter().map(|&w| w as f64).collect();
-        let cap = cap as f64;
+/// MILP knapsacks match brute force exactly.
+#[test]
+fn milp_matches_brute_force() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..10usize);
+        let values: Vec<f64> = (0..n).map(|_| f64::from(rng.gen_range(1..50u32))).collect();
+        let weights: Vec<f64> = (0..n).map(|_| f64::from(rng.gen_range(1..30u32))).collect();
+        let cap = f64::from(rng.gen_range(5..60u32));
 
         let mut p = Problem::new(Sense::Maximize);
         let vars: Vec<_> = values
@@ -58,33 +54,43 @@ proptest! {
         let r = solve_milp(&p, &MilpOptions::default());
         let expected = brute_force_knapsack(&values, &weights, cap);
         let got = r.objective.unwrap_or(0.0);
-        prop_assert!((got - expected).abs() < 1e-6, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 1e-6,
+            "seed {seed}: {got} vs {expected}"
+        );
     }
+}
 
-    /// The LP relaxation never undercuts the integer optimum (maximize) and
-    /// the MILP solution is feasible.
-    #[test]
-    fn relaxation_bounds_integer_optimum(
-        values in proptest::collection::vec(1u32..20, 2..8),
-        cap in 3u32..40,
-    ) {
+/// The LP relaxation never undercuts the integer optimum (maximize) and
+/// the MILP solution is feasible.
+#[test]
+fn relaxation_bounds_integer_optimum() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd_1234);
+        let n = rng.gen_range(2..8usize);
+        let values: Vec<u32> = (0..n).map(|_| rng.gen_range(1..20u32)).collect();
+        let cap = rng.gen_range(3..40u32);
+
         let mut p = Problem::new(Sense::Maximize);
         let vars: Vec<_> = values
             .iter()
             .enumerate()
-            .map(|(i, &v)| p.add_bin_var(format!("x{i}"), v as f64))
+            .map(|(i, &v)| p.add_bin_var(format!("x{i}"), f64::from(v)))
             .collect();
         p.add_constraint(
-            vars.iter().enumerate().map(|(i, &v)| (v, (i % 3 + 1) as f64)).collect(),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, (i % 3 + 1) as f64))
+                .collect(),
             Cmp::Le,
-            cap as f64,
+            f64::from(cap),
         );
         let relax = solve_lp(&p);
         let exact = solve_milp(&p, &MilpOptions::default());
         let int_obj = exact.objective.unwrap_or(0.0);
-        prop_assert!(relax.objective >= int_obj - 1e-6);
+        assert!(relax.objective >= int_obj - 1e-6, "seed {seed}");
         if let Some(v) = &exact.values {
-            prop_assert!(p.is_feasible(v, 1e-6));
+            assert!(p.is_feasible(v, 1e-6), "seed {seed}");
         }
     }
 }
@@ -107,8 +113,13 @@ fn opt_lp_matches_max_flow_single_commodity() {
             d_total / mf.value
         );
         // Max concurrent LP is the reciprocal relationship.
-        let lambda = max_concurrent_lp(&net, &demands).expect("connected").objective;
-        assert!((lambda * lp - 1.0).abs() < 1e-5, "lambda {lambda} * mlu {lp} != 1");
+        let lambda = max_concurrent_lp(&net, &demands)
+            .expect("connected")
+            .objective;
+        assert!(
+            (lambda * lp - 1.0).abs() < 1e-5,
+            "lambda {lambda} * mlu {lp} != 1"
+        );
     }
 }
 

@@ -118,7 +118,10 @@ fn theorem_5_4_on_random_networks() {
         let mut demands = DemandList::new();
         demands.push(s, t, r.es_flow_value);
         let mlu = Router::new(&net, &r.weights).mlu(&demands).expect("routes");
-        assert!(mlu <= 1.0 + 1e-6, "seed {seed}: claimed ES-flow overloads: {mlu}");
+        assert!(
+            mlu <= 1.0 + 1e-6,
+            "seed {seed}: claimed ES-flow overloads: {mlu}"
+        );
     }
 }
 
@@ -149,7 +152,10 @@ fn opt_lp_vs_fptas() {
             .expect("connected")
             .opt_mlu;
         assert!(approx >= exact - 1e-9);
-        assert!(approx <= exact * 1.1 + 1e-9, "approx {approx} vs exact {exact}");
+        assert!(
+            approx <= exact * 1.1 + 1e-9,
+            "approx {approx} vs exact {exact}"
+        );
     }
 }
 

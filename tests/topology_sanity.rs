@@ -12,7 +12,10 @@ fn embedded_topologies_are_evaluation_ready() {
     for name in TOPOLOGY_NAMES {
         let net = by_name(name).expect("embedded");
         let stats = topology_stats(&net);
-        assert_eq!(stats.graph.scc_count, 1, "{name} must be strongly connected");
+        assert_eq!(
+            stats.graph.scc_count, 1,
+            "{name} must be strongly connected"
+        );
         assert!(stats.graph.diameter.is_some(), "{name} diameter defined");
         // Bi-directed convention: every link has its reverse.
         let g = net.graph();
@@ -47,7 +50,9 @@ fn all_pairs_routable_under_unit_weights() {
             demands.push(NodeId(0), NodeId(v), 1.0);
             demands.push(NodeId(v), NodeId(0), 1.0);
         }
-        let mlu = router.mlu(&demands).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mlu = router
+            .mlu(&demands)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(mlu.is_finite() && mlu > 0.0);
     }
 }

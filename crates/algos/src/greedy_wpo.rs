@@ -10,6 +10,12 @@
 //! the greedy "improve the MLU of the whole configuration" reading of the
 //! pseudo-code and avoids quadratic re-evaluation: probing a waypoint is a
 //! sparse delta on the load vector.
+//!
+//! Per-demand waypoint probes are independent, so they run on the
+//! `segrout-par` pool against one shared (now `Sync`) router. The candidate
+//! chains are generated in fixed (position, waypoint) order and the
+//! acceptance fold replays that order serially, so the selected waypoints
+//! are bit-identical at any thread count.
 
 use segrout_core::{
     max_link_utilization, DemandList, EdgeId, Network, NodeId, Router, TeError, WaypointSetting,
@@ -91,7 +97,6 @@ pub fn greedy_wpo(
             Ok(out)
         };
 
-    let mut scratch = loads.clone();
     // One greedy pass per waypoint of budget: each pass may insert one more
     // waypoint into every demand's chain (pass 1 with an empty chain is
     // exactly the paper's Algorithm 3).
@@ -109,8 +114,9 @@ pub fn greedy_wpo(
                 loads[e.index()] -= l;
             }
 
-            let mut best: Option<(Vec<NodeId>, f64, SparseLoads)> = None;
-            let mut probed: u64 = 0;
+            // Candidate chains in fixed (position, waypoint) order; the
+            // parallel probe results are folded back in this same order.
+            let mut probes: Vec<Vec<NodeId>> = Vec::new();
             for pos in 0..=chain.len() {
                 for &w in candidates {
                     if w == d.src || w == d.dst || chain.contains(&w) {
@@ -118,19 +124,28 @@ pub fn greedy_wpo(
                     }
                     let mut cand = chain.clone();
                     cand.insert(pos, w);
-                    let Ok(delta) = chain_loads(&cand, d.src, d.dst, d.size) else {
-                        continue;
-                    };
-                    probed += 1;
-                    scratch.copy_from_slice(&loads);
-                    for &(e, l) in &delta {
-                        scratch[e.index()] += l;
-                    }
-                    let u = max_link_utilization(&scratch, caps);
-                    let current_best = best.as_ref().map(|(_, u, _)| *u).unwrap_or(u_min);
-                    if u < current_best * (1.0 - cfg.min_improvement) {
-                        best = Some((cand, u, delta));
-                    }
+                    probes.push(cand);
+                }
+            }
+            // Each probe re-routes the demand along its candidate chain and
+            // evaluates the resulting MLU against a private load copy.
+            let evals = segrout_par::par_map_slice(&probes, |_, cand| {
+                let delta = chain_loads(cand, d.src, d.dst, d.size).ok()?;
+                let mut probe_loads = loads.clone();
+                for &(e, l) in &delta {
+                    probe_loads[e.index()] += l;
+                }
+                Some((max_link_utilization(&probe_loads, caps), delta))
+            });
+
+            let mut best: Option<(Vec<NodeId>, f64, SparseLoads)> = None;
+            let mut probed: u64 = 0;
+            for (cand, eval) in probes.iter().zip(evals) {
+                let Some((u, delta)) = eval else { continue };
+                probed += 1;
+                let current_best = best.as_ref().map(|(_, u, _)| *u).unwrap_or(u_min);
+                if u < current_best * (1.0 - cfg.min_improvement) {
+                    best = Some((cand.clone(), u, delta));
                 }
             }
 

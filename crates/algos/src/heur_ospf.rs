@@ -8,6 +8,13 @@
 //! objective. A hash set of visited weight vectors avoids re-evaluating
 //! settings, and a no-improvement full pass ends a descent.
 //!
+//! Each link's candidate neighbourhood is scored **speculatively in
+//! parallel** on the `segrout-par` pool (one full ECMP evaluation per
+//! candidate), then the first improving candidate in fixed candidate order
+//! is accepted. Candidate generation, visited-set filtering, and the
+//! accepting reduction all run serially on the caller, so the search is
+//! bit-identical at any thread count.
+//!
 //! Objective: the paper's local search minimizes the piecewise-linear
 //! congestion cost `Φ` (which correlates with, and tie-breaks on, MLU); the
 //! evaluation in §7 reports MLU. Both orderings are supported.
@@ -181,6 +188,8 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                 let old = cur[e];
                 // Candidate moves: small steps, halving/doubling, extremes,
                 // and one random value — a cheap but diverse neighbourhood.
+                // Computed before any evaluation so the RNG stream is
+                // independent of how the neighbourhood is scheduled.
                 let candidates = [
                     old.saturating_sub(1).max(1),
                     (old + 1).min(cfg.max_weight),
@@ -190,32 +199,45 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                     cfg.max_weight,
                     rng.gen_range(1..=cfg.max_weight),
                 ];
+                // Filter against the visited set serially, in candidate
+                // order (set membership must not depend on scheduling).
+                let mut fresh: Vec<u32> = Vec::with_capacity(candidates.len());
                 for &cand in &candidates {
                     if cand == old {
                         continue;
                     }
                     cur[e] = cand;
                     let h = hash_weights(&cur);
-                    if !visited.insert(h) {
-                        cur[e] = old;
-                        continue;
+                    cur[e] = old;
+                    if visited.insert(h) {
+                        fresh.push(cand);
                     }
-                    let s = score(net, demands, &cur, cfg.objective);
-                    pass_evals += 1;
+                }
+                // Score the whole neighbourhood speculatively on the pool,
+                // then accept the first improving candidate *in candidate
+                // order* — the ordered (score, index) reduction that keeps
+                // the search bit-identical at any thread count.
+                let scores = segrout_par::par_map_slice(&fresh, |_, &cand| {
+                    let mut w = cur.clone();
+                    w[e] = cand;
+                    score(net, demands, &w, cfg.objective)
+                });
+                pass_evals += fresh.len() as u64;
+                for (cand, s) in fresh.iter().zip(&scores) {
                     if s.better_than(&cur_score) {
-                        cur_score = s;
+                        cur[e] = *cand;
+                        cur_score = *s;
                         improved = true;
                         trajectory.push(cur_score.mlu(cfg.objective));
                         event!(
                             Level::Trace,
                             "heurospf.accept",
                             edge = e,
-                            weight = cand,
+                            weight = *cand,
                             mlu = cur_score.mlu(cfg.objective),
                         );
                         break; // first improvement: keep cand
                     }
-                    cur[e] = old;
                 }
             }
             iterations.add(pass_evals);

@@ -1,0 +1,167 @@
+//! Serial vs parallel wall-time of the three optimizer hot paths on a
+//! Figure-4-size topology (Germany50, MCF-synthetic demands).
+//!
+//! For each of HeurOSPF, GreedyWPO and JOINT-Heur the binary times the
+//! run at `SEGROUT_THREADS=1` (the pure inline reference) and at the
+//! parallel thread count (`--threads`/`SEGROUT_THREADS`, default 4),
+//! verifies the outputs are bit-identical, and writes
+//! `BENCH_parallel.json` next to the working directory with
+//! `serial_ms` / `parallel_ms` / `speedup` per algorithm plus the host
+//! core count — the honest record CI archives.
+//!
+//! `SEGROUT_FAST=1` shrinks the HeurOSPF pass budget for smoke runs.
+
+use segrout_algos::{
+    greedy_wpo, heur_ospf, joint_heur, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig,
+};
+use segrout_bench::{banner, fast_mode};
+use segrout_core::{Router, WeightSetting};
+use segrout_obs::json;
+use segrout_topo::by_name;
+use segrout_traffic::{mcf_synthetic, TrafficConfig};
+use std::time::Instant;
+
+/// One timed algorithm: name, serial/parallel wall-times, speedup and
+/// whether the two runs were bit-identical.
+struct Timing {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    identical: bool,
+}
+
+impl Timing {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+}
+
+/// Times `f` once per thread count and checks bit-identity of the result.
+fn time_pair<R: PartialEq>(name: &'static str, parallel: usize, f: impl Fn() -> R) -> Timing {
+    segrout_par::set_threads(1);
+    let t0 = Instant::now();
+    let serial = f();
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    segrout_par::set_threads(parallel);
+    let t0 = Instant::now();
+    let par = f();
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+    segrout_par::set_threads(0);
+
+    Timing {
+        name,
+        serial_ms,
+        parallel_ms,
+        identical: serial == par,
+    }
+}
+
+fn main() {
+    banner("BENCH_parallel — serial vs parallel optimizer wall-time (Germany50)");
+    // `banner` already applied `--threads`; whatever is in effect now is
+    // the parallel leg of the comparison (floored at 2 so the comparison
+    // is meaningful even on a 1-core host).
+    let parallel = segrout_par::threads().max(2);
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("host cores: {host_cpus}; parallel leg runs with {parallel} threads\n");
+
+    let net = by_name("Germany50").expect("embedded");
+    let demands = mcf_synthetic(
+        &net,
+        &TrafficConfig {
+            seed: 2024,
+            pair_fraction: 0.2,
+            ..Default::default()
+        },
+    )
+    .expect("feasible demands");
+    println!(
+        "topology: Germany50 ({} nodes, {} links), {} demands",
+        net.node_count(),
+        net.edge_count(),
+        demands.len()
+    );
+
+    let ospf_cfg = HeurOspfConfig {
+        seed: 42,
+        restarts: 0,
+        max_passes: if fast_mode() { 3 } else { 10 },
+        ..Default::default()
+    };
+
+    let timings = vec![
+        time_pair("HeurOSPF", parallel, || {
+            let w = heur_ospf(&net, &demands, &ospf_cfg);
+            let mlu = Router::new(&net, &w).mlu(&demands).expect("routes");
+            (weight_bits(&w), mlu.to_bits())
+        }),
+        time_pair("GreedyWPO", parallel, || {
+            let w = WeightSetting::inverse_capacity(&net);
+            let wp = greedy_wpo(&net, &demands, &w, &GreedyWpoConfig::default()).expect("routes");
+            let mlu = Router::new(&net, &w)
+                .evaluate(&demands, &wp)
+                .expect("routes")
+                .mlu;
+            (wp, mlu.to_bits())
+        }),
+        time_pair("JOINT-Heur", parallel, || {
+            let r = joint_heur(
+                &net,
+                &demands,
+                &JointHeurConfig {
+                    ospf: ospf_cfg.clone(),
+                    ..Default::default()
+                },
+            )
+            .expect("routes");
+            (weight_bits(&r.weights), r.waypoints, r.mlu.to_bits())
+        }),
+    ];
+
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>9} {:>10}",
+        "algorithm", "serial(ms)", "parallel(ms)", "speedup", "identical"
+    );
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    for t in &timings {
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>8.2}x {:>10}",
+            t.name,
+            t.serial_ms,
+            t.parallel_ms,
+            t.speedup(),
+            t.identical
+        );
+        all_identical &= t.identical;
+        rows.push(json!({
+            "algorithm": t.name,
+            "serial_ms": t.serial_ms,
+            "parallel_ms": t.parallel_ms,
+            "speedup": t.speedup(),
+            "identical": t.identical,
+        }));
+    }
+    assert!(all_identical, "serial and parallel runs diverged");
+
+    let record = json!({
+        "topology": "Germany50",
+        "demands": demands.len(),
+        "host_cpus": host_cpus,
+        "parallel_threads": parallel,
+        "fast_mode": fast_mode(),
+        "results": rows,
+    });
+    if let Err(e) = std::fs::write("BENCH_parallel.json", record.render()) {
+        eprintln!("warning: cannot write BENCH_parallel.json: {e}");
+    } else {
+        println!("\n[results written to BENCH_parallel.json]");
+    }
+    segrout_bench::finish_obs();
+}
+
+/// Bit pattern of a weight setting (exact comparison, no tolerance).
+fn weight_bits(w: &WeightSetting) -> Vec<u64> {
+    w.as_slice().iter().map(|x| x.to_bits()).collect()
+}

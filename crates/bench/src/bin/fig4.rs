@@ -64,24 +64,28 @@ fn main() {
         for (name, net) in &topologies {
             let started = Instant::now();
             let mut cols = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-            for seed in 0..n_seeds {
+            // Fan the demand-set seeds out over the pool; results come back
+            // in seed order, so stats and JSON records are independent of
+            // the thread count.
+            let per_seed = segrout_par::par_map(n_seeds as usize, |s| {
+                let seed = s as u64;
                 let cfg = TrafficConfig {
                     seed: 1000 + seed,
                     pair_fraction,
                     ..Default::default()
                 };
-                let demands = match mcf_synthetic(net, &cfg) {
-                    Ok(d) => d,
-                    Err(e) => {
-                        eprintln!("skipping {name} seed {seed}: {e}");
-                        continue;
+                mcf_synthetic(net, &cfg).map(|demands| run_algorithms(net, &demands, seed))
+            });
+            for (seed, outcome) in per_seed.into_iter().enumerate() {
+                match outcome {
+                    Ok((inv, heur, greedy, joint)) => {
+                        cols[0].push(inv);
+                        cols[1].push(heur);
+                        cols[2].push(greedy);
+                        cols[3].push(joint);
                     }
-                };
-                let (inv, heur, greedy, joint) = run_algorithms(net, &demands, seed);
-                cols[0].push(inv);
-                cols[1].push(heur);
-                cols[2].push(greedy);
-                cols[3].push(joint);
+                    Err(e) => eprintln!("skipping {name} seed {seed}: {e}"),
+                }
             }
             let stats: Vec<_> = cols.iter().map(|c| stat(c)).collect();
             println!(

@@ -30,22 +30,20 @@ fn main() {
     let mut joint_all = Vec::new();
     for (name, net) in fig6_topologies() {
         let mut cols = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-        for seed in 0..n_seeds {
-            let demands = match gravity(
+        // Fan the traffic-matrix seeds out over the pool; results come back
+        // in seed order, so stats and JSON records are independent of the
+        // thread count.
+        let per_seed = segrout_par::par_map(n_seeds as usize, |s| {
+            let seed = s as u64;
+            let demands = gravity(
                 &net,
                 &TrafficConfig {
                     seed: 300 + seed,
                     ..Default::default()
                 },
-            ) {
-                Ok(d) => d,
-                Err(e) => {
-                    eprintln!("skipping {name} seed {seed}: {e}");
-                    continue;
-                }
-            };
+            )?;
             let inv_w = WeightSetting::inverse_capacity(&net);
-            cols[0].push(Router::new(&net, &inv_w).mlu(&demands).expect("routes"));
+            let inv = Router::new(&net, &inv_w).mlu(&demands).expect("routes");
 
             let ospf_cfg = HeurOspfConfig {
                 seed: 13 + seed,
@@ -54,16 +52,14 @@ fn main() {
                 ..Default::default()
             };
             let heur_w = heur_ospf(&net, &demands, &ospf_cfg);
-            cols[1].push(Router::new(&net, &heur_w).mlu(&demands).expect("routes"));
+            let heur = Router::new(&net, &heur_w).mlu(&demands).expect("routes");
 
             let wp =
                 greedy_wpo(&net, &demands, &inv_w, &GreedyWpoConfig::default()).expect("routes");
-            cols[2].push(
-                Router::new(&net, &inv_w)
-                    .evaluate(&demands, &wp)
-                    .expect("routes")
-                    .mlu,
-            );
+            let greedy = Router::new(&net, &inv_w)
+                .evaluate(&demands, &wp)
+                .expect("routes")
+                .mlu;
 
             let joint = joint_heur(
                 &net,
@@ -74,7 +70,18 @@ fn main() {
                 },
             )
             .expect("routes");
-            cols[3].push(joint.mlu);
+            Ok::<_, segrout_core::TeError>((inv, heur, greedy, joint.mlu))
+        });
+        for (seed, outcome) in per_seed.into_iter().enumerate() {
+            match outcome {
+                Ok((inv, heur, greedy, joint)) => {
+                    cols[0].push(inv);
+                    cols[1].push(heur);
+                    cols[2].push(greedy);
+                    cols[3].push(joint);
+                }
+                Err(e) => eprintln!("skipping {name} seed {seed}: {e}"),
+            }
         }
         let stats: Vec<_> = cols.iter().map(|c| stat(c)).collect();
         println!(

@@ -35,7 +35,10 @@ fn main() {
         "{:>6} {:>6} {:>10} {:>10} {:>12} {:>12} {:>12}",
         "m", "n", "Joint", "LWO", "R_LWO", "WPO(unit)", "WPO(opt-w)"
     );
-    for m in [4usize, 8, 16, 32, 64] {
+    // Instance sizes evaluate independently: fan each size loop out over
+    // the pool, then print/record the rows back in size order.
+    let sizes1 = [4usize, 8, 16, 32, 64];
+    let rows1 = segrout_par::par_map_slice(&sizes1, |_, &m| {
         let inst = instance1(m);
         let joint = Router::new(&inst.network, &inst.joint_weights)
             .evaluate(&inst.demands, &inst.joint_waypoints)
@@ -54,6 +57,9 @@ fn main() {
             &WeightSetting::unit(&inst.network),
         );
         let wpo_opt = wpo_mlu(&inst.network, &inst.demands, &lwo_w);
+        (joint, lwo, wpo_unit, wpo_opt)
+    });
+    for (&m, (joint, lwo, wpo_unit, wpo_opt)) in sizes1.iter().zip(rows1) {
         println!(
             "{:>6} {:>6} {:>10.3} {:>10.3} {:>12.3} {:>12.3} {:>12.3}",
             m,
@@ -77,21 +83,25 @@ fn main() {
         "{:>6} {:>10} {:>12} {:>12}",
         "m", "H_m", "LWO>=H_m", "LWO-APX ach."
     );
-    for m in [8usize, 16, 32, 64] {
+    let sizes2 = [8usize, 16, 32, 64];
+    let rows2 = segrout_par::par_map_slice(&sizes2, |_, &m| {
         let inst = instance2(m);
         let router = Router::new(&inst.network, &inst.joint_weights);
         let lwo = router.mlu(&inst.demands).expect("routes");
         let apx = lwo_apx(&inst.network, inst.source, inst.target).expect("routes");
+        (lwo, apx.achieved_ratio())
+    });
+    for (&m, (lwo, apx_ratio)) in sizes2.iter().zip(rows2) {
         println!(
             "{:>6} {:>10.3} {:>12.3} {:>12.3}",
             m,
             harmonic(m),
             lwo,
-            apx.achieved_ratio()
+            apx_ratio
         );
         records.push(json!({
             "instance": 2, "m": m, "h_m": harmonic(m), "lwo": lwo,
-            "lwo_apx_ratio": apx.achieved_ratio(),
+            "lwo_apx_ratio": apx_ratio,
         }));
     }
 
@@ -101,7 +111,8 @@ fn main() {
         "{:>6} {:>6} {:>10} {:>12} {:>14} {:>14}",
         "m", "n", "Joint", "LWO(D/2)", "R_LWO", "n·log n"
     );
-    for m in [3usize, 5, 8, 12, 16] {
+    let sizes3 = [3usize, 5, 8, 12, 16];
+    let rows3 = segrout_par::par_map_slice(&sizes3, |_, &m| {
         let inst = instance3(m);
         let joint = Router::new(&inst.network, &inst.joint_weights)
             .evaluate(&inst.demands, &inst.joint_waypoints)
@@ -111,6 +122,9 @@ fn main() {
         let lwo = Router::new(&inst.network, &lwo_w)
             .mlu(&inst.demands)
             .expect("routes");
+        (joint, lwo)
+    });
+    for (&m, (joint, lwo)) in sizes3.iter().zip(rows3) {
         let n = 2 * m;
         println!(
             "{:>6} {:>6} {:>10.3} {:>12.3} {:>14.3} {:>14.3}",
@@ -129,19 +143,17 @@ fn main() {
     // ---------------- Instance 5: the combined gap ----------------
     println!("\nTE-Instance 5 (§3.5) — combined construction:");
     println!("{:>6} {:>6} {:>10} {:>14}", "m", "n", "Joint", "D = m·H_m");
-    for m in [3usize, 5, 8] {
+    let sizes5 = [3usize, 5, 8];
+    let rows5 = segrout_par::par_map_slice(&sizes5, |_, &m| {
         let inst = instance5(m);
         let joint = Router::new(&inst.network, &inst.joint_weights)
             .evaluate(&inst.demands, &inst.joint_waypoints)
             .expect("routes")
             .mlu;
-        println!(
-            "{:>6} {:>6} {:>10.3} {:>14.3}",
-            m,
-            4 * m + 1,
-            joint,
-            inst.demands.total_size()
-        );
+        (joint, inst.demands.total_size())
+    });
+    for (&m, (joint, total)) in sizes5.iter().zip(rows5) {
+        println!("{:>6} {:>6} {:>10.3} {:>14.3}", m, 4 * m + 1, joint, total);
         records.push(json!({"instance": 5, "m": m, "joint": joint}));
     }
 

@@ -105,9 +105,9 @@ pub fn write_json(name: &str, value: &Json) {
 }
 
 /// Applies the shared observability CLI flags (`--log-level <level>`,
-/// `--metrics-out <file.jsonl>`) from this process's arguments, so every
-/// figure binary emits telemetry artifacts comparable to
-/// `segrout optimize`. Unknown arguments are ignored (the binaries are
+/// `--metrics-out <file.jsonl>`, `--threads <N>`) from this process's
+/// arguments, so every figure binary emits telemetry artifacts comparable
+/// to `segrout optimize`. Unknown arguments are ignored (the binaries are
 /// otherwise configured by environment variables).
 pub fn init_obs_from_args() {
     let args: Vec<String> = std::env::args().collect();
@@ -123,6 +123,10 @@ pub fn init_obs_from_args() {
                     eprintln!("warning: cannot open {}: {e}", args[i + 1]);
                 }
             }
+            "--threads" => match args[i + 1].parse::<usize>() {
+                Ok(n) if n > 0 => segrout_par::set_threads(n),
+                _ => eprintln!("warning: --threads expects a positive integer"),
+            },
             _ => {
                 i += 1;
                 continue;
@@ -130,6 +134,9 @@ pub fn init_obs_from_args() {
         }
         i += 2;
     }
+    // Record the effective thread count (flag, SEGROUT_THREADS, or the
+    // hardware default) in the summary table and JSONL telemetry.
+    segrout_obs::gauge("par.threads").set(segrout_par::threads() as f64);
 }
 
 /// Dumps the metric registry to any JSONL sink and flushes all sinks.

@@ -12,6 +12,13 @@
 //! propagation pass over that destination's shortest-path DAG, which makes
 //! evaluating a full demand matrix `O(Σ_t (E log V))` — one Dijkstra and one
 //! linear sweep per distinct destination.
+//!
+//! Destination passes are independent, so [`Router::add_segment_loads`] fans
+//! them out over the `segrout-par` pool. Destinations are grouped in a
+//! `BTreeMap` and their per-destination load vectors are summed **in
+//! destination order on the calling thread**, so the result is bit-identical
+//! at any thread count (`f64` accumulation order never depends on
+//! scheduling).
 
 use crate::cost::max_link_utilization;
 use crate::demand::DemandList;
@@ -20,9 +27,8 @@ use crate::network::Network;
 use crate::waypoints::WaypointSetting;
 use crate::weights::WeightSetting;
 use segrout_graph::{shortest_path_dag, EdgeId, NodeId, SpDag, EPS};
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 /// One routing segment: `amount` units of flow from `src` to `dst`, routed
 /// as an ECMP flow towards `dst`.
@@ -49,7 +55,10 @@ pub struct LoadReport {
 ///
 /// Shortest-path DAGs are computed lazily per destination and cached, so the
 /// waypoint optimizers can evaluate thousands of candidate routings against
-/// the same weight setting cheaply.
+/// the same weight setting cheaply. The cache is a `OnceLock` per
+/// destination, making the router `Sync`: optimizer workers probe candidate
+/// waypoints against one shared router concurrently, and each DAG is still
+/// computed at most once.
 ///
 /// ```
 /// use segrout_core::{DemandList, Network, NodeId, Router, WaypointSetting, WeightSetting};
@@ -74,10 +83,10 @@ pub struct LoadReport {
 pub struct Router<'n> {
     net: &'n Network,
     weights: Vec<f64>,
-    dags: RefCell<Vec<Option<Rc<SpDag>>>>,
+    dags: Vec<OnceLock<Arc<SpDag>>>,
     // Handle fetched once per router so cache misses pay a single atomic
     // add, not a registry lookup.
-    recomputes: std::sync::Arc<segrout_obs::Counter>,
+    recomputes: Arc<segrout_obs::Counter>,
 }
 
 impl<'n> Router<'n> {
@@ -86,7 +95,7 @@ impl<'n> Router<'n> {
         Self {
             net,
             weights: weights.as_slice().to_vec(),
-            dags: RefCell::new(vec![None; net.node_count()]),
+            dags: (0..net.node_count()).map(|_| OnceLock::new()).collect(),
             recomputes: segrout_obs::counter("ecmp.recomputes"),
         }
     }
@@ -104,18 +113,11 @@ impl<'n> Router<'n> {
     }
 
     /// The (cached) shortest-path DAG towards `t`.
-    pub fn dag(&self, t: NodeId) -> Rc<SpDag> {
-        let mut dags = self.dags.borrow_mut();
-        let slot = &mut dags[t.index()];
-        if slot.is_none() {
+    pub fn dag(&self, t: NodeId) -> Arc<SpDag> {
+        Arc::clone(self.dags[t.index()].get_or_init(|| {
             self.recomputes.inc();
-            *slot = Some(Rc::new(shortest_path_dag(
-                self.net.graph(),
-                &self.weights,
-                t,
-            )));
-        }
-        Rc::clone(slot.as_ref().expect("just inserted"))
+            Arc::new(shortest_path_dag(self.net.graph(), &self.weights, t))
+        }))
     }
 
     /// Shortest-path distance from `s` to `t` under the router's weights.
@@ -133,13 +135,17 @@ impl<'n> Router<'n> {
     }
 
     /// Adds the loads of `segments` onto an existing load vector.
+    ///
+    /// Destination passes run on the `segrout-par` pool; the per-destination
+    /// load vectors are summed in ascending destination order on the calling
+    /// thread, so the result does not depend on the thread count.
     pub fn add_segment_loads(
         &self,
         segments: &[Segment],
         loads: &mut [f64],
     ) -> Result<(), TeError> {
-        // Group injected amounts by destination.
-        let mut by_dest: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
+        // Group injected amounts by destination, in deterministic order.
+        let mut by_dest: BTreeMap<NodeId, Vec<(NodeId, f64)>> = BTreeMap::new();
         for seg in segments {
             if seg.src == seg.dst || seg.amount <= EPS {
                 continue;
@@ -149,33 +155,52 @@ impl<'n> Router<'n> {
                 .or_default()
                 .push((seg.src, seg.amount));
         }
-        let mut node_flow = vec![0.0; self.net.node_count()];
-        for (t, injections) in by_dest {
-            let dag = self.dag(t);
-            node_flow.fill(0.0);
-            for &(s, amount) in &injections {
-                if !dag.reaches_target(s) {
-                    return Err(TeError::Unroutable { src: s, dst: t });
-                }
-                node_flow[s.index()] += amount;
-            }
-            // `dag.order` is topological (decreasing distance), so each node
-            // has received its full inflow before we split it.
-            for &v in &dag.order {
-                let f = node_flow[v.index()];
-                if f <= EPS || v == t {
-                    continue;
-                }
-                let outs = &dag.dag_out[v.index()];
-                debug_assert!(!outs.is_empty(), "non-target node on DAG without out-edge");
-                let share = f / outs.len() as f64;
-                for &e in outs {
-                    loads[e.index()] += share;
-                    node_flow[self.net.graph().dst(e).index()] += share;
-                }
+        let dests: Vec<(NodeId, Vec<(NodeId, f64)>)> = by_dest.into_iter().collect();
+        let per_dest = segrout_par::par_map(dests.len(), |i| {
+            let (t, injections) = &dests[i];
+            self.destination_loads(*t, injections)
+        });
+        for dest_loads in per_dest {
+            for (slot, l) in loads.iter_mut().zip(dest_loads?) {
+                *slot += l;
             }
         }
         Ok(())
+    }
+
+    /// One propagation pass: the dense load vector of all `injections`
+    /// routed towards `t`. Pure per-destination work, safe to run on any
+    /// worker thread.
+    fn destination_loads(
+        &self,
+        t: NodeId,
+        injections: &[(NodeId, f64)],
+    ) -> Result<Vec<f64>, TeError> {
+        let dag = self.dag(t);
+        let mut loads = vec![0.0; self.net.edge_count()];
+        let mut node_flow = vec![0.0; self.net.node_count()];
+        for &(s, amount) in injections {
+            if !dag.reaches_target(s) {
+                return Err(TeError::Unroutable { src: s, dst: t });
+            }
+            node_flow[s.index()] += amount;
+        }
+        // `dag.order` is topological (decreasing distance), so each node
+        // has received its full inflow before we split it.
+        for &v in &dag.order {
+            let f = node_flow[v.index()];
+            if f <= EPS || v == t {
+                continue;
+            }
+            let outs = &dag.dag_out[v.index()];
+            debug_assert!(!outs.is_empty(), "non-target node on DAG without out-edge");
+            let share = f / outs.len() as f64;
+            for &e in outs {
+                loads[e.index()] += share;
+                node_flow[self.net.graph().dst(e).index()] += share;
+            }
+        }
+        Ok(loads)
     }
 
     /// Loads of a single unit segment `src → dst` of size `amount`, returned
@@ -415,7 +440,7 @@ mod tests {
         let router = Router::new(&net, &WeightSetting::unit(&net));
         let a = router.dag(NodeId(3));
         let b = router.dag(NodeId(3));
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the full test suite.
+# Local CI gate: formatting, lints, the full test suite under both a
+# serial and a parallel thread count, and the serial-vs-parallel
+# benchmark record.
 # Run from the repository root: ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,7 +12,17 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+# The pool's determinism contract means the thread count must be
+# invisible to every test: run the whole suite serially and again with
+# the pool active.
+echo "==> cargo test -q --workspace  (SEGROUT_THREADS=1)"
+SEGROUT_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test -q --workspace  (SEGROUT_THREADS=4)"
+SEGROUT_THREADS=4 cargo test -q --workspace
+
+echo "==> bench_parallel (writes BENCH_parallel.json; SEGROUT_FAST=1 for a smoke run)"
+cargo build --release -q -p segrout-bench
+./target/release/bench_parallel
 
 echo "CI OK"

@@ -36,6 +36,7 @@
 //! | [`sim`]   | hash-based ECMP stream simulator |
 //! | [`instances`] | the paper's worst-case constructions |
 //! | [`obs`]   | structured events, span timers, metrics registry, JSONL telemetry |
+//! | [`par`]   | deterministic worker pool: chunked `par_map` with ordered reduction |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +48,7 @@ pub use segrout_instances as instances;
 pub use segrout_lp as lp;
 pub use segrout_milp as milp;
 pub use segrout_obs as obs;
+pub use segrout_par as par;
 pub use segrout_sim as sim;
 pub use segrout_topo as topo;
 pub use segrout_traffic as traffic;

@@ -69,11 +69,14 @@ USAGE:
 
 OBSERVABILITY (any command):
   --log-level error|warn|info|debug|trace   stderr event verbosity (default warn)
-  --metrics-out <file.jsonl>                write events + final metrics as JSON lines"
+  --metrics-out <file.jsonl>                write events + final metrics as JSON lines
+  --threads <N>                             worker threads for the parallel optimizer
+                                            paths (default: SEGROUT_THREADS, else all
+                                            cores; results are identical at any N)"
     );
 }
 
-/// Applies the global `--log-level` and `--metrics-out` flags.
+/// Applies the global `--log-level`, `--metrics-out` and `--threads` flags.
 fn init_observability(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(level) = flags.get("log-level") {
         let parsed = level
@@ -85,6 +88,17 @@ fn init_observability(flags: &HashMap<String, String>) -> Result<(), String> {
         segrout::obs::init_jsonl(std::path::Path::new(path))
             .map_err(|e| format!("--metrics-out {path}: {e}"))?;
     }
+    if let Some(n) = flags.get("threads") {
+        let n: usize = n
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--threads: expected a positive integer")?;
+        segrout::par::set_threads(n);
+    }
+    // Record the effective thread count in the run-summary table and in the
+    // JSONL telemetry, whichever knob set it.
+    segrout::obs::gauge("par.threads").set(segrout::par::threads() as f64);
     Ok(())
 }
 
@@ -157,6 +171,8 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         "dijkstra.relaxations",
         "dijkstra.runs",
         "mcf.phases",
+        "par.tasks",
+        "par.batches",
     ] {
         segrout::obs::counter(name);
     }

@@ -9,8 +9,15 @@ use segrout_core::rng::StdRng;
 use segrout_core::{DemandList, Network, NodeId, Router, WaypointSetting, WeightSetting};
 use segrout_graph::{acyclic_max_flow, decompose_into_paths, is_acyclic, max_flow, min_cut};
 use segrout_topo::random_connected;
+use std::sync::{Mutex, MutexGuard};
 
 const CASES: u64 = 48;
+
+/// Serializes tests that sweep the (process-global) thread-count override.
+fn threads_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One generated case: a strongly connected network with 4-13 nodes plus a
 /// vector of integer link weights in 1..=20.
@@ -238,6 +245,119 @@ fn max_flow_min_cut_duality() {
         );
         assert!(cut.source_side[s.index()], "seed {seed}");
         assert!(!cut.source_side[t.index()], "seed {seed}");
+    }
+}
+
+/// The parallel evaluator obeys flow conservation on multi-demand lists:
+/// every transit node is balanced and the inflow at each target exceeds its
+/// net terminating demand — and the loads are bit-identical at 1, 2 and 8
+/// threads.
+#[test]
+fn parallel_evaluator_conserves_flow() {
+    let _guard = threads_lock();
+    for seed in 0..CASES / 4 {
+        let (net, weights, seed) = case(seed);
+        let w = WeightSetting::new(&net, weights).expect("valid");
+        let n = net.node_count() as u32;
+        // A multi-demand list with several distinct destinations, so the
+        // evaluator's per-destination fan-out actually has work to split.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xa076_1d64_78bd_642f));
+        let mut demands = DemandList::new();
+        for _ in 0..8 {
+            let s = rng.gen_range(0..n);
+            let t = rng.gen_range(0..n);
+            if s != t {
+                demands.push(NodeId(s), NodeId(t), f64::from(rng.gen_range(1..=5u32)));
+            }
+        }
+        if demands.is_empty() {
+            continue;
+        }
+
+        let mut reference: Option<Vec<u64>> = None;
+        for threads in [1usize, 2, 8] {
+            segrout_par::set_threads(threads);
+            let router = Router::new(&net, &w);
+            let report = router
+                .evaluate(&demands, &WaypointSetting::none(demands.len()))
+                .expect("strongly connected");
+            segrout_par::set_threads(0);
+
+            // Bit-identical loads across thread counts.
+            let bits: Vec<u64> = report.loads.iter().map(|x| x.to_bits()).collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(&bits, r, "seed {seed}: threads={threads} diverged"),
+            }
+
+            // Conservation: at every node, inflow - outflow equals the net
+            // demand terminating there (demands ending minus starting).
+            let g = net.graph();
+            for v in g.nodes() {
+                let inflow: f64 = g.in_edges(v).iter().map(|e| report.loads[e.index()]).sum();
+                let outflow: f64 = g.out_edges(v).iter().map(|e| report.loads[e.index()]).sum();
+                let net_terminating: f64 = demands
+                    .iter()
+                    .map(|d| {
+                        if d.dst == v {
+                            d.size
+                        } else if d.src == v {
+                            -d.size
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum();
+                assert!(
+                    (inflow - outflow - net_terminating).abs() < 1e-9,
+                    "seed {seed} threads {threads}: imbalance at {v:?}: \
+                     in {inflow} out {outflow} net demand {net_terminating}"
+                );
+            }
+        }
+    }
+}
+
+/// No weight setting beats the fluid (MCF) optimum: for a single demand of
+/// size equal to the max-flow value, the MLU of `lwo_apx`'s weights is at
+/// least 1. Verified under the parallel evaluator at 1 and 4 threads.
+#[test]
+fn lwo_apx_never_beats_mcf_lower_bound() {
+    let _guard = threads_lock();
+    for seed in 0..CASES / 2 {
+        let (net, _weights, seed) = case(seed);
+        let n = net.node_count() as u32;
+        let s = NodeId(seed as u32 % n);
+        let t = NodeId((seed as u32 + 1) % n);
+        if s == t {
+            continue;
+        }
+        // MCF lower bound for one (s,t) pair: routing `maxflow` units needs
+        // MLU >= 1 under ANY weight setting (ECMP is a feasible flow).
+        let flow = max_flow(net.graph(), net.capacities(), s, t);
+        assert!(flow.value > 0.0, "seed {seed}: disconnected pair");
+        let r = lwo_apx(&net, s, t).expect("strongly connected");
+        let mut demands = DemandList::new();
+        demands.push(s, t, flow.value);
+
+        let mut reference: Option<u64> = None;
+        for threads in [1usize, 4] {
+            segrout_par::set_threads(threads);
+            let mlu = Router::new(&net, &r.weights).mlu(&demands).expect("routes");
+            segrout_par::set_threads(0);
+            assert!(
+                mlu >= 1.0 - 1e-9,
+                "seed {seed} threads {threads}: ECMP beat the MCF bound: {mlu}"
+            );
+            match reference {
+                None => reference = Some(mlu.to_bits()),
+                Some(bits) => assert_eq!(
+                    mlu.to_bits(),
+                    bits,
+                    "seed {seed}: threads={threads} diverged"
+                ),
+            }
+        }
     }
 }
 

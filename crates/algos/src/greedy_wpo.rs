@@ -26,6 +26,47 @@ use segrout_obs::{event, Level};
 /// Sparse per-edge load delta of one candidate routing.
 type SparseLoads = Vec<(EdgeId, f64)>;
 
+/// MLU of `loads` patched by the sparse `delta`, without materializing the
+/// patched vector.
+///
+/// `base_util_desc` holds the *unpatched* per-edge utilizations sorted in
+/// descending order: the maximum over edges the delta does not touch is the
+/// first untouched entry in that order, so a probe costs `O(|δ|²
+/// + |δ| · scan)` instead of an `O(|E|)` clone-and-fold.
+///
+/// Bit-identity with the dense path: each touched edge's patched load
+/// replays the exact accumulation sequence `loads[e] += l` would perform on
+/// a full copy (first occurrence reads the base load, later duplicates add
+/// onto the running sum, in delta order), and a maximum over the same value
+/// multiset is order-independent, so the result equals
+/// `max_link_utilization(&patched, caps)` bit for bit.
+fn patched_mlu(
+    loads: &[f64],
+    caps: &[f64],
+    base_util_desc: &[(f64, usize)],
+    delta: &SparseLoads,
+) -> f64 {
+    let mut touched: Vec<(usize, f64)> = Vec::with_capacity(delta.len());
+    for &(e, l) in delta {
+        let idx = e.index();
+        match touched.iter_mut().find(|(te, _)| *te == idx) {
+            Some((_, v)) => *v += l,
+            None => touched.push((idx, loads[idx] + l)),
+        }
+    }
+    let mut mlu = 0.0f64;
+    for &(u, idx) in base_util_desc {
+        if !touched.iter().any(|&(te, _)| te == idx) {
+            mlu = mlu.max(u);
+            break; // descending order: the first untouched edge is the max
+        }
+    }
+    for &(idx, v) in &touched {
+        mlu = mlu.max(v / caps[idx]);
+    }
+    mlu
+}
+
 /// Configuration of GreedyWPO.
 #[derive(Clone, Debug)]
 pub struct GreedyWpoConfig {
@@ -113,6 +154,17 @@ pub fn greedy_wpo(
             for &(e, l) in &current {
                 loads[e.index()] -= l;
             }
+            // Base utilizations sorted descending, shared read-only by every
+            // probe of this demand: one O(|E| log |E|) sort replaces an
+            // O(|E|) load-vector clone per probe.
+            let mut base_util: Vec<(f64, usize)> = loads
+                .iter()
+                .zip(caps)
+                .map(|(l, c)| l / c)
+                .enumerate()
+                .map(|(idx, u)| (u, idx))
+                .collect();
+            base_util.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
 
             // Candidate chains in fixed (position, waypoint) order; the
             // parallel probe results are folded back in this same order.
@@ -128,14 +180,11 @@ pub fn greedy_wpo(
                 }
             }
             // Each probe re-routes the demand along its candidate chain and
-            // evaluates the resulting MLU against a private load copy.
+            // evaluates the patched MLU from the shared base state — no
+            // per-probe load-vector copy.
             let evals = segrout_par::par_map_slice(&probes, |_, cand| {
                 let delta = chain_loads(cand, d.src, d.dst, d.size).ok()?;
-                let mut probe_loads = loads.clone();
-                for &(e, l) in &delta {
-                    probe_loads[e.index()] += l;
-                }
-                Some((max_link_utilization(&probe_loads, caps), delta))
+                Some((patched_mlu(&loads, caps, &base_util, &delta), delta))
             });
 
             let mut best: Option<(Vec<NodeId>, f64, SparseLoads)> = None;
@@ -199,6 +248,42 @@ pub fn greedy_wpo(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The sparse probe evaluation must equal the dense clone-and-fold it
+    /// replaced, bit for bit — including duplicate edges inside one delta
+    /// (two segments of a chain sharing a link) and deltas that demote the
+    /// current maximum edge.
+    #[test]
+    fn patched_mlu_matches_dense_evaluation() {
+        let loads = vec![0.3, 1.5, 0.0, 2.25, 0.7];
+        let caps = vec![1.0, 2.0, 1.0, 3.0, 0.5];
+        let mut base_util: Vec<(f64, usize)> = loads
+            .iter()
+            .zip(&caps)
+            .map(|(l, c)| l / c)
+            .enumerate()
+            .map(|(idx, u)| (u, idx))
+            .collect();
+        base_util.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+
+        let deltas: Vec<SparseLoads> = vec![
+            vec![],
+            vec![(EdgeId(2), 0.125)],
+            vec![(EdgeId(4), 0.1), (EdgeId(4), 0.2)], // duplicate edge
+            vec![(EdgeId(4), -0.7)],                  // demote the max edge
+            (0..5).map(|e| (EdgeId(e), 0.01 * e as f64)).collect(), // all touched
+            vec![(EdgeId(1), 0.3), (EdgeId(3), 0.41), (EdgeId(1), 0.3)],
+        ];
+        for delta in &deltas {
+            let mut dense = loads.clone();
+            for &(e, l) in delta {
+                dense[e.index()] += l;
+            }
+            let want = max_link_utilization(&dense, &caps);
+            let got = patched_mlu(&loads, &caps, &base_util, delta);
+            assert_eq!(got.to_bits(), want.to_bits(), "delta {delta:?}");
+        }
+    }
 
     /// TE-Instance-1 shape with m = 3: chain s=0 -> 1 -> 2 with thick links
     /// (cap 3), thin links (cap 1) from each chain node to t=3.

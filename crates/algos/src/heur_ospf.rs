@@ -9,21 +9,30 @@
 //! settings, and a no-improvement full pass ends a descent.
 //!
 //! Each link's candidate neighbourhood is scored **speculatively in
-//! parallel** on the `segrout-par` pool (one full ECMP evaluation per
-//! candidate), then the first improving candidate in fixed candidate order
-//! is accepted. Candidate generation, visited-set filtering, and the
-//! accepting reduction all run serially on the caller, so the search is
-//! bit-identical at any thread count.
+//! parallel** on the `segrout-par` pool, then the first improving candidate
+//! in fixed candidate order is accepted. Candidate generation, visited-set
+//! filtering, and the accepting reduction all run serially on the caller, so
+//! the search is bit-identical at any thread count.
+//!
+//! Candidate scoring goes through the **incremental evaluation engine**
+//! ([`segrout_core::IncrementalEvaluator`]): probes borrow the shared base
+//! state read-only and repair only the destinations whose shortest-path DAG
+//! the single-edge change can touch; the accepted move is committed in
+//! place. Probe answers are bit-identical to a from-scratch evaluation, so
+//! the search trajectory is byte-for-byte the one the (slower) from-scratch
+//! scorer produces — `use_incremental: false` in [`HeurOspfConfig`] selects
+//! that baseline scorer, which the benchmarks compare against.
 //!
 //! Objective: the paper's local search minimizes the piecewise-linear
 //! congestion cost `Φ` (which correlates with, and tie-breaks on, MLU); the
 //! evaluation in §7 reports MLU. Both orderings are supported.
 
 use segrout_core::rng::{SliceRandom, StdRng};
-use segrout_core::{fortz_phi, DemandList, Network, Router, WaypointSetting, WeightSetting};
+use segrout_core::{
+    fortz_phi, DemandList, IncrementalEvaluator, Network, Router, WaypointSetting, WeightSetting,
+};
 use segrout_obs::{event, Level};
 use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
 
 /// Which objective the local search descends on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +57,11 @@ pub struct HeurOspfConfig {
     pub objective: Objective,
     /// RNG seed (the search is deterministic given the seed).
     pub seed: u64,
+    /// Score candidates through the incremental evaluation engine (default).
+    /// `false` selects the from-scratch scorer — one full ECMP evaluation
+    /// per candidate — kept as the benchmark baseline; both scorers produce
+    /// bit-identical search trajectories.
+    pub use_incremental: bool,
 }
 
 impl Default for HeurOspfConfig {
@@ -58,6 +72,7 @@ impl Default for HeurOspfConfig {
             max_passes: 30,
             objective: Objective::MluThenPhi,
             seed: 0x5eed,
+            use_incremental: true,
         }
     }
 }
@@ -88,14 +103,39 @@ impl Score {
     }
 }
 
-fn hash_weights(w: &[u32]) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    w.hash(&mut h);
-    h.finish()
+/// Weight vectors already evaluated during one descent.
+///
+/// Membership is exact: the set stores the full integer vectors, not a
+/// digest. An earlier revision tracked a single 64-bit `DefaultHasher`
+/// digest per vector, so a hash collision would silently mark a
+/// never-evaluated candidate as visited and discard it — an unrecoverable
+/// false positive, since the local search never revisits. Lookups borrow
+/// the candidate as a slice, so only genuinely fresh vectors allocate.
+#[derive(Default)]
+struct VisitedSet(HashSet<Vec<u32>>);
+
+impl VisitedSet {
+    /// Inserts `w`, returning `true` when it was not seen before.
+    fn insert(&mut self, w: &[u32]) -> bool {
+        if self.0.contains(w) {
+            return false;
+        }
+        self.0.insert(w.to_vec())
+    }
 }
 
-/// Evaluates integer weights, returning the configured lexicographic score.
-/// Unroutable demand sets score infinitely bad.
+/// Folds `(Φ, MLU)` into the configured lexicographic ordering.
+fn score_from(phi: f64, mlu: f64, objective: Objective) -> Score {
+    match objective {
+        Objective::PhiThenMlu => Score(phi, mlu),
+        Objective::MluThenPhi => Score(mlu, phi),
+    }
+}
+
+/// Evaluates integer weights from scratch, returning the configured
+/// lexicographic score. Unroutable demand sets score infinitely bad. This is
+/// the baseline scorer; the hot loop normally probes the incremental engine
+/// instead (bit-identical answers, a fraction of the work).
 fn score(net: &Network, demands: &DemandList, weights: &[u32], objective: Objective) -> Score {
     let w = WeightSetting::new(net, weights.iter().map(|&x| x as f64).collect())
         .expect("integer weights in range are always valid");
@@ -104,22 +144,32 @@ fn score(net: &Network, demands: &DemandList, weights: &[u32], objective: Object
         Err(_) => Score(f64::INFINITY, f64::INFINITY),
         Ok(report) => {
             let phi = fortz_phi(&report.loads, net.capacities());
-            match objective {
-                Objective::PhiThenMlu => Score(phi, report.mlu),
-                Objective::MluThenPhi => Score(report.mlu, phi),
-            }
+            score_from(phi, report.mlu, objective)
         }
     }
 }
 
 /// Scales the inverse-capacity setting into the integer range
 /// `[1, max_weight]` — the conventional warm start.
+///
+/// # Panics
+/// Panics with a descriptive message on degenerate inputs — an empty edge
+/// set or non-finite/non-positive capacities — instead of silently emitting
+/// `INFINITY`-derived garbage weights.
 fn inverse_capacity_start(net: &Network, max_weight: u32) -> Vec<u32> {
+    assert!(
+        net.edge_count() > 0,
+        "inverse-capacity start is undefined on a network with no links"
+    );
     let min_cap = net
         .capacities()
         .iter()
         .cloned()
         .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_cap.is_finite() && min_cap > 0.0,
+        "inverse-capacity start needs positive finite link capacities (min capacity = {min_cap})"
+    );
     net.capacities()
         .iter()
         .map(|&c| {
@@ -127,6 +177,29 @@ fn inverse_capacity_start(net: &Network, max_weight: u32) -> Vec<u32> {
             (w as u32).clamp(1, max_weight)
         })
         .collect()
+}
+
+/// Builds the incremental evaluation engine for the current integer weights.
+///
+/// `None` when the workload is unroutable (construction performs the same
+/// full evaluation `score` would): the caller then falls back to the scratch
+/// scorer, whose infinite score rejects every move — the pre-incremental
+/// behavior.
+fn build_evaluator<'n>(
+    net: &'n Network,
+    demands: &DemandList,
+    weights: &[u32],
+) -> Option<IncrementalEvaluator<'n>> {
+    let w = WeightSetting::new(net, weights.iter().map(|&x| x as f64).collect())
+        .expect("integer weights in range are always valid");
+    IncrementalEvaluator::new(net, &w, demands, &WaypointSetting::none(demands.len())).ok()
+}
+
+thread_local! {
+    /// Per-worker weight buffer for the from-scratch scorer, so speculative
+    /// candidate evaluation does not allocate a fresh vector per candidate.
+    static SCRATCH_WEIGHTS: std::cell::RefCell<Vec<u32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Runs the HeurOSPF local search, returning the best weight setting found.
@@ -166,7 +239,18 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
         } else {
             (0..m).map(|_| rng.gen_range(1..=cfg.max_weight)).collect()
         };
-        let mut cur_score = score(net, demands, &cur, cfg.objective);
+        // The evaluator owns the descent's base state (weights, per-dest
+        // DAGs and load partials, Φ/MLU); construction is one full
+        // evaluation, so its score is the restart's starting score.
+        let mut evaluator = if cfg.use_incremental {
+            build_evaluator(net, demands, &cur)
+        } else {
+            None
+        };
+        let mut cur_score = match &evaluator {
+            Some(ev) => score_from(ev.phi(), ev.mlu(), cfg.objective),
+            None => score(net, demands, &cur, cfg.objective),
+        };
         iterations.inc();
         event!(
             Level::Debug,
@@ -174,8 +258,8 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
             restart = restart,
             mlu = cur_score.mlu(cfg.objective),
         );
-        let mut visited: HashSet<u64> = HashSet::new();
-        visited.insert(hash_weights(&cur));
+        let mut visited = VisitedSet::default();
+        visited.insert(&cur);
 
         let mut edge_order: Vec<usize> = (0..m).collect();
         for pass in 0..cfg.max_passes {
@@ -207,9 +291,9 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                         continue;
                     }
                     cur[e] = cand;
-                    let h = hash_weights(&cur);
+                    let is_new = visited.insert(&cur);
                     cur[e] = old;
-                    if visited.insert(h) {
+                    if is_new {
                         fresh.push(cand);
                     }
                 }
@@ -217,26 +301,70 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                 // then accept the first improving candidate *in candidate
                 // order* — the ordered (score, index) reduction that keeps
                 // the search bit-identical at any thread count.
-                let scores = segrout_par::par_map_slice(&fresh, |_, &cand| {
-                    let mut w = cur.clone();
-                    w[e] = cand;
-                    score(net, demands, &w, cfg.objective)
-                });
                 pass_evals += fresh.len() as u64;
-                for (cand, s) in fresh.iter().zip(&scores) {
-                    if s.better_than(&cur_score) {
-                        cur[e] = *cand;
-                        cur_score = *s;
-                        improved = true;
-                        trajectory.push(cur_score.mlu(cfg.objective));
-                        event!(
-                            Level::Trace,
-                            "heurospf.accept",
-                            edge = e,
-                            weight = *cand,
-                            mlu = cur_score.mlu(cfg.objective),
-                        );
-                        break; // first improvement: keep cand
+                match evaluator.as_mut() {
+                    Some(ev) => {
+                        // Probes borrow the base state read-only: each one
+                        // repairs only the destinations the single-edge
+                        // change can affect, then re-sums the cached load
+                        // partials — no full ECMP evaluation, no weight
+                        // vector clone.
+                        let ev_ref: &IncrementalEvaluator = ev;
+                        let eid = segrout_core::EdgeId(e as u32);
+                        let mut probes = segrout_par::par_map_slice(&fresh, |_, &cand| {
+                            ev_ref.probe(eid, f64::from(cand)).ok()
+                        });
+                        for (idx, &cand) in fresh.iter().enumerate() {
+                            let s = match &probes[idx] {
+                                Some(p) => score_from(p.phi, p.mlu, cfg.objective),
+                                None => Score(f64::INFINITY, f64::INFINITY),
+                            };
+                            if s.better_than(&cur_score) {
+                                let p = probes[idx]
+                                    .take()
+                                    .expect("an infinite score never improves");
+                                ev.commit(p);
+                                cur[e] = cand;
+                                cur_score = s;
+                                improved = true;
+                                trajectory.push(cur_score.mlu(cfg.objective));
+                                event!(
+                                    Level::Trace,
+                                    "heurospf.accept",
+                                    edge = e,
+                                    weight = cand,
+                                    mlu = cur_score.mlu(cfg.objective),
+                                );
+                                break; // first improvement: keep cand
+                            }
+                        }
+                    }
+                    None => {
+                        let scores = segrout_par::par_map_slice(&fresh, |_, &cand| {
+                            SCRATCH_WEIGHTS.with(|buf| {
+                                let mut w = buf.borrow_mut();
+                                w.clear();
+                                w.extend_from_slice(&cur);
+                                w[e] = cand;
+                                score(net, demands, &w, cfg.objective)
+                            })
+                        });
+                        for (cand, s) in fresh.iter().zip(&scores) {
+                            if s.better_than(&cur_score) {
+                                cur[e] = *cand;
+                                cur_score = *s;
+                                improved = true;
+                                trajectory.push(cur_score.mlu(cfg.objective));
+                                event!(
+                                    Level::Trace,
+                                    "heurospf.accept",
+                                    edge = e,
+                                    weight = *cand,
+                                    mlu = cur_score.mlu(cfg.objective),
+                                );
+                                break; // first improvement: keep cand
+                            }
+                        }
                     }
                 }
             }
@@ -363,5 +491,81 @@ mod tests {
         let start = inverse_capacity_start(&net, 20);
         assert_eq!(start[0], 20); // thin link gets the largest weight
         assert_eq!(start[1], 2); // 1/10 of max, rounded
+    }
+
+    #[test]
+    #[should_panic(expected = "no links")]
+    fn inverse_capacity_start_rejects_edgeless_network() {
+        let net = Network::builder(3).build().unwrap();
+        inverse_capacity_start(&net, 20);
+    }
+
+    /// The visited set must be exact: every distinct weight vector is fresh
+    /// exactly once, regardless of how collision-prone its content is. (The
+    /// old 64-bit digest version could silently discard a never-evaluated
+    /// candidate on a hash collision.)
+    #[test]
+    fn visited_set_is_exact() {
+        let mut visited = VisitedSet::default();
+        let mut vectors: Vec<Vec<u32>> = Vec::new();
+        // Small, highly regular vectors — the worst case for weak digests.
+        for a in 1..=40u32 {
+            for b in 1..=40u32 {
+                vectors.push(vec![a, b]);
+                vectors.push(vec![b, a]);
+            }
+        }
+        for (i, v) in vectors.iter().enumerate() {
+            // a==b produces the only duplicates in the stream; every first
+            // occurrence must be fresh, every repeat must not.
+            let first_occurrence = vectors.iter().position(|x| x == v) == Some(i);
+            assert_eq!(visited.insert(v), first_occurrence, "vector {v:?}");
+        }
+        for v in &vectors {
+            assert!(!visited.insert(v), "vector {v:?} reported fresh twice");
+        }
+    }
+
+    /// The incremental scorer must retrace the from-scratch scorer's search
+    /// byte for byte: same accepted moves, same final weights.
+    #[test]
+    fn incremental_and_scratch_trajectories_agree() {
+        let mut nets: Vec<(Network, DemandList)> = vec![trap_network()];
+        let mut b = Network::builder(4);
+        b.bilink(NodeId(0), NodeId(1), 1.0);
+        b.bilink(NodeId(1), NodeId(2), 1.0);
+        b.bilink(NodeId(2), NodeId(3), 1.0);
+        b.bilink(NodeId(3), NodeId(0), 1.0);
+        b.bilink(NodeId(0), NodeId(2), 3.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(2), 1.0);
+        d.push(NodeId(2), NodeId(0), 1.0);
+        d.push(NodeId(1), NodeId(3), 0.5);
+        nets.push((net, d));
+
+        for (net, d) in &nets {
+            for objective in [Objective::MluThenPhi, Objective::PhiThenMlu] {
+                let incremental = heur_ospf(
+                    net,
+                    d,
+                    &HeurOspfConfig {
+                        objective,
+                        use_incremental: true,
+                        ..Default::default()
+                    },
+                );
+                let scratch = heur_ospf(
+                    net,
+                    d,
+                    &HeurOspfConfig {
+                        objective,
+                        use_incremental: false,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(incremental.as_slice(), scratch.as_slice());
+            }
+        }
     }
 }

@@ -13,6 +13,8 @@
 //! | `fig6` | Figure 6 — real-like (gravity) demands |
 //! | `fig7` | Figure 7 — hash-ECMP (Nanonet) experiment |
 //! | `ablation_joint` | §8 open questions — JOINT-Heur design knobs |
+//! | `bench_parallel` | serial vs parallel optimizer wall-time (`BENCH_parallel.json`) |
+//! | `bench_incremental` | incremental vs from-scratch candidate evaluation (`BENCH_incremental.json`) |
 //!
 //! Run e.g. `cargo run -p segrout-bench --release --bin fig4`. Binaries
 //! accept `SEGROUT_SEEDS=<k>` to change the number of demand sets

@@ -84,9 +84,18 @@ pub struct Router<'n> {
     net: &'n Network,
     weights: Vec<f64>,
     dags: Vec<OnceLock<Arc<SpDag>>>,
-    // Handle fetched once per router so cache misses pay a single atomic
-    // add, not a registry lookup.
-    recomputes: Arc<segrout_obs::Counter>,
+    // Handle resolved once per process so neither router construction nor
+    // cache misses pay a registry lookup (HeurOSPF builds a router per
+    // scored candidate on the from-scratch path).
+    recomputes: &'static Arc<segrout_obs::Counter>,
+}
+
+/// The `ecmp.recomputes` counter handle, resolved once per process. Every
+/// full per-destination DAG construction — by [`Router`] or by the
+/// incremental evaluator — increments it; bounded repairs do not.
+pub(crate) fn recompute_counter() -> &'static Arc<segrout_obs::Counter> {
+    static HANDLE: OnceLock<Arc<segrout_obs::Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| segrout_obs::counter("ecmp.recomputes"))
 }
 
 impl<'n> Router<'n> {
@@ -96,7 +105,7 @@ impl<'n> Router<'n> {
             net,
             weights: weights.as_slice().to_vec(),
             dags: (0..net.node_count()).map(|_| OnceLock::new()).collect(),
-            recomputes: segrout_obs::counter("ecmp.recomputes"),
+            recomputes: recompute_counter(),
         }
     }
 
@@ -145,17 +154,8 @@ impl<'n> Router<'n> {
         loads: &mut [f64],
     ) -> Result<(), TeError> {
         // Group injected amounts by destination, in deterministic order.
-        let mut by_dest: BTreeMap<NodeId, Vec<(NodeId, f64)>> = BTreeMap::new();
-        for seg in segments {
-            if seg.src == seg.dst || seg.amount <= EPS {
-                continue;
-            }
-            by_dest
-                .entry(seg.dst)
-                .or_default()
-                .push((seg.src, seg.amount));
-        }
-        let dests: Vec<(NodeId, Vec<(NodeId, f64)>)> = by_dest.into_iter().collect();
+        let dests: Vec<(NodeId, Vec<(NodeId, f64)>)> =
+            group_by_destination(segments).into_iter().collect();
         let per_dest = segrout_par::par_map(dests.len(), |i| {
             let (t, injections) = &dests[i];
             self.destination_loads(*t, injections)
@@ -179,27 +179,7 @@ impl<'n> Router<'n> {
         let dag = self.dag(t);
         let mut loads = vec![0.0; self.net.edge_count()];
         let mut node_flow = vec![0.0; self.net.node_count()];
-        for &(s, amount) in injections {
-            if !dag.reaches_target(s) {
-                return Err(TeError::Unroutable { src: s, dst: t });
-            }
-            node_flow[s.index()] += amount;
-        }
-        // `dag.order` is topological (decreasing distance), so each node
-        // has received its full inflow before we split it.
-        for &v in &dag.order {
-            let f = node_flow[v.index()];
-            if f <= EPS || v == t {
-                continue;
-            }
-            let outs = &dag.dag_out[v.index()];
-            debug_assert!(!outs.is_empty(), "non-target node on DAG without out-edge");
-            let share = f / outs.len() as f64;
-            for &e in outs {
-                loads[e.index()] += share;
-                node_flow[self.net.graph().dst(e).index()] += share;
-            }
-        }
+        propagate_destination(self.net, &dag, injections, &mut loads, &mut node_flow)?;
         Ok(loads)
     }
 
@@ -268,6 +248,65 @@ impl<'n> Router<'n> {
             .evaluate(demands, &WaypointSetting::none(demands.len()))?
             .mlu)
     }
+}
+
+/// Groups segments by destination in deterministic (ascending) order,
+/// aggregating the injected amounts. Shared by [`Router::add_segment_loads`]
+/// and the incremental evaluator so both see identical injection lists (same
+/// order, hence the same `f64` accumulation sequence).
+pub(crate) fn group_by_destination(segments: &[Segment]) -> BTreeMap<NodeId, Vec<(NodeId, f64)>> {
+    let mut by_dest: BTreeMap<NodeId, Vec<(NodeId, f64)>> = BTreeMap::new();
+    for seg in segments {
+        if seg.src == seg.dst || seg.amount <= EPS {
+            continue;
+        }
+        by_dest
+            .entry(seg.dst)
+            .or_default()
+            .push((seg.src, seg.amount));
+    }
+    by_dest
+}
+
+/// The ECMP propagation pass for one destination: routes all `injections`
+/// towards `dag.target`, adding the resulting per-edge flow into `loads`
+/// (which must be zeroed, `edge_count` long). `node_flow` is caller-provided
+/// zeroed scratch of `node_count` length — it is left dirty on return so hot
+/// loops can re-zero and reuse it instead of reallocating.
+///
+/// This is the single propagation code path in the workspace: the router and
+/// the incremental evaluator both call it, so their per-destination partials
+/// are bit-identical by construction.
+pub(crate) fn propagate_destination(
+    net: &Network,
+    dag: &SpDag,
+    injections: &[(NodeId, f64)],
+    loads: &mut [f64],
+    node_flow: &mut [f64],
+) -> Result<(), TeError> {
+    let t = dag.target;
+    for &(s, amount) in injections {
+        if !dag.reaches_target(s) {
+            return Err(TeError::Unroutable { src: s, dst: t });
+        }
+        node_flow[s.index()] += amount;
+    }
+    // `dag.order` is topological (decreasing distance), so each node has
+    // received its full inflow before we split it.
+    for &v in &dag.order {
+        let f = node_flow[v.index()];
+        if f <= EPS || v == t {
+            continue;
+        }
+        let outs = &dag.dag_out[v.index()];
+        debug_assert!(!outs.is_empty(), "non-target node on DAG without out-edge");
+        let share = f / outs.len() as f64;
+        for &e in outs {
+            loads[e.index()] += share;
+            node_flow[net.graph().dst(e).index()] += share;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

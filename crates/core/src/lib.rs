@@ -30,6 +30,7 @@ pub mod demand;
 pub mod ecmp;
 pub mod error;
 pub mod esflow;
+pub mod incremental;
 pub mod instance;
 pub mod network;
 pub mod report;
@@ -42,6 +43,7 @@ pub use cost::{fortz_phi, max_link_utilization, utilizations};
 pub use demand::{Demand, DemandList};
 pub use ecmp::{LoadReport, Router, Segment};
 pub use error::TeError;
+pub use incremental::{IncrementalEvaluator, Probe};
 pub use instance::TeInstance;
 pub use network::Network;
 pub use report::UtilizationReport;

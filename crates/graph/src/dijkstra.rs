@@ -161,6 +161,14 @@ impl SpDag {
 /// workspace emit integral weights) classify ties exactly.
 pub fn shortest_path_dag(g: &Digraph, weights: &[f64], target: NodeId) -> SpDag {
     let dist = single_target_distances(g, weights, target);
+    dag_from_dist(g, weights, target, dist)
+}
+
+/// Materializes the DAG structure (`edge_on_dag`, `dag_out`, `order`) from an
+/// already-correct distance vector. Shared by the from-scratch builder and
+/// the incremental repair path, so both produce byte-identical `SpDag`s from
+/// equal distances.
+fn dag_from_dist(g: &Digraph, weights: &[f64], target: NodeId, dist: Vec<f64>) -> SpDag {
     let mut edge_on_dag = vec![false; g.edge_count()];
     let mut dag_out: Vec<Vec<EdgeId>> = vec![Vec::new(); g.node_count()];
 
@@ -188,6 +196,261 @@ pub fn shortest_path_dag(g: &Digraph, weights: &[f64], target: NodeId) -> SpDag 
         dag_out,
         order,
     }
+}
+
+/// Result of [`update_shortest_path_dag`]: how a single-edge weight change
+/// was absorbed for one destination.
+#[derive(Clone, Debug)]
+pub enum SpDagUpdate {
+    /// The change cannot alter this destination's DAG (clean destination).
+    Unchanged,
+    /// The DAG was repaired by a bounded dynamic-Dijkstra update touching
+    /// the given number of nodes.
+    Repaired(SpDag, usize),
+    /// The repair frontier exceeded the threshold (or the change was too
+    /// structural); a full per-destination Dijkstra rebuilt the DAG.
+    Rebuilt(SpDag),
+}
+
+impl SpDagUpdate {
+    /// The updated DAG, if the destination was dirty.
+    pub fn into_dag(self) -> Option<SpDag> {
+        match self {
+            SpDagUpdate::Unchanged => None,
+            SpDagUpdate::Repaired(d, _) | SpDagUpdate::Rebuilt(d) => Some(d),
+        }
+    }
+}
+
+/// Cheap dirty test: can changing edge `e` from `old_w` to `new_w` alter
+/// `dag`'s shortest-path structure at all?
+///
+/// * Weight **increase**: only if `e` currently lies on the DAG — paths that
+///   avoid `e` are untouched, and no path gets *shorter* when a weight grows.
+/// * Weight **decrease**: only if the cheapened edge now matches or beats the
+///   current distance at its tail, `new_w + dist(v) ≲ dist(u)` — otherwise
+///   every shortest path keeps ignoring `e`.
+///
+/// A `false` answer is exact (the DAG provably cannot change); `true` means
+/// "possibly dirty" and callers run the repair.
+pub fn edge_change_affects_dag(dag: &SpDag, e: EdgeId, u: NodeId, v: NodeId, new_w: f64) -> bool {
+    let dv = dag.dist[v.index()];
+    if !dv.is_finite() {
+        // `e` can never be on a shortest path towards this target.
+        return false;
+    }
+    if dag.edge_on_dag[e.index()] {
+        // Any change of an on-DAG edge weight moves dist(u) or drops a tie.
+        return true;
+    }
+    // Off-DAG edge: only a decrease that reaches the current distance at `u`
+    // can pull `e` (and possibly cheaper paths through it) onto the DAG.
+    let cand = new_w + dv;
+    let du = dag.dist[u.index()];
+    cand + EPS < du || approx_eq(cand, du)
+}
+
+/// Repairs `prev` (the shortest-path DAG towards `prev.target` under the
+/// *old* weights) after edge `e`'s weight changed from `old_w` to
+/// `weights[e]`, where `weights` is the **new** full weight vector.
+///
+/// The repair follows Ramalingam–Reps: identify the affected node set (nodes
+/// whose distance to the target changes), re-run Dijkstra restricted to that
+/// set seeded from its unaffected fringe, then rebuild the DAG structure from
+/// the patched distances. When the affected set exceeds `frontier_cap` nodes
+/// the bounded repair is abandoned and a full per-destination Dijkstra runs
+/// instead ([`SpDagUpdate::Rebuilt`]).
+///
+/// With tie-exact weights (e.g. the integral vectors every optimizer in this
+/// workspace emits) the repaired DAG is **bit-identical** to
+/// [`shortest_path_dag`] on the new weights: both paths compute the exact
+/// distance minima and share [`dag_from_dist`].
+pub fn update_shortest_path_dag(
+    g: &Digraph,
+    weights: &[f64],
+    prev: &SpDag,
+    e: EdgeId,
+    old_w: f64,
+    frontier_cap: usize,
+) -> SpDagUpdate {
+    let (u, v) = g.endpoints(e);
+    let new_w = weights[e.index()];
+    if new_w == old_w || !edge_change_affects_dag(prev, e, u, v, new_w) {
+        return SpDagUpdate::Unchanged;
+    }
+    if new_w > old_w {
+        repair_increase(g, weights, prev, u, frontier_cap)
+    } else {
+        repair_decrease(g, weights, prev, e, u, v, frontier_cap)
+    }
+}
+
+/// Weight increase on an on-DAG edge `e = (u, v)`.
+///
+/// Phase 1 finds the affected set `A` — nodes *all* of whose shortest paths
+/// used `e` — by support counting over the old DAG: `u` loses `e`'s support;
+/// a node joins `A` when every one of its DAG out-edges leads into `A`.
+/// Phase 2 re-runs Dijkstra restricted to `A`, seeded with the best detour
+/// through unaffected neighbours. Nodes outside `A` keep their exact old
+/// distances, so work is proportional to the damage, not the graph.
+fn repair_increase(
+    g: &Digraph,
+    weights: &[f64],
+    prev: &SpDag,
+    u: NodeId,
+    frontier_cap: usize,
+) -> SpDagUpdate {
+    let n = g.node_count();
+    // Remaining old-distance support per node: DAG out-edges still justified.
+    let mut support: Vec<usize> = (0..n).map(|i| prev.dag_out[i].len()).collect();
+    let mut affected = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+
+    // `e` no longer provides u's old distance (its weight strictly grew).
+    support[u.index()] -= 1;
+    if support[u.index()] == 0 {
+        affected[u.index()] = true;
+        queue.push_back(u);
+    } else {
+        // u keeps its distance through another tight edge; the DAG only
+        // loses edge `e` — distances are unchanged, rebuild structure only.
+        let repaired = dag_from_dist(g, weights, prev.target, prev.dist.clone());
+        return SpDagUpdate::Repaired(repaired, 0);
+    }
+
+    let mut affected_nodes: Vec<NodeId> = Vec::new();
+    while let Some(x) = queue.pop_front() {
+        affected_nodes.push(x);
+        if affected_nodes.len() > frontier_cap {
+            return SpDagUpdate::Rebuilt(shortest_path_dag(g, weights, prev.target));
+        }
+        for &ein in g.in_edges(x) {
+            if !prev.edge_on_dag[ein.index()] {
+                continue;
+            }
+            let p = g.src(ein);
+            if affected[p.index()] {
+                continue;
+            }
+            support[p.index()] -= 1;
+            if support[p.index()] == 0 {
+                affected[p.index()] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+
+    // Phase 2: Dijkstra restricted to the affected set. Seeds are the best
+    // candidates through *unaffected* out-neighbours (including `e` itself
+    // at its new weight); edges between affected nodes relax as their heads
+    // settle, exactly like the full algorithm.
+    let mut dist = prev.dist.clone();
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(affected_nodes.len());
+    for &a in &affected_nodes {
+        dist[a.index()] = INFINITY;
+    }
+    for &a in &affected_nodes {
+        let mut best = INFINITY;
+        for &eo in g.out_edges(a) {
+            let h = g.dst(eo);
+            if affected[h.index()] || !dist[h.index()].is_finite() {
+                continue;
+            }
+            let cand = weights[eo.index()] + dist[h.index()];
+            if cand + EPS < best {
+                best = cand;
+            }
+        }
+        if best.is_finite() {
+            dist[a.index()] = best;
+            heap.push(HeapEntry {
+                dist: best,
+                node: a,
+            });
+        }
+    }
+    while let Some(HeapEntry { dist: d, node: x }) = heap.pop() {
+        if done[x.index()] || !affected[x.index()] {
+            continue;
+        }
+        if d > dist[x.index()] {
+            continue; // stale entry
+        }
+        done[x.index()] = true;
+        for &ein in g.in_edges(x) {
+            let p = g.src(ein);
+            if !affected[p.index()] || done[p.index()] {
+                continue;
+            }
+            let nd = d + weights[ein.index()];
+            if nd + EPS < dist[p.index()] {
+                dist[p.index()] = nd;
+                heap.push(HeapEntry { dist: nd, node: p });
+            }
+        }
+    }
+
+    let touched = affected_nodes.len();
+    SpDagUpdate::Repaired(dag_from_dist(g, weights, prev.target, dist), touched)
+}
+
+/// Weight decrease on `e = (u, v)` that reaches the current distance at `u`.
+///
+/// If the cheaper edge exactly ties `dist(u)` the distances are unchanged and
+/// only the DAG structure is rebuilt. Otherwise the improvement propagates
+/// backwards from `u` with a Dijkstra-like frontier over strictly improving
+/// nodes — the classical decrease-only dynamic SSSP, whose work is bounded by
+/// the set of nodes that actually get closer.
+fn repair_decrease(
+    g: &Digraph,
+    weights: &[f64],
+    prev: &SpDag,
+    e: EdgeId,
+    u: NodeId,
+    v: NodeId,
+    frontier_cap: usize,
+) -> SpDagUpdate {
+    let cand = weights[e.index()] + prev.dist[v.index()];
+    let du = prev.dist[u.index()];
+    if cand + EPS >= du {
+        // New tie at u: distances hold, edge e joins the DAG.
+        let repaired = dag_from_dist(g, weights, prev.target, prev.dist.clone());
+        return SpDagUpdate::Repaired(repaired, 0);
+    }
+
+    let mut dist = prev.dist.clone();
+    let mut improved = vec![false; g.node_count()];
+    let mut touched = 0usize;
+    let mut heap = BinaryHeap::new();
+    dist[u.index()] = cand;
+    improved[u.index()] = true;
+    touched += 1;
+    heap.push(HeapEntry {
+        dist: cand,
+        node: u,
+    });
+    while let Some(HeapEntry { dist: d, node: x }) = heap.pop() {
+        if d > dist[x.index()] {
+            continue; // superseded by a better improvement
+        }
+        for &ein in g.in_edges(x) {
+            let p = g.src(ein);
+            let nd = d + weights[ein.index()];
+            if nd + EPS < dist[p.index()] {
+                dist[p.index()] = nd;
+                if !improved[p.index()] {
+                    improved[p.index()] = true;
+                    touched += 1;
+                    if touched > frontier_cap {
+                        return SpDagUpdate::Rebuilt(shortest_path_dag(g, weights, prev.target));
+                    }
+                }
+                heap.push(HeapEntry { dist: nd, node: p });
+            }
+        }
+    }
+    SpDagUpdate::Repaired(dag_from_dist(g, weights, prev.target, dist), touched)
 }
 
 #[cfg(test)]
@@ -295,5 +558,121 @@ mod tests {
         let dag = shortest_path_dag(&g, &[1.0], NodeId(1));
         assert!(dag.reaches_target(NodeId(0)));
         assert!(!dag.reaches_target(NodeId(2)));
+    }
+
+    /// Bitwise structural equality of two DAGs (dist via `to_bits`).
+    fn assert_same_dag(a: &SpDag, b: &SpDag, ctx: &str) {
+        let bits = |d: &SpDag| d.dist.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(a), bits(b), "{ctx}: dist diverged");
+        assert_eq!(a.edge_on_dag, b.edge_on_dag, "{ctx}: edge set diverged");
+        assert_eq!(a.dag_out, b.dag_out, "{ctx}: dag_out diverged");
+        assert_eq!(a.order, b.order, "{ctx}: order diverged");
+    }
+
+    /// Applies one weight change both incrementally and from scratch and
+    /// checks the results match bit-for-bit.
+    fn check_update(g: &Digraph, w_old: &[f64], e: EdgeId, new_w: f64, target: NodeId, cap: usize) {
+        let prev = shortest_path_dag(g, w_old, target);
+        let mut w_new = w_old.to_vec();
+        w_new[e.index()] = new_w;
+        let scratch = shortest_path_dag(g, &w_new, target);
+        let upd = update_shortest_path_dag(g, &w_new, &prev, e, w_old[e.index()], cap);
+        let got = match upd {
+            SpDagUpdate::Unchanged => prev,
+            SpDagUpdate::Repaired(d, _) | SpDagUpdate::Rebuilt(d) => d,
+        };
+        assert_same_dag(
+            &got,
+            &scratch,
+            &format!("e={e:?} {}->{} target={target:?}", w_old[e.index()], new_w),
+        );
+    }
+
+    #[test]
+    fn increase_on_dag_edge_matches_scratch() {
+        let (g, w) = weighted_diamond();
+        // 1->3 is on the DAG towards 3; pushing it to 5 reroutes node 0.
+        check_update(&g, &w, EdgeId(1), 5.0, NodeId(3), usize::MAX);
+    }
+
+    #[test]
+    fn decrease_pulls_edge_onto_dag() {
+        let (g, w) = weighted_diamond();
+        // 2->3 at weight 2 is off node 0's shortest paths; dropping it to 1
+        // creates a new tie through node 2.
+        check_update(&g, &w, EdgeId(3), 1.0, NodeId(3), usize::MAX);
+        // Dropping further makes the path through 2 strictly shortest.
+        check_update(&g, &w, EdgeId(2), 0.5, NodeId(3), usize::MAX);
+    }
+
+    #[test]
+    fn off_dag_increase_is_clean() {
+        let (g, w) = weighted_diamond();
+        // 0->2 is not on the DAG towards 3; making it longer changes nothing.
+        let prev = shortest_path_dag(&g, &w, NodeId(3));
+        let mut w_new = w.clone();
+        w_new[2] = 9.0;
+        assert!(matches!(
+            update_shortest_path_dag(&g, &w_new, &prev, EdgeId(2), w[2], usize::MAX),
+            SpDagUpdate::Unchanged
+        ));
+    }
+
+    #[test]
+    fn tiny_frontier_cap_falls_back_to_rebuild() {
+        // Chain 0 -> 1 -> 2 -> 3: increasing the last hop moves every node,
+        // so the affected set (3 nodes) exceeds a cap of 1.
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let w = vec![1.0, 1.0, 1.0];
+        let prev = shortest_path_dag(&g, &w, NodeId(3));
+        let mut w_new = w.clone();
+        w_new[2] = 5.0;
+        let upd = update_shortest_path_dag(&g, &w_new, &prev, EdgeId(2), w[2], 1);
+        assert!(matches!(upd, SpDagUpdate::Rebuilt(_)));
+        let scratch = shortest_path_dag(&g, &w_new, NodeId(3));
+        assert_same_dag(&upd.into_dag().unwrap(), &scratch, "fallback rebuild");
+    }
+
+    #[test]
+    fn randomized_single_edge_changes_match_scratch() {
+        // Deterministic xorshift; integral weights in [1, 10] so tie
+        // classification is exact — the regime every optimizer works in.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..30 {
+            let n = 6 + (next() % 5) as usize;
+            let mut g = Digraph::new(n);
+            // Ring for connectivity plus random chords.
+            for i in 0..n {
+                g.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32));
+            }
+            for _ in 0..n {
+                let a = (next() % n as u64) as u32;
+                let b = (next() % n as u64) as u32;
+                if a != b {
+                    g.add_edge(NodeId(a), NodeId(b));
+                }
+            }
+            let m = g.edge_count();
+            let mut w: Vec<f64> = (0..m).map(|_| (1 + next() % 10) as f64).collect();
+            let target = NodeId((next() % n as u64) as u32);
+            for _ in 0..8 {
+                let e = EdgeId((next() % m as u64) as u32);
+                let new_w = (1 + next() % 10) as f64;
+                check_update(&g, &w, e, new_w, target, usize::MAX);
+                // Also exercise the bounded-cap path on every other step.
+                check_update(&g, &w, e, new_w, target, 2);
+                w[e.index()] = new_w;
+                let _ = trial;
+            }
+        }
     }
 }

@@ -34,7 +34,10 @@ pub mod topo;
 pub mod traversal;
 
 pub use digraph::{Digraph, EdgeId, NodeId};
-pub use dijkstra::{shortest_path_dag, single_target_distances, SpDag, INFINITY};
+pub use dijkstra::{
+    edge_change_affects_dag, shortest_path_dag, single_target_distances, update_shortest_path_dag,
+    SpDag, SpDagUpdate, INFINITY,
+};
 pub use maxflow::{acyclic_max_flow, decompose_into_paths, max_flow, Flow, FlowPath};
 pub use metrics::{metrics, strongly_connected_components, GraphMetrics};
 pub use mincut::{min_cut, MinCut};

@@ -25,4 +25,10 @@ echo "==> bench_parallel (writes BENCH_parallel.json; SEGROUT_FAST=1 for a smoke
 cargo build --release -q -p segrout-bench
 ./target/release/bench_parallel
 
+# Smoke-run the incremental-vs-scratch record (the differential suite
+# already ran under both thread counts above; this checks the bench path
+# and refreshes BENCH_incremental.json).
+echo "==> bench_incremental (writes BENCH_incremental.json)"
+SEGROUT_FAST=1 ./target/release/bench_incremental
+
 echo "CI OK"

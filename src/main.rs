@@ -168,6 +168,10 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         "heurospf.iterations",
         "greedywpo.candidates_evaluated",
         "ecmp.recomputes",
+        "incr.probes",
+        "incr.dirty_dests",
+        "incr.clean_dests",
+        "incr.repairs",
         "dijkstra.relaxations",
         "dijkstra.runs",
         "mcf.phases",

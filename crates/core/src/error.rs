@@ -47,6 +47,16 @@ pub enum TeError {
     /// A waypoint setting refers to more demands than the demand list has,
     /// or exceeds the waypoint budget `W`.
     InvalidWaypoints(String),
+    /// An LP/MILP solve aborted on a resource limit or numerical failure
+    /// before reaching a verdict — distinct from [`TeError::Unroutable`]:
+    /// the instance may well be feasible, the solver just could not decide.
+    SolverLimit {
+        /// Which solve gave up ("OPT LP", "Joint MILP", ...).
+        what: &'static str,
+        /// The solver status it stopped with ("iteration limit",
+        /// "unbounded", ...).
+        status: &'static str,
+    },
 }
 
 impl fmt::Display for TeError {
@@ -82,6 +92,13 @@ impl fmt::Display for TeError {
                 )
             }
             TeError::InvalidWaypoints(msg) => write!(f, "invalid waypoint setting: {msg}"),
+            TeError::SolverLimit { what, status } => {
+                write!(
+                    f,
+                    "{what} solve stopped without a verdict ({status}); \
+                     raise the limits or reduce the instance"
+                )
+            }
         }
     }
 }
@@ -107,6 +124,15 @@ mod tests {
             actual: 2,
         };
         assert!(e.to_string().contains("weights"));
+
+        // A solver limit must never read like a disconnected demand pair.
+        let e = TeError::SolverLimit {
+            what: "Joint MILP",
+            status: "iteration limit",
+        };
+        let s = e.to_string();
+        assert!(s.contains("Joint MILP") && s.contains("iteration limit"));
+        assert!(!s.contains("no directed path"));
     }
 
     #[test]

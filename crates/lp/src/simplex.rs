@@ -1,22 +1,21 @@
-//! Dense two-phase primal simplex.
+//! LP solve entry points and engine selection.
 //!
-//! The implementation follows the textbook tableau method:
+//! Two engines solve the same [`Problem`]s:
 //!
-//! 1. Variables are shifted to have lower bound zero; finite upper bounds
-//!    become explicit rows.
-//! 2. Rows are normalised to non-negative right-hand sides, slack variables
-//!    are added to `≤` rows, surplus+artificial variables to `≥` rows and
-//!    artificials to `=` rows.
-//! 3. Phase 1 minimises the sum of artificials; a positive optimum means the
-//!    program is infeasible. Artificials that remain basic at zero are pivoted
-//!    out (or their rows recognised as redundant).
-//! 4. Phase 2 optimises the real objective with artificial columns barred
-//!    from entering.
+//! * [`LpEngine::Revised`] (default) — the bounded-variable revised simplex
+//!   of [`crate::revised`]: implicit variable bounds, product-form basis
+//!   with periodic refactorization, Harris two-pass ratio test, and a
+//!   warm-start API ([`solve_lp_from_basis`]) used by branch-and-bound.
+//! * [`LpEngine::Tableau`] — the original dense two-phase tableau
+//!   ([`crate::reference`]), kept as a correctness oracle for differential
+//!   testing and as a fallback while the revised engine matures.
 //!
-//! Pricing is Dantzig (most negative reduced cost) with an automatic switch
-//! to Bland's rule after a stall, which guarantees termination.
+//! Both engines share the status/result types and the same tolerance
+//! contract (statuses agree and optimal objectives match to `1e-6` across
+//! the differential suite in `crates/lp/tests/differential.rs`).
 
-use crate::problem::{Cmp, Problem, Sense};
+use crate::basis::Basis;
+use crate::problem::Problem;
 use std::time::Instant;
 
 /// Outcome of an LP solve.
@@ -47,12 +46,18 @@ pub struct LpResult {
     pub iterations: usize,
 }
 
-/// Reduced-cost optimality tolerance.
-const OPT_TOL: f64 = 1e-7;
-/// Pivot-element tolerance.
-const PIVOT_TOL: f64 = 1e-9;
-/// Feasibility tolerance on right-hand sides.
-const FEAS_TOL: f64 = 1e-7;
+/// Which simplex implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    /// Bounded-variable revised simplex (product-form basis, warm starts).
+    #[default]
+    Revised,
+    /// Dense two-phase reference tableau (correctness oracle).
+    Tableau,
+}
+
+/// Feasibility tolerance for the contradictory-bounds pre-check.
+const BOUNDS_TOL: f64 = 1e-7;
 
 /// Solves a linear program, ignoring any integrality flags (the LP
 /// relaxation). The default iteration limit scales with problem size.
@@ -88,398 +93,77 @@ pub fn solve_lp_with_deadline(
     upper: &[f64],
     deadline: Option<Instant>,
 ) -> LpResult {
+    solve_lp_with_engine(p, lower, upper, deadline, LpEngine::default())
+}
+
+/// Solves with an explicit engine choice. [`LpEngine::Tableau`] runs the
+/// dense reference implementation; [`LpEngine::Revised`] the
+/// bounded-variable revised simplex.
+pub fn solve_lp_with_engine(
+    p: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    deadline: Option<Instant>,
+    engine: LpEngine,
+) -> LpResult {
+    if let Some(r) = contradictory_bounds(p, lower, upper) {
+        return r;
+    }
+    match engine {
+        LpEngine::Revised => crate::revised::solve(p, lower, upper, deadline, None).0,
+        LpEngine::Tableau => crate::reference::solve(p, lower, upper, deadline),
+    }
+}
+
+/// Revised-simplex solve that also returns the final [`Basis`] snapshot
+/// (when one exists), for warm-starting subsequent related solves.
+pub fn solve_lp_revised(
+    p: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    deadline: Option<Instant>,
+) -> (LpResult, Option<Basis>) {
+    if let Some(r) = contradictory_bounds(p, lower, upper) {
+        return (r, None);
+    }
+    crate::revised::solve(p, lower, upper, deadline, None)
+}
+
+/// Warm-started revised-simplex solve: restarts from `basis` (a snapshot of
+/// a previous solve of the *same problem*, typically with different bounds —
+/// the branch-and-bound parent/child pattern). Phase 1 restores feasibility
+/// from the inherited basis in a handful of pivots instead of re-deriving
+/// the whole basis from scratch. Falls back to a cold start when the
+/// snapshot does not fit the problem or its basis matrix has gone singular.
+pub fn solve_lp_from_basis(
+    p: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    deadline: Option<Instant>,
+    basis: &Basis,
+) -> (LpResult, Option<Basis>) {
+    if let Some(r) = contradictory_bounds(p, lower, upper) {
+        return (r, None);
+    }
+    crate::revised::solve(p, lower, upper, deadline, Some(basis))
+}
+
+/// Shared pre-check: crossing bound overrides short-circuit to `Infeasible`
+/// without touching either engine.
+fn contradictory_bounds(p: &Problem, lower: &[f64], upper: &[f64]) -> Option<LpResult> {
     assert_eq!(lower.len(), p.num_vars());
     assert_eq!(upper.len(), p.num_vars());
     for i in 0..p.num_vars() {
-        if lower[i] > upper[i] + FEAS_TOL {
-            return LpResult {
+        if lower[i] > upper[i] + BOUNDS_TOL {
+            return Some(LpResult {
                 status: LpStatus::Infeasible,
                 objective: 0.0,
                 values: Vec::new(),
                 iterations: 0,
-            };
+            });
         }
     }
-    Tableau::build(p, lower, upper, deadline).solve(p, lower)
-}
-
-struct Tableau {
-    /// Flat row-major `rows x width` matrix with `width = cols + 1`; the
-    /// last entry of each row is the rhs. Flat storage keeps pivots cache
-    /// friendly on the multi-thousand-column TE MILPs.
-    a: Vec<f64>,
-    /// Number of constraint rows.
-    rows: usize,
-    /// Row stride (`cols + 1`).
-    width: usize,
-    /// Objective row (reduced costs) with the negated objective value in the
-    /// last slot.
-    cost: Vec<f64>,
-    /// Basic variable (column) of each row.
-    basis: Vec<usize>,
-    /// Which columns are artificial.
-    artificial: Vec<bool>,
-    /// Number of structural (shifted original) variables.
-    n_struct: usize,
-    cols: usize,
-    iterations: usize,
-    iter_limit: usize,
-    deadline: Option<Instant>,
-}
-
-impl Tableau {
-    #[inline]
-    fn at(&self, i: usize, j: usize) -> f64 {
-        self.a[i * self.width + j]
-    }
-}
-
-impl Tableau {
-    fn build(p: &Problem, lower: &[f64], upper: &[f64], deadline: Option<Instant>) -> Self {
-        let n = p.num_vars();
-
-        // Assemble rows as (dense coeffs over structural vars, cmp, rhs).
-        let mut rows: Vec<(Vec<f64>, Cmp, f64)> = Vec::new();
-        for c in p.constraints() {
-            let mut coeffs = vec![0.0; n];
-            let mut rhs = c.rhs;
-            for &(v, a) in &c.terms {
-                coeffs[v.0] += a;
-            }
-            // Shift by lower bounds: x = lb + y.
-            for (j, lb) in lower.iter().enumerate() {
-                rhs -= coeffs[j] * lb;
-            }
-            rows.push((coeffs, c.cmp, rhs));
-        }
-        // Finite upper bounds become y_j <= ub - lb rows.
-        for j in 0..n {
-            if upper[j].is_finite() {
-                let mut coeffs = vec![0.0; n];
-                coeffs[j] = 1.0;
-                rows.push((coeffs, Cmp::Le, upper[j] - lower[j]));
-            }
-        }
-        // Normalise rhs >= 0.
-        for (coeffs, cmp, rhs) in rows.iter_mut() {
-            if *rhs < 0.0 {
-                for a in coeffs.iter_mut() {
-                    *a = -*a;
-                }
-                *rhs = -*rhs;
-                *cmp = match *cmp {
-                    Cmp::Le => Cmp::Ge,
-                    Cmp::Ge => Cmp::Le,
-                    Cmp::Eq => Cmp::Eq,
-                };
-            }
-        }
-
-        let m = rows.len();
-        // Column layout: [structural | slacks/surplus | artificials].
-        let n_slack = rows
-            .iter()
-            .filter(|(_, cmp, _)| !matches!(cmp, Cmp::Eq))
-            .count();
-        let n_art = rows
-            .iter()
-            .filter(|(_, cmp, _)| !matches!(cmp, Cmp::Le))
-            .count();
-        let cols = n + n_slack + n_art;
-
-        let width = cols + 1;
-        let mut a = vec![0.0; m * width];
-        let mut basis = vec![usize::MAX; m];
-        let mut artificial = vec![false; cols];
-        let mut next_slack = n;
-        let mut next_art = n + n_slack;
-
-        for (i, (coeffs, cmp, rhs)) in rows.iter().enumerate() {
-            let row = &mut a[i * width..(i + 1) * width];
-            row[..n].copy_from_slice(coeffs);
-            row[cols] = *rhs;
-            match cmp {
-                Cmp::Le => {
-                    row[next_slack] = 1.0;
-                    basis[i] = next_slack;
-                    next_slack += 1;
-                }
-                Cmp::Ge => {
-                    row[next_slack] = -1.0;
-                    next_slack += 1;
-                    row[next_art] = 1.0;
-                    artificial[next_art] = true;
-                    basis[i] = next_art;
-                    next_art += 1;
-                }
-                Cmp::Eq => {
-                    row[next_art] = 1.0;
-                    artificial[next_art] = true;
-                    basis[i] = next_art;
-                    next_art += 1;
-                }
-            }
-        }
-
-        let iter_limit = 2000 + 200 * (m + cols);
-        Self {
-            a,
-            rows: m,
-            width,
-            cost: vec![0.0; width],
-            basis,
-            artificial,
-            n_struct: n,
-            cols,
-            iterations: 0,
-            iter_limit,
-            deadline,
-        }
-    }
-
-    /// Runs both phases and extracts the solution.
-    fn solve(mut self, p: &Problem, lower: &[f64]) -> LpResult {
-        let _span = segrout_obs::span("simplex");
-        let m = self.rows;
-
-        // ---- Phase 1: minimise the sum of artificial variables. ----
-        let any_artificial = self.artificial.iter().any(|&b| b);
-        if any_artificial {
-            segrout_obs::event!(
-                segrout_obs::Level::Trace,
-                "simplex.phase1",
-                rows = m,
-                cols = self.cols,
-            );
-            self.cost.fill(0.0);
-            for j in 0..self.cols {
-                if self.artificial[j] {
-                    self.cost[j] = 1.0;
-                }
-            }
-            // Price out the basic artificials.
-            for i in 0..m {
-                if self.artificial[self.basis[i]] {
-                    let row = &self.a[i * self.width..(i + 1) * self.width];
-                    for (c, &x) in self.cost.iter_mut().zip(row) {
-                        *c -= x;
-                    }
-                }
-            }
-            match self.pivot_loop(false) {
-                PivotOutcome::IterLimit => return self.result(LpStatus::IterLimit, p, lower),
-                PivotOutcome::Unbounded => {
-                    // The phase-1 objective is bounded below by 0, so this
-                    // only happens through floating-point degeneracy (a
-                    // spurious negative reduced cost on an all-nonpositive
-                    // column). Surface it as a limit rather than panicking.
-                    return self.result(LpStatus::IterLimit, p, lower);
-                }
-                PivotOutcome::Optimal => {}
-            }
-            let phase1_obj = -self.cost[self.cols];
-            if phase1_obj > 1e-6 {
-                return self.result(LpStatus::Infeasible, p, lower);
-            }
-            self.purge_artificials();
-        }
-
-        // ---- Phase 2: optimise the real objective. ----
-        segrout_obs::event!(
-            segrout_obs::Level::Trace,
-            "simplex.phase2",
-            pivots_so_far = self.iterations,
-        );
-        self.cost.fill(0.0);
-        let sign = match p.sense() {
-            Sense::Minimize => 1.0,
-            Sense::Maximize => -1.0,
-        };
-        for j in 0..self.n_struct {
-            self.cost[j] = sign * p.objective()[j];
-        }
-        // Price out the basic variables with nonzero costs.
-        for i in 0..m {
-            let b = self.basis[i];
-            let cb = self.cost[b];
-            if cb != 0.0 {
-                let row = &self.a[i * self.width..(i + 1) * self.width];
-                for (c, &x) in self.cost.iter_mut().zip(row) {
-                    *c -= cb * x;
-                }
-            }
-        }
-        let status = match self.pivot_loop(true) {
-            PivotOutcome::Optimal => LpStatus::Optimal,
-            PivotOutcome::Unbounded => LpStatus::Unbounded,
-            PivotOutcome::IterLimit => LpStatus::IterLimit,
-        };
-        self.result(status, p, lower)
-    }
-
-    /// Pivots until optimality/unboundedness/limit. `bar_artificials`
-    /// prevents artificial columns from (re-)entering in phase 2.
-    fn pivot_loop(&mut self, bar_artificials: bool) -> PivotOutcome {
-        let m = self.rows;
-        let mut stall = 0usize;
-        let bland_after = 10 * (m + self.cols);
-        loop {
-            if self.iterations >= self.iter_limit {
-                return PivotOutcome::IterLimit;
-            }
-            if self.iterations.is_multiple_of(64) {
-                if let Some(deadline) = self.deadline {
-                    if Instant::now() >= deadline {
-                        return PivotOutcome::IterLimit;
-                    }
-                }
-            }
-            // Entering column.
-            let use_bland = stall > bland_after;
-            let mut enter = None;
-            if use_bland {
-                for j in 0..self.cols {
-                    if (bar_artificials && self.artificial[j]) || self.cost[j] >= -OPT_TOL {
-                        continue;
-                    }
-                    enter = Some(j);
-                    break;
-                }
-            } else {
-                let mut best = -OPT_TOL;
-                for j in 0..self.cols {
-                    if bar_artificials && self.artificial[j] {
-                        continue;
-                    }
-                    if self.cost[j] < best {
-                        best = self.cost[j];
-                        enter = Some(j);
-                    }
-                }
-            }
-            let Some(je) = enter else {
-                return PivotOutcome::Optimal;
-            };
-
-            // Leaving row: minimum ratio test, Bland tie-break on basis index.
-            let mut leave: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for i in 0..m {
-                let aij = self.at(i, je);
-                if aij > PIVOT_TOL {
-                    let ratio = self.at(i, self.cols) / aij;
-                    let better = ratio < best_ratio - PIVOT_TOL
-                        || (ratio < best_ratio + PIVOT_TOL
-                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
-                    if better {
-                        best_ratio = ratio;
-                        leave = Some(i);
-                    }
-                }
-            }
-            let Some(ir) = leave else {
-                return PivotOutcome::Unbounded;
-            };
-
-            if best_ratio < PIVOT_TOL {
-                stall += 1;
-            } else {
-                stall = 0;
-            }
-            self.pivot(ir, je);
-        }
-    }
-
-    /// Gauss–Jordan pivot on `(row, col)`.
-    fn pivot(&mut self, row: usize, col: usize) {
-        self.iterations += 1;
-        let w = self.width;
-        let piv = self.a[row * w + col];
-        debug_assert!(piv.abs() > PIVOT_TOL);
-        let inv = 1.0 / piv;
-        for x in self.a[row * w..(row + 1) * w].iter_mut() {
-            *x *= inv;
-        }
-        // Snap the pivot column exactly.
-        self.a[row * w + col] = 1.0;
-        // Eliminate the pivot column from every other row. The pivot row is
-        // temporarily swapped out so the borrow checker allows slice-on-slice
-        // arithmetic without copies.
-        let mut pivot_row = vec![0.0; w];
-        pivot_row.copy_from_slice(&self.a[row * w..(row + 1) * w]);
-        for i in 0..self.rows {
-            if i == row {
-                continue;
-            }
-            let factor = self.a[i * w + col];
-            if factor != 0.0 {
-                let r = &mut self.a[i * w..(i + 1) * w];
-                for (x, &pv) in r.iter_mut().zip(&pivot_row) {
-                    *x -= factor * pv;
-                }
-                r[col] = 0.0;
-            }
-        }
-        let factor = self.cost[col];
-        if factor != 0.0 {
-            for (c, &pv) in self.cost.iter_mut().zip(&pivot_row) {
-                *c -= factor * pv;
-            }
-            self.cost[col] = 0.0;
-        }
-        self.basis[row] = col;
-    }
-
-    /// After phase 1, pivots remaining basic artificials (at value zero) out
-    /// of the basis where possible. Rows that are entirely zero over
-    /// non-artificial columns are redundant and left alone — their basic
-    /// artificial stays pinned at zero.
-    fn purge_artificials(&mut self) {
-        for i in 0..self.rows {
-            if !self.artificial[self.basis[i]] {
-                continue;
-            }
-            if let Some(j) =
-                (0..self.cols).find(|&j| !self.artificial[j] && self.at(i, j).abs() > 1e-7)
-            {
-                self.pivot(i, j);
-            }
-        }
-    }
-
-    fn result(&self, status: LpStatus, p: &Problem, lower: &[f64]) -> LpResult {
-        // One atomic add per solve, not per pivot: the hot pivot loop only
-        // bumps the local `self.iterations`.
-        segrout_obs::counter("simplex.pivots").add(self.iterations as u64);
-        segrout_obs::counter("simplex.solves").inc();
-        if status != LpStatus::Optimal {
-            return LpResult {
-                status,
-                objective: 0.0,
-                values: Vec::new(),
-                iterations: self.iterations,
-            };
-        }
-        let mut values = lower.to_vec();
-        for (i, &b) in self.basis.iter().enumerate() {
-            if b < self.n_struct {
-                values[b] = lower[b] + self.at(i, self.cols);
-            }
-        }
-        let objective = p.objective_value(&values);
-        LpResult {
-            status,
-            objective,
-            values,
-            iterations: self.iterations,
-        }
-    }
-}
-
-enum PivotOutcome {
-    Optimal,
-    Unbounded,
-    IterLimit,
+    None
 }
 
 #[cfg(test)]
@@ -487,147 +171,238 @@ mod tests {
     use super::*;
     use crate::problem::{Cmp, Problem, Sense};
 
+    const ENGINES: [LpEngine; 2] = [LpEngine::Revised, LpEngine::Tableau];
+
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// Runs a case against both engines.
+    fn for_both(f: impl Fn(&dyn Fn(&Problem) -> LpResult, LpEngine)) {
+        for engine in ENGINES {
+            let solve = move |p: &Problem| -> LpResult {
+                solve_lp_with_engine(p, p.lower_bounds(), p.upper_bounds(), None, engine)
+            };
+            f(&solve, engine);
+        }
     }
 
     #[test]
     fn textbook_maximization() {
         // max 3x + 2y st x + y <= 4, x + 3y <= 6, x,y >= 0 -> (4, 0), obj 12.
-        let mut p = Problem::new(Sense::Maximize);
-        let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
-        let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
-        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
-        p.add_constraint(vec![(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
-        let r = solve_lp(&p);
-        assert_eq!(r.status, LpStatus::Optimal);
-        assert_close(r.objective, 12.0);
-        assert_close(r.values[0], 4.0);
-        assert_close(r.values[1], 0.0);
+        for_both(|solve, engine| {
+            let mut p = Problem::new(Sense::Maximize);
+            let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+            let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+            p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+            p.add_constraint(vec![(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
+            let r = solve(&p);
+            assert_eq!(r.status, LpStatus::Optimal, "{engine:?}");
+            assert_close(r.objective, 12.0);
+            assert_close(r.values[0], 4.0);
+            assert_close(r.values[1], 0.0);
+        });
     }
 
     #[test]
     fn minimization_with_ge_rows() {
         // min 2x + 3y st x + y >= 10, x >= 2, y >= 3 -> x=7, y=3, obj 23.
-        let mut p = Problem::new(Sense::Minimize);
-        let x = p.add_var("x", 2.0, f64::INFINITY, 2.0);
-        let y = p.add_var("y", 3.0, f64::INFINITY, 3.0);
-        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0);
-        let r = solve_lp(&p);
-        assert_eq!(r.status, LpStatus::Optimal);
-        assert_close(r.objective, 23.0);
-        assert_close(r.values[0], 7.0);
-        assert_close(r.values[1], 3.0);
+        for_both(|solve, engine| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var("x", 2.0, f64::INFINITY, 2.0);
+            let y = p.add_var("y", 3.0, f64::INFINITY, 3.0);
+            p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0);
+            let r = solve(&p);
+            assert_eq!(r.status, LpStatus::Optimal, "{engine:?}");
+            assert_close(r.objective, 23.0);
+            assert_close(r.values[0], 7.0);
+            assert_close(r.values[1], 3.0);
+        });
     }
 
     #[test]
     fn equality_constraints() {
         // min x + y st x + 2y = 4, x - y = 1 -> x = 2, y = 1, obj 3.
-        let mut p = Problem::new(Sense::Minimize);
-        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
-        let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
-        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Cmp::Eq, 4.0);
-        p.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0);
-        let r = solve_lp(&p);
-        assert_eq!(r.status, LpStatus::Optimal);
-        assert_close(r.values[0], 2.0);
-        assert_close(r.values[1], 1.0);
+        for_both(|solve, engine| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+            let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
+            p.add_constraint(vec![(x, 1.0), (y, 2.0)], Cmp::Eq, 4.0);
+            p.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0);
+            let r = solve(&p);
+            assert_eq!(r.status, LpStatus::Optimal, "{engine:?}");
+            assert_close(r.values[0], 2.0);
+            assert_close(r.values[1], 1.0);
+        });
     }
 
     #[test]
     fn detects_infeasible() {
-        let mut p = Problem::new(Sense::Minimize);
-        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
-        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
-        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
-        assert_eq!(solve_lp(&p).status, LpStatus::Infeasible);
+        for_both(|solve, engine| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+            p.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+            p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+            assert_eq!(solve(&p).status, LpStatus::Infeasible, "{engine:?}");
+        });
     }
 
     #[test]
     fn detects_unbounded() {
-        let mut p = Problem::new(Sense::Maximize);
-        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
-        let y = p.add_var("y", 0.0, f64::INFINITY, 0.0);
-        p.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
-        assert_eq!(solve_lp(&p).status, LpStatus::Unbounded);
+        for_both(|solve, engine| {
+            let mut p = Problem::new(Sense::Maximize);
+            let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+            let y = p.add_var("y", 0.0, f64::INFINITY, 0.0);
+            p.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+            assert_eq!(solve(&p).status, LpStatus::Unbounded, "{engine:?}");
+        });
     }
 
     #[test]
     fn upper_bounds_are_respected() {
-        let mut p = Problem::new(Sense::Maximize);
-        let x = p.add_var("x", 0.0, 2.5, 1.0);
-        let y = p.add_var("y", 0.0, 1.0, 1.0);
-        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 10.0);
-        let r = solve_lp(&p);
-        assert_eq!(r.status, LpStatus::Optimal);
-        assert_close(r.objective, 3.5);
+        for_both(|solve, engine| {
+            let mut p = Problem::new(Sense::Maximize);
+            let x = p.add_var("x", 0.0, 2.5, 1.0);
+            let y = p.add_var("y", 0.0, 1.0, 1.0);
+            p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 10.0);
+            let r = solve(&p);
+            assert_eq!(r.status, LpStatus::Optimal, "{engine:?}");
+            assert_close(r.objective, 3.5);
+        });
     }
 
     #[test]
     fn negative_lower_bounds() {
         // min x st x >= -5 with x <= -2 -> x = -5.
-        let mut p = Problem::new(Sense::Minimize);
-        let x = p.add_var("x", -5.0, f64::INFINITY, 1.0);
-        p.add_constraint(vec![(x, 1.0)], Cmp::Le, -2.0);
-        let r = solve_lp(&p);
-        assert_eq!(r.status, LpStatus::Optimal);
-        assert_close(r.values[0], -5.0);
+        for_both(|solve, engine| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var("x", -5.0, f64::INFINITY, 1.0);
+            p.add_constraint(vec![(x, 1.0)], Cmp::Le, -2.0);
+            let r = solve(&p);
+            assert_eq!(r.status, LpStatus::Optimal, "{engine:?}");
+            assert_close(r.values[0], -5.0);
+        });
     }
 
     #[test]
     fn degenerate_problem_terminates() {
         // Highly degenerate: many redundant constraints through the optimum.
-        let mut p = Problem::new(Sense::Maximize);
-        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
-        let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
-        for k in 1..8 {
-            p.add_constraint(vec![(x, 1.0), (y, k as f64)], Cmp::Le, 1.0 + k as f64);
-        }
-        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 2.0);
-        let r = solve_lp(&p);
-        assert_eq!(r.status, LpStatus::Optimal);
-        // The k=1 row x + y <= 2 binds: optimum value 2 (e.g. at (2, 0)).
-        assert_close(r.objective, 2.0);
+        for_both(|solve, engine| {
+            let mut p = Problem::new(Sense::Maximize);
+            let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+            let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
+            for k in 1..8 {
+                p.add_constraint(vec![(x, 1.0), (y, k as f64)], Cmp::Le, 1.0 + k as f64);
+            }
+            p.add_constraint(vec![(x, 1.0)], Cmp::Le, 2.0);
+            let r = solve(&p);
+            assert_eq!(r.status, LpStatus::Optimal, "{engine:?}");
+            // The k=1 row x + y <= 2 binds: optimum value 2 (e.g. at (2, 0)).
+            assert_close(r.objective, 2.0);
+        });
     }
 
     #[test]
     fn min_mlu_toy_flow_lp() {
         // Two parallel links (cap 3 and 1), route 2 units, minimise MLU:
         // min t st f1 + f2 = 2, f1 <= 3t, f2 <= t -> t = 0.5, f1 = 1.5.
-        let mut p = Problem::new(Sense::Minimize);
-        let t = p.add_var("t", 0.0, f64::INFINITY, 1.0);
-        let f1 = p.add_var("f1", 0.0, f64::INFINITY, 0.0);
-        let f2 = p.add_var("f2", 0.0, f64::INFINITY, 0.0);
-        p.add_constraint(vec![(f1, 1.0), (f2, 1.0)], Cmp::Eq, 2.0);
-        p.add_constraint(vec![(f1, 1.0), (t, -3.0)], Cmp::Le, 0.0);
-        p.add_constraint(vec![(f2, 1.0), (t, -1.0)], Cmp::Le, 0.0);
-        let r = solve_lp(&p);
-        assert_eq!(r.status, LpStatus::Optimal);
-        assert_close(r.objective, 0.5);
+        for_both(|solve, engine| {
+            let mut p = Problem::new(Sense::Minimize);
+            let t = p.add_var("t", 0.0, f64::INFINITY, 1.0);
+            let f1 = p.add_var("f1", 0.0, f64::INFINITY, 0.0);
+            let f2 = p.add_var("f2", 0.0, f64::INFINITY, 0.0);
+            p.add_constraint(vec![(f1, 1.0), (f2, 1.0)], Cmp::Eq, 2.0);
+            p.add_constraint(vec![(f1, 1.0), (t, -3.0)], Cmp::Le, 0.0);
+            p.add_constraint(vec![(f2, 1.0), (t, -1.0)], Cmp::Le, 0.0);
+            let r = solve(&p);
+            assert_eq!(r.status, LpStatus::Optimal, "{engine:?}");
+            assert_close(r.objective, 0.5);
+        });
     }
 
     #[test]
     fn bound_overrides_for_branching() {
-        let mut p = Problem::new(Sense::Maximize);
-        let x = p.add_var("x", 0.0, 10.0, 1.0);
-        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 7.3);
-        // Branch x <= 7.
-        let r = solve_lp_with_bounds(&p, &[0.0], &[7.0]);
-        assert_close(r.objective, 7.0);
-        // Branch x >= 8 is infeasible against x <= 7.3.
-        let r = solve_lp_with_bounds(&p, &[8.0], &[10.0]);
-        assert_eq!(r.status, LpStatus::Infeasible);
-        // Contradictory bound override short-circuits.
-        let r = solve_lp_with_bounds(&p, &[5.0], &[4.0]);
-        assert_eq!(r.status, LpStatus::Infeasible);
+        for engine in ENGINES {
+            let mut p = Problem::new(Sense::Maximize);
+            let x = p.add_var("x", 0.0, 10.0, 1.0);
+            p.add_constraint(vec![(x, 1.0)], Cmp::Le, 7.3);
+            // Branch x <= 7.
+            let r = solve_lp_with_engine(&p, &[0.0], &[7.0], None, engine);
+            assert_close(r.objective, 7.0);
+            // Branch x >= 8 is infeasible against x <= 7.3.
+            let r = solve_lp_with_engine(&p, &[8.0], &[10.0], None, engine);
+            assert_eq!(r.status, LpStatus::Infeasible, "{engine:?}");
+            // Contradictory bound override short-circuits.
+            let r = solve_lp_with_engine(&p, &[5.0], &[4.0], None, engine);
+            assert_eq!(r.status, LpStatus::Infeasible, "{engine:?}");
+        }
     }
 
     #[test]
     fn zero_constraint_problem() {
-        let mut p = Problem::new(Sense::Minimize);
-        p.add_var("x", 1.0, 2.0, 3.0);
-        let r = solve_lp(&p);
+        for_both(|solve, engine| {
+            let mut p = Problem::new(Sense::Minimize);
+            p.add_var("x", 1.0, 2.0, 3.0);
+            let r = solve(&p);
+            assert_eq!(r.status, LpStatus::Optimal, "{engine:?}");
+            assert_close(r.objective, 3.0);
+        });
+    }
+
+    #[test]
+    fn zero_constraint_maximize_flips_to_upper() {
+        // With no rows the optimum is a pure bound-flip exercise.
+        for_both(|solve, engine| {
+            let mut p = Problem::new(Sense::Maximize);
+            p.add_var("x", 1.0, 2.0, 3.0);
+            let r = solve(&p);
+            assert_eq!(r.status, LpStatus::Optimal, "{engine:?}");
+            assert_close(r.objective, 6.0);
+        });
+    }
+
+    #[test]
+    fn warm_start_resolves_after_bound_tightening() {
+        // Solve, then tighten a bound and re-solve from the final basis —
+        // the warm solve must agree with a cold solve of the child.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 10.0, 3.0);
+        let y = p.add_var("y", 0.0, 10.0, 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Cmp::Le, 14.0);
+        p.add_constraint(vec![(x, 3.0), (y, 1.0)], Cmp::Le, 18.0);
+        let (root, basis) = solve_lp_revised(&p, p.lower_bounds(), p.upper_bounds(), None);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = basis.expect("optimal solve yields a basis");
+
+        let lower = [0.0, 0.0];
+        let upper = [3.0, 10.0]; // tighten x <= 3 (a branching move)
+        let (warm, _) = solve_lp_from_basis(&p, &lower, &upper, None, &basis);
+        let cold = solve_lp_with_bounds(&p, &lower, &upper);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert_close(warm.objective, cold.objective);
+        assert_close(warm.values[0], 3.0);
+    }
+
+    #[test]
+    fn warm_start_with_mismatched_basis_falls_back() {
+        let mut small = Problem::new(Sense::Maximize);
+        small.add_var("x", 0.0, 1.0, 1.0);
+        let (_, small_basis) =
+            solve_lp_revised(&small, small.lower_bounds(), small.upper_bounds(), None);
+        let small_basis = small_basis.expect("basis");
+
+        let mut big = Problem::new(Sense::Maximize);
+        let x = big.add_var("x", 0.0, 4.0, 3.0);
+        let y = big.add_var("y", 0.0, f64::INFINITY, 2.0);
+        big.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        let (r, _) = solve_lp_from_basis(
+            &big,
+            big.lower_bounds(),
+            big.upper_bounds(),
+            None,
+            &small_basis,
+        );
         assert_eq!(r.status, LpStatus::Optimal);
-        assert_close(r.objective, 3.0);
+        assert_close(r.objective, 12.0);
     }
 }

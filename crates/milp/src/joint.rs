@@ -99,8 +99,9 @@ struct DestBlock {
 /// Solves the Joint problem (weights + up to one waypoint per demand).
 ///
 /// # Errors
-/// Returns [`TeError::Unroutable`] when the model is infeasible, i.e. some
-/// demand pair is disconnected.
+/// Returns [`TeError::Unroutable`] when the model is proven infeasible
+/// (some demand pair is disconnected) and [`TeError::SolverLimit`] when the
+/// search hit its node/time limit without finding any incumbent.
 pub fn joint_milp(
     net: &Network,
     demands: &DemandList,
@@ -296,10 +297,24 @@ pub fn joint_milp(
 
     let result = solve_milp(&p, &milp_opts);
     let Some(values) = result.values else {
-        let d0 = demands[0];
-        return Err(TeError::Unroutable {
-            src: d0.src,
-            dst: d0.dst,
+        // No incumbent: only a proven-infeasible model means a disconnected
+        // pair; a limit abort without an incumbent is a solver failure.
+        return Err(match result.status {
+            MilpStatus::Infeasible => {
+                let d0 = demands[0];
+                TeError::Unroutable {
+                    src: d0.src,
+                    dst: d0.dst,
+                }
+            }
+            MilpStatus::LimitReached => TeError::SolverLimit {
+                what: "Joint MILP",
+                status: "node/time limit without incumbent",
+            },
+            _ => TeError::SolverLimit {
+                what: "Joint MILP",
+                status: "no incumbent",
+            },
         });
     };
 

@@ -75,6 +75,32 @@ fn add_flow_block(
     fvar
 }
 
+/// Maps a non-`Optimal` LP status to the error that actually describes it:
+/// only genuine infeasibility means a disconnected demand pair
+/// ([`TeError::Unroutable`]); an iteration-limit abort or an unbounded
+/// relaxation is a solver failure ([`TeError::SolverLimit`]) — the instance
+/// may be perfectly routable.
+fn lp_failure(what: &'static str, status: LpStatus, demands: &DemandList) -> TeError {
+    match status {
+        LpStatus::Infeasible => {
+            let d0 = demands[0];
+            TeError::Unroutable {
+                src: d0.src,
+                dst: d0.dst,
+            }
+        }
+        LpStatus::IterLimit => TeError::SolverLimit {
+            what,
+            status: "iteration limit",
+        },
+        LpStatus::Unbounded => TeError::SolverLimit {
+            what,
+            status: "unbounded relaxation",
+        },
+        LpStatus::Optimal => unreachable!("lp_failure called on an optimal solve"),
+    }
+}
+
 fn extract_loads(net: &Network, fvar: &HashMap<NodeId, Vec<VarId>>, values: &[f64]) -> Vec<f64> {
     let mut loads = vec![0.0; net.edge_count()];
     for vars in fvar.values() {
@@ -90,7 +116,8 @@ fn extract_loads(net: &Network, fvar: &HashMap<NodeId, Vec<VarId>>, values: &[f6
 ///
 /// # Errors
 /// [`TeError::Unroutable`] when the LP is infeasible (some demand pair is
-/// disconnected).
+/// disconnected); [`TeError::SolverLimit`] when the solve aborted on a
+/// limit or an unbounded relaxation without reaching a verdict.
 pub fn opt_mlu_lp(net: &Network, demands: &DemandList) -> Result<OptLpOutcome, TeError> {
     assert!(!demands.is_empty(), "demand list must be non-empty");
     let mut p = Problem::new(Sense::Minimize);
@@ -110,13 +137,7 @@ pub fn opt_mlu_lp(net: &Network, demands: &DemandList) -> Result<OptLpOutcome, T
             objective: r.objective,
             loads: extract_loads(net, &fvar, &r.values),
         }),
-        _ => {
-            let d0 = demands[0];
-            Err(TeError::Unroutable {
-                src: d0.src,
-                dst: d0.dst,
-            })
-        }
+        status => Err(lp_failure("OPT LP", status, demands)),
     }
 }
 
@@ -125,7 +146,9 @@ pub fn opt_mlu_lp(net: &Network, demands: &DemandList) -> Result<OptLpOutcome, T
 /// MCF-synthetic generator scales demands so this optimum becomes 1.
 ///
 /// # Errors
-/// [`TeError::Unroutable`] when some demand pair is disconnected.
+/// [`TeError::Unroutable`] when some demand pair is disconnected (reported
+/// also when the optimum pins `λ` at zero); [`TeError::SolverLimit`] when
+/// the solve aborted on a limit without reaching a verdict.
 pub fn max_concurrent_lp(net: &Network, demands: &DemandList) -> Result<OptLpOutcome, TeError> {
     assert!(!demands.is_empty(), "demand list must be non-empty");
     let mut p = Problem::new(Sense::Maximize);
@@ -144,13 +167,12 @@ pub fn max_concurrent_lp(net: &Network, demands: &DemandList) -> Result<OptLpOut
             objective: r.objective,
             loads: extract_loads(net, &fvar, &r.values),
         }),
-        _ => {
-            let d0 = demands[0];
-            Err(TeError::Unroutable {
-                src: d0.src,
-                dst: d0.dst,
-            })
-        }
+        LpStatus::Optimal => Err(lp_failure(
+            "concurrent-flow LP",
+            LpStatus::Infeasible,
+            demands,
+        )),
+        status => Err(lp_failure("concurrent-flow LP", status, demands)),
     }
 }
 
@@ -221,6 +243,29 @@ mod tests {
         let r = opt_mlu_lp(&net, &d).unwrap();
         // Both cross (0,1): load 2 on capacity 1 -> MLU 2.
         assert!((r.objective - 2.0).abs() < 1e-6);
+    }
+
+    /// Regression (misleading error): `IterLimit`/`Unbounded` used to be
+    /// mapped to `Unroutable`, reporting an iteration-limit abort on a big
+    /// topology as "demand pair disconnected".
+    #[test]
+    fn solver_limit_is_not_reported_as_unroutable() {
+        let (_net, d) = parallel_links();
+        assert!(matches!(
+            lp_failure("OPT LP", LpStatus::Infeasible, &d),
+            TeError::Unroutable { .. }
+        ));
+        assert!(matches!(
+            lp_failure("OPT LP", LpStatus::IterLimit, &d),
+            TeError::SolverLimit {
+                status: "iteration limit",
+                ..
+            }
+        ));
+        assert!(matches!(
+            lp_failure("OPT LP", LpStatus::Unbounded, &d),
+            TeError::SolverLimit { .. }
+        ));
     }
 
     #[test]

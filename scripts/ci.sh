@@ -31,4 +31,16 @@ cargo build --release -q -p segrout-bench
 echo "==> bench_incremental (writes BENCH_incremental.json)"
 SEGROUT_FAST=1 ./target/release/bench_incremental
 
+# The LP engine differential suite (revised simplex vs reference tableau)
+# in isolation — it is part of the workspace runs above, but this leg
+# keeps a named gate on solver agreement even if test filters change.
+echo "==> LP differential suite (revised vs tableau)"
+cargo test -q -p segrout-lp --test differential
+
+# Smoke-run the B&B node-throughput record (full numbers live in
+# EXPERIMENTS.md; the smoke run checks the bench path and that both
+# engines still agree on the benchmark MILPs).
+echo "==> bench_simplex (writes BENCH_simplex.json)"
+SEGROUT_FAST=1 ./target/release/bench_simplex
+
 echo "CI OK"

@@ -165,6 +165,9 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
     for name in [
         "simplex.pivots",
         "simplex.solves",
+        "simplex.refactorizations",
+        "simplex.warm_starts",
+        "milp.nodes_warm_started",
         "heurospf.iterations",
         "greedywpo.candidates_evaluated",
         "ecmp.recomputes",

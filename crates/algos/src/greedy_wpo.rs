@@ -215,6 +215,13 @@ pub fn greedy_wpo(
                     u_min = u;
                     waypoints_set.inc();
                     inserted_any = true;
+                    // Commit-point hook: the sparsely patched load vector and
+                    // the patched MLU must equal a from-scratch evaluation of
+                    // the accepted waypoint setting (debug builds only).
+                    #[cfg(debug_assertions)]
+                    segrout_core::hooks::assert_commit_consistent(
+                        net, weights, demands, &setting, &loads, u_min,
+                    );
                 }
                 None => {
                     event!(

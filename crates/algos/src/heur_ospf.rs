@@ -327,6 +327,25 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                                 cur[e] = cand;
                                 cur_score = s;
                                 improved = true;
+                                // Commit-point hook: the evaluator's repaired
+                                // state must equal a from-scratch evaluation
+                                // of the accepted weights (debug builds only).
+                                #[cfg(debug_assertions)]
+                                {
+                                    let w = WeightSetting::new(
+                                        net,
+                                        cur.iter().map(|&x| f64::from(x)).collect(),
+                                    )
+                                    .expect("integer weights in range are always valid");
+                                    segrout_core::hooks::assert_commit_consistent(
+                                        net,
+                                        &w,
+                                        demands,
+                                        &WaypointSetting::none(demands.len()),
+                                        ev.loads(),
+                                        ev.mlu(),
+                                    );
+                                }
                                 trajectory.push(cur_score.mlu(cfg.objective));
                                 event!(
                                     Level::Trace,

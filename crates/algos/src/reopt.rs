@@ -155,6 +155,25 @@ pub fn reoptimize_weights(
             if changed.contains(&e) && cur[e] == base[e] {
                 changed.retain(|&x| x != e);
             }
+            // Commit-point hook: the changed-set bookkeeping must track the
+            // actual divergence from the deployed setting exactly — it is
+            // what enforces the reconfiguration budget (debug builds only).
+            #[cfg(debug_assertions)]
+            {
+                let diverged: Vec<usize> = (0..m).filter(|&i| cur[i] != base[i]).collect();
+                debug_assert!(
+                    diverged.len() <= cfg.max_weight_changes,
+                    "reopt commit: {} links diverged, budget {}",
+                    diverged.len(),
+                    cfg.max_weight_changes
+                );
+                for &i in &diverged {
+                    debug_assert!(
+                        changed.contains(&i),
+                        "reopt commit: link {i} diverged but is not tracked as changed"
+                    );
+                }
+            }
         }
         if !improved {
             break;
@@ -218,21 +237,37 @@ pub fn reoptimize_joint(
         kept_deployed_weights = mlu1 <= mlu3,
     );
 
-    if mlu1 <= mlu3 {
-        Ok(ReoptimizeResult {
+    let result = if mlu1 <= mlu3 {
+        ReoptimizeResult {
             weights: deployed.clone(),
             waypoints: wp1,
             mlu: mlu1,
             weight_changes: 0,
-        })
+        }
     } else {
-        Ok(ReoptimizeResult {
+        ReoptimizeResult {
             weights: rw.weights,
             waypoints: wp3,
             mlu: mlu3,
             weight_changes: rw.weight_changes,
-        })
+        }
+    };
+    // Commit-point hook: the returned (weights, waypoints, mlu) triple must
+    // be internally consistent — the stage-selection logic above pairs
+    // values computed against different routers (debug builds only).
+    #[cfg(debug_assertions)]
+    {
+        let report = Router::new(net, &result.weights).evaluate(demands, &result.waypoints)?;
+        segrout_core::hooks::assert_commit_consistent(
+            net,
+            &result.weights,
+            demands,
+            &result.waypoints,
+            &report.loads,
+            result.mlu,
+        );
     }
+    Ok(result)
 }
 
 /// Convenience oracle: unconstrained re-optimization (full HeurOSPF from

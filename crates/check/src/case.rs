@@ -1,0 +1,651 @@
+//! Self-contained fuzz scenarios with a replayable text format.
+//!
+//! A [`Case`] bundles everything one differential check needs — topology,
+//! demands, configuration, and execution knobs — in a line-oriented format
+//! that extends the `segrout-config v1` grammar with topology directives:
+//!
+//! ```text
+//! # segrout-case v1
+//! seed 42
+//! threads 4
+//! incremental 1
+//! engine revised
+//! pipeline 1
+//! nodes 4
+//! link 0 1 100
+//! demand 0 3 2.5
+//! # segrout-config v1
+//! weight 0 2
+//! waypoint 0 2
+//! ```
+//!
+//! The `weight`/`waypoint` section is parsed by the canonical
+//! `segrout_core::read_config` so corpus files stay hand-editable with the
+//! same rules as deployed configurations.
+
+use crate::validator::{Validator, ValidatorConfig, Violation};
+use segrout_core::rng::StdRng;
+use segrout_core::{
+    read_config, DemandList, IncrementalEvaluator, Network, Router, TeError, WaypointSetting,
+    WeightSetting,
+};
+use segrout_graph::{EdgeId, NodeId};
+use segrout_lp::{LpEngine, MilpOptions, MilpStatus};
+use segrout_milp::{joint_milp, JointMilpOptions};
+use std::fmt;
+use std::time::Duration;
+
+/// LP engine selector for the differential dimension of a case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Bounded-variable revised simplex (production path).
+    Revised,
+    /// Dense two-phase tableau (reference oracle).
+    Tableau,
+}
+
+impl EngineChoice {
+    /// The corresponding `segrout_lp` engine.
+    pub fn lp_engine(self) -> LpEngine {
+        match self {
+            Self::Revised => LpEngine::Revised,
+            Self::Tableau => LpEngine::Tableau,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Revised => "revised",
+            Self::Tableau => "tableau",
+        }
+    }
+}
+
+/// Result of running one case.
+#[derive(Clone, Debug)]
+pub enum CaseOutcome {
+    /// Every enabled check passed.
+    Pass {
+        /// Number of individual checks performed.
+        checks: usize,
+    },
+    /// The state is not evaluable (unroutable, invalid weights, solver
+    /// limit, ...) — a property of the input, **not** a failure.
+    Error(String),
+    /// At least one invariant or differential check failed.
+    Violations(Vec<Violation>),
+    /// The pipeline panicked (recorded by the fuzzer's catch-unwind shim).
+    Panic(String),
+}
+
+impl CaseOutcome {
+    /// `true` for the outcomes that indicate a genuine bug.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Self::Violations(_) | Self::Panic(_))
+    }
+}
+
+impl fmt::Display for CaseOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Pass { checks } => write!(f, "pass ({checks} checks)"),
+            Self::Error(e) => write!(f, "benign error: {e}"),
+            Self::Violations(vs) => {
+                writeln!(f, "{} violation(s):", vs.len())?;
+                for v in vs {
+                    writeln!(f, "  {v}")?;
+                }
+                Ok(())
+            }
+            Self::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+/// One self-contained differential scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Case {
+    /// Node count of the topology.
+    pub nodes: usize,
+    /// Directed links `(src, dst, capacity)` in edge-index order.
+    pub links: Vec<(u32, u32, f64)>,
+    /// Demands `(src, dst, size)`.
+    pub demands: Vec<(u32, u32, f64)>,
+    /// Link weights, one per link.
+    pub weights: Vec<f64>,
+    /// Waypoint rows, one per demand (possibly empty).
+    pub waypoints: Vec<Vec<u32>>,
+    /// Worker-thread count the case runs under.
+    pub threads: usize,
+    /// Whether the incremental evaluation engine is exercised.
+    pub incremental: bool,
+    /// LP engine used for the MILP-oracle stage.
+    pub engine: EngineChoice,
+    /// Whether the full heuristic pipeline (HeurOSPF + GreedyWPO, plus the
+    /// MILP oracle on tiny instances) runs on top of the state validation.
+    pub pipeline: bool,
+    /// Seed driving the probe/commit differential and the pipeline search.
+    pub seed: u64,
+}
+
+/// Restores the ambient worker-thread override on scope exit, including
+/// panic unwinds out of the pipeline stage.
+struct ThreadGuard(usize);
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        segrout_par::set_threads(self.0);
+    }
+}
+
+const TOL: f64 = 1e-6;
+
+impl Case {
+    /// Builds the network described by the topology section.
+    ///
+    /// # Errors
+    /// Rejects out-of-range endpoints and invalid capacities.
+    pub fn network(&self) -> Result<Network, TeError> {
+        let mut b = Network::builder(self.nodes);
+        for &(u, v, cap) in &self.links {
+            if u as usize >= self.nodes || v as usize >= self.nodes {
+                return Err(TeError::InvalidWaypoints(format!(
+                    "link {u} -> {v} out of range for {} nodes",
+                    self.nodes
+                )));
+            }
+            b.link(NodeId(u), NodeId(v), cap);
+        }
+        b.build()
+    }
+
+    /// Builds the demand list described by the demand section.
+    ///
+    /// # Errors
+    /// Rejects out-of-range endpoints.
+    pub fn demand_list(&self) -> Result<DemandList, TeError> {
+        let mut d = DemandList::new();
+        for &(s, t, size) in &self.demands {
+            if s as usize >= self.nodes || t as usize >= self.nodes {
+                return Err(TeError::InvalidWaypoints(format!(
+                    "demand {s} -> {t} out of range for {} nodes",
+                    self.nodes
+                )));
+            }
+            d.push(NodeId(s), NodeId(t), size);
+        }
+        Ok(d)
+    }
+
+    fn weight_setting(&self, net: &Network) -> Result<WeightSetting, TeError> {
+        WeightSetting::new(net, self.weights.clone())
+    }
+
+    fn waypoint_setting(&self) -> Result<WaypointSetting, TeError> {
+        if self.waypoints.len() != self.demands.len() {
+            return Err(TeError::InvalidWaypoints(format!(
+                "{} waypoint rows for {} demands",
+                self.waypoints.len(),
+                self.demands.len()
+            )));
+        }
+        let mut wp = WaypointSetting::none(self.demands.len());
+        for (i, row) in self.waypoints.iter().enumerate() {
+            if !row.is_empty() {
+                wp.set(i, row.iter().map(|&v| NodeId(v)).collect());
+            }
+        }
+        Ok(wp)
+    }
+
+    /// Serializes the case to its text format. The output round-trips
+    /// bit-exactly through [`Case::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# segrout-case v1\n");
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("threads {}\n", self.threads));
+        out.push_str(&format!("incremental {}\n", u8::from(self.incremental)));
+        out.push_str(&format!("engine {}\n", self.engine.as_str()));
+        out.push_str(&format!("pipeline {}\n", u8::from(self.pipeline)));
+        out.push_str(&format!("nodes {}\n", self.nodes));
+        for &(u, v, cap) in &self.links {
+            out.push_str(&format!("link {u} {v} {cap}\n"));
+        }
+        for &(s, t, size) in &self.demands {
+            out.push_str(&format!("demand {s} {t} {size}\n"));
+        }
+        out.push_str("# segrout-config v1\n");
+        for (e, w) in self.weights.iter().enumerate() {
+            out.push_str(&format!("weight {e} {w}\n"));
+        }
+        for (i, row) in self.waypoints.iter().enumerate() {
+            if !row.is_empty() {
+                out.push_str(&format!(
+                    "waypoint {i}{}\n",
+                    row.iter().map(|v| format!(" {v}")).collect::<String>()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parses a case from its text format. `weight` and `waypoint` lines are
+    /// handed to the canonical `segrout_core::read_config` parser.
+    ///
+    /// # Errors
+    /// Reports malformed lines with their line numbers.
+    pub fn from_text(text: &str) -> Result<Self, TeError> {
+        let mut case = Case {
+            nodes: 0,
+            links: Vec::new(),
+            demands: Vec::new(),
+            weights: Vec::new(),
+            waypoints: Vec::new(),
+            threads: 1,
+            incremental: true,
+            engine: EngineChoice::Revised,
+            pipeline: true,
+            seed: 0,
+        };
+        let mut config_lines = String::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |msg: &str| TeError::InvalidWaypoints(format!("line {}: {msg}", lineno + 1));
+            fn num(
+                parts: &mut std::str::SplitWhitespace<'_>,
+                lineno: usize,
+                what: &str,
+            ) -> Result<f64, TeError> {
+                parts
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or_else(|| {
+                        TeError::InvalidWaypoints(format!("line {}: needs {what}", lineno + 1))
+                    })
+            }
+            let mut parts = line.split_whitespace();
+            let directive = parts.next().expect("non-empty line has a first token");
+            let p = &mut parts;
+            match directive {
+                "seed" => {
+                    case.seed = p
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad("seed needs an integer"))?
+                }
+                "threads" => case.threads = num(p, lineno, "a thread count")? as usize,
+                "incremental" => case.incremental = num(p, lineno, "0 or 1")? != 0.0,
+                "pipeline" => case.pipeline = num(p, lineno, "0 or 1")? != 0.0,
+                "engine" => {
+                    case.engine = match p.next() {
+                        Some("revised") => EngineChoice::Revised,
+                        Some("tableau") => EngineChoice::Tableau,
+                        _ => return Err(bad("engine needs 'revised' or 'tableau'")),
+                    }
+                }
+                "nodes" => case.nodes = num(p, lineno, "a node count")? as usize,
+                "link" => {
+                    let u = num(p, lineno, "a source")? as u32;
+                    let v = num(p, lineno, "a destination")? as u32;
+                    let cap = num(p, lineno, "a capacity")?;
+                    case.links.push((u, v, cap));
+                }
+                "demand" => {
+                    let s = num(p, lineno, "a source")? as u32;
+                    let t = num(p, lineno, "a destination")? as u32;
+                    let size = num(p, lineno, "a size")?;
+                    case.demands.push((s, t, size));
+                }
+                "weight" | "waypoint" => {
+                    config_lines.push_str(line);
+                    config_lines.push('\n');
+                }
+                other => return Err(bad(&format!("unknown directive '{other}'"))),
+            }
+        }
+
+        let net = case.network()?;
+        let demands = case.demand_list()?;
+        let (weights, waypoints) = read_config(&net, &demands, &config_lines)?;
+        case.weights = weights.as_slice().to_vec();
+        case.waypoints = (0..waypoints.len())
+            .map(|i| waypoints.get(i).iter().map(|n| n.0).collect())
+            .collect();
+        Ok(case)
+    }
+
+    /// Runs every differential stage of the case and reports the outcome.
+    ///
+    /// Stages: (1) the full invariant [`Validator`] on the given state, (2)
+    /// a seeded probe/commit differential between the incremental engine and
+    /// from-scratch routing, (3) the heuristic pipeline (HeurOSPF +
+    /// GreedyWPO) with validation of its output, and (4) on tiny instances,
+    /// the MILP oracle — optimality sandwich plus a Revised-vs-Tableau LP
+    /// engine differential.
+    pub fn run(&self, vcfg: &ValidatorConfig) -> CaseOutcome {
+        let _threads = ThreadGuard(segrout_par::threads());
+        segrout_par::set_threads(self.threads);
+
+        let built = (|| {
+            let net = self.network()?;
+            let demands = self.demand_list()?;
+            let weights = self.weight_setting(&net)?;
+            let waypoints = self.waypoint_setting()?;
+            Ok::<_, TeError>((net, demands, weights, waypoints))
+        })();
+        let (net, demands, weights, waypoints) = match built {
+            Ok(x) => x,
+            Err(e) => return CaseOutcome::Error(e.to_string()),
+        };
+
+        let mut cfg = vcfg.clone();
+        cfg.compare_incremental = self.incremental;
+        let mut violations = Vec::new();
+        let mut checks = 0usize;
+
+        // Stage 1: full invariant suite on the given state.
+        match Validator::new(&net, &demands, &weights, &waypoints)
+            .with_config(cfg.clone())
+            .validate()
+        {
+            Ok(rep) => {
+                checks += rep.checks;
+                violations.extend(rep.violations);
+            }
+            Err(e) => return CaseOutcome::Error(e.to_string()),
+        }
+
+        // Stage 2: incremental probe/commit differential.
+        if self.incremental && !self.demands.is_empty() {
+            match self.run_incremental_differential(&net, &demands, &weights, &waypoints) {
+                Ok((c, vs)) => {
+                    checks += c;
+                    violations.extend(vs);
+                }
+                Err(e) => return CaseOutcome::Error(e.to_string()),
+            }
+        }
+
+        // Stages 3 + 4: heuristic pipeline, then the MILP oracle on tiny
+        // instances.
+        if self.pipeline && !self.demands.is_empty() {
+            match self.run_pipeline(&net, &demands, &cfg) {
+                Ok((c, vs)) => {
+                    checks += c;
+                    violations.extend(vs);
+                }
+                Err(e) => return CaseOutcome::Error(e.to_string()),
+            }
+        }
+
+        if violations.is_empty() {
+            CaseOutcome::Pass { checks }
+        } else {
+            CaseOutcome::Violations(violations)
+        }
+    }
+
+    /// Random walk of weight probes; every committed step must leave the
+    /// incremental engine bit-identical (integral weights) or within
+    /// tolerance (fractional) of a from-scratch evaluation.
+    fn run_incremental_differential(
+        &self,
+        net: &Network,
+        demands: &DemandList,
+        weights: &WeightSetting,
+        waypoints: &WaypointSetting,
+    ) -> Result<(usize, Vec<Violation>), TeError> {
+        let mut ev = IncrementalEvaluator::new(net, weights, demands, waypoints)?;
+        let mut cur = weights.clone();
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        let mut checks = 0usize;
+        let mut violations = Vec::new();
+        let m = net.edge_count() as u32;
+
+        for step in 0..12usize {
+            let e = EdgeId(rng.gen_range(0..m));
+            let w = f64::from(rng.gen_range(1..=8u32));
+            let probe = ev.probe(e, w)?;
+            if !rng.gen::<bool>() {
+                continue; // discarded probes must not perturb state
+            }
+            ev.commit(probe);
+            cur.set(e, w);
+            let fresh = Router::new(net, &cur).evaluate(demands, waypoints)?;
+            let integral = cur.as_slice().iter().all(|x| x.fract() == 0.0);
+            let scale = 1.0 + fresh.loads.iter().cloned().fold(0.0f64, f64::max);
+            for (idx, (&got, &want)) in ev.loads().iter().zip(&fresh.loads).enumerate() {
+                checks += 1;
+                let ok = if integral {
+                    got.to_bits() == want.to_bits()
+                } else {
+                    (got - want).abs() <= TOL * scale
+                };
+                if !ok {
+                    violations.push(Violation {
+                        invariant: "incremental-differential",
+                        detail: format!(
+                            "step {step}: edge {idx} load {got} != fresh {want} \
+                             after committing w[{}] = {w}",
+                            e.index()
+                        ),
+                    });
+                }
+            }
+            checks += 1;
+            if (ev.mlu() - fresh.mlu).abs() > TOL * (1.0 + fresh.mlu) {
+                violations.push(Violation {
+                    invariant: "incremental-differential",
+                    detail: format!("step {step}: MLU {} != fresh {}", ev.mlu(), fresh.mlu),
+                });
+            }
+        }
+        Ok((checks, violations))
+    }
+
+    /// Runs HeurOSPF + GreedyWPO, validates the result state, and on tiny
+    /// instances sandwiches the heuristic MLU between the MILP incumbent and
+    /// its dual bound, cross-checking both LP engines.
+    fn run_pipeline(
+        &self,
+        net: &Network,
+        demands: &DemandList,
+        vcfg: &ValidatorConfig,
+    ) -> Result<(usize, Vec<Violation>), TeError> {
+        const MAX_WEIGHT: u32 = 4;
+        let mut checks = 0usize;
+        let mut violations = Vec::new();
+
+        let ospf = segrout_algos::HeurOspfConfig {
+            max_weight: MAX_WEIGHT,
+            restarts: 1,
+            max_passes: 3,
+            seed: self.seed,
+            use_incremental: self.incremental,
+            ..Default::default()
+        };
+        let hw = segrout_algos::heur_ospf(net, demands, &ospf);
+        let wp = segrout_algos::greedy_wpo(
+            net,
+            demands,
+            &hw,
+            &segrout_algos::GreedyWpoConfig::default(),
+        )?;
+        let report = Router::new(net, &hw).evaluate(demands, &wp)?;
+
+        let mut cfg = vcfg.clone();
+        cfg.mcf_lower_bound = false; // already checked on the input state
+        let rep = Validator::new(net, demands, &hw, &wp)
+            .with_config(cfg)
+            .validate()?;
+        checks += rep.checks;
+        violations.extend(rep.violations.into_iter().map(|mut v| {
+            v.detail = format!("pipeline output: {}", v.detail);
+            v
+        }));
+
+        let tiny =
+            net.node_count() <= 5 && net.edge_count() <= 12 && (1..=3).contains(&demands.len());
+        if !tiny {
+            return Ok((checks, violations));
+        }
+
+        let milp_opts = |engine: LpEngine| JointMilpOptions {
+            max_weight: MAX_WEIGHT,
+            waypoints: 1,
+            milp: MilpOptions {
+                node_limit: 2000,
+                time_limit: Duration::from_secs(10),
+                engine,
+                ..Default::default()
+            },
+            warm_start: Some((hw.clone(), wp.clone())),
+            ..Default::default()
+        };
+        let primary = match joint_milp(net, demands, &milp_opts(self.engine.lp_engine())) {
+            Ok(o) => o,
+            Err(TeError::SolverLimit { .. }) => return Ok((checks, violations)),
+            Err(e) => return Err(e),
+        };
+
+        // The heuristic searches a subset of the MILP's space (integer
+        // weights ≤ MAX_WEIGHT, ≤ 1 waypoint), so a proven-optimal MILP can
+        // never lose to it, and the dual bound holds unconditionally.
+        if primary.status == MilpStatus::Optimal {
+            checks += 1;
+            if primary.mlu > report.mlu + TOL * (1.0 + report.mlu) {
+                violations.push(Violation {
+                    invariant: "milp-oracle",
+                    detail: format!(
+                        "optimal MILP MLU {} exceeds heuristic MLU {}",
+                        primary.mlu, report.mlu
+                    ),
+                });
+            }
+        }
+        checks += 1;
+        if report.mlu < primary.bound - TOL * (1.0 + primary.bound) {
+            violations.push(Violation {
+                invariant: "milp-oracle",
+                detail: format!(
+                    "heuristic MLU {} beats the MILP dual bound {}",
+                    report.mlu, primary.bound
+                ),
+            });
+        }
+
+        let other_engine = match self.engine {
+            EngineChoice::Revised => LpEngine::Tableau,
+            EngineChoice::Tableau => LpEngine::Revised,
+        };
+        let secondary = match joint_milp(net, demands, &milp_opts(other_engine)) {
+            Ok(o) => o,
+            Err(TeError::SolverLimit { .. }) => return Ok((checks, violations)),
+            Err(e) => return Err(e),
+        };
+        if primary.status == MilpStatus::Optimal && secondary.status == MilpStatus::Optimal {
+            checks += 1;
+            if (primary.mlu - secondary.mlu).abs() > TOL * (1.0 + primary.mlu) {
+                violations.push(Violation {
+                    invariant: "engine-differential",
+                    detail: format!(
+                        "optimal MLU differs across LP engines: {} ({:?}) vs {} ({other_engine:?})",
+                        primary.mlu,
+                        self.engine.lp_engine(),
+                        secondary.mlu
+                    ),
+                });
+            }
+        }
+        Ok((checks, violations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond_case() -> Case {
+        Case {
+            nodes: 4,
+            links: vec![
+                (0, 1, 10.0),
+                (1, 0, 10.0),
+                (1, 3, 10.0),
+                (3, 1, 10.0),
+                (0, 2, 10.0),
+                (2, 0, 10.0),
+                (2, 3, 10.0),
+                (3, 2, 10.0),
+            ],
+            demands: vec![(0, 3, 4.0), (1, 2, 1.5)],
+            weights: vec![1.0; 8],
+            waypoints: vec![vec![2], vec![]],
+            threads: 2,
+            incremental: true,
+            engine: EngineChoice::Revised,
+            pipeline: true,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let case = diamond_case();
+        let text = case.to_text();
+        let back = Case::from_text(&text).unwrap();
+        assert_eq!(case, back);
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn malformed_text_is_rejected_with_line_numbers() {
+        for (text, needle) in [
+            ("frobnicate 1", "unknown directive"),
+            ("nodes", "node count"),
+            ("engine simplex", "revised"),
+            ("link 0 9 1\nnodes 2", "out of range"),
+            ("nodes 2\nlink 0 1 5\nweight 3 1", "out of range"),
+        ] {
+            let err = Case::from_text(text).unwrap_err().to_string();
+            assert!(
+                err.contains(needle),
+                "'{text}' -> '{err}' missing '{needle}'"
+            );
+        }
+    }
+
+    #[test]
+    fn diamond_case_passes_end_to_end() {
+        let outcome = diamond_case().run(&ValidatorConfig::default());
+        match outcome {
+            CaseOutcome::Pass { checks } => assert!(checks > 50, "only {checks} checks"),
+            other => panic!("expected pass, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unroutable_case_is_benign() {
+        let case = Case {
+            nodes: 3,
+            links: vec![(0, 1, 1.0), (1, 2, 1.0)],
+            demands: vec![(2, 0, 1.0)],
+            weights: vec![1.0, 1.0],
+            waypoints: vec![vec![]],
+            threads: 1,
+            incremental: true,
+            engine: EngineChoice::Revised,
+            pipeline: false,
+            seed: 1,
+        };
+        assert!(matches!(
+            case.run(&ValidatorConfig::default()),
+            CaseOutcome::Error(_)
+        ));
+        assert!(!case.run(&ValidatorConfig::default()).is_failure());
+    }
+}

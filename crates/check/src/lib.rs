@@ -1,0 +1,42 @@
+//! # segrout-check
+//!
+//! The correctness backstop of the `segrout` workspace: a pipeline-wide
+//! **invariant validator** and a seeded **differential fuzzer** with case
+//! shrinking and a replayable regression corpus.
+//!
+//! The optimizer stack has three fast paths — the parallel ECMP evaluator,
+//! the incremental evaluation engine, and the warm-started revised simplex —
+//! whose correctness rests on subtle tie-breaking and floating-point
+//! contracts. This crate hunts interaction bugs between them automatically:
+//!
+//! * [`Validator`] checks any `(Network, demands, weights, waypoints)` state
+//!   against the full routing-invariant suite: per-destination SP-DAG
+//!   acyclicity and shortest-path optimality, ECMP even-split conservation
+//!   at every node, waypoint-segment flow stitching, link-load
+//!   non-negativity, MLU/Φ consistency between `Router`,
+//!   `IncrementalEvaluator` and the parallel path, and heuristic-MLU ≥ MCF
+//!   lower bound.
+//! * [`Case`] is a self-contained fuzz scenario in a line-oriented text
+//!   format (the topology/demand section plus an embedded
+//!   `segrout-config v1` block), replayable from `tests/corpus/*.case`.
+//! * [`fuzz_campaign`] generates seeded random scenarios (synthetic and
+//!   embedded topologies × demand matrices × weight/waypoint perturbations
+//!   × thread counts × incremental on/off × LP engines), runs the full
+//!   pipeline, validates every invariant, cross-checks small instances
+//!   against the MILP oracle, and **shrinks** failures (drop demands,
+//!   contract edges, round weights) to minimal reproducers.
+//!
+//! The cheap in-tree complement — `debug_assertions`-gated hooks at the
+//! optimizer commit points — lives in `segrout_core::hooks` so the algorithm
+//! crates can call it without a dependency cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod fuzz;
+pub mod validator;
+
+pub use case::{Case, CaseOutcome, EngineChoice};
+pub use fuzz::{fuzz_campaign, FuzzConfig, FuzzFailure, FuzzReport};
+pub use validator::{ValidationReport, Validator, ValidatorConfig, Violation};

@@ -30,6 +30,7 @@ pub mod demand;
 pub mod ecmp;
 pub mod error;
 pub mod esflow;
+pub mod hooks;
 pub mod incremental;
 pub mod instance;
 pub mod network;

@@ -419,6 +419,55 @@ mod tests {
         assert!((r.loads[2] - 1.0).abs() < 1e-9);
     }
 
+    /// Figure 7's split-imperfection behaviour: on a two-way ECMP split the
+    /// measured deviation from the fluid 50/50 shrinks as the stream count
+    /// grows (binomial concentration), converging to the even split.
+    #[test]
+    fn split_imperfection_decays_with_stream_count() {
+        let mut b = Network::builder(4);
+        b.link(NodeId(0), NodeId(1), 1.0);
+        b.link(NodeId(1), NodeId(3), 1.0);
+        b.link(NodeId(0), NodeId(2), 1.0);
+        b.link(NodeId(2), NodeId(3), 1.0);
+        let net = b.build().unwrap();
+        let w = WeightSetting::unit(&net);
+        let sim = HashEcmpSim::new(&net, &w);
+
+        let seeds: Vec<u64> = (0..8).collect();
+        let mut mean_dev = Vec::new();
+        for streams in [4usize, 16, 64, 256, 1024, 8192] {
+            let flows = vec![SimFlow {
+                src: NodeId(0),
+                dst: NodeId(3),
+                rate: 1.0,
+                streams,
+                waypoints: vec![],
+            }];
+            let dev: f64 = seeds
+                .iter()
+                .map(|&seed| {
+                    let r = sim.run(&flows, &SimConfig { seed, noise: 0.0 }).unwrap();
+                    (r.loads[0] - 0.5).abs()
+                })
+                .sum::<f64>()
+                / seeds.len() as f64;
+            mean_dev.push(dev);
+        }
+        // Convergence end-to-end: the coarsest split deviates visibly, the
+        // finest is near-fluid, and the trend over a 2048x stream increase
+        // is decisively downward (allowing small non-monotone steps).
+        let first = mean_dev[0];
+        let last = *mean_dev.last().unwrap();
+        assert!(last < 0.02, "8192 streams still {last:.4} from even split");
+        assert!(last < first / 4.0, "deviation did not decay: {mean_dev:?}");
+        for w in mean_dev.windows(3) {
+            assert!(
+                w[2] < w[0].max(0.03),
+                "no convergence trend in {mean_dev:?}"
+            );
+        }
+    }
+
     #[test]
     fn failure_disconnecting_a_segment_errors() {
         let mut b = Network::builder(3);

@@ -278,4 +278,89 @@ mod tests {
         let s = r#"<linkSpeed>9</linkSpeed><link id="a"><source>s</source></link>"#;
         assert_eq!(blocks(s, "link").len(), 1);
     }
+
+    /// Truncating well-formed documents at every byte boundary must produce
+    /// a clean `Result` — the scanners may reject the partial input but
+    /// never panic or hang.
+    #[test]
+    fn truncated_documents_never_panic() {
+        for sample in [SNDLIB_SAMPLE, GRAPHML_SAMPLE] {
+            for cut in (0..sample.len()).step_by(7) {
+                let Some(prefix) = sample.get(..cut) else {
+                    continue; // mid-codepoint cut; byte slicing would panic
+                };
+                let _ = parse_sndlib_xml(prefix);
+                let _ = parse_graphml(prefix, 1000.0);
+            }
+        }
+    }
+
+    /// Feeding each parser the *other* format (and assorted junk) returns
+    /// errors, not panics.
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for junk in [
+            "",
+            "not xml at all",
+            "<network><nodes></nodes></network>",
+            "<graphml><graph></graph></graphml>",
+            // Nodes but no links.
+            r#"<nodes><node id="A"/><node id="B"/></nodes>"#,
+            // Unclosed link block after valid nodes.
+            r#"<node id="A"/><node id="B"/><link id="L"><source>A</source>"#,
+        ] {
+            assert!(parse_sndlib_xml(junk).is_err(), "sndlib accepted {junk:?}");
+            assert!(
+                parse_graphml(junk, 1.0).is_err(),
+                "graphml accepted {junk:?}"
+            );
+        }
+        // Cross-format confusion: GraphML fed to the SNDLib parser finds
+        // nodes but no <link> blocks.
+        assert!(parse_sndlib_xml(GRAPHML_SAMPLE).is_err());
+    }
+
+    /// GraphML edges referencing unknown nodes are structural errors.
+    #[test]
+    fn graphml_rejects_dangling_edge() {
+        let bad = r#"<graphml><graph>
+            <node id="n0"/><edge source="n0" target="n9"/>
+        </graph></graphml>"#;
+        assert!(parse_graphml(bad, 1.0).is_err());
+    }
+
+    /// A non-numeric capacity falls back to the documented defaults instead
+    /// of failing the parse.
+    #[test]
+    fn unparsable_capacities_fall_back_to_defaults() {
+        let snd = r#"<node id="A"/><node id="B"/>
+            <link id="L"><source>A</source><target>B</target>
+              <capacity>fast</capacity></link>"#;
+        let (net, _) = parse_sndlib_xml(snd).unwrap();
+        assert_eq!(net.capacities(), &[1.0, 1.0]);
+
+        let gml = r#"<graphml>
+            <key attr.name="LinkSpeedRaw" for="edge" id="k"/>
+            <node id="a"/><node id="b"/>
+            <edge source="a" target="b"><data key="k">broken</data></edge>
+        </graphml>"#;
+        let net = parse_graphml(gml, 777.0).unwrap();
+        assert_eq!(net.capacities(), &[777.0, 777.0]);
+    }
+
+    /// Every embedded topology survives the full stats pipeline with sane
+    /// values — the parse -> model -> stats round trip the CLI exercises.
+    #[test]
+    fn embedded_topologies_round_trip_through_stats() {
+        for name in crate::TOPOLOGY_NAMES {
+            let net = crate::by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            let stats = crate::topology_stats(&net);
+            assert!(net.node_count() >= 2, "{name}");
+            assert!(net.edge_count() >= 2, "{name}");
+            assert!(stats.min_capacity > 0.0, "{name}");
+            assert!(stats.max_capacity >= stats.min_capacity, "{name}");
+            assert!(stats.capacity_spread >= 1.0, "{name}");
+            assert!(!stats.capacity_tiers.is_empty(), "{name}");
+        }
+    }
 }

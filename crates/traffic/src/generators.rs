@@ -302,6 +302,80 @@ mod tests {
         // Size ratio is preserved.
         assert!((scaled[1].size / scaled[0].size - 2.0).abs() < 1e-9);
     }
+    /// The generators' determinism contract: the same seed yields
+    /// bit-identical matrices regardless of the worker-thread count (the
+    /// MCF normalization runs through the parallel evaluator paths).
+    #[test]
+    fn same_seed_is_bit_identical_across_thread_counts() {
+        let net = abilene();
+        let cfg = TrafficConfig {
+            seed: 77,
+            ..Default::default()
+        };
+        let prev = segrout_par::threads();
+        let mut per_threads = Vec::new();
+        for t in [1usize, 4] {
+            segrout_par::set_threads(t);
+            let mcf = mcf_synthetic(&net, &cfg).unwrap();
+            let grav = gravity(&net, &cfg).unwrap();
+            per_threads.push((mcf, grav));
+        }
+        segrout_par::set_threads(prev);
+        let (mcf1, grav1) = &per_threads[0];
+        let (mcf4, grav4) = &per_threads[1];
+        assert_eq!(mcf1.len(), mcf4.len());
+        for (a, b) in mcf1.iter().zip(mcf4.iter()) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.size.to_bits(), b.size.to_bits(), "mcf sizes diverge");
+        }
+        assert_eq!(grav1.len(), grav4.len());
+        for (a, b) in grav1.iter().zip(grav4.iter()) {
+            assert_eq!(a.size.to_bits(), b.size.to_bits(), "gravity sizes diverge");
+        }
+    }
+
+    /// Gravity matrices follow the product form `d_ij ∝ m_i · m_j`: the
+    /// matrix is exactly symmetric, and cross-ratios `d_ij·d_kl = d_il·d_kj`
+    /// hold — the mass-conservation structure of the model.
+    #[test]
+    fn gravity_product_form_holds() {
+        let net = abilene();
+        let d = gravity(
+            &net,
+            &TrafficConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let n = net.node_count();
+        assert_eq!(d.len(), n * (n - 1), "gravity covers every ordered pair");
+        let mut matrix = vec![vec![0.0f64; n]; n];
+        for dem in d.iter() {
+            matrix[dem.src.index()][dem.dst.index()] = dem.size;
+        }
+        // Symmetry is bit-exact: d_ij and d_ji come from the same product.
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, &val) in row.iter().enumerate() {
+                assert_eq!(
+                    val.to_bits(),
+                    matrix[j][i].to_bits(),
+                    "asymmetry at ({i}, {j})"
+                );
+            }
+        }
+        // Cross-ratio identity on a sample of index quadruples.
+        for (i, j, k, l) in [(0, 1, 2, 3), (4, 7, 1, 9), (2, 5, 8, 0)] {
+            let lhs = matrix[i][j] * matrix[k][l];
+            let rhs = matrix[i][l] * matrix[k][j];
+            assert!(
+                (lhs - rhs).abs() <= 1e-9 * lhs.abs().max(rhs.abs()),
+                "cross-ratio broken for ({i},{j},{k},{l}): {lhs} vs {rhs}"
+            );
+        }
+    }
+
     #[test]
     fn drifting_series_stays_normalized() {
         let net = abilene();

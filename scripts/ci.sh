@@ -43,4 +43,18 @@ cargo test -q -p segrout-lp --test differential
 echo "==> bench_simplex (writes BENCH_simplex.json)"
 SEGROUT_FAST=1 ./target/release/bench_simplex
 
+# Bounded differential-fuzz smoke leg: a fixed seed keeps it
+# deterministic, --fast skips the MCF lower-bound check so the leg stays
+# around half a minute. Any failure writes a shrunk reproducer that
+# belongs in tests/corpus/.
+echo "==> segrout fuzz smoke (seed 42, 60 cases, --fast)"
+cargo build --release -q
+./target/release/segrout fuzz --seed 42 --cases 60 --fast --corpus tests/corpus >/dev/null
+
+# Replay every shrunk reproducer in tests/corpus/ through the full
+# differential check (also part of the workspace runs above; the named
+# leg keeps the corpus gate visible even if test filters change).
+echo "==> corpus replay"
+cargo test -q --test corpus_replay
+
 echo "CI OK"

@@ -37,11 +37,13 @@
 //! | [`instances`] | the paper's worst-case constructions |
 //! | [`obs`]   | structured events, span timers, metrics registry, JSONL telemetry |
 //! | [`par`]   | deterministic worker pool: chunked `par_map` with ordered reduction |
+//! | [`check`] | invariant validator, differential fuzzer, shrinking corpus |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use segrout_algos as algos;
+pub use segrout_check as check;
 pub use segrout_core as core;
 pub use segrout_graph as graph;
 pub use segrout_instances as instances;

@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(&flags),
         "gaps" => cmd_gaps(&flags),
         "parse" => cmd_parse(&flags),
+        "fuzz" => cmd_fuzz(&flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -66,6 +67,10 @@ USAGE:
                    [--save <config-file>] [--load <config-file>]
   segrout gaps --instance 1|2|3|4|5 [--m N]
   segrout parse (--sndlib <file> | --graphml <file>)
+  segrout fuzz [--seed N] [--cases N] [--no-shrink] [--corpus <dir>] [--fast]
+               differential fuzzing of the whole optimizer stack; failing
+               cases are shrunk to minimal reproducers (default seed 42,
+               500 cases; --fast skips the MCF lower-bound check)
 
 OBSERVABILITY (any command):
   --log-level error|warn|info|debug|trace   stderr event verbosity (default warn)
@@ -342,6 +347,64 @@ fn cmd_gaps(flags: &HashMap<String, String>) -> Result<(), String> {
         apx.achieved_ratio()
     );
     Ok(())
+}
+
+fn cmd_fuzz(flags: &HashMap<String, String>) -> Result<(), String> {
+    // The fuzzer's own metric catalog, pre-registered so every campaign
+    // reports the same names.
+    for name in ["check.cases", "check.violations", "check.shrink_steps"] {
+        segrout::obs::counter(name);
+    }
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let cases: usize = flags
+        .get("cases")
+        .map(|s| s.parse().map_err(|_| "bad --cases"))
+        .transpose()?
+        .unwrap_or(500);
+    let mut validator = segrout::check::ValidatorConfig::default();
+    if flags.contains_key("fast") {
+        validator.mcf_lower_bound = false;
+    }
+    let cfg = segrout::check::FuzzConfig {
+        seed,
+        cases,
+        shrink: !flags.contains_key("no-shrink"),
+        corpus_dir: flags.get("corpus").map(std::path::PathBuf::from),
+        validator,
+    };
+
+    println!("fuzzing: {cases} cases from seed {seed} ...");
+    let start = std::time::Instant::now();
+    let report = segrout::check::fuzz_campaign(&cfg);
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{} cases in {secs:.1}s ({:.1} cases/s): {} checks, {} benign errors, {} failures",
+        report.cases,
+        report.cases as f64 / secs.max(1e-9),
+        report.checks,
+        report.benign_errors,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        println!(
+            "\ncase {} (shrunk in {} steps): {}",
+            f.index, f.shrink_steps, f.outcome
+        );
+        match &f.corpus_path {
+            Some(p) => println!("reproducer written to {}", p.display()),
+            None => println!("reproducer:\n{}", f.case.to_text()),
+        }
+    }
+    println!("\nrun summary:\n{}", segrout::obs::summary_table());
+    if report.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} failing case(s)", report.failures.len()))
+    }
 }
 
 fn cmd_parse(flags: &HashMap<String, String>) -> Result<(), String> {

@@ -113,6 +113,10 @@ pub fn greedy_wpo(
     // Loads of the all-direct routing.
     let mut loads = router.evaluate(demands, &setting).map(|r| r.loads)?;
     let mut u_min = max_link_utilization(&loads, caps);
+    // Local probe count for the flight recorder; GreedyWPO tracks no Φ, so
+    // trace points carry `NaN` there (rendered as JSON null).
+    let mut total_probes: u64 = 0;
+    segrout_obs::trace_point("greedywpo.start", 0, f64::NAN, u_min);
     event!(
         Level::Debug,
         "greedywpo.start",
@@ -199,8 +203,10 @@ pub fn greedy_wpo(
             }
 
             candidates_evaluated.add(probed);
+            total_probes += probed;
             match best {
                 Some((cand, u, delta)) => {
+                    segrout_obs::trace_point("greedywpo.accept", total_probes, f64::NAN, u);
                     event!(
                         Level::Debug,
                         "greedywpo.pick",
@@ -242,6 +248,7 @@ pub fn greedy_wpo(
         }
     }
     segrout_obs::gauge("greedywpo.final_mlu").set(u_min);
+    segrout_obs::trace_point("greedywpo.done", total_probes, f64::NAN, u_min);
     event!(
         Level::Info,
         "greedywpo.done",

@@ -90,6 +90,14 @@ impl Score {
         }
     }
 
+    /// The Φ component of the lexicographic pair.
+    fn phi(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::PhiThenMlu => self.0,
+            Objective::MluThenPhi => self.1,
+        }
+    }
+
     fn better_than(&self, other: &Score) -> bool {
         const REL: f64 = 1e-9;
         let tol0 = REL * (1.0 + other.0.abs());
@@ -224,6 +232,18 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
     let mut best: Vec<u32> = inverse_capacity_start(net, cfg.max_weight);
     let mut best_score = score(net, demands, &best, cfg.objective);
     iterations.inc();
+    // Local evaluation count for the flight recorder (the global counter is
+    // shared across concurrent runs in one process); `trace_best` gates the
+    // trace on *global* improvement so the recorded best-MLU curve is
+    // monotone across restarts. Tracing never feeds back into the search.
+    let mut total_evals: u64 = 1;
+    let mut trace_best = best_score;
+    segrout_obs::trace_point(
+        "heurospf.start",
+        total_evals,
+        best_score.phi(cfg.objective),
+        best_score.mlu(cfg.objective),
+    );
     trajectory.push(best_score.mlu(cfg.objective));
     event!(
         Level::Debug,
@@ -252,6 +272,7 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
             None => score(net, demands, &cur, cfg.objective),
         };
         iterations.inc();
+        total_evals += 1;
         event!(
             Level::Debug,
             "heurospf.restart",
@@ -347,6 +368,17 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                                     );
                                 }
                                 trajectory.push(cur_score.mlu(cfg.objective));
+                                if segrout_obs::trace_enabled()
+                                    && cur_score.better_than(&trace_best)
+                                {
+                                    trace_best = cur_score;
+                                    segrout_obs::trace_point(
+                                        "heurospf.accept",
+                                        total_evals + pass_evals,
+                                        cur_score.phi(cfg.objective),
+                                        cur_score.mlu(cfg.objective),
+                                    );
+                                }
                                 event!(
                                     Level::Trace,
                                     "heurospf.accept",
@@ -374,6 +406,17 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                                 cur_score = *s;
                                 improved = true;
                                 trajectory.push(cur_score.mlu(cfg.objective));
+                                if segrout_obs::trace_enabled()
+                                    && cur_score.better_than(&trace_best)
+                                {
+                                    trace_best = cur_score;
+                                    segrout_obs::trace_point(
+                                        "heurospf.accept",
+                                        total_evals + pass_evals,
+                                        cur_score.phi(cfg.objective),
+                                        cur_score.mlu(cfg.objective),
+                                    );
+                                }
                                 event!(
                                     Level::Trace,
                                     "heurospf.accept",
@@ -388,6 +431,7 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                 }
             }
             iterations.add(pass_evals);
+            total_evals += pass_evals;
             event!(
                 Level::Debug,
                 "heurospf.pass",
@@ -408,6 +452,12 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
     }
 
     segrout_obs::gauge("heurospf.best_mlu").set(best_score.mlu(cfg.objective));
+    segrout_obs::trace_point(
+        "heurospf.done",
+        total_evals,
+        best_score.phi(cfg.objective),
+        best_score.mlu(cfg.objective),
+    );
     event!(
         Level::Info,
         "heurospf.done",

@@ -61,6 +61,7 @@ pub fn joint_heur(
     let router = Router::new(net, &omega);
     let mlu_weights_only = router.mlu(demands)?;
     segrout_obs::gauge("joint.stage1_mlu").set(mlu_weights_only);
+    segrout_obs::trace_point("joint.stage1", 1, f64::NAN, mlu_weights_only);
     event!(Level::Info, "joint.stage1", mlu = mlu_weights_only);
 
     // Stage 2: greedy waypoints under omega.
@@ -68,6 +69,7 @@ pub fn joint_heur(
     let mut best_mlu = router.evaluate(demands, &pi)?.mlu;
     let mut best_weights = omega.clone();
     segrout_obs::gauge("joint.stage2_mlu").set(best_mlu);
+    segrout_obs::trace_point("joint.stage2", 2, f64::NAN, best_mlu);
     event!(Level::Info, "joint.stage2", mlu = best_mlu);
 
     // Stages 3-4: re-optimize weights on the segment-expanded demands.
@@ -94,6 +96,7 @@ pub fn joint_heur(
     }
 
     segrout_obs::gauge("joint.final_mlu").set(best_mlu);
+    segrout_obs::trace_point("joint.done", 3, f64::NAN, best_mlu);
     Ok(JointHeurResult {
         weights: best_weights,
         waypoints: pi,

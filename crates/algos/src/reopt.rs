@@ -113,6 +113,15 @@ pub fn reoptimize_weights(
     let mut cur_score = score(net, demands, &cur, cfg.ospf.objective);
     let mut changed: Vec<usize> = Vec::new();
 
+    // Flight recorder: (phi, mlu) per accepted move, evals counted locally.
+    let unpack = |s: (f64, f64)| match cfg.ospf.objective {
+        Objective::PhiThenMlu => (s.0, s.1),
+        Objective::MluThenPhi => (s.1, s.0),
+    };
+    let mut total_evals: u64 = 1;
+    let (phi0, mlu0) = unpack(cur_score);
+    segrout_obs::trace_point("reopt.start", total_evals, phi0, mlu0);
+
     let mut edge_order: Vec<usize> = (0..m).collect();
     for _pass in 0..cfg.ospf.max_passes {
         let mut improved = false;
@@ -139,11 +148,14 @@ pub fn reoptimize_weights(
                 cur[e] = cand;
                 let s = score(net, demands, &cur, cfg.ospf.objective);
                 evals.inc();
+                total_evals += 1;
                 if s.0 < cur_score.0 - 1e-12
                     || (s.0 <= cur_score.0 + 1e-12 && s.1 < cur_score.1 - 1e-12)
                 {
                     cur_score = s;
                     improved = true;
+                    let (phi, mlu) = unpack(cur_score);
+                    segrout_obs::trace_point("reopt.accept", total_evals, phi, mlu);
                     if !is_changed && cur[e] != base[e] {
                         changed.push(e);
                     }
@@ -186,6 +198,8 @@ pub fn reoptimize_weights(
     let mlu = router.mlu(demands)?;
     let weight_changes = cur.iter().zip(&base).filter(|(a, b)| a != b).count();
     debug_assert!(weight_changes <= cfg.max_weight_changes);
+    let (phi_fin, _) = unpack(cur_score);
+    segrout_obs::trace_point("reopt.done", total_evals, phi_fin, mlu);
     event!(
         Level::Info,
         "reopt.weights_done",

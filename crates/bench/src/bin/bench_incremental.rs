@@ -219,10 +219,6 @@ fn main() {
             "identical_weights": same_descent,
         }),
     });
-    if let Err(e) = std::fs::write("BENCH_incremental.json", record.render()) {
-        eprintln!("warning: cannot write BENCH_incremental.json: {e}");
-    } else {
-        println!("[results written to BENCH_incremental.json]");
-    }
+    segrout_bench::write_record("BENCH_incremental.json", &record);
     segrout_bench::finish_obs();
 }

@@ -153,11 +153,8 @@ fn main() {
         "fast_mode": fast_mode(),
         "results": rows,
     });
-    if let Err(e) = std::fs::write("BENCH_parallel.json", record.render()) {
-        eprintln!("warning: cannot write BENCH_parallel.json: {e}");
-    } else {
-        println!("\n[results written to BENCH_parallel.json]");
-    }
+    println!();
+    segrout_bench::write_record("BENCH_parallel.json", &record);
     segrout_bench::finish_obs();
 }
 

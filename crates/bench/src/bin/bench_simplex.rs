@@ -145,10 +145,6 @@ fn main() {
         "geomean_speedup": geomean,
         "min_joint_speedup": min_joint,
     });
-    if let Err(e) = std::fs::write("BENCH_simplex.json", record.render()) {
-        eprintln!("warning: cannot write BENCH_simplex.json: {e}");
-    } else {
-        println!("[results written to BENCH_simplex.json]");
-    }
+    segrout_bench::write_record("BENCH_simplex.json", &record);
     segrout_bench::finish_obs();
 }

@@ -26,6 +26,12 @@
 use segrout_obs::Json;
 use std::fs;
 use std::path::Path;
+use std::sync::OnceLock;
+
+/// Flight-recorder output paths requested via CLI flags (written by
+/// [`finish_obs`]).
+static TRACE_OUT: OnceLock<String> = OnceLock::new();
+static PROFILE_OUT: OnceLock<String> = OnceLock::new();
 
 /// Summary statistics of a sample.
 #[derive(Clone, Copy, Debug)]
@@ -85,7 +91,11 @@ pub fn fast_mode() -> bool {
     std::env::var("SEGROUT_FAST").is_ok_and(|v| v == "1")
 }
 
-/// Writes a JSON record for an experiment under `results/`.
+/// Writes a JSON record for an experiment under `results/`, stamping host
+/// provenance (core count, thread setting, git rev) into the record and
+/// writing a sibling `<name>.run.json` run artifact — so a
+/// `BENCH_parallel.json` measured on one core is self-describing and two
+/// bench runs can be diffed with `segrout report`.
 pub fn write_json(name: &str, value: &Json) {
     let dir = Path::new("results");
     if fs::create_dir_all(dir).is_err() {
@@ -95,15 +105,39 @@ pub fn write_json(name: &str, value: &Json) {
     // Fast (smoke-test) runs must not clobber full-run records.
     let suffix = if fast_mode() { "_fast" } else { "" };
     let path = dir.join(format!("{name}{suffix}.json"));
-    if let Err(e) = fs::write(&path, value.render()) {
+    let record = segrout_obs::attach_provenance(value.clone());
+    if let Err(e) = fs::write(&path, record.render()) {
         eprintln!("warning: cannot write {}: {e}", path.display());
     } else {
         println!("[results written to {}]", path.display());
+    }
+    let artifact = dir.join(format!("{name}{suffix}.run.json"));
+    if let Err(e) = segrout_obs::write_run_artifact(&artifact, name, Some(seeds()), &[]) {
+        eprintln!("warning: cannot write {}: {e}", artifact.display());
     }
     // Each binary's final act: also emit the run's metric registry to any
     // `--metrics-out` JSONL sink so benchmark telemetry matches
     // `segrout optimize`.
     finish_obs();
+}
+
+/// Writes a standalone benchmark record (e.g. `BENCH_parallel.json` in the
+/// working directory), stamping host provenance (core count, thread
+/// setting, git rev) into the record and writing a sibling `<stem>.run.json`
+/// run artifact so two runs can be diffed with `segrout report`.
+pub fn write_record(path: &str, value: &Json) {
+    let record = segrout_obs::attach_provenance(value.clone());
+    if let Err(e) = fs::write(path, record.render()) {
+        eprintln!("warning: cannot write {path}: {e}");
+    } else {
+        println!("[results written to {path}]");
+    }
+    let stem = path.strip_suffix(".json").unwrap_or(path);
+    let artifact = format!("{stem}.run.json");
+    if let Err(e) = segrout_obs::write_run_artifact(Path::new(&artifact), stem, Some(seeds()), &[])
+    {
+        eprintln!("warning: cannot write {artifact}: {e}");
+    }
 }
 
 /// Applies the shared observability CLI flags (`--log-level <level>`,
@@ -112,6 +146,9 @@ pub fn write_json(name: &str, value: &Json) {
 /// to `segrout optimize`. Unknown arguments are ignored (the binaries are
 /// otherwise configured by environment variables).
 pub fn init_obs_from_args() {
+    // Pin the telemetry epoch now so run-artifact wall times cover the
+    // whole run (`elapsed_us` starts its clock at the first call).
+    let _ = segrout_obs::elapsed_us();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i + 1 < args.len() {
@@ -129,6 +166,14 @@ pub fn init_obs_from_args() {
                 Ok(n) if n > 0 => segrout_par::set_threads(n),
                 _ => eprintln!("warning: --threads expects a positive integer"),
             },
+            "--trace-out" => {
+                segrout_obs::set_trace_enabled(true);
+                let _ = TRACE_OUT.set(args[i + 1].clone());
+            }
+            "--profile-out" => {
+                segrout_obs::set_profiling(true);
+                let _ = PROFILE_OUT.set(args[i + 1].clone());
+            }
             _ => {
                 i += 1;
                 continue;
@@ -141,9 +186,23 @@ pub fn init_obs_from_args() {
     segrout_obs::gauge("par.threads").set(segrout_par::threads() as f64);
 }
 
-/// Dumps the metric registry to any JSONL sink and flushes all sinks.
-/// Figure binaries call this once before exiting.
+/// Dumps the metric registry to any JSONL sink, writes any requested
+/// flight-recorder outputs, and flushes all sinks. Figure binaries call
+/// this once before exiting.
 pub fn finish_obs() {
+    if let Some(path) = TRACE_OUT.get() {
+        match segrout_obs::write_trace_jsonl(Path::new(path)) {
+            Ok(n) => eprintln!("trace: {n} points written to {path}"),
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        }
+    }
+    if let Some(path) = PROFILE_OUT.get() {
+        if let Err(e) = segrout_obs::write_collapsed_stacks(Path::new(path)) {
+            eprintln!("warning: cannot write {path}: {e}");
+        } else {
+            eprintln!("profile: collapsed stacks written to {path}");
+        }
+    }
     segrout_obs::dump_metrics();
 }
 

@@ -192,6 +192,14 @@ pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
         if p.is_feasible(ws, INC_FEAS_TOL) {
             incumbent_obj = Some(p.objective_value(ws));
             incumbent = Some(ws.clone());
+            // Flight recorder: for milp.* points (phi, mlu) carries
+            // (global dual bound, incumbent objective).
+            segrout_obs::trace_point(
+                "milp.incumbent",
+                0,
+                f64::NAN,
+                incumbent_obj.expect("just set"),
+            );
         }
     }
 
@@ -266,6 +274,7 @@ pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
     let mut nodes = 0usize;
     let mut limit_hit = false;
     let mut bound = root.objective;
+    let node_counter = segrout_obs::counter("milp.nodes");
 
     while let Some(node) = heap.pop() {
         // The heap is ordered best-bound-first, so the popped node's bound is
@@ -275,6 +284,17 @@ pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
         } else {
             node.priority
         };
+        // Node milestone for the flight recorder: the (bound, incumbent)
+        // pair every 64 explored nodes bounds the trace-buffer growth on
+        // large searches.
+        if nodes.is_multiple_of(64) {
+            segrout_obs::trace_point(
+                "milp.node",
+                nodes as u64,
+                bound,
+                incumbent_obj.unwrap_or(f64::NAN),
+            );
+        }
         if let Some(inc) = incumbent_obj {
             // Prune: node cannot improve the incumbent.
             if !better(bound, inc) {
@@ -303,6 +323,7 @@ pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
             break;
         }
         nodes += 1;
+        node_counter.inc();
 
         let (relax, relax_basis) = solve_relaxation(
             p,
@@ -362,6 +383,7 @@ pub fn solve_milp(p: &Problem, options: &MilpOptions) -> MilpResult {
                     if incumbent_obj.is_none_or(|inc| better(obj, inc)) {
                         incumbent_obj = Some(obj);
                         incumbent = Some(rounded);
+                        segrout_obs::trace_point("milp.incumbent", nodes as u64, bound, obj);
                     }
                     continue;
                 }

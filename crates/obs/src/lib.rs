@@ -12,10 +12,22 @@
 //!   and sample series, dumped as JSON-lines records and as a human
 //!   summary table at the end of a run.
 //!
+//! Plus the flight-recorder layer built on those three:
+//!
+//! * **Convergence traces** ([`trace_point`], [`set_trace_enabled`]) — the
+//!   quality-vs-time curve of every anytime optimizer, recorded at accepted
+//!   moves and B&B milestones, exported as JSONL.
+//! * **Call-tree profiler** ([`set_profiling`], [`profile_table`],
+//!   [`collapsed_stacks`]) — spans aggregate into a hierarchical profile
+//!   with per-path self/total time and a flamegraph-ready folded export.
+//! * **Run artifacts** ([`write_run_artifact`]) — a self-describing
+//!   `run.json` per invocation (provenance + metrics + trace), and
+//!   [`report`] to diff two of them into a regression verdict table.
+//!
 //! Everything is safe to call from library code: with the default `warn`
 //! level and no JSONL sink, an instrumented hot loop pays one relaxed
-//! atomic load per guarded event and one atomic add per flushed counter
-//! batch.
+//! atomic load per guarded event, one relaxed load per trace point, and one
+//! atomic add per flushed counter batch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +35,11 @@
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod profile;
+pub mod report;
+pub mod run;
 pub mod span;
+pub mod trace;
 
 pub use json::{Json, JsonError};
 pub use log::{
@@ -31,7 +47,22 @@ pub use log::{
     Sink, StderrSink,
 };
 pub use metrics::{registry, time_bounds_ms, Counter, Gauge, Histogram, Metric, Registry, Series};
+pub use profile::{
+    collapsed_stacks, profile_nodes, profile_table, profiling, reset_profile, set_profiling,
+    write_collapsed_stacks, ProfileNode,
+};
+pub use report::{
+    any_regressed, compare, load_run_stats, render_table, time_to_within, ReportRow, RunStats,
+    Thresholds, Verdict,
+};
+pub use run::{
+    attach_provenance, git_rev, provenance, run_artifact, write_run_artifact, RUN_SCHEMA_VERSION,
+};
 pub use span::{current_depth, span, Span};
+pub use trace::{
+    reset_trace, set_trace_enabled, take_trace, trace_enabled, trace_json_records, trace_len,
+    trace_point, trace_points, write_trace_jsonl, TracePoint,
+};
 
 use std::path::Path;
 use std::sync::Arc;

@@ -102,6 +102,16 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// A standalone (unregistered) histogram with the given bucket bounds,
+    /// for aggregators that keep their own keyed maps (e.g. the call-tree
+    /// profiler).
+    ///
+    /// # Panics
+    /// Panics when `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        Self::new(bounds)
+    }
+
     fn new(bounds: &[f64]) -> Self {
         assert!(!bounds.is_empty(), "histogram needs at least one bound");
         assert!(
@@ -480,6 +490,7 @@ fn metric_record(name: &str, metric: &Metric) -> Json {
                 ),
                 ("p50", Json::from(h.quantile(0.5))),
                 ("p95", Json::from(h.quantile(0.95))),
+                ("p99", Json::from(h.quantile(0.99))),
                 ("buckets", Json::Arr(buckets)),
             ])
         }

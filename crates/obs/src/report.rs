@@ -1,0 +1,444 @@
+//! Run-artifact comparison: the engine behind `segrout report`.
+//!
+//! Loads two runs — either `run.json` artifacts ([`crate::run`]) or raw
+//! JSONL telemetry files (metrics and/or trace records) — extracts the
+//! comparable statistics, and renders a regression verdict table:
+//!
+//! * **final MLU** — solution quality (threshold: `mlu_tol`, default 1%);
+//! * **time-to-within-1%-of-final** — convergence speed, from the running
+//!   best-so-far MLU of the trace (threshold: `time_tol`);
+//! * **wall time** and per-span **p99 latencies** (`time.*` histograms);
+//! * a fixed set of work counters (recomputes, probes, pivots, ...) whose
+//!   drift flags algorithmic behaviour changes (threshold: `count_tol`).
+//!
+//! Rows missing on either side are reported `n/a` and never fail the run;
+//! any `REGRESSED` row makes [`any_regressed`] true (CLI exits non-zero).
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Relative-change thresholds for verdicts. All rows compare "lower is
+/// better" quantities; a relative increase beyond the threshold is a
+/// regression, a decrease beyond it an improvement.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Final-MLU tolerance (default 0.01 = 1%).
+    pub mlu_tol: f64,
+    /// Timing tolerance for wall time, time-to-1%, and span p99s (default
+    /// 0.25 — timings are noisy).
+    pub time_tol: f64,
+    /// Work-counter tolerance (default 0.10).
+    pub count_tol: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self {
+            mlu_tol: 0.01,
+            time_tol: 0.25,
+            count_tol: 0.10,
+        }
+    }
+}
+
+/// Work counters compared between runs when present on both sides.
+pub const COMPARED_COUNTERS: &[&str] = &[
+    "heurospf.iterations",
+    "greedywpo.candidates_evaluated",
+    "dijkstra.runs",
+    "dijkstra.relaxations",
+    "ecmp.recomputes",
+    "incr.probes",
+    "incr.repairs",
+    "simplex.pivots",
+    "milp.nodes",
+];
+
+/// The comparable statistics of one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Display label (the file name).
+    pub label: String,
+    /// Final best MLU (the `run.mlu` gauge, or the best MLU in the trace).
+    pub final_mlu: Option<f64>,
+    /// Total wall time in milliseconds (run artifacts only).
+    pub wall_ms: Option<f64>,
+    /// Milliseconds until the running best MLU first came within 1% of its
+    /// final value (needs a trace).
+    pub time_to_1pct_ms: Option<f64>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// p99 by histogram name (`time.*` spans and probe latencies).
+    pub hist_p99: BTreeMap<String, f64>,
+}
+
+/// Milliseconds until the running best of `(t_us, value)` first comes
+/// within `frac` of its final value. `None` on an empty/NaN-only trace.
+pub fn time_to_within(points: &[(u64, f64)], frac: f64) -> Option<f64> {
+    let finite: Vec<(u64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|(_, v)| v.is_finite())
+        .collect();
+    let final_best = finite.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+    if !final_best.is_finite() {
+        return None;
+    }
+    let threshold = final_best * (1.0 + frac);
+    let mut best = f64::INFINITY;
+    for (t_us, v) in finite {
+        best = best.min(v);
+        if best <= threshold {
+            return Some(t_us as f64 / 1e3);
+        }
+    }
+    None
+}
+
+fn trace_points_of(records: &[Json]) -> Vec<(u64, f64)> {
+    records
+        .iter()
+        .filter(|r| r["type"].as_str() == Some("trace"))
+        .map(|r| {
+            (
+                r["t_us"].as_i64().unwrap_or(0).max(0) as u64,
+                r["mlu"].as_f64().unwrap_or(f64::NAN),
+            )
+        })
+        .collect()
+}
+
+fn stats_from_run_artifact(label: &str, art: &Json) -> RunStats {
+    let mut stats = RunStats {
+        label: label.to_string(),
+        wall_ms: art["wall_ms"].as_f64(),
+        ..RunStats::default()
+    };
+    if let Json::Obj(metrics) = &art["metrics"] {
+        for (name, m) in metrics {
+            match m["kind"].as_str() {
+                Some("counter") => {
+                    stats
+                        .counters
+                        .insert(name.clone(), m["value"].as_i64().unwrap_or(0).max(0) as u64);
+                }
+                Some("gauge") if name == "run.mlu" => {
+                    stats.final_mlu = m["value"].as_f64().filter(|v| *v > 0.0);
+                }
+                Some("histogram") => {
+                    if let Some(p99) = m["p99"].as_f64() {
+                        if m["count"].as_i64().unwrap_or(0) > 0 {
+                            stats.hist_p99.insert(name.clone(), p99);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let trace = art["trace"].as_arr().unwrap_or(&[]).to_vec();
+    let points = trace_points_of(&trace);
+    stats.time_to_1pct_ms = time_to_within(&points, 0.01);
+    if stats.final_mlu.is_none() {
+        let best = points
+            .iter()
+            .map(|&(_, v)| v)
+            .filter(|v| v.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            stats.final_mlu = Some(best);
+        }
+    }
+    stats
+}
+
+fn stats_from_jsonl(label: &str, records: &[Json]) -> RunStats {
+    let mut stats = RunStats {
+        label: label.to_string(),
+        ..RunStats::default()
+    };
+    for r in records {
+        let Some(name) = r["name"].as_str() else {
+            continue;
+        };
+        match r["type"].as_str() {
+            Some("counter") => {
+                stats.counters.insert(
+                    name.to_string(),
+                    r["value"].as_i64().unwrap_or(0).max(0) as u64,
+                );
+            }
+            Some("gauge") if name == "run.mlu" => {
+                stats.final_mlu = r["value"].as_f64().filter(|v| *v > 0.0);
+            }
+            Some("histogram") => {
+                if let Some(p99) = r["p99"].as_f64() {
+                    if r["count"].as_i64().unwrap_or(0) > 0 {
+                        stats.hist_p99.insert(name.to_string(), p99);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let points = trace_points_of(records);
+    stats.time_to_1pct_ms = time_to_within(&points, 0.01);
+    if stats.final_mlu.is_none() {
+        let best = points
+            .iter()
+            .map(|&(_, v)| v)
+            .filter(|v| v.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            stats.final_mlu = Some(best);
+        }
+    }
+    stats
+}
+
+/// Loads one run from `path`: a `run.json` artifact (single JSON document
+/// with `"type":"run"`) or a JSONL telemetry/trace file.
+///
+/// # Errors
+/// Returns a message when the file is unreadable or no line parses as JSON.
+pub fn load_run_stats(path: &Path) -> Result<RunStats, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let label = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Json::parse(line)
+            .map_err(|e| format!("{}:{}: not valid JSON ({e})", path.display(), i + 1))?;
+        if rec["type"].as_str() == Some("run") {
+            return Ok(stats_from_run_artifact(&label, &rec));
+        }
+        records.push(rec);
+    }
+    if records.is_empty() {
+        return Err(format!("{}: no JSON records", path.display()));
+    }
+    Ok(stats_from_jsonl(&label, &records))
+}
+
+/// Verdict of one comparison row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// New value is meaningfully lower (better).
+    Improved,
+    /// Within the threshold.
+    Ok,
+    /// New value is meaningfully higher (worse).
+    Regressed,
+    /// One side lacks the statistic.
+    NotComparable,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Improved => "IMPROVED",
+            Verdict::Ok => "OK",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::NotComparable => "n/a",
+        }
+    }
+}
+
+/// One row of the regression table.
+#[derive(Clone, Debug)]
+pub struct ReportRow {
+    /// Statistic name.
+    pub name: String,
+    /// Old-run value.
+    pub old: Option<f64>,
+    /// New-run value.
+    pub new: Option<f64>,
+    /// Relative change in percent (`None` when not comparable).
+    pub delta_pct: Option<f64>,
+    /// Verdict at the row's threshold.
+    pub verdict: Verdict,
+}
+
+fn row(name: &str, old: Option<f64>, new: Option<f64>, tol: f64) -> ReportRow {
+    let (delta_pct, verdict) = match (old, new) {
+        (Some(o), Some(n)) if o.is_finite() && n.is_finite() => {
+            if o.abs() < 1e-9 {
+                // Relative change from zero is undefined; a zero-to-zero row
+                // is trivially fine, anything else is not comparable.
+                if n.abs() < 1e-9 {
+                    (Some(0.0), Verdict::Ok)
+                } else {
+                    (None, Verdict::NotComparable)
+                }
+            } else {
+                let rel = (n - o) / o.abs();
+                let verdict = if rel > tol {
+                    Verdict::Regressed
+                } else if rel < -tol {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                (Some(rel * 100.0), verdict)
+            }
+        }
+        _ => (None, Verdict::NotComparable),
+    };
+    ReportRow {
+        name: name.to_string(),
+        old,
+        new,
+        delta_pct,
+        verdict,
+    }
+}
+
+/// Compares two runs into verdict rows (quality first, then timing, then
+/// work counters).
+pub fn compare(old: &RunStats, new: &RunStats, t: Thresholds) -> Vec<ReportRow> {
+    let mut rows = vec![
+        row("final MLU", old.final_mlu, new.final_mlu, t.mlu_tol),
+        row(
+            "time to 1% of final (ms)",
+            old.time_to_1pct_ms,
+            new.time_to_1pct_ms,
+            t.time_tol,
+        ),
+        row("wall time (ms)", old.wall_ms, new.wall_ms, t.time_tol),
+    ];
+    for (name, &o) in &old.hist_p99 {
+        if let Some(&n) = new.hist_p99.get(name) {
+            rows.push(row(
+                &format!("{name} p99 (ms)"),
+                Some(o),
+                Some(n),
+                t.time_tol,
+            ));
+        }
+    }
+    for &name in COMPARED_COUNTERS {
+        let o = old.counters.get(name).copied();
+        let n = new.counters.get(name).copied();
+        if o.is_some() || n.is_some() {
+            rows.push(row(
+                name,
+                o.map(|v| v as f64),
+                n.map(|v| v as f64),
+                t.count_tol,
+            ));
+        }
+    }
+    rows
+}
+
+/// `true` when any row regressed.
+pub fn any_regressed(rows: &[ReportRow]) -> bool {
+    rows.iter().any(|r| r.verdict == Verdict::Regressed)
+}
+
+fn fmt_value(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.abs() >= 1e6 => format!("{x:.3e}"),
+        Some(x) if (x.fract() == 0.0) && x.abs() < 1e6 => format!("{x:.0}"),
+        Some(x) => format!("{x:.4}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders the verdict table as plain text.
+pub fn render_table(old: &RunStats, new: &RunStats, rows: &[ReportRow]) -> String {
+    let mut out = String::new();
+    let rule = "─".repeat(84);
+    out.push_str(&format!("report: {}  →  {}\n", old.label, new.label));
+    out.push_str(&rule);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<34} {:>12} {:>12} {:>9} {:>11}\n",
+        "statistic", "old", "new", "Δ%", "verdict"
+    ));
+    out.push_str(&rule);
+    out.push('\n');
+    for r in rows {
+        let delta = r
+            .delta_pct
+            .map(|d| format!("{d:+.1}%"))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{:<34} {:>12} {:>12} {:>9} {:>11}\n",
+            r.name,
+            fmt_value(r.old),
+            fmt_value(r.new),
+            delta,
+            r.verdict.label()
+        ));
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_to_within_uses_running_best() {
+        // Best-so-far: 2.0, 1.6, 1.6, 1.5 — final 1.5, 1% band = 1.515;
+        // first reached at t=30ms (the 1.5 sample), not the noisy 1.6s.
+        let pts = [(10_000, 2.0), (20_000, 1.6), (25_000, 1.7), (30_000, 1.5)];
+        let ms = time_to_within(&pts, 0.01).expect("reached");
+        assert!((ms - 30.0).abs() < 1e-9);
+        // A generous 10% band is hit earlier.
+        let ms10 = time_to_within(&pts, 0.10).expect("reached");
+        assert!((ms10 - 20.0).abs() < 1e-9);
+        assert_eq!(time_to_within(&[], 0.01), None);
+        assert_eq!(time_to_within(&[(5, f64::NAN)], 0.01), None);
+    }
+
+    #[test]
+    fn verdicts_respect_thresholds() {
+        let r = row("x", Some(100.0), Some(105.0), 0.10);
+        assert_eq!(r.verdict, Verdict::Ok);
+        let r = row("x", Some(100.0), Some(120.0), 0.10);
+        assert_eq!(r.verdict, Verdict::Regressed);
+        let r = row("x", Some(100.0), Some(80.0), 0.10);
+        assert_eq!(r.verdict, Verdict::Improved);
+        let r = row("x", None, Some(80.0), 0.10);
+        assert_eq!(r.verdict, Verdict::NotComparable);
+    }
+
+    #[test]
+    fn compare_flags_mlu_regression() {
+        let mut old = RunStats {
+            label: "old".into(),
+            final_mlu: Some(1.50),
+            ..RunStats::default()
+        };
+        let mut new = RunStats {
+            label: "new".into(),
+            final_mlu: Some(1.60),
+            ..RunStats::default()
+        };
+        old.counters.insert("simplex.pivots".into(), 100);
+        new.counters.insert("simplex.pivots".into(), 104);
+        let rows = compare(&old, &new, Thresholds::default());
+        assert!(any_regressed(&rows));
+        let mlu = rows.iter().find(|r| r.name == "final MLU").expect("row");
+        assert_eq!(mlu.verdict, Verdict::Regressed);
+        let piv = rows
+            .iter()
+            .find(|r| r.name == "simplex.pivots")
+            .expect("row");
+        assert_eq!(piv.verdict, Verdict::Ok);
+        let table = render_table(&old, &new, &rows);
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("final MLU"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Run artifacts: one self-describing `run.json` per invocation.
+//!
+//! A run artifact answers, months later, "what produced this number?": it
+//! bundles provenance (host core count, thread setting, git revision, seed,
+//! wall time), a compact snapshot of every registered metric, and the full
+//! convergence trace of the run. The `segrout report` subcommand compares
+//! two artifacts and prints a regression verdict table.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {"type":"run","schema":1,"command":"optimize","seed":7,"wall_ms":153.2,
+//!  "provenance":{"host_cpus":8,"threads":4,"segrout_threads":"4",
+//!                "git_rev":"8a5946e...","fast":false,"debug":false},
+//!  "metrics":{"heurospf.iterations":{"kind":"counter","value":412}, ...},
+//!  "trace":[{"type":"trace","seq":0,...}, ...]}
+//! ```
+//!
+//! The git revision is read straight from `.git/HEAD` (following one level
+//! of `ref:` indirection, then `packed-refs`) — no subprocess, and a clean
+//! `null` outside a checkout.
+
+use crate::json::Json;
+use crate::log::elapsed_us;
+use crate::metrics::{registry, Metric};
+use crate::trace::trace_json_records;
+use std::path::{Path, PathBuf};
+
+/// The run-artifact schema version written by [`run_artifact`].
+pub const RUN_SCHEMA_VERSION: i64 = 1;
+
+fn find_git_dir() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let candidate = dir.join(".git");
+        if candidate.is_dir() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The current git commit hash, read directly from the repository metadata
+/// (no `git` subprocess). `None` outside a checkout or on unreadable refs.
+pub fn git_rev() -> Option<String> {
+    let git = find_git_dir()?;
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let Some(refname) = head.strip_prefix("ref: ") else {
+        // Detached HEAD: the file holds the hash itself.
+        return (!head.is_empty()).then(|| head.to_string());
+    };
+    if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+        let hash = hash.trim();
+        if !hash.is_empty() {
+            return Some(hash.to_string());
+        }
+    }
+    // Loose ref absent: the ref may be packed.
+    let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+    for line in packed.lines() {
+        if let Some((hash, name)) = line.split_once(' ') {
+            if name == refname {
+                return Some(hash.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Host and configuration provenance for the current process:
+/// `{host_cpus, threads, segrout_threads, git_rev, fast, debug}`.
+///
+/// `threads` is the effective worker-pool width (the `par.threads` gauge if
+/// some code set it, otherwise `SEGROUT_THREADS`, otherwise the host core
+/// count — mirroring the pool's own sizing rule).
+pub fn provenance() -> Json {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let env_threads = std::env::var("SEGROUT_THREADS").ok();
+    let gauge = registry().gauge("par.threads").get();
+    let threads = if gauge >= 1.0 {
+        gauge as usize
+    } else {
+        env_threads
+            .as_deref()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(host_cpus)
+    };
+    Json::obj([
+        ("host_cpus", Json::from(host_cpus)),
+        ("threads", Json::from(threads)),
+        ("segrout_threads", Json::from(env_threads)),
+        ("git_rev", Json::from(git_rev())),
+        (
+            "fast",
+            Json::from(
+                std::env::var("SEGROUT_FAST")
+                    .map(|v| v == "1")
+                    .unwrap_or(false),
+            ),
+        ),
+        ("debug", Json::from(cfg!(debug_assertions))),
+    ])
+}
+
+fn metric_summary(metric: &Metric) -> Json {
+    match metric {
+        Metric::Counter(c) => Json::obj([
+            ("kind", Json::from("counter")),
+            ("value", Json::from(c.get())),
+        ]),
+        Metric::Gauge(g) => Json::obj([
+            ("kind", Json::from("gauge")),
+            ("value", Json::from(g.get())),
+        ]),
+        Metric::Histogram(h) => Json::obj([
+            ("kind", Json::from("histogram")),
+            ("count", Json::from(h.count())),
+            ("mean", Json::from(h.mean())),
+            ("p50", Json::from(h.quantile(0.5))),
+            ("p99", Json::from(h.quantile(0.99))),
+            (
+                "max",
+                if h.count() == 0 {
+                    Json::Null
+                } else {
+                    Json::from(h.max())
+                },
+            ),
+        ]),
+        Metric::Series(s) => {
+            let v = s.values();
+            Json::obj([
+                ("kind", Json::from("series")),
+                ("n", Json::from(v.len())),
+                ("first", Json::from(v.first().copied())),
+                ("last", Json::from(v.last().copied())),
+            ])
+        }
+    }
+}
+
+/// Builds the run artifact for the current process state: provenance, a
+/// compact snapshot of every registered metric, and the recorded trace.
+/// `extra` pairs are appended at top level (e.g. `("topology", ...)`).
+pub fn run_artifact(command: &str, seed: Option<u64>, extra: &[(&str, Json)]) -> Json {
+    let metrics: Vec<(String, Json)> = registry()
+        .snapshot()
+        .iter()
+        .map(|(name, m)| (name.clone(), metric_summary(m)))
+        .collect();
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("type".to_string(), Json::from("run")),
+        ("schema".to_string(), Json::from(RUN_SCHEMA_VERSION)),
+        ("command".to_string(), Json::from(command)),
+        ("seed".to_string(), Json::from(seed)),
+        ("wall_ms".to_string(), Json::from(elapsed_us() as f64 / 1e3)),
+        ("provenance".to_string(), provenance()),
+        ("metrics".to_string(), Json::Obj(metrics)),
+        ("trace".to_string(), Json::Arr(trace_json_records())),
+    ];
+    for (k, v) in extra {
+        pairs.push(((*k).to_string(), v.clone()));
+    }
+    Json::Obj(pairs)
+}
+
+/// Writes [`run_artifact`] to `path` (single pretty-free JSON document plus
+/// a trailing newline).
+///
+/// # Errors
+/// Propagates file-write errors.
+pub fn write_run_artifact(
+    path: &Path,
+    command: &str,
+    seed: Option<u64>,
+    extra: &[(&str, Json)],
+) -> std::io::Result<()> {
+    let mut text = run_artifact(command, seed, extra).render();
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+/// Adds a `provenance` object to an existing JSON object (bench records);
+/// non-objects are returned unchanged.
+pub fn attach_provenance(record: Json) -> Json {
+    match record {
+        Json::Obj(mut pairs) => {
+            pairs.push(("provenance".to_string(), provenance()));
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_has_host_and_rev_fields() {
+        let p = provenance();
+        assert!(p["host_cpus"].as_i64().unwrap_or(0) >= 1);
+        assert!(p["threads"].as_i64().unwrap_or(0) >= 1);
+        // git_rev may be null outside a checkout; inside one it is a hash.
+        if let Some(rev) = p["git_rev"].as_str() {
+            assert!(rev.len() >= 7, "short rev: {rev}");
+            assert!(rev.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn run_artifact_round_trips_through_parse() {
+        let art = run_artifact("unit-test", Some(42), &[("extra_key", Json::from(7))]);
+        let text = art.render();
+        let parsed = Json::parse(&text).expect("artifact parses");
+        assert_eq!(parsed["type"].as_str(), Some("run"));
+        assert_eq!(parsed["schema"].as_i64(), Some(RUN_SCHEMA_VERSION));
+        assert_eq!(parsed["command"].as_str(), Some("unit-test"));
+        assert_eq!(parsed["seed"].as_i64(), Some(42));
+        assert_eq!(parsed["extra_key"].as_i64(), Some(7));
+        assert!(parsed["wall_ms"].as_f64().is_some());
+        assert!(parsed.get("metrics").is_some());
+        assert!(parsed["trace"].as_arr().is_some());
+    }
+
+    #[test]
+    fn attach_provenance_appends_to_objects_only() {
+        let rec = attach_provenance(Json::obj([("x", 1i64)]));
+        assert!(rec.get("provenance").is_some());
+        let passthrough = attach_provenance(Json::from(3i64));
+        assert_eq!(passthrough.as_i64(), Some(3));
+    }
+}

@@ -24,6 +24,9 @@ pub fn current_depth() -> usize {
 pub struct Span {
     name: &'static str,
     start: Instant,
+    /// Whether this span opened a profiler frame. Captured at construction
+    /// so enter/exit stay balanced even if profiling is toggled mid-span.
+    profiled: bool,
 }
 
 /// Starts a named span. Keep the guard alive for the region being timed.
@@ -36,9 +39,14 @@ pub fn span(name: &'static str) -> Span {
         );
     }
     DEPTH.with(|d| d.set(d.get() + 1));
+    let profiled = crate::profile::profiling();
+    if profiled {
+        crate::profile::frame_enter(name);
+    }
     Span {
         name,
         start: Instant::now(),
+        profiled,
     }
 }
 
@@ -53,6 +61,9 @@ impl Drop for Span {
     fn drop(&mut self) {
         let ms = self.elapsed_ms();
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if self.profiled {
+            crate::profile::frame_exit(ms);
+        }
         registry()
             .histogram(&format!("time.{}", self.name), time_bounds_ms())
             .observe(ms);

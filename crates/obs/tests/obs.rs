@@ -245,6 +245,160 @@ fn registry_records_and_summary_cover_all_kinds() {
     }
 }
 
+// ---------- histogram edge cases (flight-recorder profiler inputs) ----------
+
+#[test]
+fn histogram_single_finite_bucket_stays_in_range() {
+    // The smallest legal histogram: one finite bucket plus overflow.
+    let h = segrout_obs::Histogram::with_bounds(&[5.0]);
+    for v in [1.0, 2.0, 5.0, 9.0] {
+        h.observe(v);
+    }
+    assert_eq!(h.bucket_counts(), vec![3, 1]);
+    for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+        let est = h.quantile(q);
+        assert!(
+            (1.0..=9.0).contains(&est),
+            "quantile({q}) = {est} left the observed range"
+        );
+    }
+    assert_eq!(h.quantile(1.0), 9.0);
+}
+
+#[test]
+fn histogram_overflow_bucket_quantiles_clamp_to_observed_max() {
+    // Every observation lands in the overflow bucket; quantiles must
+    // interpolate between the last bound and the observed max, never beyond.
+    let h = segrout_obs::Histogram::with_bounds(&[1.0, 2.0]);
+    for v in [10.0, 20.0, 30.0] {
+        h.observe(v);
+    }
+    assert_eq!(h.bucket_counts(), vec![0, 0, 3]);
+    for q in [0.1, 0.5, 0.9, 1.0] {
+        let est = h.quantile(q);
+        assert!(
+            (10.0..=30.0).contains(&est),
+            "quantile({q}) = {est} outside [10, 30]"
+        );
+    }
+    assert_eq!(h.quantile(1.0), 30.0);
+}
+
+#[test]
+fn histogram_concurrent_recording_is_lossless() {
+    let h = registry().histogram("test.hist.concurrent", &[10.0, 100.0, 1000.0]);
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 5_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread observations across all four buckets.
+                    h.observe(((t * PER_THREAD + i) % 2000) as f64);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread panicked");
+    }
+    let total = (THREADS * PER_THREAD) as u64;
+    assert_eq!(h.count(), total);
+    assert_eq!(h.bucket_counts().iter().sum::<u64>(), total);
+    assert_eq!(h.min(), 0.0);
+    assert_eq!(h.max(), 1999.0);
+}
+
+// ---------- convergence-trace ordering ----------
+
+/// The trace buffer is process-global, so tests touching it serialize on
+/// this lock and reset the buffer around use.
+static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn assert_trace_well_ordered(n_expected: usize) {
+    let pts = segrout_obs::trace_points();
+    assert_eq!(pts.len(), n_expected);
+    for (i, p) in pts.iter().enumerate() {
+        assert_eq!(p.seq, i as u64, "seq must be dense and gap-free");
+    }
+    for w in pts.windows(2) {
+        assert!(
+            w[0].t_us <= w[1].t_us,
+            "timestamps must be non-decreasing in seq order"
+        );
+    }
+}
+
+#[test]
+fn trace_points_are_totally_ordered_single_thread() {
+    let _guard = TRACE_LOCK.lock().expect("trace lock");
+    segrout_obs::reset_trace();
+    segrout_obs::set_trace_enabled(true);
+    for i in 0..100u64 {
+        segrout_obs::trace_point("test.single", i, 1.0, 2.0);
+    }
+    segrout_obs::set_trace_enabled(false);
+    assert_trace_well_ordered(100);
+    segrout_obs::reset_trace();
+}
+
+#[test]
+fn trace_points_are_totally_ordered_under_four_threads() {
+    let _guard = TRACE_LOCK.lock().expect("trace lock");
+    segrout_obs::reset_trace();
+    segrout_obs::set_trace_enabled(true);
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 250;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            thread::spawn(|| {
+                for i in 0..PER_THREAD {
+                    segrout_obs::trace_point("test.multi", i as u64, 0.5, 1.5);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("trace thread panicked");
+    }
+    segrout_obs::set_trace_enabled(false);
+    // Even with concurrent emitters, the recorded sequence is a single
+    // total order: dense seq numbers and non-decreasing timestamps.
+    assert_trace_well_ordered(THREADS * PER_THREAD);
+    segrout_obs::reset_trace();
+}
+
+// ---------- disabled-path overhead envelope ----------
+
+#[test]
+fn disabled_trace_point_cost_fits_overhead_envelope() {
+    let _guard = TRACE_LOCK.lock().expect("trace lock");
+    segrout_obs::set_trace_enabled(false);
+    segrout_obs::reset_trace();
+    // With tracing off, trace_point is one relaxed atomic load. A HeurOSPF
+    // descent reaches the trace call sites a few thousand times per second
+    // of search, so staying under the 1–2% overhead envelope needs the
+    // disabled path well below ~1 µs/call. The bound here is deliberately
+    // loose (debug builds, CI noise) yet still ~50x tighter than the budget
+    // implied by per-second call-site counts.
+    const CALLS: u32 = 1_000_000;
+    let t0 = std::time::Instant::now();
+    for i in 0..CALLS {
+        segrout_obs::trace_point("test.disabled", u64::from(i), 0.0, 0.0);
+    }
+    let per_call_ns = t0.elapsed().as_nanos() as f64 / f64::from(CALLS);
+    assert_eq!(
+        segrout_obs::trace_len(),
+        0,
+        "disabled tracing recorded points"
+    );
+    assert!(
+        per_call_ns < 1_000.0,
+        "disabled trace_point costs {per_call_ns:.1} ns/call (budget 1000)"
+    );
+}
+
 #[test]
 fn level_parsing_accepts_all_names() {
     for (s, l) in [

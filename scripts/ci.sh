@@ -57,4 +57,47 @@ cargo build --release -q
 echo "==> corpus replay"
 cargo test -q --test corpus_replay
 
+# Flight-recorder leg: a traced Germany50 optimization must produce a
+# parseable convergence trace, a schema-1 run artifact, a collapsed-stack
+# profile, and telemetry free of undocumented metric names; the artifact
+# must compare clean against itself through `segrout report`.
+echo "==> flight recorder (traced Germany50 run + report + catalog drift check)"
+FR_DIR=$(mktemp -d)
+trap 'rm -rf "$FR_DIR"' EXIT
+./target/release/segrout optimize --topology Germany50 --algorithm heurospf \
+    --seed 42 --restarts 0 --passes 3 \
+    --trace-out "$FR_DIR/trace.jsonl" \
+    --profile-out "$FR_DIR/profile.txt" \
+    --run-out "$FR_DIR/run.json" \
+    --metrics-out "$FR_DIR/metrics.jsonl" >/dev/null
+python3 - "$FR_DIR" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+# Trace: valid JSONL, dense seq, monotone best MLU.
+last, n = float("inf"), 0
+for i, line in enumerate(open(os.path.join(d, "trace.jsonl"))):
+    p = json.loads(line)
+    assert p["type"] == "trace" and p["seq"] == i, f"trace line {i+1}: {p}"
+    assert p["mlu"] <= last + 1e-12, f"best MLU regressed at line {i+1}"
+    last, n = p["mlu"], n + 1
+assert n >= 2, "trace too short"
+# Run artifact: schema 1 with provenance and metrics.
+art = json.load(open(os.path.join(d, "run.json")))
+assert art["type"] == "run" and art["schema"] == 1, "bad run artifact header"
+for key in ("command", "seed", "wall_ms", "provenance", "metrics", "trace"):
+    assert key in art, f"run.json lacks {key}"
+assert art["provenance"]["host_cpus"] >= 1
+assert len(art["trace"]) == n, "artifact trace disagrees with trace.jsonl"
+# Collapsed stacks: "path;frames <integer self weight>" per line.
+stacks = open(os.path.join(d, "profile.txt")).read().strip().splitlines()
+assert stacks, "empty collapsed-stack profile"
+for line in stacks:
+    path, weight = line.rsplit(" ", 1)
+    assert path and int(weight) >= 0, f"bad stack line: {line}"
+assert any("heurospf" in line for line in stacks), "heurospf frame missing"
+print(f"flight recorder OK: {n} trace points, {len(stacks)} stack lines")
+EOF
+./target/release/segrout report "$FR_DIR/run.json" "$FR_DIR/run.json"
+./target/release/segrout catalog --check "$FR_DIR/metrics.jsonl"
+
 echo "CI OK"

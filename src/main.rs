@@ -17,6 +17,7 @@ use segrout::instances::{instance1, instance2, instance3, instance4, instance5, 
 use segrout::topo::{by_name, parse_graphml, parse_sndlib_xml, TOPOLOGY_NAMES};
 use segrout::traffic::{gravity, mcf_synthetic, TrafficConfig};
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -30,18 +31,35 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    if cmd == "report" {
+        // Comparison verdicts get their own exit code (2 = regression) and
+        // never print the usage banner.
+        return match cmd_report(&args[1..], &flags) {
+            Ok(false) => ExitCode::SUCCESS,
+            Ok(true) => ExitCode::from(2),
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = match cmd.as_str() {
         "topo" => cmd_topo(&args[1..]),
         "optimize" => cmd_optimize(&flags),
         "gaps" => cmd_gaps(&flags),
         "parse" => cmd_parse(&flags),
         "fuzz" => cmd_fuzz(&flags),
+        "catalog" => cmd_catalog(&flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),
     };
+    // Flight-recorder artifacts (trace, collapsed-stack profile, run.json)
+    // are written for successful runs only — a failed command has nothing
+    // worth archiving and its artifact would shadow the previous good one.
+    let result = result.and_then(|()| finish_flight_recorder(cmd, &flags));
     // Final telemetry: metric records go to the JSONL sink (the stderr
     // pretty-printer ignores records), then everything is flushed.
     segrout::obs::dump_metrics();
@@ -64,6 +82,7 @@ USAGE:
   segrout topo show <name>
   segrout optimize --topology <name> [--traffic mcf|gravity] [--seed N]
                    [--algorithm unit|invcap|heurospf|greedywpo|joint] [--pairs F] [--top K]
+                   [--restarts N] [--passes N]
                    [--save <config-file>] [--load <config-file>]
   segrout gaps --instance 1|2|3|4|5 [--m N]
   segrout parse (--sndlib <file> | --graphml <file>)
@@ -71,10 +90,26 @@ USAGE:
                differential fuzzing of the whole optimizer stack; failing
                cases are shrunk to minimal reproducers (default seed 42,
                500 cases; --fast skips the MCF lower-bound check)
+  segrout report <old> <new> [--mlu-tol F] [--time-tol F] [--count-tol F]
+               compare two run.json artifacts (or JSONL trace/metric files)
+               and print a regression verdict table; exit 2 on regression
+               (default tolerances: 0.01 / 0.25 / 0.10 relative)
+  segrout catalog [--check <file.jsonl>]
+               print the metric catalog; with --check, fail when the JSONL
+               telemetry contains a metric the catalog does not document
 
 OBSERVABILITY (any command):
   --log-level error|warn|info|debug|trace   stderr event verbosity (default warn)
   --metrics-out <file.jsonl>                write events + final metrics as JSON lines
+  --trace-out <file.jsonl>                  record the optimizer convergence trace
+                                            (one point per accepted move / B&B
+                                            milestone) and write it as JSON lines
+  --profile-out <file.txt>                  aggregate spans into a call-tree profile;
+                                            write collapsed stacks (flamegraph input)
+                                            and print the profile table
+  --run-out <file.json>                     write a self-describing run artifact
+                                            (provenance + metrics + trace); optimize
+                                            defaults to run.json, 'none' disables
   --threads <N>                             worker threads for the parallel optimizer
                                             paths (default: SEGROUT_THREADS, else all
                                             cores; results are identical at any N)"
@@ -83,6 +118,10 @@ OBSERVABILITY (any command):
 
 /// Applies the global `--log-level`, `--metrics-out` and `--threads` flags.
 fn init_observability(flags: &HashMap<String, String>) -> Result<(), String> {
+    // Pin the telemetry epoch now: `elapsed_us` starts its clock at the
+    // first observability call, and with the recorder off that could
+    // otherwise be as late as artifact-write time (wall_ms ~ 0).
+    let _ = segrout::obs::elapsed_us();
     if let Some(level) = flags.get("log-level") {
         let parsed = level
             .parse::<segrout::obs::Level>()
@@ -100,6 +139,14 @@ fn init_observability(flags: &HashMap<String, String>) -> Result<(), String> {
             .filter(|&n| n > 0)
             .ok_or("--threads: expected a positive integer")?;
         segrout::par::set_threads(n);
+    }
+    // Flight recorder: requesting an output file turns the recorder on; the
+    // files themselves are written by `finish_flight_recorder`.
+    if flags.contains_key("trace-out") {
+        segrout::obs::set_trace_enabled(true);
+    }
+    if flags.contains_key("profile-out") {
+        segrout::obs::set_profiling(true);
     }
     // Record the effective thread count in the run-summary table and in the
     // JSONL telemetry, whichever knob set it.
@@ -130,6 +177,291 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
         }
     }
     flags
+}
+
+/// Tokens that are not `--flag` names or their values, in order. Mirrors the
+/// consumption rule of `parse_flags` (every flag that is followed by a
+/// non-`--` token consumes it as its value).
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += if args.get(i + 1).is_some_and(|v| !v.starts_with("--")) {
+                2
+            } else {
+                1
+            };
+        } else {
+            out.push(args[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Writes the requested flight-recorder outputs: the convergence trace, the
+/// collapsed-stack profile (plus its table on stdout), and the run artifact.
+fn finish_flight_recorder(cmd: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flags.get("trace-out") {
+        let n = segrout::obs::write_trace_jsonl(Path::new(path))
+            .map_err(|e| format!("--trace-out {path}: {e}"))?;
+        eprintln!("trace: {n} points written to {path}");
+    }
+    if let Some(path) = flags.get("profile-out") {
+        segrout::obs::write_collapsed_stacks(Path::new(path))
+            .map_err(|e| format!("--profile-out {path}: {e}"))?;
+        println!("\ncall-tree profile:\n{}", segrout::obs::profile_table());
+        eprintln!("profile: collapsed stacks written to {path}");
+    }
+    // Every optimize run leaves a run.json behind unless told not to; other
+    // commands write an artifact only on request.
+    let run_out = flags
+        .get("run-out")
+        .cloned()
+        .or_else(|| (cmd == "optimize").then(|| "run.json".to_string()));
+    if let Some(path) = run_out.filter(|p| p != "none") {
+        let seed = flags.get("seed").and_then(|s| s.parse::<u64>().ok());
+        let mut extra: Vec<(&str, segrout::obs::Json)> = Vec::new();
+        for key in ["topology", "algorithm", "traffic"] {
+            if cmd == "optimize" {
+                let default = match key {
+                    "topology" => "Abilene",
+                    "algorithm" => "joint",
+                    _ => "mcf",
+                };
+                let value = flags.get(key).map(String::as_str).unwrap_or(default);
+                extra.push((key, segrout::obs::Json::from(value)));
+            }
+        }
+        segrout::obs::write_run_artifact(Path::new(&path), cmd, seed, &extra)
+            .map_err(|e| format!("--run-out {path}: {e}"))?;
+        eprintln!("run artifact written to {path}");
+    }
+    Ok(())
+}
+
+/// `segrout report <old> <new>`: compares two run artifacts or JSONL
+/// telemetry files. Returns whether any statistic regressed.
+fn cmd_report(args: &[String], flags: &HashMap<String, String>) -> Result<bool, String> {
+    let pos = positionals(args);
+    let [old_path, new_path] = pos.as_slice() else {
+        return Err(format!(
+            "report needs exactly two files (run.json artifacts or JSONL traces), got {}",
+            pos.len()
+        ));
+    };
+    let mut t = segrout::obs::Thresholds::default();
+    for (key, slot) in [
+        ("mlu-tol", &mut t.mlu_tol as &mut f64),
+        ("time-tol", &mut t.time_tol),
+        ("count-tol", &mut t.count_tol),
+    ] {
+        if let Some(v) = flags.get(key) {
+            *slot = v
+                .parse()
+                .ok()
+                .filter(|x: &f64| x.is_finite() && *x >= 0.0)
+                .ok_or_else(|| format!("--{key}: expected a non-negative number"))?;
+        }
+    }
+    let old = segrout::obs::load_run_stats(Path::new(old_path))?;
+    let new = segrout::obs::load_run_stats(Path::new(new_path))?;
+    let rows = segrout::obs::compare(&old, &new, t);
+    print!("{}", segrout::obs::render_table(&old, &new, &rows));
+    let regressed = segrout::obs::any_regressed(&rows);
+    if regressed {
+        eprintln!("verdict: REGRESSED");
+    } else {
+        println!("verdict: OK");
+    }
+    Ok(regressed)
+}
+
+/// Every metric the workspace registers, with kind and meaning. `segrout
+/// catalog --check` fails when telemetry contains an undocumented name —
+/// the drift check that keeps this table honest.
+const METRIC_CATALOG: &[(&str, &str, &str)] = &[
+    ("check.cases", "counter", "fuzz cases executed"),
+    (
+        "check.shrink_steps",
+        "counter",
+        "shrinking steps on failing fuzz cases",
+    ),
+    (
+        "check.violations",
+        "counter",
+        "invariant violations found by the fuzzer",
+    ),
+    (
+        "dijkstra.relaxations",
+        "counter",
+        "edge relaxations across all SP computations",
+    ),
+    (
+        "dijkstra.runs",
+        "counter",
+        "single-source shortest-path computations",
+    ),
+    ("ecmp.recomputes", "counter", "full ECMP load evaluations"),
+    (
+        "greedywpo.candidates_evaluated",
+        "counter",
+        "waypoint candidates probed",
+    ),
+    (
+        "greedywpo.final_mlu",
+        "gauge",
+        "MLU after the waypoint stage",
+    ),
+    (
+        "greedywpo.waypoints_set",
+        "counter",
+        "waypoints accepted by GreedyWPO",
+    ),
+    (
+        "heurospf.best_mlu",
+        "gauge",
+        "best MLU found by the weight search",
+    ),
+    (
+        "heurospf.iterations",
+        "counter",
+        "candidate weight evaluations",
+    ),
+    (
+        "heurospf.mlu_trajectory",
+        "series",
+        "incumbent MLU at every accepted move",
+    ),
+    (
+        "incr.clean_dests",
+        "counter",
+        "destinations skipped by the incremental engine",
+    ),
+    (
+        "incr.dirty_dests",
+        "counter",
+        "destinations repaired by the incremental engine",
+    ),
+    ("incr.probes", "counter", "incremental single-edge probes"),
+    ("incr.repairs", "counter", "incremental commit repairs"),
+    (
+        "joint.final_mlu",
+        "gauge",
+        "MLU of the returned joint configuration",
+    ),
+    (
+        "joint.stage1_mlu",
+        "gauge",
+        "MLU after the weight stage of JOINT-Heur",
+    ),
+    (
+        "joint.stage2_mlu",
+        "gauge",
+        "MLU after the waypoint stage of JOINT-Heur",
+    ),
+    ("lwoapx.runs", "counter", "LWO-APX invocations"),
+    ("mcf.augmentations", "counter", "MCF augmenting paths"),
+    ("mcf.phases", "counter", "MCF scaling phases"),
+    ("milp.nodes", "counter", "branch-and-bound nodes explored"),
+    (
+        "milp.nodes_warm_started",
+        "counter",
+        "B&B nodes solved from a parent basis",
+    ),
+    ("par.batches", "counter", "parallel batch dispatches"),
+    (
+        "par.steal_or_queue_wait",
+        "histogram",
+        "worker wait time per batch (ms)",
+    ),
+    ("par.tasks", "counter", "parallel tasks executed"),
+    ("par.threads", "gauge", "effective worker-pool width"),
+    (
+        "reopt.evaluations",
+        "counter",
+        "candidate evaluations during re-optimization",
+    ),
+    (
+        "run.mlu",
+        "gauge",
+        "final MLU of the evaluated configuration",
+    ),
+    ("simplex.pivots", "counter", "simplex pivot operations"),
+    (
+        "simplex.refactorizations",
+        "counter",
+        "basis refactorizations",
+    ),
+    ("simplex.solves", "counter", "LP solves"),
+    (
+        "simplex.warm_starts",
+        "counter",
+        "LP solves warm-started from a basis",
+    ),
+];
+
+/// Span names whose `time.<name>` histograms telemetry may contain.
+const SPAN_CATALOG: &[&str] = &[
+    "check.fuzz",
+    "greedywpo",
+    "heurospf",
+    "joint_heur",
+    "lwo_apx",
+    "mcf",
+    "optimize",
+    "par.batch",
+    "reopt.joint",
+    "reopt.weights",
+    "simplex",
+];
+
+fn cmd_catalog(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flags.get("check") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut unknown: Vec<String> = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec = segrout::obs::Json::parse(line)
+                .map_err(|e| format!("{path}:{}: not valid JSON ({e})", i + 1))?;
+            // Only metric records carry a name; events and trace points are
+            // schema-checked elsewhere.
+            let is_metric = matches!(
+                rec["type"].as_str(),
+                Some("counter" | "gauge" | "histogram" | "series")
+            );
+            let Some(name) = rec["name"].as_str().filter(|_| is_metric) else {
+                continue;
+            };
+            let documented = METRIC_CATALOG.iter().any(|(n, _, _)| *n == name)
+                || name
+                    .strip_prefix("time.")
+                    .is_some_and(|span| SPAN_CATALOG.contains(&span));
+            if !documented && !unknown.iter().any(|u| u == name) {
+                unknown.push(name.to_string());
+            }
+        }
+        if !unknown.is_empty() {
+            return Err(format!(
+                "metrics-catalog drift: {} undocumented metric(s): {}",
+                unknown.len(),
+                unknown.join(", ")
+            ));
+        }
+        println!("catalog check passed: every metric in {path} is documented");
+        return Ok(());
+    }
+    println!("{:<34} {:<10} description", "metric", "kind");
+    for (name, kind, desc) in METRIC_CATALOG {
+        println!("{name:<34} {kind:<10} {desc}");
+    }
+    for span in SPAN_CATALOG {
+        println!("time.{span:<29} histogram  wall-time of the '{span}' span (ms)");
+    }
+    Ok(())
 }
 
 fn cmd_topo(args: &[String]) -> Result<(), String> {
@@ -172,9 +504,11 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         "simplex.solves",
         "simplex.refactorizations",
         "simplex.warm_starts",
+        "milp.nodes",
         "milp.nodes_warm_started",
         "heurospf.iterations",
         "greedywpo.candidates_evaluated",
+        "greedywpo.waypoints_set",
         "ecmp.recomputes",
         "incr.probes",
         "incr.dirty_dests",
@@ -228,12 +562,26 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         .get("algorithm")
         .map(String::as_str)
         .unwrap_or("joint");
+    let mut ospf = HeurOspfConfig {
+        seed,
+        ..Default::default()
+    };
+    if let Some(r) = flags.get("restarts") {
+        ospf.restarts = r.parse().map_err(|_| "bad --restarts")?;
+    }
+    if let Some(p) = flags.get("passes") {
+        ospf.max_passes = p
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--passes: expected a positive integer")?;
+    }
     let (weights, waypoints) = if let Some(path) = flags.get("load") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         segrout::core::read_config(&net, &demands, &text).map_err(|e| e.to_string())?
     } else {
         let _span = segrout::obs::span("optimize");
-        run_algorithm(&net, &demands, algorithm, seed)?
+        run_algorithm(&net, &demands, algorithm, &ospf)?
     };
     if let Some(path) = flags.get("save") {
         let text = segrout::core::write_config(&net, &weights, &waypoints);
@@ -268,17 +616,13 @@ fn run_algorithm(
     net: &Network,
     demands: &segrout::core::DemandList,
     algorithm: &str,
-    seed: u64,
+    ospf: &HeurOspfConfig,
 ) -> Result<(WeightSetting, WaypointSetting), String> {
     let none = WaypointSetting::none(demands.len());
-    let ospf = HeurOspfConfig {
-        seed,
-        ..Default::default()
-    };
     match algorithm {
         "unit" => Ok((WeightSetting::unit(net), none)),
         "invcap" => Ok((WeightSetting::inverse_capacity(net), none)),
-        "heurospf" => Ok((heur_ospf(net, demands, &ospf), none)),
+        "heurospf" => Ok((heur_ospf(net, demands, ospf), none)),
         "greedywpo" => {
             let w = WeightSetting::inverse_capacity(net);
             let wp = greedy_wpo(net, demands, &w, &GreedyWpoConfig::default())
@@ -290,7 +634,7 @@ fn run_algorithm(
                 net,
                 demands,
                 &JointHeurConfig {
-                    ospf,
+                    ospf: ospf.clone(),
                     ..Default::default()
                 },
             )

@@ -161,6 +161,235 @@ fn metrics_out_writes_valid_jsonl() {
     assert!(values.len() >= 2, "trajectory should have several samples");
 }
 
+fn segrout_code(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_segrout"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("segrout-cli-test").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn trace_profile_and_run_artifact_outputs() {
+    let dir = tmp_dir("flight");
+    let trace = dir.join("trace.jsonl");
+    let profile = dir.join("profile.txt");
+    let run = dir.join("run.json");
+
+    let (ok, stdout, stderr) = segrout(&[
+        "optimize",
+        "--topology",
+        "Abilene",
+        "--algorithm",
+        "heurospf",
+        "--seed",
+        "3",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--profile-out",
+        profile.to_str().unwrap(),
+        "--run-out",
+        run.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("call-tree profile"), "{stdout}");
+
+    // Convergence trace: valid JSONL, dense sequence, monotone best MLU.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let mut last_mlu = f64::INFINITY;
+    let mut n = 0i64;
+    for (i, line) in text.lines().enumerate() {
+        let p = segrout::obs::Json::parse(line).expect("trace line parses");
+        assert_eq!(p["type"], "trace");
+        assert_eq!(p["seq"].as_i64(), Some(i as i64), "seq must be dense");
+        assert!(p["event"].as_str().unwrap().starts_with("heurospf."));
+        let mlu = p["mlu"].as_f64().expect("finite mlu");
+        assert!(
+            mlu <= last_mlu + 1e-12,
+            "best MLU regressed at line {}: {mlu} > {last_mlu}",
+            i + 1
+        );
+        last_mlu = mlu;
+        n += 1;
+    }
+    assert!(n >= 2, "expected at least start + done trace points");
+
+    // Collapsed stacks: `path;frames <self-weight-µs>` per line.
+    let stacks = std::fs::read_to_string(&profile).expect("profile written");
+    assert!(!stacks.trim().is_empty());
+    let mut frames = Vec::new();
+    for line in stacks.lines() {
+        let (path, weight) = line.rsplit_once(' ').expect("two fields");
+        assert!(weight.parse::<u64>().is_ok(), "weight not integer: {line}");
+        frames.extend(path.split(';').map(str::to_string));
+    }
+    assert!(
+        frames.iter().any(|f| f == "optimize"),
+        "profile must contain the optimize root frame: {stacks}"
+    );
+
+    // Run artifact: one self-describing JSON document.
+    let art = segrout::obs::Json::parse(&std::fs::read_to_string(&run).unwrap())
+        .expect("run artifact parses");
+    assert_eq!(art["type"], "run");
+    assert_eq!(art["schema"].as_i64(), Some(1));
+    assert_eq!(art["command"], "optimize");
+    assert_eq!(art["seed"].as_i64(), Some(3));
+    assert_eq!(art["algorithm"], "heurospf");
+    assert!(art["wall_ms"].as_f64().unwrap() > 0.0);
+    assert!(art["provenance"]["host_cpus"].as_i64().unwrap() >= 1);
+    assert!(
+        art["metrics"]["heurospf.iterations"]["value"]
+            .as_i64()
+            .unwrap()
+            > 0
+    );
+    assert!(art["trace"].as_arr().unwrap().len() as i64 == n);
+}
+
+#[test]
+fn report_of_identical_runs_is_ok() {
+    let dir = tmp_dir("report-ok");
+    let a = dir.join("a.run.json");
+    let b = dir.join("b.run.json");
+    for path in [&a, &b] {
+        let (ok, stdout, stderr) = segrout(&[
+            "optimize",
+            "--topology",
+            "Abilene",
+            "--algorithm",
+            "heurospf",
+            "--seed",
+            "5",
+            "--trace-out",
+            dir.join("t.jsonl").to_str().unwrap(),
+            "--run-out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(ok, "{stdout}\n{stderr}");
+    }
+    // Wall-clock rows are noisy (this test binary runs in parallel), so
+    // compare with timing effectively unchecked: the deterministic rows —
+    // final MLU and every work counter — must agree exactly.
+    let (code, stdout, _) = segrout_code(&[
+        "report",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--time-tol",
+        "1000",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("final MLU"), "{stdout}");
+    assert!(stdout.contains("verdict: OK"), "{stdout}");
+    let mlu_row = stdout
+        .lines()
+        .find(|l| l.starts_with("final MLU"))
+        .expect("final MLU row");
+    assert!(mlu_row.trim_end().ends_with("OK"), "{mlu_row}");
+}
+
+#[test]
+fn report_flags_regression_with_exit_code_2() {
+    let dir = tmp_dir("report-regressed");
+    let old = dir.join("old.run.json");
+    let new = dir.join("new.run.json");
+    let artifact = |mlu: f64| {
+        format!(
+            "{{\"type\":\"run\",\"schema\":1,\"metrics\":{{\"run.mlu\":{{\"kind\":\"gauge\",\"value\":{mlu}}}}}}}"
+        )
+    };
+    std::fs::write(&old, artifact(1.50)).unwrap();
+    std::fs::write(&new, artifact(1.80)).unwrap();
+
+    let (code, stdout, stderr) =
+        segrout_code(&["report", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{stdout}\n{stderr}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stderr.contains("verdict: REGRESSED"), "{stderr}");
+
+    // A generous threshold turns the same comparison into a pass.
+    let (code, stdout, _) = segrout_code(&[
+        "report",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--mlu-tol",
+        "0.5",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("verdict: OK"), "{stdout}");
+}
+
+#[test]
+fn report_rejects_bad_arguments() {
+    let (ok, _, stderr) = segrout(&["report", "only-one-file.json"]);
+    assert!(!ok);
+    assert!(stderr.contains("exactly two files"), "{stderr}");
+
+    let dir = tmp_dir("report-bad");
+    let a = dir.join("a.json");
+    std::fs::write(&a, "{\"type\":\"run\",\"schema\":1}").unwrap();
+    let (ok, _, stderr) = segrout(&[
+        "report",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--mlu-tol",
+        "minus-one",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--mlu-tol"), "{stderr}");
+}
+
+#[test]
+fn catalog_lists_metrics_and_check_accepts_real_telemetry() {
+    let (ok, stdout, _) = segrout(&["catalog"]);
+    assert!(ok);
+    for name in ["heurospf.iterations", "run.mlu", "time.optimize"] {
+        assert!(stdout.contains(name), "catalog must list {name}:\n{stdout}");
+    }
+
+    let dir = tmp_dir("catalog");
+    let metrics = dir.join("metrics.jsonl");
+    let (ok, stdout, stderr) = segrout(&[
+        "optimize",
+        "--topology",
+        "Abilene",
+        "--algorithm",
+        "joint",
+        "--seed",
+        "1",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    let (ok, stdout, stderr) = segrout(&["catalog", "--check", metrics.to_str().unwrap()]);
+    assert!(ok, "catalog drift: {stdout}\n{stderr}");
+    assert!(stdout.contains("catalog check passed"), "{stdout}");
+}
+
+#[test]
+fn catalog_check_flags_undocumented_metric() {
+    let dir = tmp_dir("catalog-drift");
+    let metrics = dir.join("drift.jsonl");
+    std::fs::write(
+        &metrics,
+        "{\"type\":\"counter\",\"name\":\"bogus.metric\",\"value\":1}\n",
+    )
+    .unwrap();
+    let (ok, _, stderr) = segrout(&["catalog", "--check", metrics.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("bogus.metric"), "{stderr}");
+}
+
 #[test]
 fn bad_log_level_fails_cleanly() {
     let (ok, _, stderr) = segrout(&["optimize", "--log-level", "shouty"]);

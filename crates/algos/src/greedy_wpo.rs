@@ -16,10 +16,19 @@
 //! chains are generated in fixed (position, waypoint) order and the
 //! acceptance fold replays that order serially, so the selected waypoints
 //! are bit-identical at any thread count.
+//!
+//! **Robust multi-matrix selection** ([`greedy_wpo_robust`]): the same
+//! greedy sweep against an aligned [`DemandSet`] of `K` matrices. One
+//! running load vector is maintained *per matrix*, every candidate chain is
+//! probed against every matrix (the `(candidate × matrix)` grid fans out on
+//! the `segrout-par` pool), and the per-matrix patched MLUs fold through a
+//! [`RobustObjective`] before the acceptance test. [`greedy_wpo`] is the
+//! `K = 1` special case and delegates here — a one-matrix set reproduces
+//! the classic sweep bit for bit.
 
 use segrout_core::{
-    max_link_utilization, DemandList, EdgeId, Network, NodeId, Router, TeError, WaypointSetting,
-    WeightSetting,
+    max_link_utilization, DemandList, DemandSet, EdgeId, Network, NodeId, RobustObjective, Router,
+    TeError, WaypointSetting, WeightSetting,
 };
 use segrout_obs::{event, Level};
 
@@ -103,16 +112,63 @@ pub fn greedy_wpo(
     weights: &WeightSetting,
     cfg: &GreedyWpoConfig,
 ) -> Result<WaypointSetting, TeError> {
+    greedy_wpo_robust(
+        net,
+        &DemandSet::single(demands.clone()),
+        weights,
+        RobustObjective::WorstCase,
+        cfg,
+    )
+}
+
+/// Runs GreedyWPO against an aligned set of traffic matrices: one waypoint
+/// setting, accepted only when it improves the `robust`-aggregated
+/// per-matrix MLU.
+///
+/// Each matrix keeps its own running load vector; a candidate chain's
+/// per-matrix patched MLUs are computed on the `segrout-par` pool over the
+/// `(candidate × matrix)` grid and folded through `robust` serially, in
+/// candidate order — bit-identical at any thread count. A single-matrix
+/// set is bit-identical to [`greedy_wpo`].
+///
+/// # Errors
+/// Fails when the set is misaligned (waypoints are per demand index) or
+/// the initial ECMP routing of some demand is impossible.
+///
+/// # Panics
+/// Panics on an empty demand set.
+pub fn greedy_wpo_robust(
+    net: &Network,
+    set: &DemandSet,
+    weights: &WeightSetting,
+    robust: RobustObjective,
+    cfg: &GreedyWpoConfig,
+) -> Result<WaypointSetting, TeError> {
+    assert!(!set.is_empty(), "demand set must hold at least one matrix");
+    set.require_aligned()?;
     let _span = segrout_obs::span("greedywpo");
+    let k = set.len();
     let candidates_evaluated = segrout_obs::counter("greedywpo.candidates_evaluated");
     let waypoints_set = segrout_obs::counter("greedywpo.waypoints_set");
+    let matrix_evals = (k > 1).then(|| segrout_obs::counter("robust.matrix_evals"));
     let router = Router::new(net, weights);
     let caps = net.capacities();
-    let mut setting = WaypointSetting::none(demands.len());
+    let n_demands = set.pair_count();
+    let mut setting = WaypointSetting::none(n_demands);
 
-    // Loads of the all-direct routing.
-    let mut loads = router.evaluate(demands, &setting).map(|r| r.loads)?;
-    let mut u_min = max_link_utilization(&loads, caps);
+    // Per-matrix loads of the all-direct routing.
+    let mut loads: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for demands in set.matrices() {
+        loads.push(router.evaluate(demands, &setting).map(|r| r.loads)?);
+    }
+    let mlu_of = |loads: &[Vec<f64>]| -> f64 {
+        let mlus: Vec<f64> = loads
+            .iter()
+            .map(|l| max_link_utilization(l, caps))
+            .collect();
+        robust.aggregate(&mlus)
+    };
+    let mut u_min = mlu_of(&loads);
     // Local probe count for the flight recorder; GreedyWPO tracks no Φ, so
     // trace points carry `NaN` there (rendered as JSON null).
     let mut total_probes: u64 = 0;
@@ -120,7 +176,8 @@ pub fn greedy_wpo(
     event!(
         Level::Debug,
         "greedywpo.start",
-        demands = demands.len(),
+        demands = n_demands,
+        matrices = k,
         initial_mlu = u_min,
     );
 
@@ -147,28 +204,38 @@ pub fn greedy_wpo(
     // exactly the paper's Algorithm 3).
     for _pass in 0..cfg.max_waypoints.max(1) {
         let mut inserted_any = false;
-        for i in demands.indices_by_descending_size() {
-            let d = demands[i];
+        for i in set.indices_by_descending_total_size() {
+            let d = set.matrix(0)[i];
+            let sizes: Vec<f64> = (0..k).map(|mi| set.matrix(mi)[i].size).collect();
             let chain = setting.get(i).to_vec();
             if chain.len() >= cfg.max_waypoints {
                 continue;
             }
-            // Remove this demand's current contribution.
-            let current = chain_loads(&chain, d.src, d.dst, d.size)?;
-            for &(e, l) in &current {
-                loads[e.index()] -= l;
+            // Remove this demand's current contribution from every matrix.
+            for (mi, l) in loads.iter_mut().enumerate() {
+                let current = chain_loads(&chain, d.src, d.dst, sizes[mi])?;
+                for &(e, load) in &current {
+                    l[e.index()] -= load;
+                }
             }
-            // Base utilizations sorted descending, shared read-only by every
-            // probe of this demand: one O(|E| log |E|) sort replaces an
-            // O(|E|) load-vector clone per probe.
-            let mut base_util: Vec<(f64, usize)> = loads
+            // Per-matrix base utilizations sorted descending, shared
+            // read-only by every probe of this demand: one O(|E| log |E|)
+            // sort per matrix replaces an O(|E|) load-vector clone per
+            // probe.
+            let base_util: Vec<Vec<(f64, usize)>> = loads
                 .iter()
-                .zip(caps)
-                .map(|(l, c)| l / c)
-                .enumerate()
-                .map(|(idx, u)| (u, idx))
+                .map(|l| {
+                    let mut u: Vec<(f64, usize)> = l
+                        .iter()
+                        .zip(caps)
+                        .map(|(l, c)| l / c)
+                        .enumerate()
+                        .map(|(idx, u)| (u, idx))
+                        .collect();
+                    u.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+                    u
+                })
                 .collect();
-            base_util.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
 
             // Candidate chains in fixed (position, waypoint) order; the
             // parallel probe results are folded back in this same order.
@@ -183,30 +250,44 @@ pub fn greedy_wpo(
                     probes.push(cand);
                 }
             }
-            // Each probe re-routes the demand along its candidate chain and
-            // evaluates the patched MLU from the shared base state — no
-            // per-probe load-vector copy.
-            let evals = segrout_par::par_map_slice(&probes, |_, cand| {
-                let delta = chain_loads(cand, d.src, d.dst, d.size).ok()?;
-                Some((patched_mlu(&loads, caps, &base_util, &delta), delta))
+            // Each grid cell re-routes the demand along its candidate chain
+            // with one matrix's size and evaluates that matrix's patched MLU
+            // from the shared base state — no per-probe load-vector copy.
+            // Candidate-major order: candidate `ci`'s cells live at
+            // `[ci·K, ci·K+K)`.
+            let tasks: Vec<(usize, usize)> = (0..probes.len())
+                .flat_map(|ci| (0..k).map(move |mi| (ci, mi)))
+                .collect();
+            let mut evals = segrout_par::par_map_slice(&tasks, |_, &(ci, mi)| {
+                let delta = chain_loads(&probes[ci], d.src, d.dst, sizes[mi]).ok()?;
+                Some((patched_mlu(&loads[mi], caps, &base_util[mi], &delta), delta))
             });
 
-            let mut best: Option<(Vec<NodeId>, f64, SparseLoads)> = None;
+            let mut best: Option<(usize, f64)> = None;
             let mut probed: u64 = 0;
-            for (cand, eval) in probes.iter().zip(evals) {
-                let Some((u, delta)) = eval else { continue };
+            for ci in 0..probes.len() {
+                let group = &evals[ci * k..(ci + 1) * k];
+                if group.iter().any(Option::is_none) {
+                    continue;
+                }
                 probed += 1;
-                let current_best = best.as_ref().map(|(_, u, _)| *u).unwrap_or(u_min);
+                let mlus: Vec<f64> = group.iter().flatten().map(|(u, _)| *u).collect();
+                let u = robust.aggregate(&mlus);
+                let current_best = best.map(|(_, u)| u).unwrap_or(u_min);
                 if u < current_best * (1.0 - cfg.min_improvement) {
-                    best = Some((cand.clone(), u, delta));
+                    best = Some((ci, u));
                 }
             }
 
             candidates_evaluated.add(probed);
+            if let Some(ctr) = &matrix_evals {
+                ctr.add(probed * k as u64);
+            }
             total_probes += probed;
             match best {
-                Some((cand, u, delta)) => {
+                Some((ci, u)) => {
                     segrout_obs::trace_point("greedywpo.accept", total_probes, f64::NAN, u);
+                    let cand = probes[ci].clone();
                     event!(
                         Level::Debug,
                         "greedywpo.pick",
@@ -215,19 +296,37 @@ pub fn greedy_wpo(
                         mlu = u,
                     );
                     setting.set(i, cand);
-                    for (e, l) in delta {
-                        loads[e.index()] += l;
+                    for (mi, l) in loads.iter_mut().enumerate() {
+                        let (u_mi, delta) = evals[ci * k + mi]
+                            .take()
+                            .expect("accepted candidates evaluated on every matrix");
+                        for (e, load) in delta {
+                            l[e.index()] += load;
+                        }
+                        if k > 1 && segrout_obs::trace_enabled() {
+                            // Robust runs record the accepted move's
+                            // per-matrix MLU (`iter` is the matrix index).
+                            segrout_obs::trace_point("robust.matrix", mi as u64, f64::NAN, u_mi);
+                        }
+                        // Commit-point hook: each matrix's sparsely patched
+                        // load vector and patched MLU must equal a
+                        // from-scratch evaluation of the accepted waypoint
+                        // setting (debug builds only).
+                        #[cfg(debug_assertions)]
+                        segrout_core::hooks::assert_commit_consistent(
+                            net,
+                            weights,
+                            set.matrix(mi),
+                            &setting,
+                            l,
+                            u_mi,
+                        );
+                        #[cfg(not(debug_assertions))]
+                        let _ = u_mi;
                     }
                     u_min = u;
                     waypoints_set.inc();
                     inserted_any = true;
-                    // Commit-point hook: the sparsely patched load vector and
-                    // the patched MLU must equal a from-scratch evaluation of
-                    // the accepted waypoint setting (debug builds only).
-                    #[cfg(debug_assertions)]
-                    segrout_core::hooks::assert_commit_consistent(
-                        net, weights, demands, &setting, &loads, u_min,
-                    );
                 }
                 None => {
                     event!(
@@ -236,9 +335,13 @@ pub fn greedy_wpo(
                         demand = i,
                         probed = probed
                     );
-                    // Keep the current chain.
-                    for (e, l) in current {
-                        loads[e.index()] += l;
+                    // Keep the current chain: restore each matrix's
+                    // contribution.
+                    for (mi, l) in loads.iter_mut().enumerate() {
+                        let current = chain_loads(&chain, d.src, d.dst, sizes[mi])?;
+                        for (e, load) in current {
+                            l[e.index()] += load;
+                        }
                     }
                 }
             }
@@ -421,5 +524,70 @@ mod tests {
         let u2 = router.evaluate(&d, &two).unwrap().mlu;
         assert!(u2 <= u1 + 1e-9, "W=2 never worse: {u2} vs {u1}");
         assert!(two.max_used() <= 2);
+    }
+
+    /// A one-matrix `DemandSet` must reproduce the classic single-matrix
+    /// sweep bit for bit (the module-level reduction contract).
+    #[test]
+    fn single_matrix_set_reduces_bit_identically() {
+        let (net, d) = instance1_like();
+        let w = direct_heavy_weights(&net);
+        let classic = greedy_wpo(&net, &d, &w, &GreedyWpoConfig::default()).unwrap();
+        let robust = greedy_wpo_robust(
+            &net,
+            &DemandSet::single(d.clone()),
+            &w,
+            RobustObjective::Quantile(1.0),
+            &GreedyWpoConfig::default(),
+        )
+        .unwrap();
+        for i in 0..d.len() {
+            assert_eq!(classic.get(i), robust.get(i));
+        }
+    }
+
+    /// The robust sweep must never increase the worst-case MLU of the set,
+    /// and a misaligned set must be rejected.
+    #[test]
+    fn robust_sweep_improves_worst_case_and_checks_alignment() {
+        let (net, d) = instance1_like();
+        let w = direct_heavy_weights(&net);
+        // Second matrix: same pairs, scaled sizes (a diurnal-style peak).
+        let scaled: DemandList = d
+            .iter()
+            .map(|x| segrout_core::Demand::new(x.src, x.dst, x.size * 1.5))
+            .collect();
+        let mut set = DemandSet::single(d.clone());
+        set.push("peak", scaled);
+
+        let before =
+            segrout_core::evaluate_robust(&net, &w, &set, &WaypointSetting::none(set.pair_count()))
+                .unwrap()
+                .worst_mlu();
+        let wp = greedy_wpo_robust(
+            &net,
+            &set,
+            &w,
+            RobustObjective::WorstCase,
+            &GreedyWpoConfig::default(),
+        )
+        .unwrap();
+        let after = segrout_core::evaluate_robust(&net, &w, &set, &wp)
+            .unwrap()
+            .worst_mlu();
+        assert!(after <= before + 1e-9, "{before} -> {after}");
+
+        let mut skewed = DemandList::new();
+        skewed.push(NodeId(1), NodeId(3), 1.0);
+        let mut bad = DemandSet::single(d);
+        bad.push("skewed", skewed);
+        assert!(greedy_wpo_robust(
+            &net,
+            &bad,
+            &w,
+            RobustObjective::WorstCase,
+            &GreedyWpoConfig::default()
+        )
+        .is_err());
     }
 }

@@ -26,10 +26,20 @@
 //! Objective: the paper's local search minimizes the piecewise-linear
 //! congestion cost `Φ` (which correlates with, and tie-breaks on, MLU); the
 //! evaluation in §7 reports MLU. Both orderings are supported.
+//!
+//! **Robust multi-matrix search** ([`heur_ospf_robust`]): the same descent
+//! against a [`DemandSet`] of `K` traffic matrices. Every candidate move is
+//! probed against *every* matrix (one [`IncrementalEvaluator`] per matrix;
+//! the `(candidate × matrix)` grid fans out on the `segrout-par` pool), and
+//! the per-matrix `(Φ, MLU)` values fold through a [`RobustObjective`]
+//! before entering the lexicographic comparison. [`heur_ospf`] is the
+//! `K = 1` special case and delegates here — a one-matrix set reproduces
+//! the classic search bit for bit.
 
 use segrout_core::rng::{SliceRandom, StdRng};
 use segrout_core::{
-    fortz_phi, DemandList, IncrementalEvaluator, Network, Router, WaypointSetting, WeightSetting,
+    fortz_phi, DemandList, DemandSet, IncrementalEvaluator, Network, RobustObjective, Router,
+    WaypointSetting, WeightSetting,
 };
 use segrout_obs::{event, Level};
 use std::collections::HashSet;
@@ -140,21 +150,35 @@ fn score_from(phi: f64, mlu: f64, objective: Objective) -> Score {
     }
 }
 
-/// Evaluates integer weights from scratch, returning the configured
-/// lexicographic score. Unroutable demand sets score infinitely bad. This is
-/// the baseline scorer; the hot loop normally probes the incremental engine
-/// instead (bit-identical answers, a fraction of the work).
-fn score(net: &Network, demands: &DemandList, weights: &[u32], objective: Objective) -> Score {
+/// Evaluates integer weights from scratch against every matrix of the set,
+/// returning the configured lexicographic score over the robust-aggregated
+/// `(Φ, MLU)`. A set any matrix of which is unroutable scores infinitely
+/// bad. This is the baseline scorer; the hot loop normally probes the
+/// incremental engine instead (bit-identical answers, a fraction of the
+/// work).
+fn score_set(
+    net: &Network,
+    set: &DemandSet,
+    robust: RobustObjective,
+    weights: &[u32],
+    objective: Objective,
+) -> Score {
     let w = WeightSetting::new(net, weights.iter().map(|&x| x as f64).collect())
         .expect("integer weights in range are always valid");
     let router = Router::new(net, &w);
-    match router.evaluate(demands, &WaypointSetting::none(demands.len())) {
-        Err(_) => Score(f64::INFINITY, f64::INFINITY),
-        Ok(report) => {
-            let phi = fortz_phi(&report.loads, net.capacities());
-            score_from(phi, report.mlu, objective)
+    let caps = net.capacities();
+    let mut phis = Vec::with_capacity(set.len());
+    let mut mlus = Vec::with_capacity(set.len());
+    for demands in set.matrices() {
+        match router.evaluate(demands, &WaypointSetting::none(demands.len())) {
+            Err(_) => return Score(f64::INFINITY, f64::INFINITY),
+            Ok(report) => {
+                phis.push(fortz_phi(&report.loads, caps));
+                mlus.push(report.mlu);
+            }
         }
     }
+    score_from(robust.aggregate(&phis), robust.aggregate(&mlus), objective)
 }
 
 /// Scales the inverse-capacity setting into the integer range
@@ -187,20 +211,39 @@ fn inverse_capacity_start(net: &Network, max_weight: u32) -> Vec<u32> {
         .collect()
 }
 
-/// Builds the incremental evaluation engine for the current integer weights.
+/// Builds one incremental evaluation engine per matrix for the current
+/// integer weights.
 ///
-/// `None` when the workload is unroutable (construction performs the same
-/// full evaluation `score` would): the caller then falls back to the scratch
-/// scorer, whose infinite score rejects every move — the pre-incremental
-/// behavior.
-fn build_evaluator<'n>(
+/// `None` when any matrix is unroutable (construction performs the same
+/// full evaluation `score_set` would): the caller then falls back to the
+/// scratch scorer, whose infinite score rejects every move — the
+/// pre-incremental behavior.
+fn build_evaluators<'n>(
     net: &'n Network,
-    demands: &DemandList,
+    set: &DemandSet,
     weights: &[u32],
-) -> Option<IncrementalEvaluator<'n>> {
+) -> Option<Vec<IncrementalEvaluator<'n>>> {
     let w = WeightSetting::new(net, weights.iter().map(|&x| x as f64).collect())
         .expect("integer weights in range are always valid");
-    IncrementalEvaluator::new(net, &w, demands, &WaypointSetting::none(demands.len())).ok()
+    let mut evs = Vec::with_capacity(set.len());
+    for demands in set.matrices() {
+        evs.push(
+            IncrementalEvaluator::new(net, &w, demands, &WaypointSetting::none(demands.len()))
+                .ok()?,
+        );
+    }
+    Some(evs)
+}
+
+/// The robust-aggregated lexicographic score of the evaluators' base state.
+fn evaluators_score(
+    evs: &[IncrementalEvaluator<'_>],
+    robust: RobustObjective,
+    objective: Objective,
+) -> Score {
+    let phis: Vec<f64> = evs.iter().map(IncrementalEvaluator::phi).collect();
+    let mlus: Vec<f64> = evs.iter().map(IncrementalEvaluator::mlu).collect();
+    score_from(robust.aggregate(&phis), robust.aggregate(&mlus), objective)
 }
 
 thread_local! {
@@ -216,21 +259,50 @@ thread_local! {
 /// weight setting make every score infinite; the inverse-capacity start is
 /// then returned unchanged.
 pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> WeightSetting {
+    heur_ospf_robust(
+        net,
+        &DemandSet::single(demands.clone()),
+        RobustObjective::WorstCase,
+        cfg,
+    )
+}
+
+/// Runs the HeurOSPF local search against a set of traffic matrices,
+/// descending on the `robust`-aggregated per-matrix `(Φ, MLU)`.
+///
+/// Every candidate weight change is probed against every matrix (one
+/// incremental evaluator per matrix, the `(candidate × matrix)` grid
+/// scored speculatively on the `segrout-par` pool) and the per-matrix
+/// metrics fold through `robust` before the lexicographic comparison. A
+/// single-matrix set is bit-identical to [`heur_ospf`].
+///
+/// # Panics
+/// Panics on an empty demand set or `max_weight < 2`.
+pub fn heur_ospf_robust(
+    net: &Network,
+    set: &DemandSet,
+    robust: RobustObjective,
+    cfg: &HeurOspfConfig,
+) -> WeightSetting {
     assert!(
         cfg.max_weight >= 2,
         "max_weight must allow at least {{1, 2}}"
     );
+    assert!(!set.is_empty(), "demand set must hold at least one matrix");
     let _span = segrout_obs::span("heurospf");
+    let k = set.len();
     // `heurospf.iterations` counts candidate-weight evaluations (one full
     // ECMP scoring each); the trajectory series records the incumbent MLU at
-    // every accepted move — the Figure 4-6 convergence signal.
+    // every accepted move — the Figure 4-6 convergence signal. Robust runs
+    // (`K > 1`) additionally count per-matrix evaluations, K per candidate.
     let iterations = segrout_obs::counter("heurospf.iterations");
+    let matrix_evals = (k > 1).then(|| segrout_obs::counter("robust.matrix_evals"));
     let trajectory = segrout_obs::series("heurospf.mlu_trajectory");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let m = net.edge_count();
 
     let mut best: Vec<u32> = inverse_capacity_start(net, cfg.max_weight);
-    let mut best_score = score(net, demands, &best, cfg.objective);
+    let mut best_score = score_set(net, set, robust, &best, cfg.objective);
     iterations.inc();
     // Local evaluation count for the flight recorder (the global counter is
     // shared across concurrent runs in one process); `trace_best` gates the
@@ -249,6 +321,7 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
         Level::Debug,
         "heurospf.start",
         edges = m,
+        matrices = k,
         restarts = cfg.restarts,
         start_mlu = best_score.mlu(cfg.objective),
     );
@@ -259,17 +332,18 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
         } else {
             (0..m).map(|_| rng.gen_range(1..=cfg.max_weight)).collect()
         };
-        // The evaluator owns the descent's base state (weights, per-dest
-        // DAGs and load partials, Φ/MLU); construction is one full
-        // evaluation, so its score is the restart's starting score.
-        let mut evaluator = if cfg.use_incremental {
-            build_evaluator(net, demands, &cur)
+        // The evaluators own the descent's base state (weights, per-dest
+        // DAGs and load partials, Φ/MLU per matrix); construction is one
+        // full evaluation per matrix, so their aggregated score is the
+        // restart's starting score.
+        let mut evaluators = if cfg.use_incremental {
+            build_evaluators(net, set, &cur)
         } else {
             None
         };
-        let mut cur_score = match &evaluator {
-            Some(ev) => score_from(ev.phi(), ev.mlu(), cfg.objective),
-            None => score(net, demands, &cur, cfg.objective),
+        let mut cur_score = match &evaluators {
+            Some(evs) => evaluators_score(evs, robust, cfg.objective),
+            None => score_set(net, set, robust, &cur, cfg.objective),
         };
         iterations.inc();
         total_evals += 1;
@@ -323,34 +397,56 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                 // order* — the ordered (score, index) reduction that keeps
                 // the search bit-identical at any thread count.
                 pass_evals += fresh.len() as u64;
-                match evaluator.as_mut() {
-                    Some(ev) => {
+                match evaluators.as_mut() {
+                    Some(evs) => {
                         // Probes borrow the base state read-only: each one
                         // repairs only the destinations the single-edge
                         // change can affect, then re-sums the cached load
                         // partials — no full ECMP evaluation, no weight
-                        // vector clone.
-                        let ev_ref: &IncrementalEvaluator = ev;
+                        // vector clone. The fan-out covers the full
+                        // (candidate × matrix) grid, candidate-major, so
+                        // candidate `ci`'s probes live at `[ci·K, ci·K+K)`.
+                        let ev_refs: &[IncrementalEvaluator] = evs;
                         let eid = segrout_core::EdgeId(e as u32);
-                        let mut probes = segrout_par::par_map_slice(&fresh, |_, &cand| {
-                            ev_ref.probe(eid, f64::from(cand)).ok()
+                        let tasks: Vec<(usize, usize)> = fresh
+                            .iter()
+                            .enumerate()
+                            .flat_map(|(ci, _)| (0..k).map(move |mi| (ci, mi)))
+                            .collect();
+                        let mut probes = segrout_par::par_map_slice(&tasks, |_, &(ci, mi)| {
+                            ev_refs[mi].probe(eid, f64::from(fresh[ci])).ok()
                         });
                         for (idx, &cand) in fresh.iter().enumerate() {
-                            let s = match &probes[idx] {
-                                Some(p) => score_from(p.phi, p.mlu, cfg.objective),
-                                None => Score(f64::INFINITY, f64::INFINITY),
+                            let group = &probes[idx * k..(idx + 1) * k];
+                            let s = if group.iter().all(Option::is_some) {
+                                let mut phis = Vec::with_capacity(k);
+                                let mut mlus = Vec::with_capacity(k);
+                                for p in group.iter().flatten() {
+                                    phis.push(p.phi);
+                                    mlus.push(p.mlu);
+                                }
+                                score_from(
+                                    robust.aggregate(&phis),
+                                    robust.aggregate(&mlus),
+                                    cfg.objective,
+                                )
+                            } else {
+                                Score(f64::INFINITY, f64::INFINITY)
                             };
                             if s.better_than(&cur_score) {
-                                let p = probes[idx]
-                                    .take()
-                                    .expect("an infinite score never improves");
-                                ev.commit(p);
+                                for (mi, ev) in evs.iter_mut().enumerate() {
+                                    let p = probes[idx * k + mi]
+                                        .take()
+                                        .expect("an infinite score never improves");
+                                    ev.commit(p);
+                                }
                                 cur[e] = cand;
                                 cur_score = s;
                                 improved = true;
-                                // Commit-point hook: the evaluator's repaired
-                                // state must equal a from-scratch evaluation
-                                // of the accepted weights (debug builds only).
+                                // Commit-point hook: every evaluator's
+                                // repaired state must equal a from-scratch
+                                // evaluation of the accepted weights (debug
+                                // builds only).
                                 #[cfg(debug_assertions)]
                                 {
                                     let w = WeightSetting::new(
@@ -358,14 +454,16 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                                         cur.iter().map(|&x| f64::from(x)).collect(),
                                     )
                                     .expect("integer weights in range are always valid");
-                                    segrout_core::hooks::assert_commit_consistent(
-                                        net,
-                                        &w,
-                                        demands,
-                                        &WaypointSetting::none(demands.len()),
-                                        ev.loads(),
-                                        ev.mlu(),
-                                    );
+                                    for (demands, ev) in set.matrices().zip(evs.iter()) {
+                                        segrout_core::hooks::assert_commit_consistent(
+                                            net,
+                                            &w,
+                                            demands,
+                                            &WaypointSetting::none(demands.len()),
+                                            ev.loads(),
+                                            ev.mlu(),
+                                        );
+                                    }
                                 }
                                 trajectory.push(cur_score.mlu(cfg.objective));
                                 if segrout_obs::trace_enabled()
@@ -378,6 +476,19 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                                         cur_score.phi(cfg.objective),
                                         cur_score.mlu(cfg.objective),
                                     );
+                                    // Robust runs also record the accepted
+                                    // move's per-matrix state (`iter` is the
+                                    // matrix index within the set).
+                                    if k > 1 {
+                                        for (mi, ev) in evs.iter().enumerate() {
+                                            segrout_obs::trace_point(
+                                                "robust.matrix",
+                                                mi as u64,
+                                                ev.phi(),
+                                                ev.mlu(),
+                                            );
+                                        }
+                                    }
                                 }
                                 event!(
                                     Level::Trace,
@@ -397,7 +508,7 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                                 w.clear();
                                 w.extend_from_slice(&cur);
                                 w[e] = cand;
-                                score(net, demands, &w, cfg.objective)
+                                score_set(net, set, robust, &w, cfg.objective)
                             })
                         });
                         for (cand, s) in fresh.iter().zip(&scores) {
@@ -431,6 +542,9 @@ pub fn heur_ospf(net: &Network, demands: &DemandList, cfg: &HeurOspfConfig) -> W
                 }
             }
             iterations.add(pass_evals);
+            if let Some(ctr) = &matrix_evals {
+                ctr.add(pass_evals * k as u64);
+            }
             total_evals += pass_evals;
             event!(
                 Level::Debug,
@@ -635,6 +749,62 @@ mod tests {
                 );
                 assert_eq!(incremental.as_slice(), scratch.as_slice());
             }
+        }
+    }
+
+    /// A two-matrix robust search must find weights whose *worst-case* MLU
+    /// beats optimizing for either matrix alone on an instance built to
+    /// punish single-matrix tuning.
+    #[test]
+    fn robust_search_protects_the_worst_matrix() {
+        // Two parallel two-hop corridors between 0 and 3; matrix A loads
+        // (0→3), matrix B loads (3→0). Tuning weights for one direction
+        // only is free to break the other.
+        let mut b = Network::builder(4);
+        b.bilink(NodeId(0), NodeId(1), 1.0);
+        b.bilink(NodeId(1), NodeId(3), 1.0);
+        b.bilink(NodeId(0), NodeId(2), 1.0);
+        b.bilink(NodeId(2), NodeId(3), 1.0);
+        let net = b.build().unwrap();
+        let mut a = DemandList::new();
+        a.push(NodeId(0), NodeId(3), 1.6);
+        let mut bm = DemandList::new();
+        bm.push(NodeId(3), NodeId(0), 1.6);
+        let mut set = DemandSet::single(a);
+        set.push("reverse", bm);
+
+        let w = heur_ospf_robust(
+            &net,
+            &set,
+            RobustObjective::WorstCase,
+            &HeurOspfConfig::default(),
+        );
+        let rep =
+            segrout_core::evaluate_robust(&net, &w, &set, &WaypointSetting::none(set.pair_count()))
+                .unwrap();
+        // Splitting each 1.6-unit demand across both corridors gives 0.8 on
+        // every link; any single-corridor routing hits 1.6.
+        assert!(rep.worst_mlu() <= 0.8 + 1e-9, "worst {}", rep.worst_mlu());
+    }
+
+    /// A one-matrix `DemandSet` must reproduce the classic single-matrix
+    /// search bit for bit (the module-level reduction contract).
+    #[test]
+    fn single_matrix_set_reduces_bit_identically() {
+        let (net, d) = trap_network();
+        for use_incremental in [true, false] {
+            let cfg = HeurOspfConfig {
+                use_incremental,
+                ..Default::default()
+            };
+            let classic = heur_ospf(&net, &d, &cfg);
+            let robust = heur_ospf_robust(
+                &net,
+                &DemandSet::single(d.clone()),
+                RobustObjective::Quantile(1.0),
+                &cfg,
+            );
+            assert_eq!(classic.as_slice(), robust.as_slice());
         }
     }
 }

@@ -8,10 +8,19 @@
 //! 4. Return the better of `(ω, π)` and `(ω', π)` by evaluated MLU — the
 //!    paper reports the improvement from the second pass as negligible and
 //!    plots only the first two steps, so the second pass is off by default.
+//!
+//! **Robust multi-matrix variant** ([`joint_heur_robust`]): the same
+//! two-stage pipeline over a [`DemandSet`], with both stages descending on
+//! the [`RobustObjective`]-aggregated per-matrix MLU and every acceptance
+//! re-evaluated against every matrix. [`joint_heur`] is the one-matrix
+//! special case and delegates here bit-identically.
 
-use crate::greedy_wpo::{greedy_wpo, GreedyWpoConfig};
-use crate::heur_ospf::{heur_ospf, HeurOspfConfig};
-use segrout_core::{DemandList, Network, Router, TeError, WaypointSetting, WeightSetting};
+use crate::greedy_wpo::{greedy_wpo_robust, GreedyWpoConfig};
+use crate::heur_ospf::{heur_ospf_robust, HeurOspfConfig};
+use segrout_core::{
+    evaluate_robust, DemandList, DemandSet, Network, RobustObjective, TeError, WaypointSetting,
+    WeightSetting,
+};
 use segrout_obs::{event, Level};
 
 /// Configuration of JOINT-Heur.
@@ -37,10 +46,15 @@ pub struct JointHeurResult {
     pub weights: WeightSetting,
     /// The waypoint setting `π` (at most one waypoint per demand).
     pub waypoints: WaypointSetting,
-    /// MLU of the joint configuration.
+    /// MLU of the joint configuration. For robust runs this is the
+    /// [`RobustObjective`]-aggregated MLU over the set's matrices.
     pub mlu: f64,
-    /// MLU after stage 1 only (HeurOSPF), for reporting the waypoint gain.
+    /// MLU after stage 1 only (HeurOSPF), for reporting the waypoint gain
+    /// (aggregated for robust runs).
     pub mlu_weights_only: f64,
+    /// Per-matrix MLU of the returned configuration, in set order (a
+    /// one-element vector for the single-matrix entry point).
+    pub matrix_mlus: Vec<f64>,
 }
 
 /// Runs JOINT-Heur on a general TE instance.
@@ -52,37 +66,72 @@ pub fn joint_heur(
     demands: &DemandList,
     cfg: &JointHeurConfig,
 ) -> Result<JointHeurResult, TeError> {
+    joint_heur_robust(
+        net,
+        &DemandSet::single(demands.clone()),
+        RobustObjective::WorstCase,
+        cfg,
+    )
+}
+
+/// Runs JOINT-Heur against an aligned set of traffic matrices: one
+/// weight/waypoint configuration optimized for the `robust`-aggregated MLU
+/// over every matrix. A single-matrix set is bit-identical to
+/// [`joint_heur`].
+///
+/// # Errors
+/// Propagates routing errors from any matrix and rejects misaligned sets.
+///
+/// # Panics
+/// Panics on an empty demand set.
+pub fn joint_heur_robust(
+    net: &Network,
+    set: &DemandSet,
+    robust: RobustObjective,
+    cfg: &JointHeurConfig,
+) -> Result<JointHeurResult, TeError> {
+    assert!(!set.is_empty(), "demand set must hold at least one matrix");
+    set.require_aligned()?;
     let _span = segrout_obs::span("joint_heur");
+    let k = set.len();
     // Stage 1: link-weight optimization (or the caller's precomputed one).
     let omega = match &cfg.stage1_weights {
         Some(w) => w.clone(),
-        None => heur_ospf(net, demands, &cfg.ospf),
+        None => heur_ospf_robust(net, set, robust, &cfg.ospf),
     };
-    let router = Router::new(net, &omega);
-    let mlu_weights_only = router.mlu(demands)?;
+    let none = WaypointSetting::none(set.pair_count());
+    let stage1 = evaluate_robust(net, &omega, set, &none)?;
+    let mlu_weights_only = stage1.aggregate_mlu(robust);
     segrout_obs::gauge("joint.stage1_mlu").set(mlu_weights_only);
     segrout_obs::trace_point("joint.stage1", 1, f64::NAN, mlu_weights_only);
     event!(Level::Info, "joint.stage1", mlu = mlu_weights_only);
 
     // Stage 2: greedy waypoints under omega.
-    let pi = greedy_wpo(net, demands, &omega, &cfg.wpo)?;
-    let mut best_mlu = router.evaluate(demands, &pi)?.mlu;
+    let pi = greedy_wpo_robust(net, set, &omega, robust, &cfg.wpo)?;
+    let mut best = evaluate_robust(net, &omega, set, &pi)?;
+    let mut best_mlu = best.aggregate_mlu(robust);
     let mut best_weights = omega.clone();
     segrout_obs::gauge("joint.stage2_mlu").set(best_mlu);
     segrout_obs::trace_point("joint.stage2", 2, f64::NAN, best_mlu);
     event!(Level::Info, "joint.stage2", mlu = best_mlu);
 
-    // Stages 3-4: re-optimize weights on the segment-expanded demands.
+    // Stages 3-4: re-optimize weights on the segment-expanded demands
+    // (expanded per matrix; the chains are shared, so the expanded set stays
+    // aligned).
     if cfg.second_weight_pass {
-        let mut expanded = DemandList::new();
-        for (i, d) in demands.iter().enumerate() {
-            for (s, t, size) in pi.segments_of(i, d) {
-                expanded.push(s, t, size);
+        let mut expanded_set = DemandSet::new();
+        for (name, demands) in set.iter() {
+            let mut expanded = DemandList::new();
+            for (i, d) in demands.iter().enumerate() {
+                for (s, t, size) in pi.segments_of(i, d) {
+                    expanded.push(s, t, size);
+                }
             }
+            expanded_set.push(name, expanded);
         }
-        let omega2 = heur_ospf(net, &expanded, &cfg.ospf);
-        let router2 = Router::new(net, &omega2);
-        let mlu2 = router2.evaluate(demands, &pi)?.mlu;
+        let omega2 = heur_ospf_robust(net, &expanded_set, robust, &cfg.ospf);
+        let rep2 = evaluate_robust(net, &omega2, set, &pi)?;
+        let mlu2 = rep2.aggregate_mlu(robust);
         event!(
             Level::Info,
             "joint.second_pass",
@@ -91,24 +140,34 @@ pub fn joint_heur(
         );
         if mlu2 < best_mlu {
             best_mlu = mlu2;
+            best = rep2;
             best_weights = omega2;
         }
     }
 
     segrout_obs::gauge("joint.final_mlu").set(best_mlu);
     segrout_obs::trace_point("joint.done", 3, f64::NAN, best_mlu);
+    if k > 1 {
+        segrout_obs::gauge("robust.worst_mlu").set(best.worst_mlu());
+        if segrout_obs::trace_enabled() {
+            for (mi, &mlu) in best.mlus.iter().enumerate() {
+                segrout_obs::trace_point("robust.matrix", mi as u64, best.phis[mi], mlu);
+            }
+        }
+    }
     Ok(JointHeurResult {
         weights: best_weights,
         waypoints: pi,
         mlu: best_mlu,
         mlu_weights_only,
+        matrix_mlus: best.mlus,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use segrout_core::NodeId;
+    use segrout_core::{NodeId, Router};
 
     /// A network where weights alone cannot balance single-pair demands but
     /// waypoints can: the TE-Instance-1 pattern with m = 4.
@@ -155,6 +214,8 @@ mod tests {
         let router = Router::new(&net, &r.weights);
         let mlu = router.evaluate(&d, &r.waypoints).unwrap().mlu;
         assert!((mlu - r.mlu).abs() < 1e-9);
+        assert_eq!(r.matrix_mlus.len(), 1);
+        assert_eq!(r.matrix_mlus[0].to_bits(), r.mlu.to_bits());
     }
 
     #[test]
@@ -178,5 +239,47 @@ mod tests {
         let (net, d) = instance1_m4();
         let r = joint_heur(&net, &d, &JointHeurConfig::default()).unwrap();
         assert!(r.waypoints.max_used() <= 1);
+    }
+
+    /// Robust JOINT-Heur over a two-matrix set: the returned configuration's
+    /// per-matrix MLUs must match an independent re-evaluation, and the
+    /// single-matrix reduction must be bit-identical to `joint_heur`.
+    #[test]
+    fn robust_joint_is_consistent_and_reduces() {
+        let (net, d) = instance1_m4();
+        let scaled: DemandList = d
+            .iter()
+            .map(|x| segrout_core::Demand::new(x.src, x.dst, x.size * 0.5))
+            .collect();
+        let mut set = DemandSet::single(d.clone());
+        set.push("offpeak", scaled);
+
+        let r = joint_heur_robust(
+            &net,
+            &set,
+            RobustObjective::WorstCase,
+            &JointHeurConfig::default(),
+        )
+        .unwrap();
+        let rep = evaluate_robust(&net, &r.weights, &set, &r.waypoints).unwrap();
+        assert_eq!(rep.mlus.len(), 2);
+        for (a, b) in rep.mlus.iter().zip(&r.matrix_mlus) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(r.mlu.to_bits(), rep.worst_mlu().to_bits());
+
+        let classic = joint_heur(&net, &d, &JointHeurConfig::default()).unwrap();
+        let single = joint_heur_robust(
+            &net,
+            &DemandSet::single(d.clone()),
+            RobustObjective::Quantile(1.0),
+            &JointHeurConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(classic.weights.as_slice(), single.weights.as_slice());
+        assert_eq!(classic.mlu.to_bits(), single.mlu.to_bits());
+        for i in 0..d.len() {
+            assert_eq!(classic.waypoints.get(i), single.waypoints.get(i));
+        }
     }
 }

@@ -14,6 +14,7 @@
 //! nodes 4
 //! link 0 1 100
 //! demand 0 3 2.5
+//! matrix 1.25          # extra traffic matrix: one size per demand
 //! # segrout-config v1
 //! weight 0 2
 //! waypoint 0 2
@@ -23,15 +24,15 @@
 //! `segrout_core::read_config` so corpus files stay hand-editable with the
 //! same rules as deployed configurations.
 
-use crate::validator::{Validator, ValidatorConfig, Violation};
+use crate::validator::{validate_robust, Validator, ValidatorConfig, Violation};
 use segrout_core::rng::StdRng;
 use segrout_core::{
-    read_config, DemandList, IncrementalEvaluator, Network, Router, TeError, WaypointSetting,
-    WeightSetting,
+    evaluate_robust, read_config, DemandList, DemandSet, IncrementalEvaluator, Network,
+    RobustObjective, Router, TeError, WaypointSetting, WeightSetting,
 };
 use segrout_graph::{EdgeId, NodeId};
 use segrout_lp::{LpEngine, MilpOptions, MilpStatus};
-use segrout_milp::{joint_milp, JointMilpOptions};
+use segrout_milp::{joint_milp, joint_milp_robust, JointMilpOptions};
 use std::fmt;
 use std::time::Duration;
 
@@ -109,8 +110,12 @@ pub struct Case {
     pub nodes: usize,
     /// Directed links `(src, dst, capacity)` in edge-index order.
     pub links: Vec<(u32, u32, f64)>,
-    /// Demands `(src, dst, size)`.
+    /// Demands `(src, dst, size)` — the base traffic matrix.
     pub demands: Vec<(u32, u32, f64)>,
+    /// Additional traffic matrices for the robust multi-matrix stage, each a
+    /// size row over the **same pairs** as `demands` (aligned by
+    /// construction). Empty for classic single-matrix cases.
+    pub extra_matrices: Vec<Vec<f64>>,
     /// Link weights, one per link.
     pub weights: Vec<f64>,
     /// Waypoint rows, one per demand (possibly empty).
@@ -177,6 +182,39 @@ impl Case {
         Ok(d)
     }
 
+    /// Builds the full multi-matrix [`DemandSet`]: the base matrix (`m0`)
+    /// plus one matrix per `matrix` row (`m1`, `m2`, ...), all sharing the
+    /// base's pair list.
+    ///
+    /// # Errors
+    /// Rejects size-count mismatches and non-positive or non-finite sizes.
+    pub fn demand_set(&self) -> Result<DemandSet, TeError> {
+        let base = self.demand_list()?;
+        let mut set = DemandSet::new();
+        set.push("m0", base);
+        for (j, row) in self.extra_matrices.iter().enumerate() {
+            if row.len() != self.demands.len() {
+                return Err(TeError::InvalidWaypoints(format!(
+                    "matrix {j} has {} sizes for {} demands",
+                    row.len(),
+                    self.demands.len()
+                )));
+            }
+            let mut d = DemandList::new();
+            for (i, (&(s, t, _), &size)) in self.demands.iter().zip(row).enumerate() {
+                if !(size.is_finite() && size > 0.0) {
+                    return Err(TeError::InvalidDemand {
+                        index: i,
+                        value: size,
+                    });
+                }
+                d.push(NodeId(s), NodeId(t), size);
+            }
+            set.push(format!("m{}", j + 1), d);
+        }
+        Ok(set)
+    }
+
     fn weight_setting(&self, net: &Network) -> Result<WeightSetting, TeError> {
         WeightSetting::new(net, self.weights.clone())
     }
@@ -214,6 +252,13 @@ impl Case {
         for &(s, t, size) in &self.demands {
             out.push_str(&format!("demand {s} {t} {size}\n"));
         }
+        for row in &self.extra_matrices {
+            out.push_str("matrix");
+            for s in row {
+                out.push_str(&format!(" {s}"));
+            }
+            out.push('\n');
+        }
         out.push_str("# segrout-config v1\n");
         for (e, w) in self.weights.iter().enumerate() {
             out.push_str(&format!("weight {e} {w}\n"));
@@ -239,6 +284,7 @@ impl Case {
             nodes: 0,
             links: Vec::new(),
             demands: Vec::new(),
+            extra_matrices: Vec::new(),
             weights: Vec::new(),
             waypoints: Vec::new(),
             threads: 1,
@@ -300,6 +346,16 @@ impl Case {
                     let size = num(p, lineno, "a size")?;
                     case.demands.push((s, t, size));
                 }
+                "matrix" => {
+                    let mut row = Vec::new();
+                    for tok in p.by_ref() {
+                        row.push(tok.parse::<f64>().map_err(|_| bad("matrix needs sizes"))?);
+                    }
+                    if row.is_empty() {
+                        return Err(bad("matrix needs at least one size"));
+                    }
+                    case.extra_matrices.push(row);
+                }
                 "weight" | "waypoint" => {
                     config_lines.push_str(line);
                     config_lines.push('\n');
@@ -308,6 +364,15 @@ impl Case {
             }
         }
 
+        for (j, row) in case.extra_matrices.iter().enumerate() {
+            if row.len() != case.demands.len() {
+                return Err(TeError::InvalidWaypoints(format!(
+                    "matrix {j} has {} sizes for {} demands",
+                    row.len(),
+                    case.demands.len()
+                )));
+            }
+        }
         let net = case.network()?;
         let demands = case.demand_list()?;
         let (weights, waypoints) = read_config(&net, &demands, &config_lines)?;
@@ -382,6 +447,18 @@ impl Case {
             }
         }
 
+        // Stage 5: robust multi-matrix differential (invariants on the given
+        // state, single-matrix reduction, robust pipeline + MILP oracle).
+        if !self.extra_matrices.is_empty() && !self.demands.is_empty() {
+            match self.run_robust(&net, &demands, &weights, &waypoints) {
+                Ok((c, vs)) => {
+                    checks += c;
+                    violations.extend(vs);
+                }
+                Err(e) => return CaseOutcome::Error(e.to_string()),
+            }
+        }
+
         if violations.is_empty() {
             CaseOutcome::Pass { checks }
         } else {
@@ -443,6 +520,139 @@ impl Case {
                     detail: format!("step {step}: MLU {} != fresh {}", ev.mlu(), fresh.mlu),
                 });
             }
+        }
+        Ok((checks, violations))
+    }
+
+    /// Robust multi-matrix differential: (a) the full [`validate_robust`]
+    /// invariant suite on the given state, (b) the single-matrix reduction —
+    /// `heur_ospf_robust` on a one-element set must be **bit-identical** to
+    /// the classic `heur_ospf` — and (c) when the pipeline stage is on, the
+    /// robust heuristic pipeline with its output state re-validated, plus on
+    /// tiny instances the robust MILP oracle (optimality sandwich against
+    /// the robust heuristic's worst-case MLU).
+    fn run_robust(
+        &self,
+        net: &Network,
+        demands: &DemandList,
+        weights: &WeightSetting,
+        waypoints: &WaypointSetting,
+    ) -> Result<(usize, Vec<Violation>), TeError> {
+        const MAX_WEIGHT: u32 = 4;
+        let set = self.demand_set()?;
+        let mut checks = 0usize;
+        let mut violations = Vec::new();
+
+        // (a) Invariants on the given state.
+        let rep = validate_robust(net, &set, weights, waypoints)?;
+        checks += rep.checks;
+        violations.extend(rep.violations.into_iter().map(|mut v| {
+            v.detail = format!("robust input: {}", v.detail);
+            v
+        }));
+
+        let ospf = segrout_algos::HeurOspfConfig {
+            max_weight: MAX_WEIGHT,
+            restarts: 1,
+            max_passes: 2,
+            seed: self.seed,
+            use_incremental: self.incremental,
+            ..Default::default()
+        };
+
+        // (b) Single-matrix reduction is bit-identical.
+        let classic = segrout_algos::heur_ospf(net, demands, &ospf);
+        let single = segrout_algos::heur_ospf_robust(
+            net,
+            &DemandSet::single(demands.clone()),
+            RobustObjective::Quantile(1.0),
+            &ospf,
+        );
+        checks += 1;
+        if classic.as_slice() != single.as_slice() {
+            violations.push(Violation {
+                invariant: "robust-reduction",
+                detail: format!(
+                    "heur_ospf_robust on a single-matrix set diverges from \
+                     heur_ospf: {:?} vs {:?}",
+                    single.as_slice(),
+                    classic.as_slice()
+                ),
+            });
+        }
+
+        if !self.pipeline {
+            return Ok((checks, violations));
+        }
+
+        // (c) Robust pipeline; its output state must satisfy the same
+        // invariants.
+        let hw = segrout_algos::heur_ospf_robust(net, &set, RobustObjective::WorstCase, &ospf);
+        let wp = segrout_algos::greedy_wpo_robust(
+            net,
+            &set,
+            &hw,
+            RobustObjective::WorstCase,
+            &segrout_algos::GreedyWpoConfig::default(),
+        )?;
+        let out = evaluate_robust(net, &hw, &set, &wp)?;
+        let rep = validate_robust(net, &set, &hw, &wp)?;
+        checks += rep.checks;
+        violations.extend(rep.violations.into_iter().map(|mut v| {
+            v.detail = format!("robust pipeline output: {}", v.detail);
+            v
+        }));
+
+        let tiny =
+            net.node_count() <= 5 && net.edge_count() <= 12 && (1..=3).contains(&demands.len());
+        if !tiny || set.len() > 4 {
+            return Ok((checks, violations));
+        }
+        let opts = JointMilpOptions {
+            max_weight: MAX_WEIGHT,
+            waypoints: 1,
+            milp: MilpOptions {
+                node_limit: 2000,
+                time_limit: Duration::from_secs(10),
+                engine: self.engine.lp_engine(),
+                ..Default::default()
+            },
+            warm_start: Some((hw.clone(), wp.clone())),
+            ..Default::default()
+        };
+        let milp = match joint_milp_robust(net, &set, RobustObjective::WorstCase, &opts) {
+            Ok(o) => o,
+            Err(TeError::SolverLimit { .. }) => return Ok((checks, violations)),
+            Err(e) => return Err(e),
+        };
+        // Optimality sandwich on the worst-case MLU: a proven-optimal robust
+        // MILP can never lose to the heuristic, and the heuristic can never
+        // beat the dual bound.
+        if milp.status == MilpStatus::Optimal {
+            checks += 1;
+            if milp.mlu > out.worst_mlu() + TOL * (1.0 + out.worst_mlu()) {
+                violations.push(Violation {
+                    invariant: "robust-milp-oracle",
+                    detail: format!(
+                        "optimal robust MILP worst-case MLU {} exceeds robust \
+                         heuristic worst-case MLU {}",
+                        milp.mlu,
+                        out.worst_mlu()
+                    ),
+                });
+            }
+        }
+        checks += 1;
+        if out.worst_mlu() < milp.bound - TOL * (1.0 + milp.bound) {
+            violations.push(Violation {
+                invariant: "robust-milp-oracle",
+                detail: format!(
+                    "robust heuristic worst-case MLU {} beats the robust MILP \
+                     dual bound {}",
+                    out.worst_mlu(),
+                    milp.bound
+                ),
+            });
         }
         Ok((checks, violations))
     }
@@ -583,6 +793,7 @@ mod tests {
                 (3, 2, 10.0),
             ],
             demands: vec![(0, 3, 4.0), (1, 2, 1.5)],
+            extra_matrices: vec![vec![2.0, 3.0], vec![5.5, 0.75]],
             weights: vec![1.0; 8],
             waypoints: vec![vec![2], vec![]],
             threads: 2,
@@ -610,6 +821,12 @@ mod tests {
             ("engine simplex", "revised"),
             ("link 0 9 1\nnodes 2", "out of range"),
             ("nodes 2\nlink 0 1 5\nweight 3 1", "out of range"),
+            ("matrix", "at least one size"),
+            ("matrix 1 bad", "matrix needs sizes"),
+            (
+                "nodes 2\nlink 0 1 5\nlink 1 0 5\ndemand 0 1 1\nmatrix 1 2\nweight 0 1\nweight 1 1",
+                "2 sizes for 1 demands",
+            ),
         ] {
             let err = Case::from_text(text).unwrap_err().to_string();
             assert!(
@@ -629,11 +846,21 @@ mod tests {
     }
 
     #[test]
+    fn bad_extra_matrix_size_is_benign() {
+        let mut case = diamond_case();
+        case.extra_matrices[0][1] = -3.0;
+        let outcome = case.run(&ValidatorConfig::default());
+        assert!(matches!(outcome, CaseOutcome::Error(_)), "got {outcome}");
+        assert!(!outcome.is_failure());
+    }
+
+    #[test]
     fn unroutable_case_is_benign() {
         let case = Case {
             nodes: 3,
             links: vec![(0, 1, 1.0), (1, 2, 1.0)],
             demands: vec![(2, 0, 1.0)],
+            extra_matrices: Vec::new(),
             weights: vec![1.0, 1.0],
             waypoints: vec![vec![]],
             threads: 1,

@@ -125,6 +125,38 @@ pub fn generate_case(campaign_seed: u64, index: usize) -> Case {
             .collect(),
     };
 
+    // Robust multi-matrix dimension: some cases carry 1–5 extra traffic
+    // matrices over the same pairs, mirroring the two set generators of
+    // `segrout-traffic` — diurnal (per-node sinusoidal activity with random
+    // phases, so matrices differ in *shape*) and gravity perturbation
+    // (independent multiplicative jitter per demand).
+    let n_extra = match rng.gen_range(0..100u32) {
+        0..=54 => 0,
+        55..=84 => rng.gen_range(1..=2usize),
+        _ => rng.gen_range(3..=5usize),
+    };
+    let mut extra_matrices: Vec<Vec<f64>> = Vec::with_capacity(n_extra);
+    if n_extra > 0 {
+        let diurnal = rng.gen::<bool>();
+        let phases: Vec<f64> = (0..nodes).map(|_| rng.gen::<f64>()).collect();
+        for j in 0..n_extra {
+            let mut row = Vec::with_capacity(demands.len());
+            for &(s, t, size) in &demands {
+                let factor = if diurnal {
+                    let act = |v: u32| {
+                        let x = (j + 1) as f64 / (n_extra + 1) as f64 + phases[v as usize];
+                        1.0 + 0.6 * (2.0 * std::f64::consts::PI * x).sin()
+                    };
+                    act(s) * act(t)
+                } else {
+                    0.4 + 1.2 * rng.gen::<f64>()
+                };
+                row.push(size * factor);
+            }
+            extra_matrices.push(row);
+        }
+    }
+
     let waypoints: Vec<Vec<u32>> = demands
         .iter()
         .map(|&(s, t, _)| {
@@ -148,6 +180,7 @@ pub fn generate_case(campaign_seed: u64, index: usize) -> Case {
         nodes,
         links,
         demands,
+        extra_matrices,
         weights,
         waypoints,
         threads: if rng.gen::<bool>() { 4 } else { 1 },
@@ -187,10 +220,18 @@ fn random_topology(rng: &mut StdRng) -> segrout_core::Network {
 /// preference order (structural deletions first, simplifications last).
 fn mutations(case: &Case) -> Vec<Case> {
     let mut out = Vec::new();
+    for j in 0..case.extra_matrices.len() {
+        let mut c = case.clone();
+        c.extra_matrices.remove(j);
+        out.push(c);
+    }
     for i in 0..case.demands.len() {
         let mut c = case.clone();
         c.demands.remove(i);
         c.waypoints.remove(i);
+        for row in &mut c.extra_matrices {
+            row.remove(i);
+        }
         out.push(c);
     }
     for e in 0..case.links.len() {
@@ -345,6 +386,10 @@ mod tests {
                 );
                 assert_eq!(case.weights.len(), case.links.len());
                 assert_eq!(case.waypoints.len(), case.demands.len());
+                for row in &case.extra_matrices {
+                    assert_eq!(row.len(), case.demands.len());
+                    assert!(row.iter().all(|&s| s.is_finite() && s > 0.0));
+                }
                 let text = case.to_text();
                 assert_eq!(
                     Case::from_text(&text).unwrap(),
@@ -353,6 +398,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn campaign_covers_multi_matrix_cases() {
+        // The robust dimension must actually be exercised: a decent fraction
+        // of generated cases carry 2–6 matrices.
+        let multi = (0..200)
+            .filter(|&i| !generate_case(42, i).extra_matrices.is_empty())
+            .count();
+        assert!((40..180).contains(&multi), "{multi}/200 multi-matrix cases");
+        let sizes: Vec<usize> = (0..200)
+            .map(|i| generate_case(42, i).extra_matrices.len() + 1)
+            .collect();
+        assert!(sizes.iter().any(|&k| k >= 4), "no large sets generated");
+        assert!(sizes.iter().all(|&k| k <= 6), "set larger than 6 matrices");
     }
 
     #[test]

@@ -21,10 +21,15 @@
 //!   `segrout-config v1` block), replayable from `tests/corpus/*.case`.
 //! * [`fuzz_campaign`] generates seeded random scenarios (synthetic and
 //!   embedded topologies × demand matrices × weight/waypoint perturbations
-//!   × thread counts × incremental on/off × LP engines), runs the full
-//!   pipeline, validates every invariant, cross-checks small instances
-//!   against the MILP oracle, and **shrinks** failures (drop demands,
-//!   contract edges, round weights) to minimal reproducers.
+//!   × thread counts × incremental on/off × LP engines × multi-matrix
+//!   demand sets), runs the full pipeline, validates every invariant,
+//!   cross-checks small instances against the MILP oracle, and **shrinks**
+//!   failures (drop demands, contract edges, round weights, drop matrices)
+//!   to minimal reproducers.
+//! * [`validate_robust`] checks a multi-matrix `(Network, DemandSet,
+//!   weights, waypoints)` state: per-matrix MLU/Φ recomputation,
+//!   incremental-engine agreement per matrix, worst-case/quantile
+//!   aggregation identities, and monotonicity of the worst-case envelope.
 //!
 //! The cheap in-tree complement — `debug_assertions`-gated hooks at the
 //! optimizer commit points — lives in `segrout_core::hooks` so the algorithm
@@ -39,4 +44,4 @@ pub mod validator;
 
 pub use case::{Case, CaseOutcome, EngineChoice};
 pub use fuzz::{fuzz_campaign, FuzzConfig, FuzzFailure, FuzzReport};
-pub use validator::{ValidationReport, Validator, ValidatorConfig, Violation};
+pub use validator::{validate_robust, ValidationReport, Validator, ValidatorConfig, Violation};

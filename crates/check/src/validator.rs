@@ -1,8 +1,8 @@
 //! The pipeline-wide invariant validator (see crate docs).
 
 use segrout_core::{
-    fortz_phi, max_link_utilization, DemandList, IncrementalEvaluator, Network, NodeId, Router,
-    TeError, WaypointSetting, WeightSetting,
+    evaluate_robust, fortz_phi, max_link_utilization, DemandList, DemandSet, IncrementalEvaluator,
+    Network, NodeId, RobustObjective, Router, TeError, WaypointSetting, WeightSetting,
 };
 use segrout_graph::{approx_eq, SpDag, INFINITY};
 use std::collections::BTreeMap;
@@ -488,6 +488,117 @@ impl<'a> Validator<'a> {
     }
 }
 
+/// Robust multi-matrix invariants for one `(Network, DemandSet, weights,
+/// waypoints)` state:
+///
+/// * **per-matrix recomputation** — every entry of
+///   [`evaluate_robust`]'s per-matrix MLU/Φ vectors must be bit-identical
+///   to an independent from-scratch [`Router`] evaluation of that matrix,
+/// * **incremental agreement** — a fresh [`IncrementalEvaluator`] per
+///   matrix must reproduce the scratch loads (bit-identical under integral
+///   weights, within tolerance otherwise),
+/// * **aggregation identities** — the worst-case aggregate equals a manual
+///   `max` fold, `Quantile(1.0)` equals `WorstCase` bit-exactly, and any
+///   lower quantile never exceeds the worst case,
+/// * **monotonicity** — the worst case over the first `k` matrices never
+///   decreases as `k` grows.
+///
+/// # Errors
+/// Returns the underlying [`TeError`] when the state cannot be evaluated
+/// (disconnected segment, misaligned set) — a property of the input, not an
+/// invariant violation.
+pub fn validate_robust(
+    net: &Network,
+    set: &DemandSet,
+    weights: &WeightSetting,
+    waypoints: &WaypointSetting,
+) -> Result<ValidationReport, TeError> {
+    let mut rep = ValidationReport::default();
+    set.require_aligned()?;
+    let robust_rep = evaluate_robust(net, weights, set, waypoints)?;
+    let integral = weights.as_slice().iter().all(|w| w.fract() == 0.0);
+
+    let mut worst_prefix = f64::NEG_INFINITY;
+    for (k, (name, demands)) in set.iter().enumerate() {
+        let fresh = Router::new(net, weights).evaluate(demands, waypoints)?;
+        rep.check(
+            fresh.mlu.to_bits() == robust_rep.mlus[k].to_bits(),
+            "robust-matrix-mlu",
+            || {
+                format!(
+                    "matrix {k} ({name}): scratch MLU {} != robust report {}",
+                    fresh.mlu, robust_rep.mlus[k]
+                )
+            },
+        );
+        let phi = fortz_phi(&fresh.loads, net.capacities());
+        rep.check(
+            phi.to_bits() == robust_rep.phis[k].to_bits(),
+            "robust-matrix-phi",
+            || {
+                format!(
+                    "matrix {k} ({name}): scratch Φ {phi} != robust report {}",
+                    robust_rep.phis[k]
+                )
+            },
+        );
+
+        let ev = IncrementalEvaluator::new(net, weights, demands, waypoints)?;
+        let scale = 1.0 + fresh.loads.iter().cloned().fold(0.0f64, f64::max);
+        for (e, (&got, &want)) in ev.loads().iter().zip(&fresh.loads).enumerate() {
+            let ok = if integral {
+                got.to_bits() == want.to_bits()
+            } else {
+                (got - want).abs() <= LOAD_TOL * scale
+            };
+            rep.check(ok, "robust-incremental", || {
+                format!(
+                    "matrix {k} ({name}), edge {e}: incremental load {got} vs \
+                     scratch {want} (integral = {integral})"
+                )
+            });
+        }
+
+        // Worst case over the first k+1 matrices is a running max.
+        worst_prefix = worst_prefix.max(robust_rep.mlus[k]);
+        let prefix = RobustObjective::WorstCase.aggregate(&robust_rep.mlus[..=k]);
+        rep.check(
+            prefix.to_bits() == worst_prefix.to_bits(),
+            "robust-monotone",
+            || {
+                format!(
+                    "prefix of {} matrices: worst-case aggregate {prefix} != \
+                     running max {worst_prefix}",
+                    k + 1
+                )
+            },
+        );
+    }
+
+    let manual_worst = robust_rep
+        .mlus
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let worst = RobustObjective::WorstCase.aggregate(&robust_rep.mlus);
+    rep.check(
+        worst.to_bits() == manual_worst.to_bits(),
+        "robust-aggregate",
+        || format!("worst-case aggregate {worst} != manual max {manual_worst}"),
+    );
+    let q1 = RobustObjective::Quantile(1.0).aggregate(&robust_rep.mlus);
+    rep.check(
+        q1.to_bits() == worst.to_bits(),
+        "robust-quantile-unit",
+        || format!("Quantile(1.0) {q1} != WorstCase {worst}"),
+    );
+    let median = RobustObjective::Quantile(0.5).aggregate(&robust_rep.mlus);
+    rep.check(median <= worst, "robust-quantile-order", || {
+        format!("Quantile(0.5) {median} exceeds worst case {worst}")
+    });
+    Ok(rep)
+}
+
 /// Kahn topological order of the nodes over the on-DAG edges; `None` when
 /// the subgraph has a cycle.
 fn kahn_order(net: &Network, dag: &SpDag) -> Option<Vec<NodeId>> {
@@ -568,6 +679,31 @@ mod tests {
         let wp = WaypointSetting::none(d.len());
         let err = Validator::new(&net, &d, &w, &wp).validate().unwrap_err();
         assert!(matches!(err, TeError::Unroutable { .. }));
+    }
+
+    #[test]
+    fn robust_state_passes_and_misalignment_errors() {
+        let (net, demands) = diamond();
+        let scaled: DemandList = demands
+            .iter()
+            .map(|d| segrout_core::Demand::new(d.src, d.dst, d.size * 0.25))
+            .collect();
+        let mut set = DemandSet::single(demands.clone());
+        set.push("offpeak", scaled);
+        let w = WeightSetting::unit(&net);
+        let mut wp = WaypointSetting::none(demands.len());
+        wp.set(0, vec![NodeId(2)]);
+        let rep = validate_robust(&net, &set, &w, &wp).unwrap();
+        assert!(rep.is_ok(), "{rep}");
+        assert!(rep.checks > 10, "suite ran only {} checks", rep.checks);
+
+        // A misaligned set (different pair list) with waypoints is an input
+        // error, not a violation.
+        let mut other = DemandList::new();
+        other.push(NodeId(1), NodeId(0), 1.0);
+        let mut bad = DemandSet::single(demands.clone());
+        bad.push("misaligned", other);
+        assert!(validate_robust(&net, &bad, &w, &wp).is_err());
     }
 
     #[test]

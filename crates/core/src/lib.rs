@@ -36,6 +36,7 @@ pub mod instance;
 pub mod network;
 pub mod report;
 pub mod rng;
+pub mod robust;
 pub mod textio;
 pub mod waypoints;
 pub mod weights;
@@ -48,6 +49,7 @@ pub use incremental::{IncrementalEvaluator, Probe};
 pub use instance::TeInstance;
 pub use network::Network;
 pub use report::UtilizationReport;
+pub use robust::{evaluate_robust, DemandSet, RobustObjective, RobustReport};
 pub use textio::{read_config, write_config};
 pub use waypoints::WaypointSetting;
 pub use weights::WeightSetting;

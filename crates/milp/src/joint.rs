@@ -12,13 +12,27 @@
 //! (a)  d_u^t ≤ w_e + d_v^t                       (distance optimality)
 //! (b)  d_u^t ≥ w_e + d_v^t − M_d (1 − x_e^t)     (x = 1 ⇒ tight)
 //! (c)  w_e + d_v^t − d_u^t ≥ 1 − M_d x_e^t       (x = 0 ⇒ slack ≥ 1)
-//! (f1) f_e^t ≤ M_f x_e^t
-//! (f2) f_e^t ≤ m_u^t
-//! (f3) f_e^t ≥ m_u^t − M_f (1 − x_e^t)           (even split: share m_u)
+//! (f1) f_e^{t,k} ≤ M_f^k x_e^t
+//! (f2) f_e^{t,k} ≤ m_u^{t,k}
+//! (f3) f_e^{t,k} ≥ m_u^{t,k} − M_f^k (1 − x_e^t)  (even split: share m_u)
 //! ```
 //!
 //! plus flow conservation with waypoint-dependent injections, one-of-`k`
-//! waypoint selection per demand, and `Σ_t f_e^t ≤ θ c_e`.
+//! waypoint selection per demand, and `Σ_t f_e^{t,k} ≤ θ c_e`.
+//!
+//! # Robust multi-matrix extension
+//!
+//! [`joint_milp_robust`] solves the same model against a [`DemandSet`] of
+//! `K` aligned traffic matrices. The weight-dependent variables (`w`,
+//! distance labels `d`, tight-edge indicators `x`) and the waypoint
+//! selectors `y` are **shared** — one configuration serves every matrix —
+//! while each matrix `k` gets its own flow/share block `(f^k, m^k)`,
+//! conservation rows, and capacity rows `Σ_t f_e^{t,k} ≤ θ c_e`. The
+//! single `θ` bounded by every matrix's capacity rows is the FIGRET/TROD
+//! *max-envelope* trick: minimizing `θ` minimizes the worst-case MLU over
+//! the set. `K = 1` degenerates to exactly the classic model (same
+//! variables, same constraints, in the same order), so [`joint_milp`]
+//! delegates here bit-identically.
 //!
 //! # Exactness
 //!
@@ -35,7 +49,10 @@
 //! instances; on Abilene-scale inputs use the node/time limits plus the
 //! JOINT-Heur warm start and report the incumbent.
 
-use segrout_core::{DemandList, Network, NodeId, Router, TeError, WaypointSetting, WeightSetting};
+use segrout_core::{
+    DemandList, DemandSet, Network, NodeId, RobustObjective, Router, TeError, WaypointSetting,
+    WeightSetting,
+};
 use segrout_lp::{solve_milp, Cmp, MilpOptions, MilpStatus, Problem, Sense, VarId};
 use std::collections::HashMap;
 
@@ -74,26 +91,33 @@ pub struct JointMilpOutcome {
     /// The selected waypoints.
     pub waypoints: WaypointSetting,
     /// MLU of the configuration, re-evaluated with the ECMP engine (ground
-    /// truth, independent of the MILP's internal θ).
+    /// truth, independent of the MILP's internal θ). For robust solves this
+    /// is the worst-case MLU over the set's matrices.
     pub mlu: f64,
+    /// Per-matrix MLU of the configuration, in set order (a one-element
+    /// vector for the single-matrix entry points).
+    pub matrix_mlus: Vec<f64>,
     /// Solver status.
     pub status: MilpStatus,
-    /// Dual bound on the optimal Joint MLU.
+    /// Dual bound on the optimal Joint MLU (worst-case over matrices for
+    /// robust solves).
     pub bound: f64,
     /// Branch-and-bound nodes explored.
     pub nodes: usize,
 }
 
-/// Per-destination variable block.
+/// Per-destination variable block. The weight-dependent variables (`dist`,
+/// `x`) are shared by every matrix; flows and shares are per matrix
+/// (`f[k][e]`, `share[k][v]`).
 struct DestBlock {
     /// `d_v` distance vars (`None` at the destination itself: fixed 0).
     dist: Vec<Option<VarId>>,
     /// `x_e` indicator vars.
     x: Vec<VarId>,
-    /// `f_e` flow vars.
-    f: Vec<VarId>,
-    /// `m_v` share vars.
-    share: Vec<Option<VarId>>,
+    /// Per-matrix `f_e` flow vars.
+    f: Vec<Vec<VarId>>,
+    /// Per-matrix `m_v` share vars.
+    share: Vec<Vec<Option<VarId>>>,
 }
 
 /// Solves the Joint problem (weights + up to one waypoint per demand).
@@ -107,13 +131,54 @@ pub fn joint_milp(
     demands: &DemandList,
     options: &JointMilpOptions,
 ) -> Result<JointMilpOutcome, TeError> {
+    joint_milp_robust(
+        net,
+        &DemandSet::single(demands.clone()),
+        RobustObjective::WorstCase,
+        options,
+    )
+}
+
+/// Solves the robust Joint problem over an aligned set of traffic matrices:
+/// one weight/waypoint configuration whose **worst-case** MLU over the set
+/// is minimized, via per-matrix flow blocks under a shared max-envelope θ.
+/// A single-matrix set is bit-identical to [`joint_milp`].
+///
+/// Only the worst-case objective has an exact MILP encoding (`θ` bounds
+/// every matrix); use the robust heuristics for general quantiles.
+///
+/// # Errors
+/// Returns [`TeError::Unroutable`] when the model is proven infeasible,
+/// [`TeError::SolverLimit`] on a limit abort without incumbent, and
+/// [`TeError::InvalidWaypoints`] for misaligned sets.
+///
+/// # Panics
+/// Panics on an empty set, a non-worst-case objective (`Quantile(q)` with
+/// `q < 1`), `waypoints > 1`, or `max_weight < 1`.
+pub fn joint_milp_robust(
+    net: &Network,
+    set: &DemandSet,
+    robust: RobustObjective,
+    options: &JointMilpOptions,
+) -> Result<JointMilpOutcome, TeError> {
     assert!(options.waypoints <= 1, "only W <= 1 is modelled");
     assert!(options.max_weight >= 1);
+    assert!(!set.is_empty(), "demand set must hold at least one matrix");
+    assert!(
+        robust.is_worst_case(),
+        "the MILP encodes only the worst-case objective (θ bounds every \
+         matrix); quantile objectives need the robust heuristics"
+    );
+    set.require_aligned()?;
+    let nmat = set.len();
+    let pairs = set.pairs();
     let g = net.graph();
     let n = g.node_count();
     let w_max = options.max_weight as f64;
     let m_dist = (n as f64) * w_max + w_max; // big-M for distances
-    let m_flow = demands.total_size(); // big-M for flows
+                                             // Big-M for flows, per matrix (a matrix's flow never exceeds its own
+                                             // total demand).
+    let m_flow: Vec<f64> = set.matrices().map(DemandList::total_size).collect();
 
     let all_nodes: Vec<NodeId> = g.nodes().collect();
     let candidates: Vec<NodeId> = if options.waypoints == 0 {
@@ -127,9 +192,9 @@ pub fn joint_milp(
 
     // Commodity destinations: demand targets plus waypoint candidates.
     let mut dests: Vec<NodeId> = Vec::new();
-    for d in demands {
-        if !dests.contains(&d.dst) {
-            dests.push(d.dst);
+    for &(_, dst) in &pairs {
+        if !dests.contains(&dst) {
+            dests.push(dst);
         }
     }
     for &w in &candidates {
@@ -158,13 +223,24 @@ pub fn joint_milp(
             .edge_ids()
             .map(|e| p.add_bin_var(format!("x[{t}][{e}]"), 0.0))
             .collect();
-        let f: Vec<VarId> = g
-            .edge_ids()
-            .map(|e| p.add_var(format!("f[{t}][{e}]"), 0.0, f64::INFINITY, 0.0))
+        let f: Vec<Vec<VarId>> = (0..nmat)
+            .map(|k| {
+                g.edge_ids()
+                    .map(|e| p.add_var(format!("f[{t}][{k}][{e}]"), 0.0, f64::INFINITY, 0.0))
+                    .collect()
+            })
             .collect();
-        let share: Vec<Option<VarId>> = all_nodes
-            .iter()
-            .map(|&v| (v != t).then(|| p.add_var(format!("m[{t}][{v}]"), 0.0, f64::INFINITY, 0.0)))
+        let share: Vec<Vec<Option<VarId>>> = (0..nmat)
+            .map(|k| {
+                all_nodes
+                    .iter()
+                    .map(|&v| {
+                        (v != t).then(|| {
+                            p.add_var(format!("m[{t}][{k}][{v}]"), 0.0, f64::INFINITY, 0.0)
+                        })
+                    })
+                    .collect()
+            })
             .collect();
 
         for (e, u, v) in g.edges() {
@@ -189,29 +265,34 @@ pub fn joint_milp(
             let mut c: Vec<(VarId, f64)> = base.iter().map(|&(v, a)| (v, -a)).collect();
             c.push((x[ei], m_dist));
             p.add_constraint(c, Cmp::Ge, 1.0);
-            // (f1) f <= M_f x
-            p.add_constraint(vec![(f[ei], 1.0), (x[ei], -m_flow)], Cmp::Le, 0.0);
-            // (f2) f <= m_u ; (f3) f >= m_u - M_f (1 - x)
-            if let Some(mu) = share[u.index()] {
-                p.add_constraint(vec![(f[ei], 1.0), (mu, -1.0)], Cmp::Le, 0.0);
-                p.add_constraint(
-                    vec![(f[ei], 1.0), (mu, -1.0), (x[ei], -m_flow)],
-                    Cmp::Ge,
-                    -m_flow,
-                );
+            // Per-matrix flow coupling against the shared indicator.
+            for k in 0..nmat {
+                // (f1) f <= M_f x
+                p.add_constraint(vec![(f[k][ei], 1.0), (x[ei], -m_flow[k])], Cmp::Le, 0.0);
+                // (f2) f <= m_u ; (f3) f >= m_u - M_f (1 - x)
+                if let Some(mu) = share[k][u.index()] {
+                    p.add_constraint(vec![(f[k][ei], 1.0), (mu, -1.0)], Cmp::Le, 0.0);
+                    p.add_constraint(
+                        vec![(f[k][ei], 1.0), (mu, -1.0), (x[ei], -m_flow[k])],
+                        Cmp::Ge,
+                        -m_flow[k],
+                    );
+                }
             }
         }
 
         blocks.insert(t, DestBlock { dist, x, f, share });
     }
 
-    // Waypoint selection variables. y[i][0] = direct; y[i][k] = candidate k.
+    // Waypoint selection variables, shared by every matrix (the set is
+    // aligned, so demand index i is the same pair everywhere).
+    // y[i][0] = direct; y[i][k] = candidate k.
     let mut yvars: Vec<Vec<(Option<NodeId>, VarId)>> = Vec::new();
-    for (i, d) in demands.iter().enumerate() {
+    for (i, &(src, dst)) in pairs.iter().enumerate() {
         let mut row: Vec<(Option<NodeId>, VarId)> =
             vec![(None, p.add_bin_var(format!("y[{i}][direct]"), 0.0))];
         for &w in &candidates {
-            if w != d.src && w != d.dst {
+            if w != src && w != dst {
                 row.push((Some(w), p.add_bin_var(format!("y[{i}][{w}]"), 0.0)));
             }
         }
@@ -219,59 +300,64 @@ pub fn joint_milp(
         yvars.push(row);
     }
 
-    // Conservation with waypoint-dependent injections:
-    // out - in - Σ_i d_i (injection coefficient of y) = 0.
+    // Conservation with waypoint-dependent injections, per matrix:
+    // out - in - Σ_i d_i^k (injection coefficient of y) = 0.
     for &t in &dests {
         let block = &blocks[&t];
-        for &v in &all_nodes {
-            if v == t {
-                continue;
-            }
-            let mut terms: Vec<(VarId, f64)> = Vec::new();
-            for &e in g.out_edges(v) {
-                terms.push((block.f[e.index()], 1.0));
-            }
-            for &e in g.in_edges(v) {
-                terms.push((block.f[e.index()], -1.0));
-            }
-            // Injection of each demand option into commodity t at node v.
-            for (i, d) in demands.iter().enumerate() {
-                for &(wp, y) in &yvars[i] {
-                    let mut coeff = 0.0;
-                    match wp {
-                        None => {
-                            // direct: d units from s_i toward t_i
-                            if t == d.dst && v == d.src {
-                                coeff += d.size;
+        for (k, demands) in set.matrices().enumerate() {
+            for &v in &all_nodes {
+                if v == t {
+                    continue;
+                }
+                let mut terms: Vec<(VarId, f64)> = Vec::new();
+                for &e in g.out_edges(v) {
+                    terms.push((block.f[k][e.index()], 1.0));
+                }
+                for &e in g.in_edges(v) {
+                    terms.push((block.f[k][e.index()], -1.0));
+                }
+                // Injection of each demand option into commodity t at node v.
+                for (i, d) in demands.iter().enumerate() {
+                    for &(wp, y) in &yvars[i] {
+                        let mut coeff = 0.0;
+                        match wp {
+                            None => {
+                                // direct: d units from s_i toward t_i
+                                if t == d.dst && v == d.src {
+                                    coeff += d.size;
+                                }
+                            }
+                            Some(w) => {
+                                // segment 1: s_i -> w; segment 2: w -> t_i
+                                if t == w && v == d.src {
+                                    coeff += d.size;
+                                }
+                                if t == d.dst && v == w {
+                                    coeff += d.size;
+                                }
                             }
                         }
-                        Some(w) => {
-                            // segment 1: s_i -> w; segment 2: w -> t_i
-                            if t == w && v == d.src {
-                                coeff += d.size;
-                            }
-                            if t == d.dst && v == w {
-                                coeff += d.size;
-                            }
+                        if coeff != 0.0 {
+                            terms.push((y, -coeff));
                         }
-                    }
-                    if coeff != 0.0 {
-                        terms.push((y, -coeff));
                     }
                 }
+                p.add_constraint(terms, Cmp::Eq, 0.0);
             }
-            p.add_constraint(terms, Cmp::Eq, 0.0);
         }
     }
 
-    // Capacity rows.
+    // Capacity rows: the max-envelope θ bounds every matrix's load on every
+    // edge, so minimizing θ minimizes the worst-case MLU over the set.
     for e in g.edge_ids() {
-        let mut terms: Vec<(VarId, f64)> = dests
-            .iter()
-            .map(|t| (blocks[t].f[e.index()], 1.0))
-            .collect();
-        terms.push((theta, -net.capacity(e)));
-        p.add_constraint(terms, Cmp::Le, 0.0);
+        for k in 0..nmat {
+            let mut terms: Vec<(VarId, f64)> = dests
+                .iter()
+                .map(|t| (blocks[t].f[k][e.index()], 1.0))
+                .collect();
+            terms.push((theta, -net.capacity(e)));
+            p.add_constraint(terms, Cmp::Le, 0.0);
+        }
     }
 
     // Warm start.
@@ -279,7 +365,7 @@ pub fn joint_milp(
         build_warm_start(
             &p,
             net,
-            demands,
+            set,
             &dests,
             &blocks,
             &yvars,
@@ -301,11 +387,8 @@ pub fn joint_milp(
         // pair; a limit abort without an incumbent is a solver failure.
         return Err(match result.status {
             MilpStatus::Infeasible => {
-                let d0 = demands[0];
-                TeError::Unroutable {
-                    src: d0.src,
-                    dst: d0.dst,
-                }
+                let (src, dst) = pairs.first().copied().unwrap_or((NodeId(0), NodeId(0)));
+                TeError::Unroutable { src, dst }
             }
             MilpStatus::LimitReached => TeError::SolverLimit {
                 what: "Joint MILP",
@@ -324,7 +407,7 @@ pub fn joint_milp(
         wvar.iter().map(|v| values[v.0].round().max(1.0)).collect(),
     )
     .expect("decoded weights are in range");
-    let mut waypoints = WaypointSetting::none(demands.len());
+    let mut waypoints = WaypointSetting::none(pairs.len());
     for (i, row) in yvars.iter().enumerate() {
         for &(wp, y) in row {
             if values[y.0] > 0.5 {
@@ -334,12 +417,19 @@ pub fn joint_milp(
             }
         }
     }
+    // Ground truth: re-evaluate the decoded configuration per matrix with
+    // the independent ECMP engine; the reported MLU is the worst case.
     let router = Router::new(net, &weights);
-    let mlu = router.evaluate(demands, &waypoints)?.mlu;
+    let mut matrix_mlus = Vec::with_capacity(nmat);
+    for demands in set.matrices() {
+        matrix_mlus.push(router.evaluate(demands, &waypoints)?.mlu);
+    }
+    let mlu = RobustObjective::WorstCase.aggregate(&matrix_mlus);
     Ok(JointMilpOutcome {
         weights,
         waypoints,
         mlu,
+        matrix_mlus,
         status: result.status,
         bound: result.bound,
         nodes: result.nodes,
@@ -353,15 +443,33 @@ pub fn lwo_ilp(
     demands: &DemandList,
     options: &JointMilpOptions,
 ) -> Result<JointMilpOutcome, TeError> {
+    lwo_ilp_robust(
+        net,
+        &DemandSet::single(demands.clone()),
+        RobustObjective::WorstCase,
+        options,
+    )
+}
+
+/// Solves robust LWO as the `W = 0` restriction of [`joint_milp_robust`].
+///
+/// # Errors
+/// As [`joint_milp_robust`].
+pub fn lwo_ilp_robust(
+    net: &Network,
+    set: &DemandSet,
+    robust: RobustObjective,
+    options: &JointMilpOptions,
+) -> Result<JointMilpOutcome, TeError> {
     let opts = JointMilpOptions {
         waypoints: 0,
         warm_start: options
             .warm_start
             .clone()
-            .map(|(w, _)| (w, WaypointSetting::none(demands.len()))),
+            .map(|(w, _)| (w, WaypointSetting::none(set.pair_count()))),
         ..options.clone()
     };
-    joint_milp(net, demands, &opts)
+    joint_milp_robust(net, set, robust, &opts)
 }
 
 /// Builds a full variable assignment for a known joint configuration; returns
@@ -370,7 +478,7 @@ pub fn lwo_ilp(
 fn build_warm_start(
     p: &Problem,
     net: &Network,
-    demands: &DemandList,
+    set: &DemandSet,
     dests: &[NodeId],
     blocks: &HashMap<NodeId, DestBlock>,
     yvars: &[Vec<(Option<NodeId>, VarId)>],
@@ -395,20 +503,20 @@ fn build_warm_start(
     let g = net.graph();
     let n = g.node_count();
     let router = Router::new(net, &ws);
-    let report = router.evaluate(demands, waypoints).ok()?;
+    // θ must cover every matrix: the warm incumbent's objective is the
+    // worst-case MLU of the configuration.
+    let mut worst_mlu = 0.0f64;
+    for demands in set.matrices() {
+        worst_mlu = worst_mlu.max(router.evaluate(demands, waypoints).ok()?.mlu);
+    }
 
     let mut vals = vec![0.0; p.num_vars()];
-    vals[theta.0] = report.mlu.max(0.0) + 1e-9;
+    vals[theta.0] = worst_mlu.max(0.0) + 1e-9;
     for (e, v) in wvar.iter().enumerate() {
         vals[v.0] = int_weights[e];
     }
-    // Per-destination segment injections.
-    let mut inj: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
-    for (i, d) in demands.iter().enumerate() {
-        for (s, t, amount) in waypoints.segments_of(i, d) {
-            inj.entry(t).or_default().push((s, amount));
-        }
-        // y values
+    // y values (shared across matrices; the set is aligned).
+    for (i, &(_, _)) in set.pairs().iter().enumerate() {
         let wp = waypoints.get(i).first().copied();
         for &(cand, y) in &yvars[i] {
             if cand == wp {
@@ -416,6 +524,19 @@ fn build_warm_start(
             }
         }
     }
+    // Per-matrix, per-destination segment injections.
+    let inj_per_matrix: Vec<HashMap<NodeId, Vec<(NodeId, f64)>>> = set
+        .matrices()
+        .map(|demands| {
+            let mut inj: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
+            for (i, d) in demands.iter().enumerate() {
+                for (s, t, amount) in waypoints.segments_of(i, d) {
+                    inj.entry(t).or_default().push((s, amount));
+                }
+            }
+            inj
+        })
+        .collect();
     let dmax = (n as f64) * (max_weight as f64);
     for &t in dests {
         let block = &blocks[&t];
@@ -431,28 +552,31 @@ fn build_warm_start(
         for e in g.edge_ids() {
             vals[block.x[e.index()].0] = if dag.edge_on_dag[e.index()] { 1.0 } else { 0.0 };
         }
-        // Flows + shares: propagate this destination's injections.
-        if let Some(sources) = inj.get(&t) {
-            let mut node_flow = vec![0.0; n];
-            for &(s, amount) in sources {
-                if !dag.reaches_target(s) {
-                    return None;
+        // Flows + shares, per matrix: propagate this destination's
+        // injections.
+        for (k, inj) in inj_per_matrix.iter().enumerate() {
+            if let Some(sources) = inj.get(&t) {
+                let mut node_flow = vec![0.0; n];
+                for &(s, amount) in sources {
+                    if !dag.reaches_target(s) {
+                        return None;
+                    }
+                    node_flow[s.index()] += amount;
                 }
-                node_flow[s.index()] += amount;
-            }
-            for &v in &dag.order {
-                let fl = node_flow[v.index()];
-                if v == t || fl <= 0.0 {
-                    continue;
-                }
-                let outs = &dag.dag_out[v.index()];
-                let share = fl / outs.len() as f64;
-                if let Some(mv) = block.share[v.index()] {
-                    vals[mv.0] = share;
-                }
-                for &e in outs {
-                    vals[block.f[e.index()].0] += share;
-                    node_flow[g.dst(e).index()] += share;
+                for &v in &dag.order {
+                    let fl = node_flow[v.index()];
+                    if v == t || fl <= 0.0 {
+                        continue;
+                    }
+                    let outs = &dag.dag_out[v.index()];
+                    let share = fl / outs.len() as f64;
+                    if let Some(mv) = block.share[k][v.index()] {
+                        vals[mv.0] = share;
+                    }
+                    for &e in outs {
+                        vals[block.f[k][e.index()].0] += share;
+                        node_flow[g.dst(e).index()] += share;
+                    }
                 }
             }
         }
@@ -597,5 +721,69 @@ mod tests {
                 r.mlu
             );
         }
+    }
+
+    /// A two-matrix diamond where the matrices load opposite directions: the
+    /// robust θ must cover both, and the per-matrix MLUs must equal
+    /// independent re-evaluations of the decoded configuration.
+    #[test]
+    fn robust_milp_covers_every_matrix() {
+        let mut b = Network::builder(4);
+        b.bilink(NodeId(0), NodeId(1), 1.0);
+        b.bilink(NodeId(1), NodeId(3), 1.0);
+        b.bilink(NodeId(0), NodeId(2), 1.0);
+        b.bilink(NodeId(2), NodeId(3), 1.0);
+        let net = b.build().unwrap();
+        let mut a = DemandList::new();
+        a.push(NodeId(0), NodeId(3), 1.0);
+        let mut bm = DemandList::new();
+        bm.push(NodeId(0), NodeId(3), 2.0);
+        let mut set = DemandSet::single(a);
+        set.push("peak", bm);
+
+        let r = joint_milp_robust(&net, &set, RobustObjective::WorstCase, &fast_opts()).unwrap();
+        assert_eq!(r.matrix_mlus.len(), 2);
+        // Independent per-matrix re-evaluation must reproduce matrix_mlus.
+        let router = Router::new(&net, &r.weights);
+        for (k, demands) in set.matrices().enumerate() {
+            let mlu = router.evaluate(demands, &r.waypoints).unwrap().mlu;
+            assert_eq!(mlu.to_bits(), r.matrix_mlus[k].to_bits());
+        }
+        assert_eq!(
+            r.mlu.to_bits(),
+            r.matrix_mlus
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max)
+                .to_bits()
+        );
+        // Even-splitting the 2-unit peak matrix over both corridors is the
+        // best any configuration can do: worst-case MLU 1.
+        if r.status == MilpStatus::Optimal {
+            assert!(
+                (r.mlu - 1.0).abs() < 1e-6,
+                "robust optimum is 1, got {}",
+                r.mlu
+            );
+        }
+    }
+
+    /// The single-matrix robust solve must be bit-identical to the classic
+    /// entry point (identical model ⇒ identical branch-and-bound).
+    #[test]
+    fn single_matrix_robust_milp_reduces_bit_identically() {
+        let (net, d) = instance1_m3();
+        let classic = joint_milp(&net, &d, &fast_opts()).unwrap();
+        let robust = joint_milp_robust(
+            &net,
+            &DemandSet::single(d.clone()),
+            RobustObjective::Quantile(1.0),
+            &fast_opts(),
+        )
+        .unwrap();
+        assert_eq!(classic.weights.as_slice(), robust.weights.as_slice());
+        assert_eq!(classic.mlu.to_bits(), robust.mlu.to_bits());
+        assert_eq!(classic.bound.to_bits(), robust.bound.to_bits());
+        assert_eq!(classic.nodes, robust.nodes);
     }
 }

@@ -29,6 +29,8 @@ pub mod joint;
 pub mod opt_lp;
 pub mod wpo_ilp;
 
-pub use joint::{joint_milp, lwo_ilp, JointMilpOptions, JointMilpOutcome};
+pub use joint::{
+    joint_milp, joint_milp_robust, lwo_ilp, lwo_ilp_robust, JointMilpOptions, JointMilpOutcome,
+};
 pub use opt_lp::{max_concurrent_lp, opt_mlu_lp, OptLpOutcome};
 pub use wpo_ilp::{wpo_ilp, WpoIlpOptions, WpoIlpOutcome};

@@ -2,7 +2,7 @@
 
 use segrout_algos::max_concurrent_flow;
 use segrout_core::rng::{SliceRandom, StdRng};
-use segrout_core::{Demand, DemandList, Network, NodeId, TeError};
+use segrout_core::{Demand, DemandList, DemandSet, Network, NodeId, TeError};
 
 /// Shared knobs of the generators.
 #[derive(Clone, Debug)]
@@ -195,6 +195,112 @@ pub fn drifting_series(
     Ok(series)
 }
 
+/// A diurnal [`DemandSet`]: `steps` snapshots of a gravity base matrix where
+/// every node follows its own day/night activity curve
+/// `1 + amplitude · sin(2π(t/steps + φ_v))` with a random per-node phase
+/// `φ_v`. A pair's demand at step `t` is the base size times the *product*
+/// of its endpoints' activities, so matrices differ in **shape**, not just
+/// scale — time zones shift load between regions, which is exactly the
+/// regime where a robust configuration differs from any single-matrix
+/// optimum.
+///
+/// Only the base matrix is MCF-normalized; per-step renormalization would
+/// erase the inter-matrix variation the set exists to expose. All matrices
+/// share the base's pair list (aligned by construction); names are
+/// `t0, t1, ...`.
+///
+/// # Errors
+/// Propagates routing errors from the base-matrix normalization.
+///
+/// # Panics
+/// Panics when `steps == 0` or `amplitude` is outside `[0, 1)`.
+pub fn diurnal_set(
+    net: &Network,
+    cfg: &TrafficConfig,
+    steps: usize,
+    amplitude: f64,
+) -> Result<DemandSet, TeError> {
+    assert!(steps >= 1);
+    assert!(
+        (0.0..1.0).contains(&amplitude),
+        "activity must stay positive: amplitude in [0, 1)"
+    );
+    let base = gravity(net, cfg)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x00d1_44a1);
+    let phases: Vec<f64> = (0..net.node_count()).map(|_| rng.gen::<f64>()).collect();
+    let activity = |v: NodeId, t: usize| -> f64 {
+        let x = t as f64 / steps as f64 + phases[v.index()];
+        1.0 + amplitude * (2.0 * std::f64::consts::PI * x).sin()
+    };
+    let mut set = DemandSet::new();
+    for t in 0..steps {
+        let snapshot: DemandList = base
+            .iter()
+            .map(|d| {
+                Demand::new(
+                    d.src,
+                    d.dst,
+                    d.size * activity(d.src, t) * activity(d.dst, t),
+                )
+            })
+            .collect();
+        set.push(format!("t{t}"), snapshot);
+    }
+    Ok(set)
+}
+
+/// A perturbation [`DemandSet`]: `count` matrices, each the gravity base
+/// with independent per-pair log-normal jitter `exp(σ·N(0,1))` — the
+/// classic "demand uncertainty" model (an estimated matrix plus
+/// multiplicative forecast error). All matrices share the base's pair list
+/// (aligned); names are `p0, p1, ...`.
+///
+/// # Errors
+/// Propagates routing errors from the base-matrix normalization.
+///
+/// # Panics
+/// Panics when `count == 0` or `sigma` is negative.
+pub fn gravity_perturbation_set(
+    net: &Network,
+    cfg: &TrafficConfig,
+    count: usize,
+    sigma: f64,
+) -> Result<DemandSet, TeError> {
+    assert!(count >= 1);
+    assert!(sigma >= 0.0);
+    let base = gravity(net, cfg)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
+    let mut set = DemandSet::new();
+    for j in 0..count {
+        let jittered: DemandList = base
+            .iter()
+            .map(|d| Demand::new(d.src, d.dst, d.size * lognormal(&mut rng, sigma)))
+            .collect();
+        set.push(format!("p{j}"), jittered);
+    }
+    Ok(set)
+}
+
+/// [`drifting_series`] packaged as an aligned [`DemandSet`] (names
+/// `t0, t1, ...`), for feeding the re-optimization series into the robust
+/// optimizers.
+///
+/// # Errors
+/// Propagates routing errors from the normalizations.
+pub fn drifting_set(
+    net: &Network,
+    cfg: &TrafficConfig,
+    steps: usize,
+    drift_sigma: f64,
+) -> Result<DemandSet, TeError> {
+    Ok(DemandSet::from_series(drifting_series(
+        net,
+        cfg,
+        steps,
+        drift_sigma,
+    )?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +479,56 @@ mod tests {
                 (lhs - rhs).abs() <= 1e-9 * lhs.abs().max(rhs.abs()),
                 "cross-ratio broken for ({i},{j},{k},{l}): {lhs} vs {rhs}"
             );
+        }
+    }
+
+    #[test]
+    fn diurnal_set_is_aligned_and_shapes_differ() {
+        let net = abilene();
+        let set = diurnal_set(&net, &TrafficConfig::default(), 4, 0.6).unwrap();
+        assert_eq!(set.len(), 4);
+        assert!(set.is_aligned());
+        assert_eq!(set.name(0), "t0");
+        // Shape (not just scale) must vary: the ratio of two pairs' sizes
+        // differs across snapshots because per-node phases differ.
+        let r = |k: usize| set.matrix(k)[0].size / set.matrix(k)[1].size;
+        let varies = (1..4).any(|k| (r(k) - r(0)).abs() > 1e-6);
+        assert!(varies, "diurnal snapshots differ only by a common scale");
+        // Determinism.
+        let again = diurnal_set(&net, &TrafficConfig::default(), 4, 0.6).unwrap();
+        for k in 0..4 {
+            for (a, b) in set.matrix(k).iter().zip(again.matrix(k).iter()) {
+                assert_eq!(a.size.to_bits(), b.size.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_set_is_aligned_and_jittered() {
+        let net = abilene();
+        let set = gravity_perturbation_set(&net, &TrafficConfig::default(), 3, 0.4).unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(set.is_aligned());
+        let moved = set
+            .matrix(0)
+            .iter()
+            .zip(set.matrix(1).iter())
+            .any(|(a, b)| (a.size - b.size).abs() > 1e-9);
+        assert!(moved, "perturbations must differ across matrices");
+    }
+
+    #[test]
+    fn drifting_set_matches_series() {
+        let net = abilene();
+        let cfg = TrafficConfig::default();
+        let series = drifting_series(&net, &cfg, 3, 0.3).unwrap();
+        let set = drifting_set(&net, &cfg, 3, 0.3).unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(set.is_aligned());
+        for (k, d) in series.iter().enumerate() {
+            for (a, b) in d.iter().zip(set.matrix(k).iter()) {
+                assert_eq!(a.size.to_bits(), b.size.to_bits());
+            }
         }
     }
 

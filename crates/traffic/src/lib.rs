@@ -17,4 +17,7 @@
 
 pub mod generators;
 
-pub use generators::{drifting_series, gravity, mcf_synthetic, scale_to_unit_mlu, TrafficConfig};
+pub use generators::{
+    diurnal_set, drifting_series, drifting_set, gravity, gravity_perturbation_set, mcf_synthetic,
+    scale_to_unit_mlu, TrafficConfig,
+};

@@ -57,6 +57,29 @@ cargo build --release -q
 echo "==> corpus replay"
 cargo test -q --test corpus_replay
 
+# Robust multi-matrix gate: the single-matrix reduction and the MILP
+# oracle cross-checks must hold under both the serial and the parallel
+# pool (also part of the workspace runs above; the named legs keep the
+# robust contract visible even if test filters change).
+echo "==> robust differential suite (SEGROUT_THREADS=1 and =4)"
+SEGROUT_THREADS=1 cargo test -q --test robust_differential --test robust_properties
+SEGROUT_THREADS=4 cargo test -q --test robust_differential --test robust_properties
+
+# Multi-matrix fuzz smoke: a different seed band from the single-matrix
+# leg above, biased toward scenarios carrying 2-6 traffic matrices so the
+# robust validator, the single-matrix-reduction differential and the
+# robust MILP oracle all see traffic on every CI run.
+echo "==> segrout fuzz smoke, multi-matrix band (seed 1042, 60 cases, --fast)"
+SEGROUT_THREADS=1 ./target/release/segrout fuzz --seed 1042 --cases 60 --fast \
+    --corpus tests/corpus >/dev/null
+SEGROUT_THREADS=4 ./target/release/segrout fuzz --seed 1042 --cases 60 --fast \
+    --corpus tests/corpus >/dev/null
+
+# Price-of-robustness record (full numbers live in EXPERIMENTS.md; the
+# smoke run checks the bench path and the robust-never-loses assertion).
+echo "==> bench_robust (writes BENCH_robust_fast.json)"
+SEGROUT_FAST=1 ./target/release/bench_robust
+
 # Flight-recorder leg: a traced Germany50 optimization must produce a
 # parseable convergence trace, a schema-1 run artifact, a collapsed-stack
 # profile, and telemetry free of undocumented metric names; the artifact

@@ -10,12 +10,18 @@
 //! ```
 
 use segrout::algos::{
-    greedy_wpo, heur_ospf, joint_heur, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig,
+    greedy_wpo, greedy_wpo_robust, heur_ospf, heur_ospf_robust, joint_heur, joint_heur_robust,
+    GreedyWpoConfig, HeurOspfConfig, JointHeurConfig,
 };
-use segrout::core::{Network, Router, UtilizationReport, WaypointSetting, WeightSetting};
+use segrout::core::{
+    evaluate_robust, Network, RobustObjective, Router, UtilizationReport, WaypointSetting,
+    WeightSetting,
+};
 use segrout::instances::{instance1, instance2, instance3, instance4, instance5, PaperInstance};
 use segrout::topo::{by_name, parse_graphml, parse_sndlib_xml, TOPOLOGY_NAMES};
-use segrout::traffic::{gravity, mcf_synthetic, TrafficConfig};
+use segrout::traffic::{
+    diurnal_set, drifting_set, gravity, gravity_perturbation_set, mcf_synthetic, TrafficConfig,
+};
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
@@ -83,6 +89,10 @@ USAGE:
   segrout optimize --topology <name> [--traffic mcf|gravity] [--seed N]
                    [--algorithm unit|invcap|heurospf|greedywpo|joint] [--pairs F] [--top K]
                    [--restarts N] [--passes N]
+                   [--demand-set diurnal[:K]|perturb[:K]|drift[:K]] [--robust worst|q<value>]
+                   robust multi-matrix mode: optimize one configuration
+                   against a set of K traffic matrices (default 4) under the
+                   worst-case or quantile objective (default worst)
                    [--save <config-file>] [--load <config-file>]
   segrout gaps --instance 1|2|3|4|5 [--m N]
   segrout parse (--sndlib <file> | --graphml <file>)
@@ -384,6 +394,31 @@ const METRIC_CATALOG: &[(&str, &str, &str)] = &[
         "candidate evaluations during re-optimization",
     ),
     (
+        "robust.matrices",
+        "gauge",
+        "traffic matrices in the robust demand set",
+    ),
+    (
+        "robust.matrix_evals",
+        "counter",
+        "per-matrix probe evaluations in the robust searches",
+    ),
+    (
+        "robust.matrix_mlu",
+        "series",
+        "per-matrix MLU of the final robust configuration",
+    ),
+    (
+        "robust.objective_mlu",
+        "gauge",
+        "robust-objective (worst-case/quantile) MLU of the final configuration",
+    ),
+    (
+        "robust.worst_mlu",
+        "gauge",
+        "worst-case MLU of the final configuration over the demand set",
+    ),
+    (
         "run.mlu",
         "gauge",
         "final MLU of the evaluated configuration",
@@ -544,6 +579,9 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         pair_fraction: pairs,
         ..Default::default()
     };
+    if let Some(spec) = flags.get("demand-set") {
+        return cmd_optimize_robust(flags, &net, topo_name, &cfg, spec);
+    }
     let demands = match flags.get("traffic").map(String::as_str).unwrap_or("mcf") {
         "mcf" => mcf_synthetic(&net, &cfg),
         "gravity" => gravity(&net, &cfg),
@@ -562,20 +600,7 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         .get("algorithm")
         .map(String::as_str)
         .unwrap_or("joint");
-    let mut ospf = HeurOspfConfig {
-        seed,
-        ..Default::default()
-    };
-    if let Some(r) = flags.get("restarts") {
-        ospf.restarts = r.parse().map_err(|_| "bad --restarts")?;
-    }
-    if let Some(p) = flags.get("passes") {
-        ospf.max_passes = p
-            .parse()
-            .ok()
-            .filter(|&n| n > 0)
-            .ok_or("--passes: expected a positive integer")?;
-    }
+    let ospf = ospf_config(flags, seed)?;
     let (weights, waypoints) = if let Some(path) = flags.get("load") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         segrout::core::read_config(&net, &demands, &text).map_err(|e| e.to_string())?
@@ -608,6 +633,145 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
     let util = UtilizationReport::new(&net, &report.loads);
     println!("\nhottest links:\n{}", util.format_top(&net, top));
     segrout::obs::gauge("run.mlu").set(report.mlu);
+    println!("\nrun summary:\n{}", segrout::obs::summary_table());
+    Ok(())
+}
+
+/// Shared `--restarts`/`--passes` parsing for the weight-search stages.
+fn ospf_config(flags: &HashMap<String, String>, seed: u64) -> Result<HeurOspfConfig, String> {
+    let mut ospf = HeurOspfConfig {
+        seed,
+        ..Default::default()
+    };
+    if let Some(r) = flags.get("restarts") {
+        ospf.restarts = r.parse().map_err(|_| "bad --restarts")?;
+    }
+    if let Some(p) = flags.get("passes") {
+        ospf.max_passes = p
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--passes: expected a positive integer")?;
+    }
+    Ok(ospf)
+}
+
+/// `segrout optimize --demand-set <kind>[:K]`: robust multi-matrix mode.
+/// Builds a demand set from one of the `segrout-traffic` set generators,
+/// optimizes one configuration for the `--robust` objective over every
+/// matrix, and reports per-matrix and aggregate results.
+fn cmd_optimize_robust(
+    flags: &HashMap<String, String>,
+    net: &Network,
+    topo_name: &str,
+    cfg: &TrafficConfig,
+    spec: &str,
+) -> Result<(), String> {
+    segrout::obs::counter("robust.matrix_evals");
+    let (kind, count) = match spec.split_once(':') {
+        Some((k, c)) => (
+            k,
+            c.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("--demand-set {spec}: matrix count must be >= 1"))?,
+        ),
+        None => (spec, 4),
+    };
+    let set = match kind {
+        "diurnal" => diurnal_set(net, cfg, count, 0.6),
+        "perturb" => gravity_perturbation_set(net, cfg, count, 0.4),
+        "drift" => drifting_set(net, cfg, count, 0.3),
+        other => {
+            return Err(format!(
+                "unknown demand-set kind '{other}' (expected diurnal, perturb or drift)"
+            ))
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    let robust = flags
+        .get("robust")
+        .map(|s| RobustObjective::parse(s))
+        .transpose()?
+        .unwrap_or(RobustObjective::WorstCase);
+    segrout::obs::gauge("robust.matrices").set(set.len() as f64);
+    println!(
+        "{topo_name}: {} nodes, {} links; {} '{kind}' matrices x {} pairs \
+         (objective: {robust:?})",
+        net.node_count(),
+        net.edge_count(),
+        set.len(),
+        set.pair_count()
+    );
+
+    let algorithm = flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("joint");
+    let seed = cfg.seed;
+    let ospf = ospf_config(flags, seed)?;
+    let none = WaypointSetting::none(set.pair_count());
+    let (weights, waypoints) = if let Some(path) = flags.get("load") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        segrout::core::read_config(net, set.matrix(0), &text).map_err(|e| e.to_string())?
+    } else {
+        let _span = segrout::obs::span("optimize");
+        match algorithm {
+            "unit" => (WeightSetting::unit(net), none),
+            "invcap" => (WeightSetting::inverse_capacity(net), none),
+            "heurospf" => (heur_ospf_robust(net, &set, robust, &ospf), none),
+            "greedywpo" => {
+                let w = WeightSetting::inverse_capacity(net);
+                let wp = greedy_wpo_robust(net, &set, &w, robust, &GreedyWpoConfig::default())
+                    .map_err(|e| e.to_string())?;
+                (w, wp)
+            }
+            "joint" => {
+                let r = joint_heur_robust(
+                    net,
+                    &set,
+                    robust,
+                    &JointHeurConfig {
+                        ospf: ospf.clone(),
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                (r.weights, r.waypoints)
+            }
+            other => return Err(format!("unknown algorithm '{other}'")),
+        }
+    };
+    if let Some(path) = flags.get("save") {
+        let text = segrout::core::write_config(net, &weights, &waypoints);
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        println!("configuration saved to {path}");
+    }
+
+    let rep = evaluate_robust(net, &weights, &set, &waypoints).map_err(|e| e.to_string())?;
+    let objective_mlu = rep.aggregate_mlu(robust);
+    println!("algorithm: {algorithm}");
+    println!("\nper-matrix evaluation:");
+    let mlu_series = segrout::obs::series("robust.matrix_mlu");
+    for (k, (name, _)) in set.iter().enumerate() {
+        println!(
+            "  {name:<8} MLU {:>8.4}   Phi {:>12.4}",
+            rep.mlus[k], rep.phis[k]
+        );
+        mlu_series.push(rep.mlus[k]);
+        segrout::obs::trace_point("robust.matrix", k as u64, rep.phis[k], rep.mlus[k]);
+    }
+    println!("objective MLU: {objective_mlu:.4}");
+    println!("worst-case MLU: {:.4}", rep.worst_mlu());
+    let with_wp = (0..set.pair_count())
+        .filter(|&i| !waypoints.get(i).is_empty())
+        .count();
+    if with_wp > 0 {
+        println!("waypointed demands: {with_wp}/{}", set.pair_count());
+    }
+    segrout::obs::gauge("robust.worst_mlu").set(rep.worst_mlu());
+    segrout::obs::gauge("robust.objective_mlu").set(objective_mlu);
+    segrout::obs::gauge("run.mlu").set(objective_mlu);
     println!("\nrun summary:\n{}", segrout::obs::summary_table());
     Ok(())
 }

@@ -1,0 +1,187 @@
+//! Property tests for the robust multi-matrix evaluation layer.
+//!
+//! Three laws, checked over seeded random topologies, demand sets, weight
+//! settings and waypoint settings:
+//!
+//! 1. **Monotonicity** — for a fixed configuration, adding a matrix to the
+//!    set never decreases the worst-case MLU (the max over a superset
+//!    dominates), and the prefix envelope equals the running max.
+//! 2. **Quantile unit** — `Quantile(1.0)` aggregates bit-identically to
+//!    `WorstCase`, on raw slices and through `evaluate_robust`.
+//! 3. **Incremental agreement** — the per-matrix MLU/Φ an
+//!    [`IncrementalEvaluator`] reports for each matrix of a set is
+//!    `to_bits`-equal to a from-scratch [`Router`] evaluation under integral
+//!    weights.
+
+use segrout_core::rng::StdRng;
+use segrout_core::{
+    evaluate_robust, fortz_phi, DemandList, DemandSet, IncrementalEvaluator, Network, NodeId,
+    RobustObjective, Router, WaypointSetting, WeightSetting,
+};
+use segrout_topo::random_connected;
+
+struct Scenario {
+    net: Network,
+    set: DemandSet,
+    weights: WeightSetting,
+    waypoints: WaypointSetting,
+}
+
+/// Seeded random scenario: strongly-connected topology, 2–5 aligned
+/// matrices over random pairs, integral weights, sparse waypoints.
+fn scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 6 + (seed % 5) as usize;
+    let net = random_connected(n, 2 * n, seed ^ 0x70b0);
+    let n_nodes = net.node_count() as u32;
+
+    let mut base = DemandList::new();
+    for _ in 0..(3 + rng.gen_range(0..8u32) as usize) {
+        let s = rng.gen_range(0..n_nodes);
+        let t = rng.gen_range(0..n_nodes);
+        if s != t {
+            base.push(NodeId(s), NodeId(t), f64::from(rng.gen_range(1..=9u32)));
+        }
+    }
+    let mut set = DemandSet::single(base.clone());
+    for j in 0..(1 + rng.gen_range(0..4u32) as usize) {
+        let mut m = DemandList::new();
+        for i in 0..base.len() {
+            let d = base[i];
+            m.push(d.src, d.dst, d.size * (0.3 + 1.4 * rng.gen::<f64>()));
+        }
+        set.push(format!("m{}", j + 1), m);
+    }
+
+    let weights = WeightSetting::new(
+        &net,
+        (0..net.edge_count())
+            .map(|_| f64::from(rng.gen_range(1..=12u32)))
+            .collect(),
+    )
+    .expect("weights in range");
+
+    let mut waypoints = WaypointSetting::none(base.len());
+    for i in 0..base.len() {
+        if rng.gen::<f64>() < 0.4 {
+            let via = NodeId(rng.gen_range(0..n_nodes));
+            let d = base[i];
+            if via != d.src && via != d.dst {
+                waypoints.set(i, vec![via]);
+            }
+        }
+    }
+    Scenario {
+        net,
+        set,
+        weights,
+        waypoints,
+    }
+}
+
+#[test]
+fn adding_a_matrix_never_decreases_worst_case_mlu() {
+    for seed in 0..12u64 {
+        let sc = scenario(seed);
+        let full = evaluate_robust(&sc.net, &sc.weights, &sc.set, &sc.waypoints)
+            .expect("strongly connected cases route");
+        let mut prev = f64::NEG_INFINITY;
+        for k in 1..=sc.set.len() {
+            let prefix: DemandSet = (0..k)
+                .map(|j| (sc.set.name(j).to_string(), sc.set.matrix(j).clone()))
+                .collect();
+            let worst = evaluate_robust(&sc.net, &sc.weights, &prefix, &sc.waypoints)
+                .expect("routable")
+                .worst_mlu();
+            assert!(
+                worst >= prev,
+                "seed {seed}: worst-case MLU decreased when matrix {k} joined \
+                 the set ({prev} -> {worst})"
+            );
+            // The prefix envelope is exactly the running max of the full
+            // evaluation's per-matrix MLUs.
+            let running = RobustObjective::WorstCase.aggregate(&full.mlus[..k]);
+            assert_eq!(worst.to_bits(), running.to_bits(), "seed {seed}, k={k}");
+            prev = worst;
+        }
+        assert_eq!(prev.to_bits(), full.worst_mlu().to_bits(), "seed {seed}");
+    }
+}
+
+#[test]
+fn quantile_one_is_bit_identical_to_worst_case() {
+    // Raw aggregation on adversarial slices (ties, negatives, infinities).
+    let slices: Vec<Vec<f64>> = vec![
+        vec![1.0],
+        vec![0.25, 0.25, 0.25],
+        vec![3.0, -1.0, 2.0, 2.0],
+        vec![f64::INFINITY, 0.5],
+        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7],
+    ];
+    for s in &slices {
+        assert_eq!(
+            RobustObjective::Quantile(1.0).aggregate(s).to_bits(),
+            RobustObjective::WorstCase.aggregate(s).to_bits(),
+        );
+        // The quantile never exceeds the worst case.
+        for q in [0.25, 0.5, 0.75] {
+            assert!(
+                RobustObjective::Quantile(q).aggregate(s)
+                    <= RobustObjective::WorstCase.aggregate(s)
+            );
+        }
+    }
+    // Through full evaluation reports.
+    for seed in 20..26u64 {
+        let sc = scenario(seed);
+        let rep = evaluate_robust(&sc.net, &sc.weights, &sc.set, &sc.waypoints).expect("routable");
+        assert_eq!(
+            rep.aggregate_mlu(RobustObjective::Quantile(1.0)).to_bits(),
+            rep.aggregate_mlu(RobustObjective::WorstCase).to_bits(),
+            "seed {seed}: MLU aggregation"
+        );
+        assert_eq!(
+            rep.aggregate_phi(RobustObjective::Quantile(1.0)).to_bits(),
+            rep.aggregate_phi(RobustObjective::WorstCase).to_bits(),
+            "seed {seed}: phi aggregation"
+        );
+    }
+}
+
+#[test]
+fn incremental_per_matrix_eval_matches_scratch_router() {
+    for seed in 40..48u64 {
+        let sc = scenario(seed);
+        let router = Router::new(&sc.net, &sc.weights);
+        let caps = sc.net.capacities();
+        for k in 0..sc.set.len() {
+            let demands = sc.set.matrix(k);
+            let scratch = router
+                .evaluate(demands, &sc.waypoints)
+                .expect("strongly connected cases route");
+            let scratch_phi = fortz_phi(&scratch.loads, caps);
+
+            let ev = IncrementalEvaluator::new(&sc.net, &sc.weights, demands, &sc.waypoints)
+                .expect("routable workload");
+            assert_eq!(
+                ev.mlu().to_bits(),
+                scratch.mlu.to_bits(),
+                "seed {seed} matrix {k}: MLU"
+            );
+            assert_eq!(
+                ev.phi().to_bits(),
+                scratch_phi.to_bits(),
+                "seed {seed} matrix {k}: phi"
+            );
+            let ev_bits: Vec<u64> = ev.loads().iter().map(|x| x.to_bits()).collect();
+            let scratch_bits: Vec<u64> = scratch.loads.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(ev_bits, scratch_bits, "seed {seed} matrix {k}: loads");
+
+            // And the set-level report agrees entry-wise with both.
+            let rep =
+                evaluate_robust(&sc.net, &sc.weights, &sc.set, &sc.waypoints).expect("routable");
+            assert_eq!(rep.mlus[k].to_bits(), scratch.mlu.to_bits());
+            assert_eq!(rep.phis[k].to_bits(), scratch_phi.to_bits());
+        }
+    }
+}

@@ -32,6 +32,12 @@ use segrout_core::{
 };
 use segrout_obs::{event, Level};
 
+/// Work threshold for the per-demand probe grid: below this many cells the
+/// grid runs serially on the caller. A cell is one sparse `chain_loads` +
+/// `patched_mlu` probe — far cheaper than the Dijkstra-sized work
+/// `par_map`'s default threshold assumes.
+const GRID_SERIAL_CUTOFF: usize = 128;
+
 /// Sparse per-edge load delta of one candidate routing.
 type SparseLoads = Vec<(EdgeId, f64)>;
 
@@ -258,10 +264,17 @@ pub fn greedy_wpo_robust(
             let tasks: Vec<(usize, usize)> = (0..probes.len())
                 .flat_map(|ci| (0..k).map(move |mi| (ci, mi)))
                 .collect();
-            let mut evals = segrout_par::par_map_slice(&tasks, |_, &(ci, mi)| {
-                let delta = chain_loads(&probes[ci], d.src, d.dst, sizes[mi]).ok()?;
-                Some((patched_mlu(&loads[mi], caps, &base_util[mi], &delta), delta))
-            });
+            // Each cell is a sparse single-segment probe — microseconds of
+            // work — so small grids (one matrix × a few dozen waypoints, the
+            // k=1 common case) run serially: pool dispatch used to cost more
+            // than the probes themselves (0.69× "speedup" at 2 threads in
+            // the pre-threshold BENCH_parallel record). Robust multi-matrix
+            // grids clear the threshold and still fan out.
+            let mut evals =
+                segrout_par::par_map_slice_min(&tasks, GRID_SERIAL_CUTOFF, |_, &(ci, mi)| {
+                    let delta = chain_loads(&probes[ci], d.src, d.dst, sizes[mi]).ok()?;
+                    Some((patched_mlu(&loads[mi], caps, &base_util[mi], &delta), delta))
+                });
 
             let mut best: Option<(usize, f64)> = None;
             let mut probed: u64 = 0;

@@ -267,7 +267,7 @@ impl<'a> Validator<'a> {
                 });
                 // Adjacency mirrors the membership flags.
                 rep.check(
-                    dag.dag_out[u.index()].contains(&e) == dag.edge_on_dag[e.index()],
+                    dag.dag_out(u).contains(&e) == dag.edge_on_dag[e.index()],
                     "dag-adjacency",
                     || format!("dest {t:?}: edge {e:?} adjacency/membership mismatch"),
                 );
@@ -312,7 +312,7 @@ impl<'a> Validator<'a> {
                 if v == t {
                     continue;
                 }
-                let outs = &dag.dag_out[v.index()];
+                let outs = dag.dag_out(v);
                 let flow = node_flow[v.index()];
                 if flow == 0.0 || outs.is_empty() {
                     continue;
@@ -614,7 +614,7 @@ fn kahn_order(net: &Network, dag: &SpDag) -> Option<Vec<NodeId>> {
     let mut order = Vec::with_capacity(n);
     while let Some(v) = stack.pop() {
         order.push(v);
-        for &e in &dag.dag_out[v.index()] {
+        for &e in dag.dag_out(v) {
             let w = g.dst(e);
             indeg[w.index()] -= 1;
             if indeg[w.index()] == 0 {

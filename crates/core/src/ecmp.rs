@@ -207,7 +207,7 @@ impl<'n> Router<'n> {
             if f <= EPS || v == dst {
                 continue;
             }
-            let outs = &dag.dag_out[v.index()];
+            let outs = dag.dag_out(v);
             let share = f / outs.len() as f64;
             for &e in outs {
                 out.push((e, share));
@@ -291,6 +291,17 @@ pub(crate) fn propagate_destination(
         }
         node_flow[s.index()] += amount;
     }
+    spread_seeded(net, dag, loads, node_flow);
+    Ok(())
+}
+
+/// The splitting half of [`propagate_destination`]: `node_flow` already holds
+/// the injected amounts per source. Reachability is a property of the graph
+/// alone (weights are always positive finite), so hot loops that validated a
+/// destination once may seed `node_flow` from a cached slab — bitwise the
+/// same values the injection fold produces — and skip the per-call check.
+pub(crate) fn spread_seeded(net: &Network, dag: &SpDag, loads: &mut [f64], node_flow: &mut [f64]) {
+    let t = dag.target;
     // `dag.order` is topological (decreasing distance), so each node has
     // received its full inflow before we split it.
     for &v in &dag.order {
@@ -298,7 +309,7 @@ pub(crate) fn propagate_destination(
         if f <= EPS || v == t {
             continue;
         }
-        let outs = &dag.dag_out[v.index()];
+        let outs = dag.dag_out(v);
         debug_assert!(!outs.is_empty(), "non-target node on DAG without out-edge");
         let share = f / outs.len() as f64;
         for &e in outs {
@@ -306,7 +317,6 @@ pub(crate) fn propagate_destination(
             node_flow[net.graph().dst(e).index()] += share;
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -28,9 +28,18 @@
 //!    the from-scratch evaluator uses, which keeps every load, Φ and MLU
 //!    value **bit-identical** to [`crate::Router`] at any thread count. (A
 //!    subtract-stale/add-new patch would be cheaper still, but `f64`
-//!    addition is not associative — re-summing cached partials is the only
-//!    patch that preserves the bit pattern, and at `O(|D| · |E|)` flops it
-//!    is noise next to the Dijkstras it replaces.)
+//!    addition is not associative — re-folding cached partials is the only
+//!    patch that preserves the bit pattern.)
+//!
+//! The partials live in a [`LoadArena`]: one flat `|D| · |E|` slab instead
+//! of `|D|` separate `Vec`s, plus a *prefix slab* caching the ascending fold
+//! up to every destination. A probe whose first dirty destination is `i`
+//! starts from a straight copy of prefix row `i - 1` and only folds rows
+//! `i..` — bit-safe, because the skipped prefix **is** the identical `f64`
+//! operation sequence, just cached from the last commit (no reassociation
+//! happens). A fully clean probe is a single copy of the committed totals.
+//! The re-fold itself is a branch-free add over two contiguous `f64` slices
+//! the compiler can autovectorize.
 //!
 //! Probes borrow the evaluator read-only, so a speculative candidate
 //! neighbourhood can be scored in parallel on the `segrout-par` pool against
@@ -47,7 +56,9 @@
 
 use crate::cost::{fortz_phi, max_link_utilization};
 use crate::demand::DemandList;
-use crate::ecmp::{group_by_destination, propagate_destination, recompute_counter, Segment};
+use crate::ecmp::{
+    group_by_destination, propagate_destination, recompute_counter, spread_seeded, Segment,
+};
 use crate::error::TeError;
 use crate::network::Network;
 use crate::waypoints::WaypointSetting;
@@ -70,6 +81,12 @@ struct IncrCounters {
     clean_dests: Arc<segrout_obs::Counter>,
     /// Bounded dynamic-Dijkstra repairs that stayed under the threshold.
     repairs: Arc<segrout_obs::Counter>,
+    /// Probes whose load fold started from a cached prefix row (or from the
+    /// committed totals, for fully clean probes).
+    arena_reuses: Arc<segrout_obs::Counter>,
+    /// Prefix-slab (re)folds: one at construction, one per commit with dirty
+    /// destinations.
+    arena_rebuilds: Arc<segrout_obs::Counter>,
 }
 
 fn counters() -> &'static IncrCounters {
@@ -79,7 +96,95 @@ fn counters() -> &'static IncrCounters {
         dirty_dests: segrout_obs::counter("incr.dirty_dests"),
         clean_dests: segrout_obs::counter("incr.clean_dests"),
         repairs: segrout_obs::counter("incr.repairs"),
+        arena_reuses: segrout_obs::counter("arena.reuses"),
+        arena_rebuilds: segrout_obs::counter("arena.rebuilds"),
     })
+}
+
+/// Branch-free elementwise `out[j] += row[j]` over two contiguous slices —
+/// the single accumulation kernel every load fold in this module uses, so
+/// the operation sequence (and therefore every bit) is shared.
+#[inline]
+fn add_assign(out: &mut [f64], row: &[f64]) {
+    debug_assert_eq!(out.len(), row.len());
+    for (slot, &x) in out.iter_mut().zip(row) {
+        *slot += x;
+    }
+}
+
+/// Flat per-destination load storage: all `|D|` link-load partials in one
+/// contiguous `|D| · stride` slab, plus a prefix slab whose row `i` caches
+/// the ascending-order fold of rows `0..=i`.
+///
+/// Both slabs are allocated once and reused across every probe and commit —
+/// no per-candidate allocation, and the prefix rows let probes skip the
+/// clean head of the fold entirely (see module docs for why that preserves
+/// bit-identity).
+struct LoadArena {
+    stride: usize,
+    dests: usize,
+    rows: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl LoadArena {
+    /// Takes ownership of the concatenated per-destination rows and computes
+    /// the prefix slab.
+    fn new(stride: usize, dests: usize, rows: Vec<f64>) -> Self {
+        debug_assert_eq!(rows.len(), stride * dests);
+        let mut arena = Self {
+            stride,
+            dests,
+            rows,
+            prefix: vec![0.0; stride * dests],
+        };
+        arena.refold_from(0);
+        arena
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i * self.stride..(i + 1) * self.stride]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.rows[i * self.stride..(i + 1) * self.stride]
+    }
+
+    #[inline]
+    fn prefix_row(&self, i: usize) -> &[f64] {
+        &self.prefix[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// The committed totals: the fold over all rows (zeros if no rows).
+    fn total(&self, out: &mut Vec<f64>) {
+        out.clear();
+        if self.dests == 0 {
+            out.resize(self.stride, 0.0);
+        } else {
+            out.extend_from_slice(self.prefix_row(self.dests - 1));
+        }
+    }
+
+    /// Recomputes prefix rows `first..` after rows changed. Row `i` is the
+    /// copy of row `i - 1`'s prefix plus row `i` — exactly the operation
+    /// sequence of a from-zero ascending fold (the copy stands in for the
+    /// fold's partial sum, which it is).
+    fn refold_from(&mut self, first: usize) {
+        let s = self.stride;
+        for i in first..self.dests {
+            if i == 0 {
+                self.prefix[..s].copy_from_slice(&self.rows[..s]);
+            } else {
+                self.prefix.copy_within((i - 1) * s..i * s, i * s);
+                add_assign(
+                    &mut self.prefix[i * s..(i + 1) * s],
+                    &self.rows[i * s..(i + 1) * s],
+                );
+            }
+        }
+    }
 }
 
 thread_local! {
@@ -108,8 +213,12 @@ pub struct Probe {
     pub mlu: f64,
     /// Number of destinations whose DAG had to be touched.
     pub dirty_count: usize,
-    /// Repaired `(dest index, DAG, load partial)` triples.
-    dirty: Vec<(usize, Arc<SpDag>, Vec<f64>)>,
+    /// Repaired `(dest index, DAG)` pairs, ascending by index.
+    dirty: Vec<(usize, Arc<SpDag>)>,
+    /// Repaired load partials, one `edge_count` chunk per `dirty` entry, in
+    /// the same order — a single contiguous slab instead of one `Vec` per
+    /// dirty destination.
+    dirty_partials: Vec<f64>,
     /// Base-state generation this probe was computed against.
     generation: u64,
 }
@@ -157,12 +266,17 @@ pub struct IncrementalEvaluator<'n> {
     weights: Vec<f64>,
     /// Distinct destinations, ascending (the summation order).
     dests: Vec<NodeId>,
-    /// Aggregated `(source, amount)` injections per destination.
-    injections: Vec<Vec<(NodeId, f64)>>,
+    /// Flat `n × dests` slab of pre-folded injection seeds: row `i` is
+    /// `node_flow` after seeding destination `i`'s injections. Injections
+    /// and reachability are weight-independent (validated once at build), so
+    /// probes seed propagation with a row copy instead of re-folding a few
+    /// hundred injections per dirty destination.
+    seeds: Vec<f64>,
     /// Current SP-DAG per destination.
     dags: Vec<Arc<SpDag>>,
-    /// Per-destination link-load partials; `loads` is their ascending sum.
-    partials: Vec<Vec<f64>>,
+    /// Per-destination link-load partials and their prefix folds, in flat
+    /// slabs; `loads` is the fold over all rows.
+    arena: LoadArena,
     loads: Vec<f64>,
     phi: f64,
     mlu: f64,
@@ -224,28 +338,34 @@ impl<'n> IncrementalEvaluator<'n> {
         });
 
         let mut dests = Vec::with_capacity(grouped.len());
-        let mut injections = Vec::with_capacity(grouped.len());
+        let mut seeds = vec![0.0; grouped.len() * n];
         let mut dags = Vec::with_capacity(grouped.len());
-        let mut partials = Vec::with_capacity(grouped.len());
-        for ((t, inj), b) in grouped.into_iter().zip(built) {
+        let mut rows = Vec::with_capacity(grouped.len() * m);
+        for ((i, (t, inj)), b) in grouped.into_iter().enumerate().zip(built) {
             let (dag, partial) = b?;
+            // The same fold the router's injection loop performs, cached.
+            let seed_row = &mut seeds[i * n..(i + 1) * n];
+            for &(s, amount) in &inj {
+                seed_row[s.index()] += amount;
+            }
             dests.push(t);
-            injections.push(inj);
             dags.push(dag);
-            partials.push(partial);
+            rows.extend_from_slice(&partial);
         }
 
-        let mut loads = vec![0.0; m];
-        sum_partials(&mut loads, partials.iter().map(|p| p.as_slice()));
+        let arena = LoadArena::new(m, dests.len(), rows);
+        counters().arena_rebuilds.inc();
+        let mut loads = Vec::with_capacity(m);
+        arena.total(&mut loads);
         let phi = fortz_phi(&loads, net.capacities());
         let mlu = max_link_utilization(&loads, net.capacities());
         Ok(Self {
             net,
             weights,
             dests,
-            injections,
+            seeds,
             dags,
-            partials,
+            arena,
             loads,
             phi,
             mlu,
@@ -337,7 +457,8 @@ impl<'n> IncrementalEvaluator<'n> {
         let m = self.net.edge_count();
         let recomputes = recompute_counter();
 
-        let mut dirty: Vec<(usize, Arc<SpDag>, Vec<f64>)> = Vec::new();
+        let mut dirty: Vec<(usize, Arc<SpDag>)> = Vec::new();
+        let mut dirty_partials: Vec<f64> = Vec::new();
         if new_w != old_w {
             for (i, dag) in self.dags.iter().enumerate() {
                 if !edge_change_affects_dag(dag, e, u, v, new_w) {
@@ -355,38 +476,48 @@ impl<'n> IncrementalEvaluator<'n> {
                             d
                         }
                     };
-                let mut partial = vec![0.0; m];
-                node_flow.fill(0.0);
-                propagate_destination(
-                    self.net,
-                    &repaired,
-                    &self.injections[i],
-                    &mut partial,
-                    node_flow,
-                )?;
-                dirty.push((i, Arc::new(repaired), partial));
+                let base = dirty_partials.len();
+                dirty_partials.resize(base + m, 0.0);
+                // Seed from the cached injection fold (bitwise the values the
+                // injection loop produces; reachability was validated at
+                // build time and cannot change under positive finite weights).
+                let n = self.net.node_count();
+                node_flow.copy_from_slice(&self.seeds[i * n..(i + 1) * n]);
+                spread_seeded(self.net, &repaired, &mut dirty_partials[base..], node_flow);
+                dirty.push((i, Arc::new(repaired)));
             }
         }
         c.dirty_dests.add(dirty.len() as u64);
         c.clean_dests.add((self.dests.len() - dirty.len()) as u64);
 
-        // Patch the totals: cached partials for clean destinations, repaired
-        // ones for dirty — summed in ascending destination order, exactly as
-        // the from-scratch evaluator would.
-        let mut loads = vec![0.0; m];
-        {
-            let mut dirty_it = dirty.iter().peekable();
-            sum_partials(
-                &mut loads,
-                self.partials.iter().enumerate().map(|(i, p)| {
-                    if dirty_it.peek().is_some_and(|(j, _, _)| *j == i) {
-                        let (_, _, repaired) = dirty_it.next().expect("peeked");
-                        repaired.as_slice()
-                    } else {
-                        p.as_slice()
-                    }
-                }),
-            );
+        // Patch the totals: the fold up to the first dirty destination is
+        // exactly the cached prefix row (or the committed totals when no
+        // destination is dirty), so the probe copies it and only re-folds
+        // the tail — cached partials for clean destinations, repaired ones
+        // for dirty, in ascending destination order as always.
+        let mut loads = Vec::with_capacity(m);
+        if dirty.is_empty() {
+            loads.extend_from_slice(&self.loads);
+            c.arena_reuses.inc();
+        } else {
+            let first = dirty[0].0;
+            if first > 0 {
+                loads.extend_from_slice(self.arena.prefix_row(first - 1));
+                c.arena_reuses.inc();
+            } else {
+                loads.resize(m, 0.0);
+            }
+            let mut next_dirty = 0usize;
+            for i in first..self.dests.len() {
+                let row = if next_dirty < dirty.len() && dirty[next_dirty].0 == i {
+                    let chunk = &dirty_partials[next_dirty * m..(next_dirty + 1) * m];
+                    next_dirty += 1;
+                    chunk
+                } else {
+                    self.arena.row(i)
+                };
+                add_assign(&mut loads, row);
+            }
         }
         let phi = fortz_phi(&loads, self.net.capacities());
         let mlu = max_link_utilization(&loads, self.net.capacities());
@@ -398,6 +529,7 @@ impl<'n> IncrementalEvaluator<'n> {
             phi,
             mlu,
             dirty,
+            dirty_partials,
             generation: self.generation,
         })
     }
@@ -415,25 +547,22 @@ impl<'n> IncrementalEvaluator<'n> {
             "probe is stale: it was computed against a previous base state"
         );
         self.weights[probe.edge.index()] = probe.weight;
-        for (i, dag, partial) in probe.dirty {
+        let m = self.net.edge_count();
+        let first_dirty = probe.dirty.first().map(|&(i, _)| i);
+        for (d, (i, dag)) in probe.dirty.into_iter().enumerate() {
             self.dags[i] = dag;
-            self.partials[i] = partial;
+            self.arena
+                .row_mut(i)
+                .copy_from_slice(&probe.dirty_partials[d * m..(d + 1) * m]);
+        }
+        if let Some(first) = first_dirty {
+            self.arena.refold_from(first);
+            counters().arena_rebuilds.inc();
         }
         self.loads = probe.loads;
         self.phi = probe.phi;
         self.mlu = probe.mlu;
         self.generation += 1;
-    }
-}
-
-/// Sums per-destination partials into `out` (zeroed, same length) in
-/// iteration order — the shared accumulation pattern whose order both the
-/// router and the incremental paths must follow for bit-identity.
-fn sum_partials<'a>(out: &mut [f64], partials: impl Iterator<Item = &'a [f64]>) {
-    for partial in partials {
-        for (slot, l) in out.iter_mut().zip(partial) {
-            *slot += l;
-        }
     }
 }
 

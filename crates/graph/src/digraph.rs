@@ -102,7 +102,9 @@ impl Digraph {
     /// Adds a directed edge `u -> v` and returns its id.
     ///
     /// # Panics
-    /// Panics if either endpoint is out of range or if `u == v` (self-loop).
+    /// Panics if either endpoint is out of range, if `u == v` (self-loop),
+    /// or if the edge count would overflow the `u32` id/offset domain the
+    /// CSR arenas index with.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
         assert!(
             u.index() < self.node_count() && v.index() < self.node_count(),
@@ -110,6 +112,10 @@ impl Digraph {
             self.node_count()
         );
         assert!(u != v, "self-loops are not allowed ({u:?})");
+        assert!(
+            self.edges.len() < u32::MAX as usize,
+            "edge count overflows the u32 id domain"
+        );
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push((u, v));
         self.out[u.index()].push(id);

@@ -6,23 +6,63 @@
 //! target over the reversed adjacency, yielding `dist(v, t)` for every `v`,
 //! plus the subgraph of links `(u, v)` with `dist(u) = w(u,v) + dist(v)` —
 //! the *shortest-path DAG* to `t`.
+//!
+//! Two queue engines back [`single_target_distances`]:
+//!
+//! * a **monotone bucket queue** (Dial's algorithm) for the integer weight
+//!   domain `[1, w_max]` every optimizer in this workspace emits — O(1)
+//!   pushes into a ring of `w_max + 1` buckets instead of heap sifts;
+//! * the classic `BinaryHeap`, kept verbatim as
+//!   [`single_target_distances_heap`] — both the fallback for non-integral
+//!   weights and the differential **oracle** the bucket queue is pinned
+//!   against (see `tests/hotloop_differential.rs`).
+//!
+//! Integral weights make every finite distance an exact integer far below
+//! 2^53, so both engines compute bit-identical `f64` distance vectors and —
+//! through the shared [`dag_from_dist`] builder — bit-identical DAGs.
 
 use crate::digraph::{Digraph, EdgeId, NodeId};
 use crate::{approx_eq, EPS};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 
 /// Distance value for unreachable nodes.
 pub const INFINITY: f64 = f64::INFINITY;
 
-/// The `dijkstra.relaxations` / `dijkstra.runs` counter handles, resolved
-/// once: Dijkstra runs are frequent and short, so they must not pay a
-/// registry lookup each time.
+/// Largest integral weight the bucket queue accepts. Beyond this the ring
+/// of `w_max + 1` buckets stops paying for itself and the heap engine takes
+/// over. Fortz–Thorup weight search stays in `[1, ~20]`; this cap leaves two
+/// orders of magnitude of headroom.
+pub const MAX_DIAL_WEIGHT: u32 = 4096;
+
+/// When set, [`single_target_distances`] always uses the `BinaryHeap`
+/// engine. Used by benches for A/B timing and by differential tests.
+static HEAP_ONLY: AtomicBool = AtomicBool::new(false);
+
+/// Forces (`true`) or re-enables dispatch away from (`false`) the
+/// `BinaryHeap` engine. Global: intended for benches and differential
+/// harnesses, not concurrent toggling.
+pub fn set_heap_only(on: bool) {
+    HEAP_ONLY.store(on, AtomicOrdering::Relaxed);
+}
+
+/// `true` if bucket-queue dispatch is currently disabled.
+pub fn heap_only() -> bool {
+    HEAP_ONLY.load(AtomicOrdering::Relaxed)
+}
+
+/// The `dijkstra.*` counter handles, resolved once: Dijkstra runs are
+/// frequent and short, so they must not pay a registry lookup each time.
+/// Order: (relaxations, runs, bucket_ops).
 fn counters() -> &'static (
+    std::sync::Arc<segrout_obs::Counter>,
     std::sync::Arc<segrout_obs::Counter>,
     std::sync::Arc<segrout_obs::Counter>,
 ) {
     static HANDLES: std::sync::OnceLock<(
+        std::sync::Arc<segrout_obs::Counter>,
         std::sync::Arc<segrout_obs::Counter>,
         std::sync::Arc<segrout_obs::Counter>,
     )> = std::sync::OnceLock::new();
@@ -30,6 +70,7 @@ fn counters() -> &'static (
         (
             segrout_obs::counter("dijkstra.relaxations"),
             segrout_obs::counter("dijkstra.runs"),
+            segrout_obs::counter("dijkstra.bucket_ops"),
         )
     })
 }
@@ -61,26 +102,105 @@ impl Ord for HeapEntry {
     }
 }
 
-/// Computes `dist(v, target)` for every node `v`, i.e. the cost of the
-/// cheapest directed path from `v` to `target` under `weights`.
-///
-/// Unreachable nodes get [`INFINITY`].
-///
-/// # Panics
-/// Panics if `weights.len() != g.edge_count()` or any weight is not a
-/// strictly positive finite number (the paper's weight settings map every
-/// link to a positive real).
-pub fn single_target_distances(g: &Digraph, weights: &[f64], target: NodeId) -> Vec<f64> {
-    assert_eq!(
-        weights.len(),
-        g.edge_count(),
-        "weight vector length must match edge count"
-    );
-    debug_assert!(
-        weights.iter().all(|w| w.is_finite() && *w > 0.0),
-        "link weights must be positive finite reals"
-    );
+/// Checks whether `weights` lies in the bucket-queue domain: every weight an
+/// exact integer in `[1, MAX_DIAL_WEIGHT]`, with all shortest-path sums
+/// (< `n` hops each) guaranteed to fit `u32`. Returns the maximum weight.
+fn dial_weight_domain(n: usize, weights: &[f64]) -> Option<u32> {
+    let mut wmax = 0u32;
+    for &w in weights {
+        if !(1.0..=MAX_DIAL_WEIGHT as f64).contains(&w) || w.fract() != 0.0 {
+            return None;
+        }
+        wmax = wmax.max(w as u32);
+    }
+    if (n as u64) * (wmax as u64) >= u32::MAX as u64 {
+        return None;
+    }
+    Some(wmax)
+}
 
+/// Reusable bucket-queue scratch. The ring buckets drain empty on every run
+/// (each push is matched by a pop before termination), so only `dist_int`
+/// and the integerized weights need re-filling per run — the bucket `Vec`s
+/// keep their capacity across the millions of runs a weight search performs.
+struct DialScratch {
+    dist_int: Vec<u32>,
+    wi: Vec<u32>,
+    ring: Vec<Vec<u32>>,
+}
+
+thread_local! {
+    static DIAL: RefCell<DialScratch> = const {
+        RefCell::new(DialScratch {
+            dist_int: Vec::new(),
+            wi: Vec::new(),
+            ring: Vec::new(),
+        })
+    };
+}
+
+/// Dial's algorithm: monotone Dijkstra over a ring of `wmax + 1` buckets.
+/// Requires `dial_weight_domain` to have accepted `weights`.
+fn dial_run(g: &Digraph, weights: &[f64], wmax: u32, target: NodeId) -> Vec<f64> {
+    let n = g.node_count();
+    let ring_len = wmax as usize + 1;
+    DIAL.with(|s| {
+        let mut s = s.borrow_mut();
+        let DialScratch { dist_int, wi, ring } = &mut *s;
+        dist_int.clear();
+        dist_int.resize(n, u32::MAX);
+        wi.clear();
+        wi.extend(weights.iter().map(|&w| w as u32));
+        if ring.len() < ring_len {
+            ring.resize_with(ring_len, Vec::new);
+        }
+
+        dist_int[target.index()] = 0;
+        ring[0].push(target.0);
+        let mut pending = 1usize;
+        let mut cur: u64 = 0;
+        let mut relaxations: u64 = 0;
+        let mut bucket_ops: u64 = 1;
+        while pending > 0 {
+            let b = (cur % ring_len as u64) as usize;
+            while let Some(vi) = ring[b].pop() {
+                pending -= 1;
+                if dist_int[vi as usize] as u64 != cur {
+                    continue; // stale entry superseded by a later decrease
+                }
+                // Settled: monotonicity means no future relaxation can
+                // produce a key < cur, and strict-improvement pushes mean at
+                // most one live entry per (node, key) pair.
+                for &e in g.in_edges(NodeId(vi)) {
+                    let u = g.src(e);
+                    relaxations += 1;
+                    let nd = cur as u32 + wi[e.index()];
+                    if nd < dist_int[u.index()] {
+                        dist_int[u.index()] = nd;
+                        // nd ∈ [cur+1, cur+wmax] never aliases bucket b.
+                        ring[nd as usize % ring_len].push(u.0);
+                        pending += 1;
+                        bucket_ops += 1;
+                    }
+                }
+            }
+            cur += 1;
+        }
+
+        let (relax_counter, runs_counter, bucket_counter) = counters();
+        relax_counter.add(relaxations);
+        runs_counter.inc();
+        bucket_counter.add(bucket_ops);
+
+        dist_int
+            .iter()
+            .map(|&d| if d == u32::MAX { INFINITY } else { d as f64 })
+            .collect()
+    })
+}
+
+/// The `BinaryHeap` engine, shared by both public entry points.
+fn heap_run(g: &Digraph, weights: &[f64], target: NodeId) -> Vec<f64> {
     let n = g.node_count();
     let mut dist = vec![INFINITY; n];
     let mut done = vec![false; n];
@@ -110,13 +230,56 @@ pub fn single_target_distances(g: &Digraph, weights: &[f64], target: NodeId) -> 
             }
         }
     }
-    let (relax_counter, runs_counter) = counters();
+    let (relax_counter, runs_counter, _) = counters();
     relax_counter.add(relaxations);
     runs_counter.inc();
     dist
 }
 
-/// The shortest-path DAG towards a fixed target node.
+fn check_weights(g: &Digraph, weights: &[f64]) {
+    assert_eq!(
+        weights.len(),
+        g.edge_count(),
+        "weight vector length must match edge count"
+    );
+    debug_assert!(
+        weights.iter().all(|w| w.is_finite() && *w > 0.0),
+        "link weights must be positive finite reals"
+    );
+}
+
+/// Computes `dist(v, target)` for every node `v`, i.e. the cost of the
+/// cheapest directed path from `v` to `target` under `weights`.
+///
+/// Unreachable nodes get [`INFINITY`]. Dispatches to the bucket-queue engine
+/// when the weights are integral in `[1, MAX_DIAL_WEIGHT]` (bit-identical
+/// result — see module docs), to the `BinaryHeap` engine otherwise.
+///
+/// # Panics
+/// Panics if `weights.len() != g.edge_count()` or any weight is not a
+/// strictly positive finite number (the paper's weight settings map every
+/// link to a positive real).
+pub fn single_target_distances(g: &Digraph, weights: &[f64], target: NodeId) -> Vec<f64> {
+    check_weights(g, weights);
+    if !heap_only() {
+        if let Some(wmax) = dial_weight_domain(g.node_count(), weights) {
+            return dial_run(g, weights, wmax, target);
+        }
+    }
+    heap_run(g, weights, target)
+}
+
+/// The `BinaryHeap` reference engine, exposed as the differential oracle for
+/// the bucket queue. Same contract as [`single_target_distances`].
+pub fn single_target_distances_heap(g: &Digraph, weights: &[f64], target: NodeId) -> Vec<f64> {
+    check_weights(g, weights);
+    heap_run(g, weights, target)
+}
+
+/// The shortest-path DAG towards a fixed target node, stored in flat
+/// CSR-style arenas (an offset slab plus an edge-id slab) instead of
+/// per-node `Vec`s — one contiguous allocation the evaluator hot loop can
+/// walk without pointer chasing.
 ///
 /// Produced by [`shortest_path_dag`]; consumed by the ECMP flow engine and by
 /// the waypoint optimizer, which both propagate flow along `order`.
@@ -131,8 +294,12 @@ pub struct SpDag {
     /// `dist(u) = w(e) + dist(v)`, i.e. lies on some shortest path to the
     /// target.
     pub edge_on_dag: Vec<bool>,
-    /// For each node, its outgoing DAG edges (the ECMP next-hop set).
-    pub dag_out: Vec<Vec<EdgeId>>,
+    /// CSR row offsets into `dag_edges`, length `n + 1`: node `v`'s ECMP
+    /// next-hop edges are `dag_edges[dag_start[v] .. dag_start[v + 1]]`.
+    pub dag_start: Vec<u32>,
+    /// Flat slab of on-DAG edges grouped by tail node, ascending edge id
+    /// within each group.
+    pub dag_edges: Vec<EdgeId>,
     /// Nodes with a finite distance, sorted by *decreasing* distance. Since
     /// weights are strictly positive this is a topological order of the DAG:
     /// every DAG edge goes from an earlier to a later element.
@@ -140,11 +307,19 @@ pub struct SpDag {
 }
 
 impl SpDag {
+    /// The ECMP next-hop edge set of `v` towards the target.
+    #[inline]
+    pub fn dag_out(&self, v: NodeId) -> &[EdgeId] {
+        let lo = self.dag_start[v.index()] as usize;
+        let hi = self.dag_start[v.index() + 1] as usize;
+        &self.dag_edges[lo..hi]
+    }
+
     /// ECMP split degree of `v` towards the target (number of shortest-path
     /// next hops).
     #[inline]
     pub fn split_degree(&self, v: NodeId) -> usize {
-        self.dag_out[v.index()].len()
+        (self.dag_start[v.index() + 1] - self.dag_start[v.index()]) as usize
     }
 
     /// `true` if a shortest path from `v` to the target exists.
@@ -152,6 +327,27 @@ impl SpDag {
     pub fn reaches_target(&self, v: NodeId) -> bool {
         self.dist[v.index()].is_finite()
     }
+}
+
+/// Exclusive prefix sum of per-row counts into `u32` CSR offsets (length
+/// `counts.len() + 1`).
+///
+/// Guards the flat-arena representation: the running total must fit `u32`,
+/// so a graph whose edge count would overflow the offset type is rejected
+/// loudly instead of silently wrapping slab indices.
+pub fn csr_offsets(counts: &[u32]) -> Vec<u32> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut total: u64 = 0;
+    offsets.push(0u32);
+    for &c in counts {
+        total += c as u64;
+        assert!(
+            total <= u32::MAX as u64,
+            "CSR arena overflow: {total} edges exceed the u32 offset range"
+        );
+        offsets.push(total as u32);
+    }
+    offsets
 }
 
 /// Builds the shortest-path DAG towards `target` under `weights`.
@@ -164,38 +360,102 @@ pub fn shortest_path_dag(g: &Digraph, weights: &[f64], target: NodeId) -> SpDag 
     dag_from_dist(g, weights, target, dist)
 }
 
-/// Materializes the DAG structure (`edge_on_dag`, `dag_out`, `order`) from an
-/// already-correct distance vector. Shared by the from-scratch builder and
-/// the incremental repair path, so both produce byte-identical `SpDag`s from
-/// equal distances.
-fn dag_from_dist(g: &Digraph, weights: &[f64], target: NodeId, dist: Vec<f64>) -> SpDag {
+/// Per-thread scratch for [`dag_from_dist`]: the tight-edge list and the
+/// per-node counters are pure build intermediates, so they live in reusable
+/// slabs instead of being reallocated on every probe repair.
+struct DagScratch {
+    /// `(tail, edge)` pairs of tight edges, in ascending edge-id order.
+    tight: Vec<(u32, EdgeId)>,
+    /// Out-degree counts, then reused as the CSR fill cursor.
+    counts: Vec<u32>,
+}
+
+thread_local! {
+    static DAG_SCRATCH: RefCell<DagScratch> = const {
+        RefCell::new(DagScratch {
+            tight: Vec::new(),
+            counts: Vec::new(),
+        })
+    };
+}
+
+/// Materializes the DAG structure (`edge_on_dag`, the CSR slabs, `order`)
+/// from an already-correct distance vector. Shared by the from-scratch
+/// builder and the incremental repair path, so both produce byte-identical
+/// `SpDag`s from equal distances.
+///
+/// One pass over `g.edges()` in ascending edge-id order collects the tight
+/// edges; counting and CSR placement then walk that (much shorter) list in
+/// the same order, which reproduces exactly the per-node edge order the old
+/// `Vec<Vec<EdgeId>>` push loop produced. `prev_order` short-circuits the
+/// topological sort when the caller knows the distance vector is unchanged
+/// (structure-only repairs): equal keys sort to the same unique permutation,
+/// so reusing the old order is exact, not an approximation.
+fn dag_from_dist_cached(
+    g: &Digraph,
+    weights: &[f64],
+    target: NodeId,
+    dist: Vec<f64>,
+    prev_order: Option<Vec<NodeId>>,
+) -> SpDag {
+    let n = g.node_count();
     let mut edge_on_dag = vec![false; g.edge_count()];
-    let mut dag_out: Vec<Vec<EdgeId>> = vec![Vec::new(); g.node_count()];
 
-    for (e, u, v) in g.edges() {
-        let du = dist[u.index()];
-        let dv = dist[v.index()];
-        if du.is_finite() && dv.is_finite() && approx_eq(du, weights[e.index()] + dv) {
-            edge_on_dag[e.index()] = true;
-            dag_out[u.index()].push(e);
+    DAG_SCRATCH.with(|s| {
+        let DagScratch { tight, counts } = &mut *s.borrow_mut();
+        tight.clear();
+        counts.clear();
+        counts.resize(n, 0);
+        for (e, u, v) in g.edges() {
+            let du = dist[u.index()];
+            let dv = dist[v.index()];
+            if du.is_finite() && dv.is_finite() && approx_eq(du, weights[e.index()] + dv) {
+                edge_on_dag[e.index()] = true;
+                tight.push((u.0, e));
+                counts[u.index()] += 1;
+            }
         }
-    }
 
-    let mut order: Vec<NodeId> = g.nodes().filter(|v| dist[v.index()].is_finite()).collect();
-    order.sort_by(|a, b| {
-        dist[b.index()]
-            .partial_cmp(&dist[a.index()])
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| a.0.cmp(&b.0))
-    });
+        let dag_start = csr_offsets(counts);
+        // Reuse `counts` as the fill cursor (the counts are consumed).
+        counts.copy_from_slice(&dag_start[..n]);
+        let mut dag_edges = vec![EdgeId(0); *dag_start.last().unwrap() as usize];
+        for &(u, e) in tight.iter() {
+            dag_edges[counts[u as usize] as usize] = e;
+            counts[u as usize] += 1;
+        }
 
-    SpDag {
-        target,
-        dist,
-        edge_on_dag,
-        dag_out,
-        order,
-    }
+        // The order is the unique permutation sorted by (dist desc, id asc) —
+        // a strict total order over finite non-negative distances, where
+        // `total_cmp` agrees bit-for-bit with the IEEE `partial_cmp`, so the
+        // allocation-free unstable sort is exact.
+        let order: Vec<NodeId> = match prev_order {
+            Some(order) => order,
+            None => {
+                let mut order: Vec<NodeId> =
+                    g.nodes().filter(|v| dist[v.index()].is_finite()).collect();
+                order.sort_unstable_by(|a, b| {
+                    dist[b.index()]
+                        .total_cmp(&dist[a.index()])
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                order
+            }
+        };
+
+        SpDag {
+            target,
+            dist,
+            edge_on_dag,
+            dag_start,
+            dag_edges,
+            order,
+        }
+    })
+}
+
+fn dag_from_dist(g: &Digraph, weights: &[f64], target: NodeId, dist: Vec<f64>) -> SpDag {
+    dag_from_dist_cached(g, weights, target, dist, None)
 }
 
 /// Result of [`update_shortest_path_dag`]: how a single-edge weight change
@@ -261,6 +521,11 @@ pub fn edge_change_affects_dag(dag: &SpDag, e: EdgeId, u: NodeId, v: NodeId, new
 /// the bounded repair is abandoned and a full per-destination Dijkstra runs
 /// instead ([`SpDagUpdate::Rebuilt`]).
 ///
+/// The restricted re-runs keep the `BinaryHeap`: repair frontiers are capped
+/// at a few dozen nodes, where a heap beats allocating a distance-spanning
+/// bucket ring. (Full rebuilds go through [`shortest_path_dag`] and get the
+/// bucket queue.)
+///
 /// With tie-exact weights (e.g. the integral vectors every optimizer in this
 /// workspace emits) the repaired DAG is **bit-identical** to
 /// [`shortest_path_dag`] on the new weights: both paths compute the exact
@@ -302,7 +567,12 @@ fn repair_increase(
 ) -> SpDagUpdate {
     let n = g.node_count();
     // Remaining old-distance support per node: DAG out-edges still justified.
-    let mut support: Vec<usize> = (0..n).map(|i| prev.dag_out[i].len()).collect();
+    // Read straight off the CSR offsets — row width = out-degree on the DAG.
+    let mut support: Vec<usize> = prev
+        .dag_start
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as usize)
+        .collect();
     let mut affected = vec![false; n];
     let mut queue = std::collections::VecDeque::new();
 
@@ -313,8 +583,15 @@ fn repair_increase(
         queue.push_back(u);
     } else {
         // u keeps its distance through another tight edge; the DAG only
-        // loses edge `e` — distances are unchanged, rebuild structure only.
-        let repaired = dag_from_dist(g, weights, prev.target, prev.dist.clone());
+        // loses edge `e` — distances are unchanged, rebuild structure only
+        // (and the topological order carries over verbatim).
+        let repaired = dag_from_dist_cached(
+            g,
+            weights,
+            prev.target,
+            prev.dist.clone(),
+            Some(prev.order.clone()),
+        );
         return SpDagUpdate::Repaired(repaired, 0);
     }
 
@@ -414,8 +691,15 @@ fn repair_decrease(
     let cand = weights[e.index()] + prev.dist[v.index()];
     let du = prev.dist[u.index()];
     if cand + EPS >= du {
-        // New tie at u: distances hold, edge e joins the DAG.
-        let repaired = dag_from_dist(g, weights, prev.target, prev.dist.clone());
+        // New tie at u: distances hold (so the order carries over), edge e
+        // joins the DAG.
+        let repaired = dag_from_dist_cached(
+            g,
+            weights,
+            prev.target,
+            prev.dist.clone(),
+            Some(prev.order.clone()),
+        );
         return SpDagUpdate::Repaired(repaired, 0);
     }
 
@@ -501,6 +785,7 @@ mod tests {
         assert!(dag.edge_on_dag[4]); // 0->3 direct
         assert_eq!(dag.split_degree(NodeId(0)), 2);
         assert_eq!(dag.split_degree(NodeId(1)), 1);
+        assert_eq!(dag.dag_out(NodeId(0)), &[EdgeId(0), EdgeId(4)]);
     }
 
     #[test]
@@ -560,12 +845,91 @@ mod tests {
         assert!(!dag.reaches_target(NodeId(2)));
     }
 
+    /// Deterministic xorshift generator shared by the randomized tests.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    /// Ring-plus-chords random graph: always connected along the ring.
+    fn random_graph(state: &mut u64, n: usize) -> Digraph {
+        let mut g = Digraph::new(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32));
+        }
+        for _ in 0..n {
+            let a = (xorshift(state) % n as u64) as u32;
+            let b = (xorshift(state) % n as u64) as u32;
+            if a != b {
+                g.add_edge(NodeId(a), NodeId(b));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn bucket_and_heap_distances_bit_identical() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..40 {
+            let n = 5 + (xorshift(&mut state) % 12) as usize;
+            let g = random_graph(&mut state, n);
+            let w: Vec<f64> = (0..g.edge_count())
+                .map(|_| (1 + xorshift(&mut state) % 20) as f64)
+                .collect();
+            assert!(dial_weight_domain(n, &w).is_some());
+            for t in 0..n {
+                let target = NodeId(t as u32);
+                let dial = single_target_distances(&g, &w, target);
+                let heap = single_target_distances_heap(&g, &w, target);
+                let bits = |d: &[f64]| d.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&dial), bits(&heap), "target {target:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dial_domain_rejects_out_of_range_weights() {
+        assert_eq!(dial_weight_domain(10, &[1.0, 20.0]), Some(20));
+        assert!(dial_weight_domain(10, &[1.5]).is_none()); // fractional
+        assert!(dial_weight_domain(10, &[0.5]).is_none()); // below 1
+        assert!(dial_weight_domain(10, &[MAX_DIAL_WEIGHT as f64 + 1.0]).is_none());
+        // n * wmax must fit u32: a billion-node graph with wmax 4096 cannot.
+        assert!(dial_weight_domain(1 << 30, &[MAX_DIAL_WEIGHT as f64]).is_none());
+    }
+
+    #[test]
+    fn non_integral_weights_fall_back_to_heap() {
+        let (g, _) = weighted_diamond();
+        let w = vec![1.5, 1.5, 1.0, 2.5, 4.5];
+        let d = single_target_distances(&g, &w, NodeId(3));
+        let h = single_target_distances_heap(&g, &w, NodeId(3));
+        assert_eq!(d, h);
+        assert_eq!(d[0], 3.0); // 0->1->3 at 1.5 + 1.5
+    }
+
+    #[test]
+    fn csr_offsets_prefix_sums() {
+        assert_eq!(csr_offsets(&[2, 0, 3]), vec![0, 2, 2, 5]);
+        assert_eq!(csr_offsets(&[]), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CSR arena overflow")]
+    fn csr_offsets_reject_u32_overflow() {
+        // Two rows whose total (2^32) exceeds the u32 offset range. The
+        // counts themselves fit u32; only the running sum overflows.
+        csr_offsets(&[u32::MAX, 1]);
+    }
+
     /// Bitwise structural equality of two DAGs (dist via `to_bits`).
     fn assert_same_dag(a: &SpDag, b: &SpDag, ctx: &str) {
         let bits = |d: &SpDag| d.dist.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(a), bits(b), "{ctx}: dist diverged");
         assert_eq!(a.edge_on_dag, b.edge_on_dag, "{ctx}: edge set diverged");
-        assert_eq!(a.dag_out, b.dag_out, "{ctx}: dag_out diverged");
+        assert_eq!(a.dag_start, b.dag_start, "{ctx}: CSR offsets diverged");
+        assert_eq!(a.dag_edges, b.dag_edges, "{ctx}: CSR edge slab diverged");
         assert_eq!(a.order, b.order, "{ctx}: order diverged");
     }
 
@@ -641,32 +1005,17 @@ mod tests {
         // Deterministic xorshift; integral weights in [1, 10] so tie
         // classification is exact — the regime every optimizer works in.
         let mut state = 0x9e3779b97f4a7c15u64;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
         for trial in 0..30 {
-            let n = 6 + (next() % 5) as usize;
-            let mut g = Digraph::new(n);
-            // Ring for connectivity plus random chords.
-            for i in 0..n {
-                g.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32));
-            }
-            for _ in 0..n {
-                let a = (next() % n as u64) as u32;
-                let b = (next() % n as u64) as u32;
-                if a != b {
-                    g.add_edge(NodeId(a), NodeId(b));
-                }
-            }
+            let n = 6 + (xorshift(&mut state) % 5) as usize;
+            let g = random_graph(&mut state, n);
             let m = g.edge_count();
-            let mut w: Vec<f64> = (0..m).map(|_| (1 + next() % 10) as f64).collect();
-            let target = NodeId((next() % n as u64) as u32);
+            let mut w: Vec<f64> = (0..m)
+                .map(|_| (1 + xorshift(&mut state) % 10) as f64)
+                .collect();
+            let target = NodeId((xorshift(&mut state) % n as u64) as u32);
             for _ in 0..8 {
-                let e = EdgeId((next() % m as u64) as u32);
-                let new_w = (1 + next() % 10) as f64;
+                let e = EdgeId((xorshift(&mut state) % m as u64) as u32);
+                let new_w = (1 + xorshift(&mut state) % 10) as f64;
                 check_update(&g, &w, e, new_w, target, usize::MAX);
                 // Also exercise the bounded-cap path on every other step.
                 check_update(&g, &w, e, new_w, target, 2);

@@ -35,8 +35,9 @@ pub mod traversal;
 
 pub use digraph::{Digraph, EdgeId, NodeId};
 pub use dijkstra::{
-    edge_change_affects_dag, shortest_path_dag, single_target_distances, update_shortest_path_dag,
-    SpDag, SpDagUpdate, INFINITY,
+    csr_offsets, edge_change_affects_dag, heap_only, set_heap_only, shortest_path_dag,
+    single_target_distances, single_target_distances_heap, update_shortest_path_dag, SpDag,
+    SpDagUpdate, INFINITY, MAX_DIAL_WEIGHT,
 };
 pub use maxflow::{acyclic_max_flow, decompose_into_paths, max_flow, Flow, FlowPath};
 pub use metrics::{metrics, strongly_connected_components, GraphMetrics};

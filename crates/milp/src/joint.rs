@@ -568,7 +568,7 @@ fn build_warm_start(
                     if v == t || fl <= 0.0 {
                         continue;
                     }
-                    let outs = &dag.dag_out[v.index()];
+                    let outs = dag.dag_out(v);
                     let share = fl / outs.len() as f64;
                     if let Some(mv) = block.share[k][v.index()] {
                         vals[mv.0] = share;

@@ -264,17 +264,45 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    par_map_min(n, DEFAULT_SERIAL_CUTOFF, f)
+}
+
+/// Default serial-fallback threshold of [`par_map`]: batches smaller than
+/// this run inline on the caller even when the pool has threads — enqueue,
+/// wakeup and claim traffic cost more than a couple of items of work.
+pub const DEFAULT_SERIAL_CUTOFF: usize = 4;
+
+/// [`par_map`] with an explicit work threshold: batches with
+/// `n < serial_below` run inline on the caller instead of dispatching to
+/// the pool. The threshold only affects scheduling, never results — the
+/// inline path is the serial reference the determinism contract is pinned
+/// to.
+///
+/// Callers whose per-item work is tiny (e.g. GreedyWPO's sparse
+/// single-segment probes, microseconds each) should pass a threshold in the
+/// hundreds; the default [`par_map`] threshold assumes items worth at least
+/// a Dijkstra.
+pub fn par_map_min<R, F>(n: usize, serial_below: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     let t = threads();
-    if t <= 1 || n <= 1 {
+    if t <= 1 || n <= 1 || n < serial_below {
         return (0..n).map(f).collect();
     }
     par_map_chunked(n, auto_chunk(n, t), f)
 }
 
-/// Default chunk size: enough chunks for load balancing (≈4 per
-/// participant), never less than one item.
+/// Default chunk size. Small batches get ≈2 chunks per participant —
+/// dispatch and claim traffic dominate, so fewer, larger chunks win; big
+/// batches get ≈4 per participant for load balancing.
 fn auto_chunk(n: usize, t: usize) -> usize {
-    (n / (4 * t)).max(1)
+    if n < 64 * t {
+        n.div_ceil(2 * t).max(1)
+    } else {
+        (n / (4 * t)).max(1)
+    }
 }
 
 /// [`par_map`] with an explicit chunk size (indices are claimed in runs of
@@ -340,7 +368,12 @@ where
                 q.push_back(Arc::clone(&batch));
             }
         }
-        pool.job_ready.notify_all();
+        // Wake exactly one parked worker per queued job — `notify_all`
+        // would stampede every worker in the pool through the queue lock
+        // even when only a couple of helper slots exist.
+        for _ in 0..helpers {
+            pool.job_ready.notify_one();
+        }
     }
 
     // The caller drains chunks like any worker — this is what makes nested
@@ -384,6 +417,17 @@ where
     par_map(items.len(), |i| f(i, &items[i]))
 }
 
+/// [`par_map_slice`] with an explicit serial-fallback threshold (see
+/// [`par_map_min`]).
+pub fn par_map_slice_min<T, R, F>(items: &[T], serial_below: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_min(items.len(), serial_below, |i| f(i, &items[i]))
+}
+
 /// Maps `map` over `0..n` in parallel, then folds the results **in index
 /// order on the calling thread** — the ordered `(value, index)` reduction
 /// that keeps winner selection and floating-point accumulation
@@ -412,7 +456,25 @@ mod tests {
     fn auto_chunk_is_sane() {
         assert_eq!(auto_chunk(1, 8), 1);
         assert_eq!(auto_chunk(7, 4), 1);
+        // Below 64·t: ~2 chunks per participant.
+        assert_eq!(auto_chunk(100, 4), 13);
+        // At and above 64·t: ~4 chunks per participant.
         assert_eq!(auto_chunk(1000, 4), 62);
+        assert_eq!(auto_chunk(10_000, 4), 625);
+    }
+
+    #[test]
+    fn serial_cutoff_keeps_results_identical() {
+        forced(4, || {
+            for cutoff in [0, 1, 8, 1000] {
+                let got: Vec<usize> = par_map_min(37, cutoff, |i| i * 7);
+                assert_eq!(
+                    got,
+                    (0..37).map(|i| i * 7).collect::<Vec<_>>(),
+                    "cutoff={cutoff}"
+                );
+            }
+        });
     }
 
     #[test]

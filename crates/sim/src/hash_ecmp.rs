@@ -176,7 +176,7 @@ impl<'n> HashEcmpSim<'n> {
         let g = self.net.graph();
         let mut v = src;
         while v != dst {
-            let nexts = &dag.dag_out[v.index()];
+            let nexts = dag.dag_out(v);
             debug_assert!(!nexts.is_empty());
             let pick = if nexts.len() == 1 {
                 0

@@ -57,6 +57,21 @@ cargo build --release -q
 echo "==> corpus replay"
 cargo test -q --test corpus_replay
 
+# Hot-loop engine gate: the bucket-queue (Dial) Dijkstra and the CSR/
+# prefix-slab arenas must stay bit-identical to the BinaryHeap oracle and
+# the from-scratch router, under both the serial and the parallel pool.
+echo "==> hotloop differential suite (SEGROUT_THREADS=1 and =4)"
+SEGROUT_THREADS=1 cargo test -q --test hotloop_differential
+SEGROUT_THREADS=4 cargo test -q --test hotloop_differential
+
+# Flat-memory hot-loop record (full numbers live in EXPERIMENTS.md; the
+# smoke run checks the bench path, the engine A/B bit-identity asserts,
+# and that the record plus its provenance sibling land on disk).
+echo "==> bench_hotloop (writes BENCH_hotloop_fast.json)"
+SEGROUT_FAST=1 ./target/release/bench_hotloop
+test -s BENCH_hotloop_fast.json || { echo "BENCH_hotloop_fast.json missing"; exit 1; }
+test -s BENCH_hotloop_fast.run.json || { echo "BENCH_hotloop_fast.run.json missing"; exit 1; }
+
 # Robust multi-matrix gate: the single-matrix reduction and the MILP
 # oracle cross-checks must hold under both the serial and the parallel
 # pool (also part of the workspace runs above; the named legs keep the

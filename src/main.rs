@@ -292,6 +292,16 @@ fn cmd_report(args: &[String], flags: &HashMap<String, String>) -> Result<bool, 
 /// catalog --check` fails when telemetry contains an undocumented name —
 /// the drift check that keeps this table honest.
 const METRIC_CATALOG: &[(&str, &str, &str)] = &[
+    (
+        "arena.rebuilds",
+        "counter",
+        "load-arena prefix-slab (re)folds: construction + dirty commits",
+    ),
+    (
+        "arena.reuses",
+        "counter",
+        "probes whose load fold started from a cached prefix row",
+    ),
     ("check.cases", "counter", "fuzz cases executed"),
     (
         "check.shrink_steps",
@@ -302,6 +312,11 @@ const METRIC_CATALOG: &[(&str, &str, &str)] = &[
         "check.violations",
         "counter",
         "invariant violations found by the fuzzer",
+    ),
+    (
+        "dijkstra.bucket_ops",
+        "counter",
+        "bucket-queue pushes in Dial-engine SP computations",
     ),
     (
         "dijkstra.relaxations",
@@ -549,8 +564,11 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         "incr.dirty_dests",
         "incr.clean_dests",
         "incr.repairs",
+        "arena.reuses",
+        "arena.rebuilds",
         "dijkstra.relaxations",
         "dijkstra.runs",
+        "dijkstra.bucket_ops",
         "mcf.phases",
         "par.tasks",
         "par.batches",

@@ -38,8 +38,8 @@
 
 use segrout_core::rng::{SliceRandom, StdRng};
 use segrout_core::{
-    fortz_phi, DemandList, DemandSet, IncrementalEvaluator, Network, RobustObjective, Router,
-    WaypointSetting, WeightSetting,
+    fortz_phi, DemandList, DemandSet, EdgeId, FailureSet, IncrementalEvaluator, Network,
+    RobustObjective, Router, WaypointSetting, WeightSetting,
 };
 use segrout_obs::{event, Level};
 use std::collections::HashSet;
@@ -290,7 +290,174 @@ pub fn heur_ospf_robust(
     );
     assert!(!set.is_empty(), "demand set must hold at least one matrix");
     let _span = segrout_obs::span("heurospf");
-    let k = set.len();
+    descend(
+        net,
+        cfg,
+        robust,
+        set.len(),
+        |w| build_evaluators(net, set, w),
+        |w| score_set(net, set, robust, w, cfg.objective),
+        |cur, evs| {
+            // Commit-point hook: every evaluator's repaired state must equal
+            // a from-scratch evaluation of the accepted weights.
+            let w = WeightSetting::new(net, cur.iter().map(|&x| f64::from(x)).collect())
+                .expect("integer weights in range are always valid");
+            for (demands, ev) in set.matrices().zip(evs.iter()) {
+                segrout_core::hooks::assert_commit_consistent(
+                    net,
+                    &w,
+                    demands,
+                    &WaypointSetting::none(demands.len()),
+                    ev.loads(),
+                    ev.mlu(),
+                );
+            }
+        },
+    )
+}
+
+/// Runs the HeurOSPF local search against a [`FailureSet`], descending on
+/// the `robust`-aggregated `(Φ, MLU)` over all *surviving* failure
+/// scenarios: the intact topology plus every pattern that keeps all demands
+/// routable.
+///
+/// Whether a pattern disconnects a demand depends only on the topology —
+/// masked routing never consults weights for reachability — so the
+/// surviving-scenario set is classified once up front and stays fixed for
+/// the whole search. Every candidate weight change is then probed against
+/// every scenario (one [`IncrementalEvaluator`] per scenario, built with
+/// [`IncrementalEvaluator::new_with_failures`]; the `(candidate × scenario)`
+/// grid fans out on the `segrout-par` pool) and the per-scenario metrics
+/// fold through `robust` before the lexicographic comparison. Probing a
+/// scenario's own dead link is a no-op by construction: a failed link's
+/// weight cannot steer traffic that never crosses it.
+///
+/// # Panics
+/// Panics when `max_weight < 2`.
+pub fn heur_ospf_failure_robust<'n>(
+    net: &'n Network,
+    demands: &DemandList,
+    failures: &FailureSet,
+    robust: RobustObjective,
+    cfg: &HeurOspfConfig,
+) -> WeightSetting {
+    assert!(
+        cfg.max_weight >= 2,
+        "max_weight must allow at least {{1, 2}}"
+    );
+    let _span = segrout_obs::span("heurospf_fail");
+    let wp = WaypointSetting::none(demands.len());
+
+    // Classify disconnecting patterns once. Construction performs a full
+    // masked evaluation, so `Err(Unroutable)` is exactly "this pattern cuts
+    // some demand off its destination" — those scenarios are excluded from
+    // the aggregation (the sweep engine reports them separately; an
+    // optimizer cannot weight its way around a partitioned topology).
+    let probe_w = WeightSetting::unit(net);
+    let mut scenarios: Vec<&[EdgeId]> = vec![&[]];
+    let mut disconnected = 0usize;
+    for p in failures.patterns() {
+        match IncrementalEvaluator::new_with_failures(net, &probe_w, demands, &wp, &p.dead) {
+            Ok(_) => scenarios.push(&p.dead),
+            Err(_) => disconnected += 1,
+        }
+    }
+    let k = scenarios.len();
+    event!(
+        Level::Debug,
+        "heurospf_fail.setup",
+        patterns = failures.len(),
+        scenarios = k,
+        disconnected = disconnected,
+    );
+
+    let build = |w: &[u32]| -> Option<Vec<IncrementalEvaluator<'n>>> {
+        let ws = WeightSetting::new(net, w.iter().map(|&x| f64::from(x)).collect())
+            .expect("integer weights in range are always valid");
+        let mut evs = Vec::with_capacity(scenarios.len());
+        for dead in &scenarios {
+            evs.push(IncrementalEvaluator::new_with_failures(net, &ws, demands, &wp, dead).ok()?);
+        }
+        Some(evs)
+    };
+    descend(
+        net,
+        cfg,
+        robust,
+        k,
+        build,
+        |w| {
+            // From-scratch scorer: scenario-evaluator construction *is* the
+            // full masked evaluation, so build-and-aggregate is the scratch
+            // score.
+            let ws = WeightSetting::new(net, w.iter().map(|&x| f64::from(x)).collect())
+                .expect("integer weights in range are always valid");
+            let mut phis = Vec::with_capacity(scenarios.len());
+            let mut mlus = Vec::with_capacity(scenarios.len());
+            for dead in &scenarios {
+                match IncrementalEvaluator::new_with_failures(net, &ws, demands, &wp, dead) {
+                    Ok(ev) => {
+                        phis.push(ev.phi());
+                        mlus.push(ev.mlu());
+                    }
+                    Err(_) => return Score(f64::INFINITY, f64::INFINITY),
+                }
+            }
+            score_from(
+                robust.aggregate(&phis),
+                robust.aggregate(&mlus),
+                cfg.objective,
+            )
+        },
+        |cur, evs| {
+            // Commit-point hook: each scenario's repaired state must equal a
+            // from-scratch masked evaluation of the accepted weights.
+            let ws = WeightSetting::new(net, cur.iter().map(|&x| f64::from(x)).collect())
+                .expect("integer weights in range are always valid");
+            for (dead, ev) in scenarios.iter().zip(evs.iter()) {
+                let fresh = IncrementalEvaluator::new_with_failures(net, &ws, demands, &wp, dead)
+                    .expect("surviving scenarios stay routable under any weights");
+                assert_eq!(
+                    fresh.mlu().to_bits(),
+                    ev.mlu().to_bits(),
+                    "committed failure-scenario state diverged from scratch"
+                );
+                assert_eq!(
+                    fresh.phi().to_bits(),
+                    ev.phi().to_bits(),
+                    "committed failure-scenario state diverged from scratch"
+                );
+            }
+        },
+    )
+}
+
+/// The shared first-improvement descent: restarts, shuffled link scans, and
+/// the speculative `(candidate × scenario)` probe grid, generic over what a
+/// "scenario" is. [`heur_ospf_robust`] instantiates it with one incremental
+/// evaluator per traffic matrix; [`heur_ospf_failure_robust`] with one per
+/// failure scenario.
+///
+/// `build` constructs the per-scenario evaluators for a weight vector
+/// (`None` ⇒ some scenario is unroutable ⇒ the scratch scorer's infinite
+/// score rejects every move), `scratch_score` is the from-scratch fallback
+/// scorer (also used when `use_incremental` is off), and `debug_check`
+/// asserts commit consistency of every evaluator after an accepted move
+/// (invoked in debug builds only).
+fn descend<'n, B, S, C>(
+    net: &'n Network,
+    cfg: &HeurOspfConfig,
+    robust: RobustObjective,
+    k: usize,
+    build: B,
+    scratch_score: S,
+    debug_check: C,
+) -> WeightSetting
+where
+    B: Fn(&[u32]) -> Option<Vec<IncrementalEvaluator<'n>>>,
+    S: Fn(&[u32]) -> Score + Sync,
+    C: Fn(&[u32], &[IncrementalEvaluator<'n>]),
+{
     // `heurospf.iterations` counts candidate-weight evaluations (one full
     // ECMP scoring each); the trajectory series records the incumbent MLU at
     // every accepted move — the Figure 4-6 convergence signal. Robust runs
@@ -302,7 +469,7 @@ pub fn heur_ospf_robust(
     let m = net.edge_count();
 
     let mut best: Vec<u32> = inverse_capacity_start(net, cfg.max_weight);
-    let mut best_score = score_set(net, set, robust, &best, cfg.objective);
+    let mut best_score = scratch_score(&best);
     iterations.inc();
     // Local evaluation count for the flight recorder (the global counter is
     // shared across concurrent runs in one process); `trace_best` gates the
@@ -337,13 +504,13 @@ pub fn heur_ospf_robust(
         // full evaluation per matrix, so their aggregated score is the
         // restart's starting score.
         let mut evaluators = if cfg.use_incremental {
-            build_evaluators(net, set, &cur)
+            build(&cur)
         } else {
             None
         };
         let mut cur_score = match &evaluators {
             Some(evs) => evaluators_score(evs, robust, cfg.objective),
-            None => score_set(net, set, robust, &cur, cfg.objective),
+            None => scratch_score(&cur),
         };
         iterations.inc();
         total_evals += 1;
@@ -443,27 +610,8 @@ pub fn heur_ospf_robust(
                                 cur[e] = cand;
                                 cur_score = s;
                                 improved = true;
-                                // Commit-point hook: every evaluator's
-                                // repaired state must equal a from-scratch
-                                // evaluation of the accepted weights (debug
-                                // builds only).
-                                #[cfg(debug_assertions)]
-                                {
-                                    let w = WeightSetting::new(
-                                        net,
-                                        cur.iter().map(|&x| f64::from(x)).collect(),
-                                    )
-                                    .expect("integer weights in range are always valid");
-                                    for (demands, ev) in set.matrices().zip(evs.iter()) {
-                                        segrout_core::hooks::assert_commit_consistent(
-                                            net,
-                                            &w,
-                                            demands,
-                                            &WaypointSetting::none(demands.len()),
-                                            ev.loads(),
-                                            ev.mlu(),
-                                        );
-                                    }
+                                if cfg!(debug_assertions) {
+                                    debug_check(&cur, evs);
                                 }
                                 trajectory.push(cur_score.mlu(cfg.objective));
                                 if segrout_obs::trace_enabled()
@@ -508,7 +656,7 @@ pub fn heur_ospf_robust(
                                 w.clear();
                                 w.extend_from_slice(&cur);
                                 w[e] = cand;
-                                score_set(net, set, robust, &w, cfg.objective)
+                                scratch_score(&w)
                             })
                         });
                         for (cand, s) in fresh.iter().zip(&scores) {
@@ -785,6 +933,141 @@ mod tests {
         // Splitting each 1.6-unit demand across both corridors gives 0.8 on
         // every link; any single-corridor routing hits 1.6.
         assert!(rep.worst_mlu() <= 0.8 + 1e-9, "worst {}", rep.worst_mlu());
+    }
+
+    /// Four parallel links, one fat: the inverse-capacity start puts all
+    /// traffic on the fat link (every thin-link failure scenario — and the
+    /// intact one — then sits at MLU 1.0); the failure-robust search must
+    /// lengthen the fat link into the tie so that losing any one link
+    /// still leaves an even split over the remaining three.
+    #[test]
+    fn failure_robust_search_lowers_worst_case() {
+        let mut b = Network::builder(2);
+        b.bilink(NodeId(0), NodeId(1), 2.0); // fat
+        b.bilink(NodeId(0), NodeId(1), 1.0);
+        b.bilink(NodeId(0), NodeId(1), 1.0);
+        b.bilink(NodeId(0), NodeId(1), 1.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(1), 2.0);
+        let failures = FailureSet::enumerate(&net, false);
+
+        let w = heur_ospf_failure_robust(
+            &net,
+            &d,
+            &failures,
+            RobustObjective::WorstCase,
+            &HeurOspfConfig::default(),
+        );
+        let rep = segrout_core::sweep_failures(
+            &net,
+            &w,
+            &d,
+            &WaypointSetting::none(d.len()),
+            &failures,
+            &[1.0],
+        )
+        .unwrap();
+        // All four links tied: intact split 0.5 each (MLU 0.5); losing any
+        // link leaves a 3-way split of 2.0 = 2/3 on a thin link — the
+        // optimum, well below the start's worst case of 1.0.
+        assert!(
+            rep.base_mlu[0] <= 0.5 + 1e-9,
+            "intact mlu = {}",
+            rep.base_mlu[0]
+        );
+        let worst = rep.worst.as_ref().expect("patterns evaluated").mlu;
+        assert!(worst <= 2.0 / 3.0 + 1e-9, "worst-case mlu = {worst}");
+        assert_eq!(rep.disconnects, 0);
+    }
+
+    #[test]
+    fn failure_robust_deterministic_and_matches_scratch() {
+        let mut b = Network::builder(5);
+        b.bilink(NodeId(0), NodeId(1), 2.0);
+        b.bilink(NodeId(1), NodeId(4), 2.0);
+        b.bilink(NodeId(0), NodeId(2), 1.0);
+        b.bilink(NodeId(2), NodeId(4), 1.0);
+        b.bilink(NodeId(0), NodeId(3), 1.0);
+        b.bilink(NodeId(3), NodeId(4), 1.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(4), 1.5);
+        d.push(NodeId(4), NodeId(0), 0.5);
+        let failures = FailureSet::enumerate(&net, false);
+
+        let incremental = heur_ospf_failure_robust(
+            &net,
+            &d,
+            &failures,
+            RobustObjective::WorstCase,
+            &HeurOspfConfig::default(),
+        );
+        let again = heur_ospf_failure_robust(
+            &net,
+            &d,
+            &failures,
+            RobustObjective::WorstCase,
+            &HeurOspfConfig::default(),
+        );
+        assert_eq!(incremental.as_slice(), again.as_slice());
+        // The probe grid must retrace the scratch scorer's trajectory byte
+        // for byte (same contract as the plain search).
+        let scratch = heur_ospf_failure_robust(
+            &net,
+            &d,
+            &failures,
+            RobustObjective::WorstCase,
+            &HeurOspfConfig {
+                use_incremental: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(incremental.as_slice(), scratch.as_slice());
+    }
+
+    /// A pendant demand whose only link appears in the failure set: those
+    /// patterns are classified as disconnecting and excluded, and the
+    /// search still optimizes the surviving scenarios.
+    #[test]
+    fn failure_robust_skips_disconnecting_patterns() {
+        let mut b = Network::builder(5);
+        b.bilink(NodeId(0), NodeId(1), 1.0);
+        b.bilink(NodeId(1), NodeId(3), 1.0);
+        b.bilink(NodeId(0), NodeId(2), 1.0);
+        b.bilink(NodeId(2), NodeId(3), 1.0);
+        b.bilink(NodeId(3), NodeId(4), 1.0); // pendant: only route to 4
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(3), 1.2);
+        d.push(NodeId(0), NodeId(4), 0.3);
+        let failures = FailureSet::enumerate(&net, false);
+
+        let w = heur_ospf_failure_robust(
+            &net,
+            &d,
+            &failures,
+            RobustObjective::WorstCase,
+            &HeurOspfConfig::default(),
+        );
+        for &x in w.as_slice() {
+            assert!((1.0..=20.0).contains(&x));
+            assert_eq!(x, x.round());
+        }
+        // Sanity: the surviving worst case (losing one diamond corridor
+        // reroutes 1.2 + 0.3 onto the other) is achieved.
+        let rep = segrout_core::sweep_failures(
+            &net,
+            &w,
+            &d,
+            &WaypointSetting::none(d.len()),
+            &failures,
+            &[1.0],
+        )
+        .unwrap();
+        assert_eq!(rep.disconnects, 1, "only the pendant link disconnects");
+        let worst = rep.worst.as_ref().expect("patterns evaluated").mlu;
+        assert!(worst <= 1.5 + 1e-9, "worst-case mlu = {worst}");
     }
 
     /// A one-matrix `DemandSet` must reproduce the classic single-matrix

@@ -34,7 +34,9 @@ pub mod wpo_local;
 
 pub use dag_weights::dag_realizing_weights;
 pub use greedy_wpo::{greedy_wpo, greedy_wpo_robust, GreedyWpoConfig};
-pub use heur_ospf::{heur_ospf, heur_ospf_robust, HeurOspfConfig, Objective};
+pub use heur_ospf::{
+    heur_ospf, heur_ospf_failure_robust, heur_ospf_robust, HeurOspfConfig, Objective,
+};
 pub use joint_heur::{joint_heur, joint_heur_robust, JointHeurConfig, JointHeurResult};
 pub use lwo_apx::{lwo_apx, LwoApxResult};
 pub use mcf::{max_concurrent_flow, McfResult};

@@ -145,7 +145,7 @@ fn main() {
     if !improvements.is_empty() {
         println!(
             "\nSecond-pass improvement across topologies: avg {:.2}% (paper: negligible)",
-            stat(&improvements).avg
+            stat(&improvements).expect("seeded runs").avg
         );
     }
     write_json("ablation_joint", &json!({ "records": records }));

@@ -94,11 +94,11 @@ fn main() {
 
     println!(
         "\naverages: stale {:.3} | wp-only {:.3} | budget-3 {:.3} | joint b=3 {:.3} | full {:.3}",
-        stat(&cols[0]).avg,
-        stat(&cols[1]).avg,
-        stat(&cols[2]).avg,
-        stat(&cols[3]).avg,
-        stat(&cols[4]).avg
+        stat(&cols[0]).expect("seeded runs").avg,
+        stat(&cols[1]).expect("seeded runs").avg,
+        stat(&cols[2]).expect("seeded runs").avg,
+        stat(&cols[3]).expect("seeded runs").avg,
+        stat(&cols[4]).expect("seeded runs").avg
     );
     println!("Waypoint re-assignment (zero IGP churn) recovers most of the drift penalty;");
     println!("a handful of weight changes closes the rest — the joint knobs are also the");

@@ -8,14 +8,67 @@
 //! joint weight + waypoint configuration? Segment routing follows the
 //! post-failure shortest paths between waypoints, so waypoints survive
 //! failures gracefully — but were chosen for the intact topology.
+//!
+//! Outcomes are reported **per configuration**: a failure that actually
+//! partitions a demand from its destination disconnects *both*
+//! configurations (nothing a weight or waypoint can do about a cut), while
+//! a failure that only severs a chosen waypoint segment is a property of
+//! the joint configuration — the weights-only MLU is still measured and
+//! reported. An earlier revision collapsed the two (and even a
+//! weights-only-failed / joint-survived pair) into a single "disconnected"
+//! row, under-counting the joint configuration's exposure.
 
 use segrout_algos::{joint_heur, HeurOspfConfig, JointHeurConfig};
 use segrout_bench::{banner, fast_mode, stat, write_json};
-use segrout_core::EdgeId;
-use segrout_obs::json;
+use segrout_core::{EdgeId, IncrementalEvaluator, TeError, WaypointSetting};
+use segrout_obs::{json, Json};
 use segrout_sim::{HashEcmpSim, SimConfig, SimFlow};
 use segrout_topo::by_name;
 use segrout_traffic::{gravity, TrafficConfig};
+
+/// Per-failure outcome of the two configurations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Outcome {
+    /// Both configurations route all demands.
+    Both {
+        /// MLU under the weights-only configuration.
+        weights_only: f64,
+        /// MLU under the joint configuration.
+        joint: f64,
+    },
+    /// The failure cuts some demand off its destination: no configuration
+    /// can route — a property of the topology, not of either configuration.
+    Disconnected,
+    /// Topology intact, but a waypoint segment of the joint configuration
+    /// is severed; the weights-only configuration still routes.
+    JointSevered {
+        /// MLU under the weights-only configuration.
+        weights_only: f64,
+    },
+}
+
+/// Classifies one failure scenario from the true topology cut (`cut`,
+/// determined by demand reachability on the masked graph, independent of
+/// any configuration) and the two simulation results.
+///
+/// # Panics
+/// Panics when the weights-only simulation fails on an uncut topology —
+/// plain shortest-path routing is unroutable only under a cut, so that
+/// combination indicates a routing-engine bug, not a scenario outcome.
+fn classify(cut: bool, weights_only: Result<f64, TeError>, joint: Result<f64, TeError>) -> Outcome {
+    if cut {
+        return Outcome::Disconnected;
+    }
+    let weights_only =
+        weights_only.expect("weights-only routing fails only when the topology is cut");
+    match joint {
+        Ok(joint) => Outcome::Both {
+            weights_only,
+            joint,
+        },
+        Err(_) => Outcome::JointSevered { weights_only },
+    }
+}
 
 fn main() {
     banner("Extension — MLU after single-link failure (weights-only vs joint)");
@@ -73,58 +126,141 @@ fn main() {
         seed: 11,
         noise: 0.0,
     };
+    let no_wp = WaypointSetting::none(demands.len());
 
     let mut rows = Vec::new();
     let mut wo_mlus = Vec::new();
     let mut j_mlus = Vec::new();
     let mut disconnects = 0usize;
+    let mut joint_severed = 0usize;
     println!(
         "{:<24} {:>14} {:>11}",
         "failed link", "weights-only", "joint"
     );
     for e in 0..net.edge_count() {
         let failed = [EdgeId(e as u32)];
+        // The ground truth for "disconnected": does masking this link cut
+        // any demand off its destination? (Waypoint-free evaluation fails
+        // exactly when the masked graph loses src→dst reachability.)
+        let cut = matches!(
+            IncrementalEvaluator::new_with_failures(
+                &net,
+                &joint.weights,
+                &demands,
+                &no_wp,
+                &failed
+            ),
+            Err(TeError::Unroutable { .. })
+        );
         let wo = sim.run_with_failures(&mk_flows(false), &cfg, &failed);
         let jt = sim.run_with_failures(&mk_flows(true), &cfg, &failed);
         let (u, v) = net.graph().endpoints(EdgeId(e as u32));
-        match (wo, jt) {
-            (Ok(a), Ok(b)) => {
-                println!(
-                    "{:<24} {:>14.3} {:>11.3}",
-                    format!("{} -> {}", net.node_name(u), net.node_name(v)),
-                    a.mlu,
-                    b.mlu
-                );
-                wo_mlus.push(a.mlu);
-                j_mlus.push(b.mlu);
+        let label = format!("{} -> {}", net.node_name(u), net.node_name(v));
+        match classify(cut, wo.map(|r| r.mlu), jt.map(|r| r.mlu)) {
+            Outcome::Both {
+                weights_only,
+                joint,
+            } => {
+                println!("{label:<24} {weights_only:>14.3} {joint:>11.3}");
+                wo_mlus.push(weights_only);
+                j_mlus.push(joint);
                 rows.push(json!({
-                    "edge": e, "weights_only": a.mlu, "joint": b.mlu,
+                    "edge": e, "outcome": "ok",
+                    "weights_only": weights_only, "joint": joint,
                 }));
             }
-            _ => {
+            Outcome::Disconnected => {
                 disconnects += 1;
-                println!(
-                    "{:<24} {:>14} {:>11}",
-                    format!("{} -> {}", net.node_name(u), net.node_name(v)),
-                    "disconnected",
-                    "-"
-                );
+                println!("{label:<24} {:>14} {:>11}", "disconnected", "disconnected");
+                rows.push(json!({ "edge": e, "outcome": "disconnected" }));
+            }
+            Outcome::JointSevered { weights_only } => {
+                joint_severed += 1;
+                println!("{label:<24} {weights_only:>14.3} {:>11}", "severed");
+                wo_mlus.push(weights_only);
+                rows.push(json!({
+                    "edge": e, "outcome": "joint_segment_severed",
+                    "weights_only": weights_only,
+                }));
             }
         }
     }
+    let fmt = |s: Option<segrout_bench::Stat>| match s {
+        Some(s) => format!("avg {:.3} / max {:.3}", s.avg, s.max),
+        None => "no surviving scenario".to_string(),
+    };
     let wo = stat(&wo_mlus);
     let jt = stat(&j_mlus);
     println!(
-        "\nacross {} survivable failures: weights-only avg {:.3} / max {:.3}, joint avg {:.3} / max {:.3} ({} disconnecting failures)",
+        "\nweights-only over {} survivable failures: {}",
         wo_mlus.len(),
-        wo.avg,
-        wo.max,
-        jt.avg,
-        jt.max,
+        fmt(wo)
+    );
+    println!(
+        "joint over {} survivable failures: {} ({} waypoint segments severed, {} true disconnects)",
+        j_mlus.len(),
+        fmt(jt),
+        joint_severed,
         disconnects
     );
+    let stat_json = |s: Option<segrout_bench::Stat>| s.map_or(Json::Null, Json::from);
     write_json(
         "failure_robustness",
-        &json!({ "rows": rows, "weights_only": wo, "joint": jt, "disconnects": disconnects }),
+        &json!({
+            "rows": rows,
+            "weights_only": stat_json(wo),
+            "joint": stat_json(jt),
+            "disconnects": disconnects,
+            "joint_segment_severed": joint_severed,
+        }),
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segrout_core::NodeId;
+
+    fn unroutable() -> TeError {
+        TeError::Unroutable {
+            src: NodeId(0),
+            dst: NodeId(1),
+        }
+    }
+
+    /// The regression the rewrite fixes: a surviving weights-only run paired
+    /// with a severed joint run used to collapse into "disconnected",
+    /// discarding the measured weights-only MLU and miscounting the cut.
+    #[test]
+    fn severed_joint_segment_is_not_a_disconnect() {
+        assert_eq!(
+            classify(false, Ok(0.7), Err(unroutable())),
+            Outcome::JointSevered { weights_only: 0.7 }
+        );
+    }
+
+    #[test]
+    fn true_cut_disconnects_both() {
+        assert_eq!(
+            classify(true, Err(unroutable()), Err(unroutable())),
+            Outcome::Disconnected
+        );
+    }
+
+    #[test]
+    fn surviving_pair_reports_both() {
+        assert_eq!(
+            classify(false, Ok(0.7), Ok(0.5)),
+            Outcome::Both {
+                weights_only: 0.7,
+                joint: 0.5
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "only when the topology is cut")]
+    fn weights_only_failure_without_cut_is_a_bug() {
+        classify(false, Err(unroutable()), Ok(0.5));
+    }
 }

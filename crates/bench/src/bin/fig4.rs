@@ -87,7 +87,7 @@ fn main() {
                     Err(e) => eprintln!("skipping {name} seed {seed}: {e}"),
                 }
             }
-            let stats: Vec<_> = cols.iter().map(|c| stat(c)).collect();
+            let stats: Vec<_> = cols.iter().map(|c| stat(c).expect("seeded runs")).collect();
             println!(
                 "{:<14} {:>5} {:>5} | {:>4.2}/{:>5.2}/{:>5.2} {:>5.2}/{:>5.2}/{:>5.2} {:>5.2}/{:>5.2}/{:>5.2} {:>5.2}/{:>5.2}/{:>5.2} | {:>7.1}",
                 name,
@@ -122,7 +122,7 @@ fn main() {
         ];
         let mut avgs = Vec::new();
         for (label, xs) in labels.iter().zip(&all) {
-            let s = stat(xs);
+            let s = stat(xs).expect("seeded runs");
             println!("  {label:<16} avg MLU = {:.3}", s.avg);
             avgs.push(json!({"algorithm": label, "avg": s.avg}));
         }

@@ -149,7 +149,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for (label, col) in LABELS.iter().zip(&columns) {
-        let s = stat(col);
+        let s = stat(col).expect("seeded runs");
         println!("{label:<16} {:>8.3} {:>8.3} {:>8.3}", s.min, s.avg, s.max);
         rows.push(json!({"algorithm": label, "stat": s}));
     }

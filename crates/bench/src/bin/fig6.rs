@@ -83,7 +83,7 @@ fn main() {
                 Err(e) => eprintln!("skipping {name} seed {seed}: {e}"),
             }
         }
-        let stats: Vec<_> = cols.iter().map(|c| stat(c)).collect();
+        let stats: Vec<_> = cols.iter().map(|c| stat(c).expect("seeded runs")).collect();
         println!(
             "{:<12} | {:>5.2}/{:>5.2}/{:>5.2} {:>6.2}/{:>5.2}/{:>5.2} {:>6.2}/{:>5.2}/{:>5.2} {:>6.2}/{:>5.2}/{:>5.2}",
             name,
@@ -104,8 +104,8 @@ fn main() {
     }
     println!(
         "\nAverages: HeurOSPF {:.3} -> JointHeur {:.3}  (paper: 1.11 -> 1.05)",
-        stat(&heur_all).avg,
-        stat(&joint_all).avg
+        stat(&heur_all).expect("seeded runs").avg,
+        stat(&joint_all).expect("seeded runs").avg
     );
     write_json("fig6", &json!({ "rows": rows, "seeds": n_seeds }));
 }

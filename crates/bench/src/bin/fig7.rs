@@ -66,8 +66,8 @@ fn main() {
         weight_mlus.push(w.mlu);
     }
 
-    let js = stat(&joint_mlus);
-    let ws = stat(&weight_mlus);
+    let js = stat(&joint_mlus).expect("seeded runs");
+    let ws = stat(&weight_mlus).expect("seeded runs");
     println!(
         "\nJoint:   min {:.4}  median {:.4}  max {:.4}   (paper ≈ 1.0138, constant)",
         js.min, js.median, js.max

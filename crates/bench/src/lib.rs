@@ -15,6 +15,7 @@
 //! | `ablation_joint` | §8 open questions — JOINT-Heur design knobs |
 //! | `bench_parallel` | serial vs parallel optimizer wall-time (`BENCH_parallel.json`) |
 //! | `bench_incremental` | incremental vs from-scratch candidate evaluation (`BENCH_incremental.json`) |
+//! | `bench_failsweep` | failure-sweep scenario throughput on Germany50 (`BENCH_failsweep.json`) |
 //!
 //! Run e.g. `cargo run -p segrout-bench --release --bin fig4`. Binaries
 //! accept `SEGROUT_SEEDS=<k>` to change the number of demand sets
@@ -57,25 +58,35 @@ impl From<Stat> for Json {
     }
 }
 
-/// Computes summary statistics.
+/// Computes summary statistics; `None` for an empty sample (an experiment
+/// where every run was filtered out — e.g. all failure scenarios
+/// disconnecting — must degrade to "no data", not crash at the summary
+/// line).
 ///
 /// # Panics
-/// Panics on an empty sample.
-pub fn stat(xs: &[f64]) -> Stat {
-    assert!(!xs.is_empty(), "empty sample");
+/// Panics when the sample contains a non-finite value: a NaN would
+/// previously sort arbitrarily (`partial_cmp` falling back to `Equal`) and
+/// silently poison min/median/max, so it is surfaced here instead.
+pub fn stat(xs: &[f64]) -> Option<Stat> {
+    if xs.is_empty() {
+        return None;
+    }
+    for &x in xs {
+        assert!(x.is_finite(), "sample contains a non-finite value: {x}");
+    }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     let median = if sorted.len() % 2 == 1 {
         sorted[sorted.len() / 2]
     } else {
         0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
     };
-    Stat {
+    Some(Stat {
         min: sorted[0],
         avg: xs.iter().sum::<f64>() / xs.len() as f64,
         max: *sorted.last().expect("non-empty"),
         median,
-    }
+    })
 }
 
 /// Number of demand-set seeds per experiment (`SEGROUT_SEEDS`, default 3).
@@ -217,7 +228,7 @@ pub fn time_it<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) {
         let _ = std::hint::black_box(f());
         times.push(t0.elapsed().as_secs_f64() * 1e3);
     }
-    let s = stat(&times);
+    let s = stat(&times).expect("at least one timing sample");
     println!(
         "{name:<44} min {:>10.3} ms   median {:>10.3} ms   avg {:>10.3} ms",
         s.min, s.median, s.avg
@@ -239,7 +250,7 @@ mod tests {
 
     #[test]
     fn stat_basics() {
-        let s = stat(&[1.0, 3.0, 2.0]);
+        let s = stat(&[1.0, 3.0, 2.0]).unwrap();
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 3.0);
         assert!((s.avg - 2.0).abs() < 1e-12);
@@ -248,13 +259,31 @@ mod tests {
 
     #[test]
     fn median_of_even_sample() {
-        let s = stat(&[4.0, 1.0, 2.0, 3.0]);
+        let s = stat(&[4.0, 1.0, 2.0, 3.0]).unwrap();
         assert!((s.median - 2.5).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_sample_panics() {
-        stat(&[]);
+    fn empty_sample_is_none() {
+        assert!(stat(&[]).is_none());
+    }
+
+    #[test]
+    fn negative_zero_sorts_cleanly() {
+        let s = stat(&[0.0, -0.0, -1.0]).unwrap();
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.median, -0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_sample_panics() {
+        stat(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn infinite_sample_panics() {
+        stat(&[1.0, f64::INFINITY]);
     }
 }

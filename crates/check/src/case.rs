@@ -24,7 +24,7 @@
 //! `segrout_core::read_config` so corpus files stay hand-editable with the
 //! same rules as deployed configurations.
 
-use crate::validator::{validate_robust, Validator, ValidatorConfig, Violation};
+use crate::validator::{validate_robust, validate_sweep, Validator, ValidatorConfig, Violation};
 use segrout_core::rng::StdRng;
 use segrout_core::{
     evaluate_robust, read_config, DemandList, DemandSet, IncrementalEvaluator, Network,
@@ -388,9 +388,11 @@ impl Case {
     /// Stages: (1) the full invariant [`Validator`] on the given state, (2)
     /// a seeded probe/commit differential between the incremental engine and
     /// from-scratch routing, (3) the heuristic pipeline (HeurOSPF +
-    /// GreedyWPO) with validation of its output, and (4) on tiny instances,
+    /// GreedyWPO) with validation of its output, (4) on tiny instances,
     /// the MILP oracle — optimality sandwich plus a Revised-vs-Tableau LP
-    /// engine differential.
+    /// engine differential, (5) the robust multi-matrix differential on
+    /// cases with extra matrices, and (6) the failure-sweep differential
+    /// pinning the edge-disable probe against deleted-topology re-routing.
     pub fn run(&self, vcfg: &ValidatorConfig) -> CaseOutcome {
         let _threads = ThreadGuard(segrout_par::threads());
         segrout_par::set_threads(self.threads);
@@ -454,6 +456,24 @@ impl Case {
                 Ok((c, vs)) => {
                     checks += c;
                     violations.extend(vs);
+                }
+                Err(e) => return CaseOutcome::Error(e.to_string()),
+            }
+        }
+
+        // Stage 6: failure-sweep differential — every (pattern, scaling)
+        // scenario answered by the edge-disable probe is reproduced from
+        // scratch on the edge-deleted topology. Doubles only on small
+        // topologies; patterns grow quadratically in the link count.
+        if !self.demands.is_empty() {
+            let doubles = self.links.len() <= 10;
+            match validate_sweep(&net, &demands, &weights, &waypoints, doubles, &[1.0, 1.25]) {
+                Ok(rep) => {
+                    checks += rep.checks;
+                    violations.extend(rep.violations.into_iter().map(|mut v| {
+                        v.detail = format!("sweep: {}", v.detail);
+                        v
+                    }));
                 }
                 Err(e) => return CaseOutcome::Error(e.to_string()),
             }

@@ -30,6 +30,12 @@
 //!   weights, waypoints)` state: per-matrix MLU/Φ recomputation,
 //!   incremental-engine agreement per matrix, worst-case/quantile
 //!   aggregation identities, and monotonicity of the worst-case envelope.
+//! * [`validate_sweep`] checks the failure-sweep engine: every swept
+//!   `(failure pattern, demand scaling)` scenario is reproduced by a
+//!   from-scratch evaluation of the edge-*deleted* topology (the ground
+//!   truth the edge-disable probe claims to match bit-exactly), disconnect
+//!   classification agrees with true reachability, and the worst-case
+//!   certificate names a bottleneck link that actually attains the MLU.
 //!
 //! The cheap in-tree complement — `debug_assertions`-gated hooks at the
 //! optimizer commit points — lives in `segrout_core::hooks` so the algorithm
@@ -44,4 +50,6 @@ pub mod validator;
 
 pub use case::{Case, CaseOutcome, EngineChoice};
 pub use fuzz::{fuzz_campaign, FuzzConfig, FuzzFailure, FuzzReport};
-pub use validator::{validate_robust, ValidationReport, Validator, ValidatorConfig, Violation};
+pub use validator::{
+    validate_robust, validate_sweep, ValidationReport, Validator, ValidatorConfig, Violation,
+};

@@ -1,8 +1,9 @@
 //! The pipeline-wide invariant validator (see crate docs).
 
 use segrout_core::{
-    evaluate_robust, fortz_phi, max_link_utilization, DemandList, DemandSet, IncrementalEvaluator,
-    Network, NodeId, RobustObjective, Router, TeError, WaypointSetting, WeightSetting,
+    evaluate_robust, fortz_phi, max_link_utilization, sweep_failures, Demand, DemandList,
+    DemandSet, FailureSet, IncrementalEvaluator, Network, NodeId, RobustObjective, Router,
+    ScenarioOutcome, TeError, WaypointSetting, WeightSetting,
 };
 use segrout_graph::{approx_eq, SpDag, INFINITY};
 use std::collections::BTreeMap;
@@ -599,6 +600,256 @@ pub fn validate_robust(
     Ok(rep)
 }
 
+/// Failure-sweep invariants for one `(Network, demands, weights, waypoints)`
+/// state: enumerates the failure set (single links, plus doubles when
+/// `doubles` is set), runs [`sweep_failures`] over `scalings`, and checks
+///
+/// * **bookkeeping** — scenario counts add up (`scenarios` = patterns ×
+///   scalings, `evaluated + disconnects = scenarios`),
+/// * **scratch differential** — every [`ScenarioOutcome::Evaluated`] is
+///   reproduced by a from-scratch [`Router`] evaluation of a rebuilt
+///   topology with the dead edges *deleted* (bit-identical loads and MLU
+///   under integral weights, within tolerance otherwise), the disable probe
+///   carries exactly zero load on every dead edge, and every
+///   [`ScenarioOutcome::Disconnected`] corresponds to a scratch evaluation
+///   that is genuinely unroutable,
+/// * **certificate** — the worst-case certificate's MLU equals the maximum
+///   of the evaluated distribution, its bottleneck link attains that
+///   utilization, and the [`RobustObjective::WorstCase`] aggregate agrees,
+/// * **distribution** — the MLU distribution is sorted and covers exactly
+///   the evaluated scenarios.
+///
+/// # Errors
+/// Returns the underlying [`TeError`] when the *intact* workload cannot be
+/// evaluated — a property of the input, not an invariant violation.
+pub fn validate_sweep(
+    net: &Network,
+    demands: &DemandList,
+    weights: &WeightSetting,
+    waypoints: &WaypointSetting,
+    doubles: bool,
+    scalings: &[f64],
+) -> Result<ValidationReport, TeError> {
+    let mut rep = ValidationReport::default();
+    let set = FailureSet::enumerate(net, doubles);
+    let sweep = sweep_failures(net, weights, demands, waypoints, &set, scalings)?;
+    let integral = weights.as_slice().iter().all(|w| w.fract() == 0.0);
+
+    rep.check(
+        sweep.scenarios == set.len() * sweep.scalings.len(),
+        "sweep-bookkeeping",
+        || {
+            format!(
+                "{} scenarios for {} patterns x {} scalings",
+                sweep.scenarios,
+                set.len(),
+                sweep.scalings.len()
+            )
+        },
+    );
+    rep.check(
+        sweep.evaluated + sweep.disconnects == sweep.scenarios,
+        "sweep-bookkeeping",
+        || {
+            format!(
+                "evaluated {} + disconnects {} != scenarios {}",
+                sweep.evaluated, sweep.disconnects, sweep.scenarios
+            )
+        },
+    );
+    rep.check(
+        sweep.results.len() == sweep.scenarios,
+        "sweep-bookkeeping",
+        || {
+            format!(
+                "{} results for {} scenarios",
+                sweep.results.len(),
+                sweep.scenarios
+            )
+        },
+    );
+
+    for (si, &scale) in sweep.scalings.iter().enumerate() {
+        let scaled: DemandList = demands
+            .iter()
+            .map(|d| Demand::new(d.src, d.dst, d.size * scale))
+            .collect();
+        let eval = IncrementalEvaluator::new(net, weights, &scaled, waypoints)?;
+        for (p, pattern) in set.patterns().iter().enumerate() {
+            let r = &sweep.results[si * set.len() + p];
+            rep.check(
+                r.pattern == p && r.scaling == si,
+                "sweep-bookkeeping",
+                || {
+                    format!(
+                        "result order: expected ({p}, {si}), found ({}, {})",
+                        r.pattern, r.scaling
+                    )
+                },
+            );
+
+            // Rebuild the topology with the dead edges *deleted* — the
+            // ground truth the disable probe claims to be equivalent to.
+            let mut b = Network::builder(net.node_count());
+            let mut kept = Vec::new();
+            let mut kept_weights = Vec::new();
+            for (e, u, v) in net.graph().edges() {
+                if !pattern.dead.contains(&e) {
+                    b.link(u, v, net.capacities()[e.index()]);
+                    kept.push(e);
+                    kept_weights.push(weights.as_slice()[e.index()]);
+                }
+            }
+            let deleted = if kept.is_empty() {
+                None
+            } else {
+                b.build().ok()
+            };
+            let Some(net2) = deleted else {
+                rep.check(
+                    matches!(r.outcome, ScenarioOutcome::Disconnected { .. }),
+                    "sweep-classify",
+                    || {
+                        format!(
+                            "pattern {p}: no surviving edges but outcome {:?}",
+                            r.outcome
+                        )
+                    },
+                );
+                continue;
+            };
+            let w2 = WeightSetting::new(&net2, kept_weights)?;
+            let fresh = Router::new(&net2, &w2).evaluate(&scaled, waypoints);
+
+            match (&r.outcome, fresh) {
+                (&ScenarioOutcome::Evaluated { mlu, phi, .. }, Ok(fresh)) => {
+                    let probe = eval
+                        .probe_disable(&pattern.dead)
+                        .expect("evaluated scenario must re-probe");
+                    let scale_tol = 1.0 + fresh.loads.iter().cloned().fold(0.0f64, f64::max);
+                    let ok_mlu = if integral {
+                        mlu.to_bits() == fresh.mlu.to_bits()
+                    } else {
+                        (mlu - fresh.mlu).abs() <= LOAD_TOL * (1.0 + fresh.mlu)
+                    };
+                    rep.check(ok_mlu, "sweep-scratch-mlu", || {
+                        format!(
+                            "pattern {p} @ x{scale}: probe MLU {mlu} vs deleted-topology \
+                             scratch MLU {} (integral = {integral})",
+                            fresh.mlu
+                        )
+                    });
+                    for (new_idx, &old) in kept.iter().enumerate() {
+                        let got = probe.loads[old.index()];
+                        let want = fresh.loads[new_idx];
+                        let ok = if integral {
+                            got.to_bits() == want.to_bits()
+                        } else {
+                            (got - want).abs() <= LOAD_TOL * scale_tol
+                        };
+                        rep.check(ok, "sweep-scratch-loads", || {
+                            format!(
+                                "pattern {p} @ x{scale}, edge {}: probe load {got} vs \
+                                 deleted-topology scratch {want}",
+                                old.index()
+                            )
+                        });
+                    }
+                    for &dead in &pattern.dead {
+                        rep.check(probe.loads[dead.index()] == 0.0, "sweep-dead-load", || {
+                            format!(
+                                "pattern {p} @ x{scale}: dead edge {} carries load {}",
+                                dead.index(),
+                                probe.loads[dead.index()]
+                            )
+                        });
+                    }
+                    let fresh_phi = fortz_phi(&fresh.loads, net2.capacities());
+                    rep.check(
+                        (phi - fresh_phi).abs() <= LOAD_TOL * (1.0 + fresh_phi),
+                        "sweep-scratch-phi",
+                        || {
+                            format!(
+                                "pattern {p} @ x{scale}: probe Φ {phi} vs deleted-topology \
+                                 scratch Φ {fresh_phi}"
+                            )
+                        },
+                    );
+                }
+                (&ScenarioOutcome::Disconnected { .. }, Err(TeError::Unroutable { .. })) => {
+                    rep.check(true, "sweep-classify", String::new);
+                }
+                (outcome, fresh) => {
+                    rep.check(false, "sweep-classify", || {
+                        format!(
+                            "pattern {p} @ x{scale}: sweep outcome {outcome:?} but \
+                             deleted-topology scratch gave {:?}",
+                            fresh.map(|f| f.mlu)
+                        )
+                    });
+                }
+            }
+        }
+    }
+
+    let dist = sweep.mlu_distribution();
+    rep.check(dist.len() == sweep.evaluated, "sweep-distribution", || {
+        format!(
+            "distribution has {} entries for {} evaluated",
+            dist.len(),
+            sweep.evaluated
+        )
+    });
+    rep.check(
+        dist.windows(2).all(|w| w[0] <= w[1]),
+        "sweep-distribution",
+        || "MLU distribution is not sorted ascending".to_string(),
+    );
+    match (&sweep.worst, dist.last()) {
+        (Some(cert), Some(&max)) => {
+            rep.check(
+                cert.mlu.to_bits() == max.to_bits(),
+                "sweep-certificate",
+                || format!("certificate MLU {} != distribution max {max}", cert.mlu),
+            );
+            let util = cert.bottleneck_load / net.capacities()[cert.bottleneck.index()];
+            rep.check(
+                util.to_bits() == cert.mlu.to_bits(),
+                "sweep-certificate",
+                || {
+                    format!(
+                        "bottleneck edge {} utilization {util} != certificate MLU {}",
+                        cert.bottleneck.index(),
+                        cert.mlu
+                    )
+                },
+            );
+            let agg = sweep.aggregate_mlu(RobustObjective::WorstCase);
+            rep.check(
+                agg.map(f64::to_bits) == Some(cert.mlu.to_bits()),
+                "sweep-certificate",
+                || {
+                    format!(
+                        "worst-case aggregate {agg:?} != certificate MLU {}",
+                        cert.mlu
+                    )
+                },
+            );
+        }
+        (None, None) => {
+            rep.check(sweep.evaluated == 0, "sweep-certificate", || {
+                format!("{} evaluated scenarios but no certificate", sweep.evaluated)
+            });
+        }
+        (cert, max) => {
+            rep.check(false, "sweep-certificate", || {
+                format!("certificate {cert:?} inconsistent with distribution max {max:?}")
+            });
+        }
+    }
+    Ok(rep)
+}
+
 /// Kahn topological order of the nodes over the on-DAG edges; `None` when
 /// the subgraph has a cycle.
 fn kahn_order(net: &Network, dag: &SpDag) -> Option<Vec<NodeId>> {
@@ -704,6 +955,36 @@ mod tests {
         let mut bad = DemandSet::single(demands.clone());
         bad.push("misaligned", other);
         assert!(validate_robust(&net, &bad, &w, &wp).is_err());
+    }
+
+    #[test]
+    fn sweep_suite_passes_on_bidirected_diamond() {
+        // Bi-directed diamond so single failures leave an alternate path and
+        // doubles produce genuine disconnects — both classification arms of
+        // the suite run.
+        let mut b = Network::builder(4);
+        b.bilink(NodeId(0), NodeId(1), 1.0);
+        b.bilink(NodeId(1), NodeId(3), 1.0);
+        b.bilink(NodeId(0), NodeId(2), 1.0);
+        b.bilink(NodeId(2), NodeId(3), 1.0);
+        let net = b.build().unwrap();
+        let mut d = DemandList::new();
+        d.push(NodeId(0), NodeId(3), 2.0);
+        let w = WeightSetting::unit(&net);
+        let wp = WaypointSetting::none(d.len());
+        let rep = validate_sweep(&net, &d, &w, &wp, true, &[0.5, 1.0]).unwrap();
+        assert!(rep.is_ok(), "{rep}");
+        assert!(rep.checks > 50, "suite ran only {} checks", rep.checks);
+    }
+
+    #[test]
+    fn sweep_suite_handles_fractional_weights_and_waypoints() {
+        let (net, demands) = diamond();
+        let w = WeightSetting::new(&net, vec![1.25, 1.0, 1.0, 1.25]).unwrap();
+        let mut wp = WaypointSetting::none(demands.len());
+        wp.set(0, vec![NodeId(2)]);
+        let rep = validate_sweep(&net, &demands, &w, &wp, false, &[1.0]).unwrap();
+        assert!(rep.is_ok(), "{rep}");
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod demand;
 pub mod ecmp;
 pub mod error;
 pub mod esflow;
+pub mod failure;
 pub mod hooks;
 pub mod incremental;
 pub mod instance;
@@ -45,7 +46,11 @@ pub use cost::{fortz_phi, max_link_utilization, utilizations};
 pub use demand::{Demand, DemandList};
 pub use ecmp::{LoadReport, Router, Segment};
 pub use error::TeError;
-pub use incremental::{IncrementalEvaluator, Probe};
+pub use failure::{
+    sweep_failures, FailurePattern, FailureSet, ScenarioOutcome, ScenarioResult, SweepReport,
+    WorstCaseCertificate,
+};
+pub use incremental::{DisableProbe, IncrementalEvaluator, Probe};
 pub use instance::TeInstance;
 pub use network::Network;
 pub use report::UtilizationReport;

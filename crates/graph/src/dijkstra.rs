@@ -20,6 +20,17 @@
 //! Integral weights make every finite distance an exact integer far below
 //! 2^53, so both engines compute bit-identical `f64` distance vectors and —
 //! through the shared [`dag_from_dist`] builder — bit-identical DAGs.
+//!
+//! Both engines, the DAG builder and the dynamic-repair path additionally
+//! honor an optional **disabled-edge mask** (`_masked` entry points): a
+//! disabled edge is skipped during relaxation and excluded from the
+//! tight-edge scan, which is *exactly* the arithmetic of deleting the edge
+//! and re-running from scratch — the remaining edges relax in the same order
+//! with the same `f64` operations, so masked results are bit-identical to
+//! the edge-deleted graph. This is how link failures are modelled: weights
+//! stay finite (the bucket queue keeps its `[1, MAX_DIAL_WEIGHT]` domain)
+//! and a failure is a mask bit, not a weight perturbation. Nodes cut off by
+//! a failure end at [`INFINITY`], a classified outcome rather than an error.
 
 use crate::digraph::{Digraph, EdgeId, NodeId};
 use crate::{approx_eq, EPS};
@@ -102,6 +113,24 @@ impl Ord for HeapEntry {
     }
 }
 
+/// `true` iff the mask marks edge `e` disabled. An empty mask (the common
+/// intact-topology case) disables nothing and costs one length check.
+#[inline]
+pub fn edge_disabled(disabled: &[bool], e: EdgeId) -> bool {
+    !disabled.is_empty() && disabled[e.index()]
+}
+
+/// A disabled-edge mask is either empty (nothing disabled) or one flag per
+/// edge — any other length is a construction bug upstream.
+fn check_mask(g: &Digraph, disabled: &[bool]) {
+    assert!(
+        disabled.is_empty() || disabled.len() == g.edge_count(),
+        "disabled mask length {} must be empty or match edge count {}",
+        disabled.len(),
+        g.edge_count()
+    );
+}
+
 /// Checks whether `weights` lies in the bucket-queue domain: every weight an
 /// exact integer in `[1, MAX_DIAL_WEIGHT]`, with all shortest-path sums
 /// (< `n` hops each) guaranteed to fit `u32`. Returns the maximum weight.
@@ -140,8 +169,16 @@ thread_local! {
 }
 
 /// Dial's algorithm: monotone Dijkstra over a ring of `wmax + 1` buckets.
-/// Requires `dial_weight_domain` to have accepted `weights`.
-fn dial_run(g: &Digraph, weights: &[f64], wmax: u32, target: NodeId) -> Vec<f64> {
+/// Requires `dial_weight_domain` to have accepted `weights`. The `MASKED`
+/// instantiation skips disabled edges during relaxation (monomorphized so
+/// the intact-topology loop carries no mask branch).
+fn dial_run<const MASKED: bool>(
+    g: &Digraph,
+    weights: &[f64],
+    wmax: u32,
+    target: NodeId,
+    disabled: &[bool],
+) -> Vec<f64> {
     let n = g.node_count();
     let ring_len = wmax as usize + 1;
     DIAL.with(|s| {
@@ -172,6 +209,9 @@ fn dial_run(g: &Digraph, weights: &[f64], wmax: u32, target: NodeId) -> Vec<f64>
                 // produce a key < cur, and strict-improvement pushes mean at
                 // most one live entry per (node, key) pair.
                 for &e in g.in_edges(NodeId(vi)) {
+                    if MASKED && disabled[e.index()] {
+                        continue;
+                    }
                     let u = g.src(e);
                     relaxations += 1;
                     let nd = cur as u32 + wi[e.index()];
@@ -199,8 +239,14 @@ fn dial_run(g: &Digraph, weights: &[f64], wmax: u32, target: NodeId) -> Vec<f64>
     })
 }
 
-/// The `BinaryHeap` engine, shared by both public entry points.
-fn heap_run(g: &Digraph, weights: &[f64], target: NodeId) -> Vec<f64> {
+/// The `BinaryHeap` engine, shared by both public entry points. As with
+/// [`dial_run`], the `MASKED` instantiation skips disabled edges.
+fn heap_run<const MASKED: bool>(
+    g: &Digraph,
+    weights: &[f64],
+    target: NodeId,
+    disabled: &[bool],
+) -> Vec<f64> {
     let n = g.node_count();
     let mut dist = vec![INFINITY; n];
     let mut done = vec![false; n];
@@ -221,6 +267,9 @@ fn heap_run(g: &Digraph, weights: &[f64], target: NodeId) -> Vec<f64> {
         done[v.index()] = true;
         // Relax incoming edges: a path u -> v -> ... -> target.
         for &e in g.in_edges(v) {
+            if MASKED && disabled[e.index()] {
+                continue;
+            }
             let u = g.src(e);
             let nd = d + weights[e.index()];
             relaxations += 1;
@@ -261,19 +310,65 @@ fn check_weights(g: &Digraph, weights: &[f64]) {
 /// link to a positive real).
 pub fn single_target_distances(g: &Digraph, weights: &[f64], target: NodeId) -> Vec<f64> {
     check_weights(g, weights);
+    run_engine(g, weights, target, &[])
+}
+
+/// [`single_target_distances`] under a disabled-edge mask: disabled edges
+/// are skipped exactly as if deleted (bit-identical distances — see module
+/// docs). An empty mask is the intact topology. Weights of disabled edges
+/// must still be valid (they are never read into a path sum but keep the
+/// bucket-queue weight domain decidable).
+pub fn single_target_distances_masked(
+    g: &Digraph,
+    weights: &[f64],
+    target: NodeId,
+    disabled: &[bool],
+) -> Vec<f64> {
+    check_weights(g, weights);
+    check_mask(g, disabled);
+    run_engine(g, weights, target, disabled)
+}
+
+/// Engine dispatch shared by the masked and unmasked entry points.
+fn run_engine(g: &Digraph, weights: &[f64], target: NodeId, disabled: &[bool]) -> Vec<f64> {
     if !heap_only() {
         if let Some(wmax) = dial_weight_domain(g.node_count(), weights) {
-            return dial_run(g, weights, wmax, target);
+            return if disabled.is_empty() {
+                dial_run::<false>(g, weights, wmax, target, disabled)
+            } else {
+                dial_run::<true>(g, weights, wmax, target, disabled)
+            };
         }
     }
-    heap_run(g, weights, target)
+    if disabled.is_empty() {
+        heap_run::<false>(g, weights, target, disabled)
+    } else {
+        heap_run::<true>(g, weights, target, disabled)
+    }
 }
 
 /// The `BinaryHeap` reference engine, exposed as the differential oracle for
 /// the bucket queue. Same contract as [`single_target_distances`].
 pub fn single_target_distances_heap(g: &Digraph, weights: &[f64], target: NodeId) -> Vec<f64> {
     check_weights(g, weights);
-    heap_run(g, weights, target)
+    heap_run::<false>(g, weights, target, &[])
+}
+
+/// The `BinaryHeap` oracle under a disabled-edge mask. Same contract as
+/// [`single_target_distances_masked`].
+pub fn single_target_distances_heap_masked(
+    g: &Digraph,
+    weights: &[f64],
+    target: NodeId,
+    disabled: &[bool],
+) -> Vec<f64> {
+    check_weights(g, weights);
+    check_mask(g, disabled);
+    if disabled.is_empty() {
+        heap_run::<false>(g, weights, target, disabled)
+    } else {
+        heap_run::<true>(g, weights, target, disabled)
+    }
 }
 
 /// The shortest-path DAG towards a fixed target node, stored in flat
@@ -357,7 +452,22 @@ pub fn csr_offsets(counts: &[u32]) -> Vec<u32> {
 /// workspace emit integral weights) classify ties exactly.
 pub fn shortest_path_dag(g: &Digraph, weights: &[f64], target: NodeId) -> SpDag {
     let dist = single_target_distances(g, weights, target);
-    dag_from_dist(g, weights, target, dist)
+    dag_from_dist(g, weights, target, dist, &[])
+}
+
+/// [`shortest_path_dag`] under a disabled-edge mask: disabled edges are
+/// excluded both from the distance computation and from the tight-edge scan
+/// (a disabled edge can be numerically tight — e.g. one of two parallel
+/// equal-weight links — but never carries flow). Bit-identical to building
+/// the DAG on a copy of the graph with the masked edges deleted.
+pub fn shortest_path_dag_masked(
+    g: &Digraph,
+    weights: &[f64],
+    target: NodeId,
+    disabled: &[bool],
+) -> SpDag {
+    let dist = single_target_distances_masked(g, weights, target, disabled);
+    dag_from_dist(g, weights, target, dist, disabled)
 }
 
 /// Per-thread scratch for [`dag_from_dist`]: the tight-edge list and the
@@ -397,6 +507,7 @@ fn dag_from_dist_cached(
     target: NodeId,
     dist: Vec<f64>,
     prev_order: Option<Vec<NodeId>>,
+    disabled: &[bool],
 ) -> SpDag {
     let n = g.node_count();
     let mut edge_on_dag = vec![false; g.edge_count()];
@@ -407,6 +518,9 @@ fn dag_from_dist_cached(
         counts.clear();
         counts.resize(n, 0);
         for (e, u, v) in g.edges() {
+            if edge_disabled(disabled, e) {
+                continue;
+            }
             let du = dist[u.index()];
             let dv = dist[v.index()];
             if du.is_finite() && dv.is_finite() && approx_eq(du, weights[e.index()] + dv) {
@@ -454,8 +568,14 @@ fn dag_from_dist_cached(
     })
 }
 
-fn dag_from_dist(g: &Digraph, weights: &[f64], target: NodeId, dist: Vec<f64>) -> SpDag {
-    dag_from_dist_cached(g, weights, target, dist, None)
+fn dag_from_dist(
+    g: &Digraph,
+    weights: &[f64],
+    target: NodeId,
+    dist: Vec<f64>,
+    disabled: &[bool],
+) -> SpDag {
+    dag_from_dist_cached(g, weights, target, dist, None, disabled)
 }
 
 /// Result of [`update_shortest_path_dag`]: how a single-edge weight change
@@ -538,16 +658,73 @@ pub fn update_shortest_path_dag(
     old_w: f64,
     frontier_cap: usize,
 ) -> SpDagUpdate {
+    update_shortest_path_dag_masked(g, weights, prev, e, old_w, frontier_cap, &[])
+}
+
+/// [`update_shortest_path_dag`] under a disabled-edge mask: `prev` must have
+/// been built under the same mask, and the repair keeps honoring it (skipped
+/// relaxations, masked tight-edge scan, masked fallback rebuild). A weight
+/// change on a *disabled* edge is a provable no-op and returns
+/// [`SpDagUpdate::Unchanged`].
+pub fn update_shortest_path_dag_masked(
+    g: &Digraph,
+    weights: &[f64],
+    prev: &SpDag,
+    e: EdgeId,
+    old_w: f64,
+    frontier_cap: usize,
+    disabled: &[bool],
+) -> SpDagUpdate {
+    check_mask(g, disabled);
+    if edge_disabled(disabled, e) {
+        // A failed link's weight is never read; the DAG cannot change.
+        return SpDagUpdate::Unchanged;
+    }
     let (u, v) = g.endpoints(e);
     let new_w = weights[e.index()];
     if new_w == old_w || !edge_change_affects_dag(prev, e, u, v, new_w) {
         return SpDagUpdate::Unchanged;
     }
     if new_w > old_w {
-        repair_increase(g, weights, prev, u, frontier_cap)
+        repair_increase(g, weights, prev, u, frontier_cap, disabled)
     } else {
-        repair_decrease(g, weights, prev, e, u, v, frontier_cap)
+        repair_decrease(g, weights, prev, e, u, v, frontier_cap, disabled)
     }
+}
+
+/// Repairs `prev` (built with edge `e` still enabled) after `e` is disabled.
+///
+/// Removing an edge can only lengthen paths, so this is the weight-increase
+/// repair pushed to its limit: if `e` is off the DAG the structure provably
+/// cannot change ([`SpDagUpdate::Unchanged`]); if the tail keeps its old
+/// distance through another tight edge only the structure is rebuilt
+/// (distances and topological order carry over verbatim); otherwise the
+/// affected set re-runs restricted Dijkstra under the mask. Nodes whose
+/// every path to the target used `e` end at [`INFINITY`] — a disconnection
+/// is a classified outcome, not an error.
+///
+/// `disabled` is the **new** mask and must have `disabled[e]` set; `prev`
+/// must have been built under the mask *without* `e`. With tie-exact
+/// weights the result is bit-identical to
+/// [`shortest_path_dag_masked`] under the new mask.
+pub fn disable_edge_update(
+    g: &Digraph,
+    weights: &[f64],
+    prev: &SpDag,
+    e: EdgeId,
+    frontier_cap: usize,
+    disabled: &[bool],
+) -> SpDagUpdate {
+    check_mask(g, disabled);
+    assert!(
+        edge_disabled(disabled, e),
+        "mask must cover the newly disabled edge {e:?}"
+    );
+    if !prev.edge_on_dag[e.index()] {
+        // Off-DAG removal: no path gets shorter, no tight edge appears.
+        return SpDagUpdate::Unchanged;
+    }
+    repair_increase(g, weights, prev, g.src(e), frontier_cap, disabled)
 }
 
 /// Weight increase on an on-DAG edge `e = (u, v)`.
@@ -564,6 +741,7 @@ fn repair_increase(
     prev: &SpDag,
     u: NodeId,
     frontier_cap: usize,
+    disabled: &[bool],
 ) -> SpDagUpdate {
     let n = g.node_count();
     // Remaining old-distance support per node: DAG out-edges still justified.
@@ -591,6 +769,7 @@ fn repair_increase(
             prev.target,
             prev.dist.clone(),
             Some(prev.order.clone()),
+            disabled,
         );
         return SpDagUpdate::Repaired(repaired, 0);
     }
@@ -599,7 +778,12 @@ fn repair_increase(
     while let Some(x) = queue.pop_front() {
         affected_nodes.push(x);
         if affected_nodes.len() > frontier_cap {
-            return SpDagUpdate::Rebuilt(shortest_path_dag(g, weights, prev.target));
+            return SpDagUpdate::Rebuilt(shortest_path_dag_masked(
+                g,
+                weights,
+                prev.target,
+                disabled,
+            ));
         }
         for &ein in g.in_edges(x) {
             if !prev.edge_on_dag[ein.index()] {
@@ -630,6 +814,9 @@ fn repair_increase(
     for &a in &affected_nodes {
         let mut best = INFINITY;
         for &eo in g.out_edges(a) {
+            if edge_disabled(disabled, eo) {
+                continue;
+            }
             let h = g.dst(eo);
             if affected[h.index()] || !dist[h.index()].is_finite() {
                 continue;
@@ -656,6 +843,9 @@ fn repair_increase(
         }
         done[x.index()] = true;
         for &ein in g.in_edges(x) {
+            if edge_disabled(disabled, ein) {
+                continue;
+            }
             let p = g.src(ein);
             if !affected[p.index()] || done[p.index()] {
                 continue;
@@ -669,7 +859,10 @@ fn repair_increase(
     }
 
     let touched = affected_nodes.len();
-    SpDagUpdate::Repaired(dag_from_dist(g, weights, prev.target, dist), touched)
+    SpDagUpdate::Repaired(
+        dag_from_dist(g, weights, prev.target, dist, disabled),
+        touched,
+    )
 }
 
 /// Weight decrease on `e = (u, v)` that reaches the current distance at `u`.
@@ -679,6 +872,7 @@ fn repair_increase(
 /// backwards from `u` with a Dijkstra-like frontier over strictly improving
 /// nodes — the classical decrease-only dynamic SSSP, whose work is bounded by
 /// the set of nodes that actually get closer.
+#[allow(clippy::too_many_arguments)] // internal repair kernel: one flat argument list keeps the hot path alloc-free
 fn repair_decrease(
     g: &Digraph,
     weights: &[f64],
@@ -687,6 +881,7 @@ fn repair_decrease(
     u: NodeId,
     v: NodeId,
     frontier_cap: usize,
+    disabled: &[bool],
 ) -> SpDagUpdate {
     let cand = weights[e.index()] + prev.dist[v.index()];
     let du = prev.dist[u.index()];
@@ -699,6 +894,7 @@ fn repair_decrease(
             prev.target,
             prev.dist.clone(),
             Some(prev.order.clone()),
+            disabled,
         );
         return SpDagUpdate::Repaired(repaired, 0);
     }
@@ -719,6 +915,9 @@ fn repair_decrease(
             continue; // superseded by a better improvement
         }
         for &ein in g.in_edges(x) {
+            if edge_disabled(disabled, ein) {
+                continue;
+            }
             let p = g.src(ein);
             let nd = d + weights[ein.index()];
             if nd + EPS < dist[p.index()] {
@@ -727,14 +926,22 @@ fn repair_decrease(
                     improved[p.index()] = true;
                     touched += 1;
                     if touched > frontier_cap {
-                        return SpDagUpdate::Rebuilt(shortest_path_dag(g, weights, prev.target));
+                        return SpDagUpdate::Rebuilt(shortest_path_dag_masked(
+                            g,
+                            weights,
+                            prev.target,
+                            disabled,
+                        ));
                     }
                 }
                 heap.push(HeapEntry { dist: nd, node: p });
             }
         }
     }
-    SpDagUpdate::Repaired(dag_from_dist(g, weights, prev.target, dist), touched)
+    SpDagUpdate::Repaired(
+        dag_from_dist(g, weights, prev.target, dist, disabled),
+        touched,
+    )
 }
 
 #[cfg(test)]
@@ -998,6 +1205,180 @@ mod tests {
         assert!(matches!(upd, SpDagUpdate::Rebuilt(_)));
         let scratch = shortest_path_dag(&g, &w_new, NodeId(3));
         assert_same_dag(&upd.into_dag().unwrap(), &scratch, "fallback rebuild");
+    }
+
+    /// A copy of `g` with the masked edges actually deleted, plus the map
+    /// from old edge ids to the ids in the copy (`None` for deleted edges).
+    fn delete_masked(g: &Digraph, disabled: &[bool]) -> (Digraph, Vec<Option<EdgeId>>) {
+        let mut h = Digraph::new(g.node_count());
+        let mut map = vec![None; g.edge_count()];
+        for (e, u, v) in g.edges() {
+            if !disabled[e.index()] {
+                map[e.index()] = Some(h.add_edge(u, v));
+            }
+        }
+        (h, map)
+    }
+
+    /// Masked DAG on `g` vs scratch DAG on the edge-deleted copy: dist,
+    /// order and CSR offsets compare directly (node ids are stable), edge
+    /// structures compare through the id map.
+    fn assert_masked_matches_deleted(
+        g: &Digraph,
+        w: &[f64],
+        disabled: &[bool],
+        target: NodeId,
+        ctx: &str,
+    ) {
+        let (h, map) = delete_masked(g, disabled);
+        let wh: Vec<f64> = (0..g.edge_count())
+            .filter(|&i| map[i].is_some())
+            .map(|i| w[i])
+            .collect();
+        let masked = shortest_path_dag_masked(g, w, target, disabled);
+        let deleted = shortest_path_dag(&h, &wh, target);
+        let bits = |d: &[f64]| d.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&masked.dist), bits(&deleted.dist), "{ctx}: dist");
+        assert_eq!(masked.order, deleted.order, "{ctx}: order");
+        assert_eq!(masked.dag_start, deleted.dag_start, "{ctx}: CSR offsets");
+        let mapped: Vec<EdgeId> = masked
+            .dag_edges
+            .iter()
+            .map(|&e| map[e.index()].expect("disabled edge on masked DAG"))
+            .collect();
+        assert_eq!(mapped, deleted.dag_edges, "{ctx}: CSR edge slab");
+        for (e, on) in masked.edge_on_dag.iter().enumerate() {
+            match map[e] {
+                Some(ne) => assert_eq!(*on, deleted.edge_on_dag[ne.index()], "{ctx}: edge {e}"),
+                None => assert!(!on, "{ctx}: disabled edge {e} flagged on-DAG"),
+            }
+        }
+        // Both engines agree under the mask, bit for bit.
+        let heap = single_target_distances_heap_masked(g, w, target, disabled);
+        assert_eq!(bits(&masked.dist), bits(&heap), "{ctx}: dial vs heap");
+    }
+
+    #[test]
+    fn masked_matches_deleted_graph_randomized() {
+        let mut state = 0x5eed_f00d_dead_beefu64;
+        for _ in 0..25 {
+            let n = 5 + (xorshift(&mut state) % 10) as usize;
+            let g = random_graph(&mut state, n);
+            let m = g.edge_count();
+            let w: Vec<f64> = (0..m)
+                .map(|_| (1 + xorshift(&mut state) % 10) as f64)
+                .collect();
+            // Single and double failures, including disconnecting ones.
+            let mut disabled = vec![false; m];
+            disabled[(xorshift(&mut state) % m as u64) as usize] = true;
+            let target = NodeId((xorshift(&mut state) % n as u64) as u32);
+            assert_masked_matches_deleted(&g, &w, &disabled, target, "single");
+            disabled[(xorshift(&mut state) % m as u64) as usize] = true;
+            assert_masked_matches_deleted(&g, &w, &disabled, target, "double");
+        }
+    }
+
+    #[test]
+    fn masked_disconnection_is_infinity_not_error() {
+        // Chain 0 -> 1 -> 2: disabling the middle edge cuts 0 and 1 off.
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let w = vec![1.0, 1.0];
+        let dag = shortest_path_dag_masked(&g, &w, NodeId(2), &[false, true]);
+        assert!(!dag.reaches_target(NodeId(0)));
+        assert!(!dag.reaches_target(NodeId(1)));
+        assert!(dag.reaches_target(NodeId(2)));
+        assert_eq!(dag.order, vec![NodeId(2)]);
+    }
+
+    /// Disables one edge both via [`disable_edge_update`] and from scratch
+    /// under the mask and checks the repaired DAG matches bit-for-bit.
+    fn check_disable(g: &Digraph, w: &[f64], e: EdgeId, target: NodeId, cap: usize) {
+        let prev = shortest_path_dag(g, w, target);
+        let mut disabled = vec![false; g.edge_count()];
+        disabled[e.index()] = true;
+        let scratch = shortest_path_dag_masked(g, w, target, &disabled);
+        let got = match disable_edge_update(g, w, &prev, e, cap, &disabled) {
+            SpDagUpdate::Unchanged => prev,
+            SpDagUpdate::Repaired(d, _) | SpDagUpdate::Rebuilt(d) => d,
+        };
+        assert_same_dag(
+            &got,
+            &scratch,
+            &format!("disable e={e:?} target={target:?}"),
+        );
+    }
+
+    #[test]
+    fn disable_update_matches_scratch_randomized() {
+        let mut state = 0x000f_aded_cafe_1234_u64;
+        for _ in 0..25 {
+            let n = 5 + (xorshift(&mut state) % 10) as usize;
+            let g = random_graph(&mut state, n);
+            let m = g.edge_count();
+            let w: Vec<f64> = (0..m)
+                .map(|_| (1 + xorshift(&mut state) % 10) as f64)
+                .collect();
+            let target = NodeId((xorshift(&mut state) % n as u64) as u32);
+            for _ in 0..6 {
+                let e = EdgeId((xorshift(&mut state) % m as u64) as u32);
+                check_disable(&g, &w, e, target, usize::MAX);
+                check_disable(&g, &w, e, target, 2); // bounded-cap fallback
+            }
+        }
+    }
+
+    #[test]
+    fn disable_disconnecting_edge_repairs_to_infinity() {
+        // Chain 0 -> 1 -> 2 -> 3 plus a chord 1 -> 3: killing 2 -> 3 leaves
+        // node 2 disconnected while 0 and 1 reroute over the chord.
+        let mut g = Digraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(1), NodeId(3));
+        let w = vec![1.0, 1.0, 1.0, 5.0];
+        check_disable(&g, &w, EdgeId(2), NodeId(3), usize::MAX);
+        let prev = shortest_path_dag(&g, &w, NodeId(3));
+        let disabled = vec![false, false, true, false];
+        let upd = disable_edge_update(&g, &w, &prev, EdgeId(2), usize::MAX, &disabled);
+        let dag = upd.into_dag().expect("on-DAG edge must dirty the DAG");
+        assert!(!dag.reaches_target(NodeId(2)));
+        assert_eq!(dag.dist[1], 5.0); // rerouted over the chord
+    }
+
+    #[test]
+    fn masked_weight_update_matches_masked_scratch() {
+        // A weight change under a base failure mask must repair to the same
+        // DAG a masked scratch build produces.
+        let mut state = 0xabcd_ef01_2345u64;
+        for _ in 0..20 {
+            let n = 6 + (xorshift(&mut state) % 6) as usize;
+            let g = random_graph(&mut state, n);
+            let m = g.edge_count();
+            let mut w: Vec<f64> = (0..m)
+                .map(|_| (1 + xorshift(&mut state) % 10) as f64)
+                .collect();
+            let mut disabled = vec![false; m];
+            disabled[(xorshift(&mut state) % m as u64) as usize] = true;
+            let target = NodeId((xorshift(&mut state) % n as u64) as u32);
+            for _ in 0..5 {
+                let e = EdgeId((xorshift(&mut state) % m as u64) as u32);
+                let new_w = (1 + xorshift(&mut state) % 10) as f64;
+                let prev = shortest_path_dag_masked(&g, &w, target, &disabled);
+                let old_w = w[e.index()];
+                w[e.index()] = new_w;
+                let scratch = shortest_path_dag_masked(&g, &w, target, &disabled);
+                let upd =
+                    update_shortest_path_dag_masked(&g, &w, &prev, e, old_w, usize::MAX, &disabled);
+                let got = match upd {
+                    SpDagUpdate::Unchanged => prev,
+                    SpDagUpdate::Repaired(d, _) | SpDagUpdate::Rebuilt(d) => d,
+                };
+                assert_same_dag(&got, &scratch, &format!("masked update e={e:?}"));
+            }
+        }
     }
 
     #[test]

@@ -2,8 +2,10 @@
 
 use segrout_core::rng::StdRng;
 use segrout_core::{max_link_utilization, Network, NodeId, Router, TeError, WeightSetting};
+use segrout_graph::{shortest_path_dag_masked, SpDag};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// One simulated flow: `rate` units from `src` to `dst`, carried by
 /// `streams` parallel TCP streams, optionally via waypoints.
@@ -68,10 +70,11 @@ impl<'n> HashEcmpSim<'n> {
     }
 
     /// Runs one experiment with a set of failed links: the IGP reconverges
-    /// (failed links leave every shortest path; segment routing follows the
-    /// post-failure shortest paths between waypoints), then the streams are
-    /// measured. A stream whose segment destination becomes unreachable is
-    /// a hard error.
+    /// (failed links are masked out of every shortest-path DAG, exactly as
+    /// if deleted; segment routing follows the post-failure shortest paths
+    /// between waypoints), then the streams are measured. A stream whose
+    /// segment destination becomes unreachable is a hard error naming the
+    /// severed `(src, dst)` segment.
     ///
     /// # Errors
     /// Fails when a failure disconnects a segment.
@@ -84,33 +87,11 @@ impl<'n> HashEcmpSim<'n> {
         if failed.is_empty() {
             return self.run(flows, cfg);
         }
-        // Re-weight: failed links get a weight no shortest path can afford
-        // unless the destination is otherwise unreachable — in which case
-        // the stream walk would traverse a failed link and we error out.
-        let total: f64 = self.router.weights().iter().sum();
-        let big = total + 1.0;
-        let mut w = self.router.weights().to_vec();
+        let mut disabled = vec![false; self.net.edge_count()];
         for e in failed {
-            w[e.index()] = big;
+            disabled[e.index()] = true;
         }
-        let weights = WeightSetting::new(self.net, w).expect("positive weights stay positive");
-        let failed_mask = {
-            let mut m = vec![false; self.net.edge_count()];
-            for e in failed {
-                m[e.index()] = true;
-            }
-            m
-        };
-        let sub = HashEcmpSim::new(self.net, &weights);
-        let report = sub.run(flows, cfg)?;
-        for (e, &is_failed) in failed_mask.iter().enumerate() {
-            if is_failed && report.loads[e] > 0.0 {
-                // The only shortest path used a failed link: disconnected.
-                let (u, v) = self.net.graph().endpoints(segrout_core::EdgeId(e as u32));
-                return Err(TeError::Unroutable { src: u, dst: v });
-            }
-        }
-        Ok(report)
+        self.run_masked(flows, cfg, &disabled)
     }
 
     /// Runs one experiment: all flows start, run to steady state, and the
@@ -120,9 +101,23 @@ impl<'n> HashEcmpSim<'n> {
     /// # Errors
     /// Fails when a stream cannot reach (one of) its segment destinations.
     pub fn run(&self, flows: &[SimFlow], cfg: &SimConfig) -> Result<SimReport, TeError> {
+        self.run_masked(flows, cfg, &[])
+    }
+
+    /// The shared run body: routes over the router's cached DAGs on the
+    /// intact topology, or over masked DAGs (failed links excluded from the
+    /// Dijkstra, not re-weighted) when `disabled` is non-empty. `cache`
+    /// holds the per-destination masked DAGs for the run.
+    fn run_masked(
+        &self,
+        flows: &[SimFlow],
+        cfg: &SimConfig,
+        disabled: &[bool],
+    ) -> Result<SimReport, TeError> {
         let mut loads = vec![0.0; self.net.edge_count()];
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let salt: u64 = rng.gen();
+        let mut cache: Vec<Option<Arc<SpDag>>> = vec![None; self.net.node_count()];
 
         for (fid, flow) in flows.iter().enumerate() {
             assert!(flow.streams >= 1, "flows need at least one stream");
@@ -134,7 +129,9 @@ impl<'n> HashEcmpSim<'n> {
                     if seg_dst == cur {
                         continue;
                     }
+                    let dag = self.dag_for(&mut cache, seg_dst, disabled);
                     self.route_stream(
+                        &dag,
                         cur,
                         seg_dst,
                         per_stream,
@@ -156,20 +153,41 @@ impl<'n> HashEcmpSim<'n> {
         Ok(SimReport { loads, mlu })
     }
 
-    /// Walks one stream from `src` to `dst`, hashing at every hop over the
-    /// ECMP next-hop set (the Linux `fib_multipath_hash_policy=1` L4 hash
-    /// keys on the 5-tuple, constant along the path — modelled by the
-    /// stream key — and is implementation-salted per router — modelled by
-    /// hashing in the node id).
+    /// Returns the routing DAG towards `dst`: the router's cached DAG on the
+    /// intact topology, or a run-local masked DAG when links are disabled.
+    fn dag_for(
+        &self,
+        cache: &mut [Option<Arc<SpDag>>],
+        dst: NodeId,
+        disabled: &[bool],
+    ) -> Arc<SpDag> {
+        if disabled.is_empty() {
+            return self.router.dag(dst);
+        }
+        Arc::clone(cache[dst.index()].get_or_insert_with(|| {
+            Arc::new(shortest_path_dag_masked(
+                self.net.graph(),
+                self.router.weights(),
+                dst,
+                disabled,
+            ))
+        }))
+    }
+
+    /// Walks one stream from `src` to `dst` over `dag`, hashing at every hop
+    /// over the ECMP next-hop set (the Linux `fib_multipath_hash_policy=1`
+    /// L4 hash keys on the 5-tuple, constant along the path — modelled by
+    /// the stream key — and is implementation-salted per router — modelled
+    /// by hashing in the node id).
     fn route_stream(
         &self,
+        dag: &SpDag,
         src: NodeId,
         dst: NodeId,
         rate: f64,
         stream_key: u64,
         loads: &mut [f64],
     ) -> Result<(), TeError> {
-        let dag = self.router.dag(dst);
         if !dag.reaches_target(src) {
             return Err(TeError::Unroutable { src, dst });
         }
@@ -486,6 +504,61 @@ mod tests {
         assert!(sim
             .run_with_failures(&flows, &no_noise(), &[segrout_core::EdgeId(1)])
             .is_err());
+    }
+
+    #[test]
+    fn failure_run_matches_deleted_topology_bitwise() {
+        // Masked routing must be indistinguishable from simulating on a
+        // network rebuilt without the failed links: same hash picks, same
+        // loads bit for bit (modulo the edge-id shift from deletion).
+        let mut b = Network::builder(5);
+        b.link(NodeId(0), NodeId(1), 1.0); // e0 (fails)
+        b.link(NodeId(1), NodeId(4), 1.0); // e1
+        b.link(NodeId(0), NodeId(2), 1.0); // e2
+        b.link(NodeId(2), NodeId(4), 1.0); // e3
+        b.link(NodeId(0), NodeId(3), 1.0); // e4
+        b.link(NodeId(3), NodeId(4), 1.0); // e5 (fails)
+        let net = b.build().unwrap();
+        let w = WeightSetting::unit(&net);
+        let sim = HashEcmpSim::new(&net, &w);
+        let flows = vec![SimFlow {
+            src: NodeId(0),
+            dst: NodeId(4),
+            rate: 3.0,
+            streams: 16,
+            waypoints: vec![],
+        }];
+        let masked = sim
+            .run_with_failures(
+                &flows,
+                &no_noise(),
+                &[segrout_core::EdgeId(0), segrout_core::EdgeId(5)],
+            )
+            .unwrap();
+
+        let mut b2 = Network::builder(5);
+        b2.link(NodeId(1), NodeId(4), 1.0);
+        b2.link(NodeId(0), NodeId(2), 1.0);
+        b2.link(NodeId(2), NodeId(4), 1.0);
+        b2.link(NodeId(0), NodeId(3), 1.0);
+        let net2 = b2.build().unwrap();
+        let w2 = WeightSetting::unit(&net2);
+        let sim2 = HashEcmpSim::new(&net2, &w2);
+        let deleted = sim2.run(&flows, &no_noise()).unwrap();
+
+        // Surviving edges e1..e4 of `net` map to e0..e3 of `net2`.
+        for (old, new) in [(1usize, 0usize), (2, 1), (3, 2), (4, 3)] {
+            assert_eq!(
+                masked.loads[old].to_bits(),
+                deleted.loads[new].to_bits(),
+                "edge {old}: {} vs {}",
+                masked.loads[old],
+                deleted.loads[new]
+            );
+        }
+        assert_eq!(masked.loads[0], 0.0, "failed link carries nothing");
+        assert_eq!(masked.loads[5], 0.0, "failed link carries nothing");
+        assert_eq!(masked.mlu.to_bits(), deleted.mlu.to_bits());
     }
 
     #[test]

@@ -95,6 +95,21 @@ SEGROUT_THREADS=4 ./target/release/segrout fuzz --seed 1042 --cases 60 --fast \
 echo "==> bench_robust (writes BENCH_robust_fast.json)"
 SEGROUT_FAST=1 ./target/release/bench_robust
 
+# Failure-sweep gate: the edge-disable probe must stay bit-identical to
+# from-scratch re-routing on the edge-deleted topology, under both the
+# serial and the parallel pool and with both Dijkstra engines (the suite
+# itself iterates the engine toggle).
+echo "==> failure-sweep differential suite (SEGROUT_THREADS=1 and =4)"
+SEGROUT_THREADS=1 cargo test -q --test failure_differential
+SEGROUT_THREADS=4 cargo test -q --test failure_differential
+
+# Failure-sweep throughput record (full numbers live in EXPERIMENTS.md;
+# the smoke run checks the bench path, the disconnect classification and
+# that the record lands on disk).
+echo "==> bench_failsweep (writes BENCH_failsweep_fast.json)"
+SEGROUT_FAST=1 ./target/release/bench_failsweep
+test -s BENCH_failsweep_fast.json || { echo "BENCH_failsweep_fast.json missing"; exit 1; }
+
 # Flight-recorder leg: a traced Germany50 optimization must produce a
 # parseable convergence trace, a schema-1 run artifact, a collapsed-stack
 # profile, and telemetry free of undocumented metric names; the artifact

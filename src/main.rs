@@ -10,12 +10,12 @@
 //! ```
 
 use segrout::algos::{
-    greedy_wpo, greedy_wpo_robust, heur_ospf, heur_ospf_robust, joint_heur, joint_heur_robust,
-    GreedyWpoConfig, HeurOspfConfig, JointHeurConfig,
+    greedy_wpo, greedy_wpo_robust, heur_ospf, heur_ospf_failure_robust, heur_ospf_robust,
+    joint_heur, joint_heur_robust, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig,
 };
 use segrout::core::{
-    evaluate_robust, Network, RobustObjective, Router, UtilizationReport, WaypointSetting,
-    WeightSetting,
+    evaluate_robust, sweep_failures, FailureSet, Network, RobustObjective, Router,
+    UtilizationReport, WaypointSetting, WeightSetting,
 };
 use segrout::instances::{instance1, instance2, instance3, instance4, instance5, PaperInstance};
 use segrout::topo::{by_name, parse_graphml, parse_sndlib_xml, TOPOLOGY_NAMES};
@@ -52,6 +52,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "topo" => cmd_topo(&args[1..]),
         "optimize" => cmd_optimize(&flags),
+        "sweep" => cmd_sweep(&flags),
         "gaps" => cmd_gaps(&flags),
         "parse" => cmd_parse(&flags),
         "fuzz" => cmd_fuzz(&flags),
@@ -94,6 +95,15 @@ USAGE:
                    against a set of K traffic matrices (default 4) under the
                    worst-case or quantile objective (default worst)
                    [--save <config-file>] [--load <config-file>]
+  segrout sweep --topology <name> [--traffic mcf|gravity] [--seed N] [--pairs F]
+                [--algorithm unit|invcap|heurospf|greedywpo|joint|failrobust]
+                [--doubles] [--scalings 0.8,1.0,1.2] [--robust worst|q<value>]
+                [--restarts N] [--passes N] [--sweep-out <file.json>]
+                enumerate all single-link (with --doubles also double-link)
+                failure scenarios x demand scalings, evaluate each via the
+                edge-disable probe engine, and print the MLU distribution
+                plus the worst-case certificate; 'failrobust' optimizes the
+                weights for the worst surviving scenario before sweeping
   segrout gaps --instance 1|2|3|4|5 [--m N]
   segrout parse (--sndlib <file> | --graphml <file>)
   segrout fuzz [--seed N] [--cases N] [--no-shrink] [--corpus <dir>] [--fast]
@@ -369,6 +379,11 @@ const METRIC_CATALOG: &[(&str, &str, &str)] = &[
         "counter",
         "destinations repaired by the incremental engine",
     ),
+    (
+        "incr.disable_probes",
+        "counter",
+        "incremental edge-disable (failure-scenario) probes",
+    ),
     ("incr.probes", "counter", "incremental single-edge probes"),
     ("incr.repairs", "counter", "incremental commit repairs"),
     (
@@ -440,6 +455,21 @@ const METRIC_CATALOG: &[(&str, &str, &str)] = &[
     ),
     ("simplex.pivots", "counter", "simplex pivot operations"),
     (
+        "sweep.disconnects",
+        "counter",
+        "failure scenarios classified as disconnecting",
+    ),
+    (
+        "sweep.scenarios",
+        "counter",
+        "failure scenarios evaluated by the sweep engine",
+    ),
+    (
+        "sweep.worst_mlu",
+        "gauge",
+        "worst-case MLU over all evaluated failure scenarios",
+    ),
+    (
         "simplex.refactorizations",
         "counter",
         "basis refactorizations",
@@ -460,11 +490,13 @@ const SPAN_CATALOG: &[&str] = &[
     "joint_heur",
     "lwo_apx",
     "mcf",
+    "heurospf_fail",
     "optimize",
     "par.batch",
     "reopt.joint",
     "reopt.weights",
     "simplex",
+    "sweep",
 ];
 
 fn cmd_catalog(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -653,6 +685,238 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
     segrout::obs::gauge("run.mlu").set(report.mlu);
     println!("\nrun summary:\n{}", segrout::obs::summary_table());
     Ok(())
+}
+
+/// `segrout sweep`: enumerates link-failure scenarios, evaluates each one
+/// through the edge-disable probe engine, and prints the MLU distribution
+/// plus the worst-case certificate. `--sweep-out` writes the full
+/// per-scenario record as a schema'd JSON artifact.
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    // Pre-register the sweep metric catalog so every run reports the same
+    // names (zero-valued when nothing fired).
+    for name in [
+        "sweep.scenarios",
+        "sweep.disconnects",
+        "incr.disable_probes",
+        "incr.probes",
+        "ecmp.recomputes",
+        "dijkstra.runs",
+    ] {
+        segrout::obs::counter(name);
+    }
+    let topo_name = flags
+        .get("topology")
+        .map(String::as_str)
+        .unwrap_or("Abilene");
+    let net = by_name(topo_name).ok_or_else(|| format!("unknown topology '{topo_name}'"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let pairs: f64 = flags
+        .get("pairs")
+        .map(|s| s.parse().map_err(|_| "bad --pairs"))
+        .transpose()?
+        .unwrap_or(0.2);
+    let cfg = TrafficConfig {
+        seed,
+        pair_fraction: pairs,
+        ..Default::default()
+    };
+    let demands = match flags.get("traffic").map(String::as_str).unwrap_or("mcf") {
+        "mcf" => mcf_synthetic(&net, &cfg),
+        "gravity" => gravity(&net, &cfg),
+        other => return Err(format!("unknown traffic model '{other}'")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let doubles = flags.contains_key("doubles");
+    let scalings: Vec<f64> = match flags.get("scalings") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .ok_or_else(|| format!("--scalings: '{s}' is not a positive number"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![1.0],
+    };
+    let robust = flags
+        .get("robust")
+        .map(|s| RobustObjective::parse(s))
+        .transpose()?
+        .unwrap_or(RobustObjective::WorstCase);
+    let set = FailureSet::enumerate(&net, doubles);
+    println!(
+        "{topo_name}: {} nodes, {} directed links ({} undirected); {} demands totalling {:.1}",
+        net.node_count(),
+        net.edge_count(),
+        set.link_count(),
+        demands.len(),
+        demands.total_size()
+    );
+    println!(
+        "failure set: {} patterns ({}) x {} scaling(s) = {} scenarios",
+        set.len(),
+        if doubles {
+            "singles + doubles"
+        } else {
+            "singles"
+        },
+        scalings.len(),
+        set.len() * scalings.len()
+    );
+
+    let algorithm = flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("heurospf");
+    let ospf = ospf_config(flags, seed)?;
+    let (weights, waypoints) = {
+        let _span = segrout::obs::span("optimize");
+        if algorithm == "failrobust" {
+            let w = heur_ospf_failure_robust(&net, &demands, &set, robust, &ospf);
+            (w, WaypointSetting::none(demands.len()))
+        } else {
+            run_algorithm(&net, &demands, algorithm, &ospf)?
+        }
+    };
+    println!("algorithm: {algorithm}");
+
+    let rep = {
+        let _span = segrout::obs::span("sweep");
+        sweep_failures(&net, &weights, &demands, &waypoints, &set, &scalings)
+            .map_err(|e| e.to_string())?
+    };
+    for (i, &s) in rep.scalings.iter().enumerate() {
+        println!("intact MLU @ x{s:<5.2} = {:.4}", rep.base_mlu[i]);
+    }
+    println!(
+        "\n{} scenarios: {} evaluated, {} disconnecting",
+        rep.scenarios, rep.evaluated, rep.disconnects
+    );
+    let dist = rep.mlu_distribution();
+    if !dist.is_empty() {
+        let q = |p: f64| RobustObjective::Quantile(p).aggregate(&dist);
+        println!(
+            "failure MLU distribution: min {:.4}  p50 {:.4}  p90 {:.4}  p99 {:.4}  max {:.4}",
+            dist[0],
+            q(0.5),
+            q(0.9),
+            q(0.99),
+            dist[dist.len() - 1]
+        );
+        println!(
+            "objective ({robust:?}) MLU: {:.4}",
+            rep.aggregate_mlu(robust).expect("non-empty distribution")
+        );
+    }
+    if let Some(w) = &rep.worst {
+        let (u, v) = net.graph().endpoints(w.bottleneck);
+        println!(
+            "\nworst case: fail {{{}}} @ x{:.2} -> MLU {:.4}",
+            set.pattern_label(&net, w.pattern),
+            w.scale,
+            w.mlu
+        );
+        println!(
+            "  bottleneck {} -> {}: load {:.1} / capacity {:.1}",
+            net.node_name(u),
+            net.node_name(v),
+            w.bottleneck_load,
+            net.capacity(w.bottleneck)
+        );
+        segrout::obs::gauge("run.mlu").set(w.mlu);
+    }
+    if let Some(path) = flags.get("sweep-out") {
+        let artifact = sweep_artifact(&net, topo_name, algorithm, &set, &rep);
+        std::fs::write(path, artifact.render()).map_err(|e| format!("{path}: {e}"))?;
+        println!("\nsweep artifact written to {path}");
+    }
+    println!("\nrun summary:\n{}", segrout::obs::summary_table());
+    Ok(())
+}
+
+/// Renders a [`segrout::core::SweepReport`] as the schema'd sweep artifact
+/// (`segrout.sweep/1`): sweep-level aggregates plus one row per scenario.
+fn sweep_artifact(
+    net: &Network,
+    topology: &str,
+    algorithm: &str,
+    set: &FailureSet,
+    rep: &segrout::core::SweepReport,
+) -> segrout::obs::Json {
+    use segrout::core::ScenarioOutcome;
+    use segrout::obs::Json;
+    let rows: Vec<Json> = rep
+        .results
+        .iter()
+        .map(|r| {
+            let mut fields = vec![
+                ("pattern", Json::from(set.pattern_label(net, r.pattern))),
+                ("scaling", Json::from(rep.scalings[r.scaling])),
+            ];
+            match r.outcome {
+                ScenarioOutcome::Evaluated {
+                    mlu,
+                    phi,
+                    dirty_dests,
+                } => {
+                    fields.push(("outcome", Json::from("evaluated")));
+                    fields.push(("mlu", Json::from(mlu)));
+                    fields.push(("phi", Json::from(phi)));
+                    fields.push(("dirty_dests", Json::from(dirty_dests as f64)));
+                }
+                ScenarioOutcome::Disconnected { src, dst } => {
+                    fields.push(("outcome", Json::from("disconnected")));
+                    fields.push(("severed_src", Json::from(net.node_name(src))));
+                    fields.push(("severed_dst", Json::from(net.node_name(dst))));
+                }
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    let worst = rep.worst.as_ref().map_or(Json::Null, |w| {
+        let (u, v) = net.graph().endpoints(w.bottleneck);
+        Json::obj([
+            ("pattern", Json::from(set.pattern_label(net, w.pattern))),
+            ("scaling", Json::from(w.scale)),
+            ("mlu", Json::from(w.mlu)),
+            (
+                "bottleneck",
+                Json::from(format!("{} -> {}", net.node_name(u), net.node_name(v))),
+            ),
+            ("bottleneck_load", Json::from(w.bottleneck_load)),
+            (
+                "bottleneck_capacity",
+                Json::from(net.capacity(w.bottleneck)),
+            ),
+        ])
+    });
+    segrout::obs::attach_provenance(Json::obj([
+        ("schema", Json::from("segrout.sweep/1")),
+        ("topology", Json::from(topology)),
+        ("algorithm", Json::from(algorithm)),
+        ("links", Json::from(rep.link_count as f64)),
+        ("patterns", Json::from(rep.patterns as f64)),
+        (
+            "scalings",
+            Json::arr(rep.scalings.iter().map(|&s| Json::from(s))),
+        ),
+        ("scenarios", Json::from(rep.scenarios as f64)),
+        ("evaluated", Json::from(rep.evaluated as f64)),
+        ("disconnects", Json::from(rep.disconnects as f64)),
+        (
+            "base_mlu",
+            Json::arr(rep.base_mlu.iter().map(|&m| Json::from(m))),
+        ),
+        ("worst", worst),
+        ("results", Json::arr(rows)),
+    ]))
 }
 
 /// Shared `--restarts`/`--passes` parsing for the weight-search stages.

@@ -30,6 +30,7 @@ pub mod joint_heur;
 pub mod lwo_apx;
 pub mod mcf;
 pub mod reopt;
+pub mod serve;
 pub mod wpo_local;
 
 pub use dag_weights::dag_realizing_weights;
@@ -41,7 +42,8 @@ pub use joint_heur::{joint_heur, joint_heur_robust, JointHeurConfig, JointHeurRe
 pub use lwo_apx::{lwo_apx, LwoApxResult};
 pub use mcf::{max_concurrent_flow, McfResult};
 pub use reopt::{
-    reoptimize_joint, reoptimize_unconstrained, reoptimize_weights, weight_distance,
-    ReoptimizeConfig, ReoptimizeResult,
+    reoptimize_joint, reoptimize_unconstrained, reoptimize_weights, reoptimize_weights_on,
+    round_deployed, weight_distance, EvaluatorReopt, ReoptimizeConfig, ReoptimizeResult,
 };
+pub use serve::{ServeConfig, ServeEvent, ServeResponse, ServeSession, ServeStats, ServeTier};
 pub use wpo_local::{wpo_local_search, WpoLocalConfig};

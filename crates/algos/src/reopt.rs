@@ -19,7 +19,8 @@ use crate::greedy_wpo::{greedy_wpo, GreedyWpoConfig};
 use crate::heur_ospf::{heur_ospf, HeurOspfConfig, Objective};
 use segrout_core::rng::{SliceRandom, StdRng};
 use segrout_core::{
-    fortz_phi, DemandList, Network, Router, TeError, WaypointSetting, WeightSetting,
+    DemandList, EdgeId, IncrementalEvaluator, Network, Router, TeError, WaypointSetting,
+    WeightSetting,
 };
 use segrout_obs::{event, Level};
 
@@ -68,53 +69,84 @@ pub fn weight_distance(a: &WeightSetting, b: &WeightSetting) -> usize {
         .count()
 }
 
-fn score(net: &Network, demands: &DemandList, weights: &[u32], objective: Objective) -> (f64, f64) {
-    let w = WeightSetting::new(net, weights.iter().map(|&x| x as f64).collect())
-        .expect("integer weights are valid");
-    let router = Router::new(net, &w);
-    match router.evaluate(demands, &WaypointSetting::none(demands.len())) {
-        Err(_) => (f64::INFINITY, f64::INFINITY),
-        Ok(r) => {
-            let phi = fortz_phi(&r.loads, net.capacities());
-            match objective {
-                Objective::PhiThenMlu => (phi, r.mlu),
-                Objective::MluThenPhi => (r.mlu, phi),
-            }
-        }
-    }
+/// Rounds a deployed weight setting into the integer range `[1,
+/// max_weight]` — re-optimization assumes the deployed setting came from the
+/// same toolchain, which emits integral weights.
+pub fn round_deployed(net: &Network, deployed: &WeightSetting, max_weight: u32) -> WeightSetting {
+    WeightSetting::new(
+        net,
+        deployed
+            .as_slice()
+            .iter()
+            .map(|&w| (w.round() as u32).clamp(1, max_weight) as f64)
+            .collect(),
+    )
+    .expect("rounded integer weights are valid")
 }
 
-/// Re-optimizes link weights for `demands` starting from the deployed
-/// setting, changing at most `cfg.max_weight_changes` link weights.
+/// Outcome of [`reoptimize_weights_on`]: the accepted weight setting plus
+/// the search's bookkeeping (the evaluator itself is left committed on
+/// exactly these weights).
+#[derive(Clone, Debug)]
+pub struct EvaluatorReopt {
+    /// The new weight setting (within the change budget of the base).
+    pub weights: WeightSetting,
+    /// MLU under the new setting (bit-identical to the evaluator's).
+    pub mlu: f64,
+    /// Fortz–Thorup Φ under the new setting.
+    pub phi: f64,
+    /// Number of links whose weight changed vs the base setting.
+    pub weight_changes: usize,
+    /// Candidate evaluations (probes) the search spent.
+    pub evaluations: u64,
+}
+
+/// The budgeted Fortz–Thorup descent on a **caller-provided** evaluator:
+/// the same local search as [`reoptimize_weights`], but every candidate is
+/// scored with an incremental probe against `ev`'s live state instead of a
+/// from-scratch router build — the daemon path must not rebuild `|D|`
+/// SP-DAGs per event, let alone per candidate. Accepted moves are committed
+/// in place, so on return the evaluator sits exactly on the returned
+/// weights.
 ///
-/// The deployed weights are rounded into the integer range `[1,
-/// cfg.ospf.max_weight]` first (re-optimization assumes the deployed
-/// setting came from the same toolchain).
+/// The evaluator's committed weights are the deployed base and must already
+/// be integral in `[1, cfg.ospf.max_weight]` (see [`round_deployed`]);
+/// probes are bit-identical to scratch evaluation, so the search walks the
+/// identical acceptance trajectory the router-based variant would.
 ///
-/// # Errors
-/// Propagates routing errors (disconnected demands under every setting).
-pub fn reoptimize_weights(
-    net: &Network,
-    demands: &DemandList,
-    deployed: &WeightSetting,
+/// The objective is scored on whatever workload (demands, waypoints,
+/// failure mask, capacity overrides) the evaluator holds — which is what
+/// lets the serving loop re-optimize under link failures and capacity
+/// changes that a plain `(net, demands)` signature cannot express.
+pub fn reoptimize_weights_on(
+    ev: &mut IncrementalEvaluator<'_>,
     cfg: &ReoptimizeConfig,
-) -> Result<ReoptimizeResult, TeError> {
+) -> Result<EvaluatorReopt, TeError> {
     let _span = segrout_obs::span("reopt.weights");
     let evals = segrout_obs::counter("reopt.evaluations");
-    let m = net.edge_count();
-    let base: Vec<u32> = deployed
-        .as_slice()
+    let m = ev.network().edge_count();
+    let base: Vec<u32> = ev
+        .weights()
         .iter()
         .map(|&w| (w.round() as u32).clamp(1, cfg.ospf.max_weight))
         .collect();
+    debug_assert!(
+        ev.weights().iter().zip(&base).all(|(&w, &b)| w == b as f64),
+        "reoptimize_weights_on requires integral deployed weights in range"
+    );
+    let objective = cfg.ospf.objective;
+    let pack = |phi: f64, mlu: f64| match objective {
+        Objective::PhiThenMlu => (phi, mlu),
+        Objective::MluThenPhi => (mlu, phi),
+    };
 
     let mut rng = StdRng::seed_from_u64(cfg.ospf.seed);
     let mut cur = base.clone();
-    let mut cur_score = score(net, demands, &cur, cfg.ospf.objective);
+    let mut cur_score = pack(ev.phi(), ev.mlu());
     let mut changed: Vec<usize> = Vec::new();
 
     // Flight recorder: (phi, mlu) per accepted move, evals counted locally.
-    let unpack = |s: (f64, f64)| match cfg.ospf.objective {
+    let unpack = |s: (f64, f64)| match objective {
         Objective::PhiThenMlu => (s.0, s.1),
         Objective::MluThenPhi => (s.1, s.0),
     };
@@ -145,13 +177,15 @@ pub fn reoptimize_weights(
                 if cand == old {
                     continue;
                 }
-                cur[e] = cand;
-                let s = score(net, demands, &cur, cfg.ospf.objective);
+                let probe = ev.probe(EdgeId(e as u32), cand as f64)?;
                 evals.inc();
                 total_evals += 1;
+                let s = pack(probe.phi, probe.mlu);
                 if s.0 < cur_score.0 - 1e-12
                     || (s.0 <= cur_score.0 + 1e-12 && s.1 < cur_score.1 - 1e-12)
                 {
+                    cur[e] = cand;
+                    ev.commit(probe);
                     cur_score = s;
                     improved = true;
                     let (phi, mlu) = unpack(cur_score);
@@ -161,7 +195,6 @@ pub fn reoptimize_weights(
                     }
                     break;
                 }
-                cur[e] = old;
             }
             // Reverting a changed link back to base frees budget.
             if changed.contains(&e) && cur[e] == base[e] {
@@ -192,10 +225,17 @@ pub fn reoptimize_weights(
         }
     }
 
-    let weights = WeightSetting::new(net, cur.iter().map(|&x| x as f64).collect())
+    let weights = WeightSetting::new(ev.network(), cur.iter().map(|&x| x as f64).collect())
         .expect("integer weights are valid");
-    let router = Router::new(net, &weights);
-    let mlu = router.mlu(demands)?;
+    debug_assert!(
+        weights
+            .as_slice()
+            .iter()
+            .zip(ev.weights())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "evaluator must sit on the accepted weights after the search"
+    );
+    let mlu = ev.mlu();
     let weight_changes = cur.iter().zip(&base).filter(|(a, b)| a != b).count();
     debug_assert!(weight_changes <= cfg.max_weight_changes);
     let (phi_fin, _) = unpack(cur_score);
@@ -207,11 +247,46 @@ pub fn reoptimize_weights(
         weight_changes = weight_changes,
         budget = cfg.max_weight_changes,
     );
-    Ok(ReoptimizeResult {
+    Ok(EvaluatorReopt {
         weights,
-        waypoints: WaypointSetting::none(demands.len()),
         mlu,
+        phi: ev.phi(),
         weight_changes,
+        evaluations: total_evals,
+    })
+}
+
+/// Re-optimizes link weights for `demands` starting from the deployed
+/// setting, changing at most `cfg.max_weight_changes` link weights.
+///
+/// The deployed weights are rounded into the integer range `[1,
+/// cfg.ospf.max_weight]` first (re-optimization assumes the deployed
+/// setting came from the same toolchain). One incremental evaluator is
+/// built for the whole search ([`reoptimize_weights_on`] does the work) —
+/// callers that already hold a live evaluator, like the serving loop,
+/// should call that entry point directly and skip the build.
+///
+/// # Errors
+/// Propagates routing errors (disconnected demands under every setting).
+pub fn reoptimize_weights(
+    net: &Network,
+    demands: &DemandList,
+    deployed: &WeightSetting,
+    cfg: &ReoptimizeConfig,
+) -> Result<ReoptimizeResult, TeError> {
+    let rounded = round_deployed(net, deployed, cfg.ospf.max_weight);
+    let mut ev = IncrementalEvaluator::new(
+        net,
+        &rounded,
+        demands,
+        &WaypointSetting::none(demands.len()),
+    )?;
+    let r = reoptimize_weights_on(&mut ev, cfg)?;
+    Ok(ReoptimizeResult {
+        weights: r.weights,
+        waypoints: WaypointSetting::none(demands.len()),
+        mlu: r.mlu,
+        weight_changes: r.weight_changes,
     })
 }
 

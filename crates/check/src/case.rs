@@ -15,6 +15,11 @@
 //! link 0 1 100
 //! demand 0 3 2.5
 //! matrix 1.25          # extra traffic matrix: one size per demand
+//! event scale 0 1.5    # serve-event stream: demand scaling, ...
+//! event down 2         # ... link flaps, ...
+//! event cap 1 50       # ... capacity changes, ...
+//! event noop           # ... keep-alives, and
+//! event matrix 0 3 2.5 # full matrix swaps (src dst size triples)
 //! # segrout-config v1
 //! weight 0 2
 //! waypoint 0 2
@@ -25,6 +30,7 @@
 //! same rules as deployed configurations.
 
 use crate::validator::{validate_robust, validate_sweep, Validator, ValidatorConfig, Violation};
+use segrout_algos::{ServeConfig, ServeEvent, ServeSession, ServeTier};
 use segrout_core::rng::StdRng;
 use segrout_core::{
     evaluate_robust, read_config, DemandList, DemandSet, IncrementalEvaluator, Network,
@@ -116,6 +122,12 @@ pub struct Case {
     /// size row over the **same pairs** as `demands` (aligned by
     /// construction). Empty for classic single-matrix cases.
     pub extra_matrices: Vec<Vec<f64>>,
+    /// Serve-event stream for the online-reoptimization stage: each event is
+    /// fed to a [`ServeSession`] and the post-event state is checked against
+    /// a from-scratch rebuild. Out-of-range indices and disconnecting
+    /// failures are **legal** inputs here — the daemon must answer them with
+    /// an error reply and untouched state, not die.
+    pub events: Vec<ServeEvent>,
     /// Link weights, one per link.
     pub weights: Vec<f64>,
     /// Waypoint rows, one per demand (possibly empty).
@@ -259,6 +271,30 @@ impl Case {
             }
             out.push('\n');
         }
+        for event in &self.events {
+            match event {
+                ServeEvent::Noop => out.push_str("event noop\n"),
+                ServeEvent::DemandScale { index, factor } => {
+                    out.push_str(&format!("event scale {index} {factor}\n"));
+                }
+                ServeEvent::LinkDown { edge } => {
+                    out.push_str(&format!("event down {}\n", edge.0));
+                }
+                ServeEvent::LinkUp { edge } => {
+                    out.push_str(&format!("event up {}\n", edge.0));
+                }
+                ServeEvent::Capacity { edge, capacity } => {
+                    out.push_str(&format!("event cap {} {capacity}\n", edge.0));
+                }
+                ServeEvent::DemandMatrix { demands } => {
+                    out.push_str("event matrix");
+                    for (s, t, size) in demands {
+                        out.push_str(&format!(" {} {} {size}", s.0, t.0));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
         out.push_str("# segrout-config v1\n");
         for (e, w) in self.weights.iter().enumerate() {
             out.push_str(&format!("weight {e} {w}\n"));
@@ -285,6 +321,7 @@ impl Case {
             links: Vec::new(),
             demands: Vec::new(),
             extra_matrices: Vec::new(),
+            events: Vec::new(),
             weights: Vec::new(),
             waypoints: Vec::new(),
             threads: 1,
@@ -356,6 +393,44 @@ impl Case {
                     }
                     case.extra_matrices.push(row);
                 }
+                "event" => {
+                    let kind = p.next().ok_or_else(|| bad("event needs a kind"))?;
+                    let event = match kind {
+                        "noop" => ServeEvent::Noop,
+                        "scale" => ServeEvent::DemandScale {
+                            index: num(p, lineno, "a demand index")? as usize,
+                            factor: num(p, lineno, "a factor")?,
+                        },
+                        "down" => ServeEvent::LinkDown {
+                            edge: EdgeId(num(p, lineno, "an edge id")? as u32),
+                        },
+                        "up" => ServeEvent::LinkUp {
+                            edge: EdgeId(num(p, lineno, "an edge id")? as u32),
+                        },
+                        "cap" => ServeEvent::Capacity {
+                            edge: EdgeId(num(p, lineno, "an edge id")? as u32),
+                            capacity: num(p, lineno, "a capacity")?,
+                        },
+                        "matrix" => {
+                            let nums: Vec<f64> = p
+                                .by_ref()
+                                .map(str::parse::<f64>)
+                                .collect::<Result<_, _>>()
+                                .map_err(|_| bad("event matrix needs numbers"))?;
+                            if nums.is_empty() || !nums.len().is_multiple_of(3) {
+                                return Err(bad("event matrix needs src dst size triples"));
+                            }
+                            ServeEvent::DemandMatrix {
+                                demands: nums
+                                    .chunks_exact(3)
+                                    .map(|c| (NodeId(c[0] as u32), NodeId(c[1] as u32), c[2]))
+                                    .collect(),
+                            }
+                        }
+                        other => return Err(bad(&format!("unknown event kind '{other}'"))),
+                    };
+                    case.events.push(event);
+                }
                 "weight" | "waypoint" => {
                     config_lines.push_str(line);
                     config_lines.push('\n');
@@ -391,8 +466,11 @@ impl Case {
     /// GreedyWPO) with validation of its output, (4) on tiny instances,
     /// the MILP oracle — optimality sandwich plus a Revised-vs-Tableau LP
     /// engine differential, (5) the robust multi-matrix differential on
-    /// cases with extra matrices, and (6) the failure-sweep differential
-    /// pinning the edge-disable probe against deleted-topology re-routing.
+    /// cases with extra matrices, (6) the failure-sweep differential
+    /// pinning the edge-disable probe against deleted-topology re-routing,
+    /// and (7) the online-serving differential on cases with an event
+    /// stream — every post-event session state must match a from-scratch
+    /// rebuild bitwise, with churn and SLO accounting checked per event.
     pub fn run(&self, vcfg: &ValidatorConfig) -> CaseOutcome {
         let _threads = ThreadGuard(segrout_par::threads());
         segrout_par::set_threads(self.threads);
@@ -479,11 +557,217 @@ impl Case {
             }
         }
 
+        // Stage 7: online-serving differential over the event stream.
+        if !self.events.is_empty() && !self.demands.is_empty() {
+            match self.run_serve_events(&net, &demands, &weights, &waypoints) {
+                Ok((c, vs)) => {
+                    checks += c;
+                    violations.extend(vs);
+                }
+                Err(e) => return CaseOutcome::Error(e.to_string()),
+            }
+        }
+
         if violations.is_empty() {
             CaseOutcome::Pass { checks }
         } else {
             CaseOutcome::Violations(violations)
         }
+    }
+
+    /// Online-serving differential: feeds the event stream to a
+    /// [`ServeSession`] and checks, per event, that (a) the response's
+    /// churn equals its weight-diff count and the diff replays the pre-event
+    /// weights onto the post-event weights bit-exactly, (b) error replies
+    /// leave every observable bit untouched, and (c) the session's in-place
+    /// state equals a from-scratch evaluator rebuilt from the session's
+    /// effective capacities, weights, workload, and failure mask. Afterwards
+    /// the session tallies (tier partition, churn total, SLO violations)
+    /// must agree with what the responses reported.
+    fn run_serve_events(
+        &self,
+        net: &Network,
+        demands: &DemandList,
+        weights: &WeightSetting,
+        waypoints: &WaypointSetting,
+    ) -> Result<(usize, Vec<Violation>), TeError> {
+        let cfg = ServeConfig {
+            reopt: segrout_algos::ReoptimizeConfig {
+                ospf: segrout_algos::HeurOspfConfig {
+                    max_weight: 8,
+                    max_passes: 2,
+                    seed: self.seed,
+                    use_incremental: self.incremental,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..ServeConfig::default()
+        };
+        let slo_ms = cfg.slo_ms;
+        let mut session = ServeSession::new(net, weights, demands.clone(), waypoints.clone(), cfg)?;
+        let mut checks = 0usize;
+        let mut violations = Vec::new();
+        let fail = |step: usize, detail: String| Violation {
+            invariant: "serve-differential",
+            detail: format!("event {step}: {detail}"),
+        };
+        let mut observed_errors = 0u64;
+        let mut observed_slow = 0u64;
+        let mut churn_total = 0u64;
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+
+        for (step, event) in self.events.iter().enumerate() {
+            let pre_weights = bits(session.evaluator().weights());
+            let pre_loads = bits(session.evaluator().loads());
+            let pre_mlu = session.evaluator().mlu().to_bits();
+            let r = session.apply(event);
+            let post_weights = bits(session.evaluator().weights());
+
+            checks += 1;
+            if r.seq != step as u64 + 1 {
+                violations.push(fail(step, format!("seq {} != {}", r.seq, step + 1)));
+            }
+            checks += 1;
+            if r.churn != r.weight_diffs.len() {
+                violations.push(fail(
+                    step,
+                    format!("churn {} != {} diffs", r.churn, r.weight_diffs.len()),
+                ));
+            }
+            churn_total += r.churn as u64;
+
+            // The diff must replay pre -> post exactly, and every entry must
+            // be a genuine change (minimal churn, no padding).
+            checks += 1;
+            let mut replayed = pre_weights.clone();
+            let mut diff_ok = true;
+            for &(e, old, new) in &r.weight_diffs {
+                if e.index() >= replayed.len()
+                    || old.to_bits() != pre_weights[e.index()]
+                    || old.to_bits() == new.to_bits()
+                {
+                    diff_ok = false;
+                    break;
+                }
+                replayed[e.index()] = new.to_bits();
+            }
+            if !diff_ok || replayed != post_weights {
+                violations.push(fail(
+                    step,
+                    format!(
+                        "weight diff does not replay the deployed change: {:?}",
+                        r.weight_diffs
+                    ),
+                ));
+            }
+
+            if r.tier == ServeTier::Error {
+                observed_errors += 1;
+                checks += 1;
+                if post_weights != pre_weights
+                    || bits(session.evaluator().loads()) != pre_loads
+                    || session.evaluator().mlu().to_bits() != pre_mlu
+                {
+                    violations.push(fail(
+                        step,
+                        format!("error reply ({:?}) must leave state untouched", r.error),
+                    ));
+                }
+            }
+            checks += 1;
+            if r.mlu.to_bits() != session.evaluator().mlu().to_bits() {
+                violations.push(fail(step, "response mlu != session mlu".to_string()));
+            }
+
+            // From-scratch oracle: a fresh evaluator on the session's
+            // effective capacities/weights/workload/failure mask.
+            let ev = session.evaluator();
+            let mut b = Network::builder(net.node_count());
+            for (e, u, v) in net.graph().edges() {
+                b.link(u, v, ev.capacities()[e.index()]);
+            }
+            let scratch_net = b.build()?;
+            let cur = WeightSetting::new(&scratch_net, ev.weights().to_vec())?;
+            let failed: Vec<EdgeId> = ev
+                .disabled()
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d)
+                .map(|(i, _)| EdgeId(i as u32))
+                .collect();
+            let fresh = IncrementalEvaluator::new_with_failures(
+                &scratch_net,
+                &cur,
+                session.demands(),
+                session.waypoints(),
+                &failed,
+            )?;
+            checks += 1;
+            if bits(ev.loads()) != bits(fresh.loads())
+                || ev.phi().to_bits() != fresh.phi().to_bits()
+                || ev.mlu().to_bits() != fresh.mlu().to_bits()
+            {
+                violations.push(fail(
+                    step,
+                    format!(
+                        "in-place state diverged from scratch rebuild after {event:?}: \
+                         mlu {} vs {}",
+                        ev.mlu(),
+                        fresh.mlu()
+                    ),
+                ));
+            }
+
+            if slo_ms > 0.0 && r.latency_ms > slo_ms {
+                observed_slow += 1;
+            }
+        }
+
+        // Session bookkeeping must agree with the responses.
+        let st = *session.stats();
+        checks += 1;
+        if st.events != self.events.len() as u64 {
+            violations.push(fail(
+                self.events.len(),
+                format!("stats.events {} != {}", st.events, self.events.len()),
+            ));
+        }
+        checks += 1;
+        if st.probe_only + st.local_reopts + st.escalations + st.errors != st.events {
+            violations.push(fail(
+                self.events.len(),
+                format!("tier tallies do not partition the event count: {st:?}"),
+            ));
+        }
+        checks += 1;
+        if st.errors != observed_errors {
+            violations.push(fail(
+                self.events.len(),
+                format!(
+                    "stats.errors {} != {observed_errors} error replies",
+                    st.errors
+                ),
+            ));
+        }
+        checks += 1;
+        if st.weight_churn != churn_total {
+            violations.push(fail(
+                self.events.len(),
+                format!("stats.weight_churn {} != {churn_total}", st.weight_churn),
+            ));
+        }
+        checks += 1;
+        if st.slo_violations != observed_slow {
+            violations.push(fail(
+                self.events.len(),
+                format!(
+                    "stats.slo_violations {} != {observed_slow} responses over {slo_ms} ms",
+                    st.slo_violations
+                ),
+            ));
+        }
+        Ok((checks, violations))
     }
 
     /// Random walk of weight probes; every committed step must leave the
@@ -814,6 +1098,27 @@ mod tests {
             ],
             demands: vec![(0, 3, 4.0), (1, 2, 1.5)],
             extra_matrices: vec![vec![2.0, 3.0], vec![5.5, 0.75]],
+            events: vec![
+                ServeEvent::Noop,
+                ServeEvent::DemandScale {
+                    index: 0,
+                    factor: 2.5,
+                },
+                ServeEvent::LinkDown { edge: EdgeId(0) },
+                // Legal garbage: out-of-range index answered with an error.
+                ServeEvent::DemandScale {
+                    index: 99,
+                    factor: 2.0,
+                },
+                ServeEvent::LinkUp { edge: EdgeId(0) },
+                ServeEvent::Capacity {
+                    edge: EdgeId(2),
+                    capacity: 4.0,
+                },
+                ServeEvent::DemandMatrix {
+                    demands: vec![(NodeId(0), NodeId(3), 3.0), (NodeId(2), NodeId(1), 1.0)],
+                },
+            ],
             weights: vec![1.0; 8],
             waypoints: vec![vec![2], vec![]],
             threads: 2,
@@ -881,6 +1186,7 @@ mod tests {
             links: vec![(0, 1, 1.0), (1, 2, 1.0)],
             demands: vec![(2, 0, 1.0)],
             extra_matrices: Vec::new(),
+            events: Vec::new(),
             weights: vec![1.0, 1.0],
             waypoints: vec![vec![]],
             threads: 1,

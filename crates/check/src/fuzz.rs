@@ -2,15 +2,17 @@
 //!
 //! [`fuzz_campaign`] derives one [`Case`] per index from the campaign seed,
 //! runs it under a panic shield, and — when a case fails — **shrinks** it to
-//! a minimal reproducer by greedily dropping demands, contracting links,
-//! rounding weights, clearing waypoints and simplifying execution knobs,
+//! a minimal reproducer by greedily dropping serve events, demands, and
+//! links, rounding weights, clearing waypoints and simplifying execution knobs,
 //! re-running after every mutation and keeping only mutations that preserve
 //! the failure. Shrunk reproducers are written to the corpus directory in
 //! the [`Case`] text format so `tests/corpus_replay.rs` pins them forever.
 
 use crate::case::{Case, CaseOutcome, EngineChoice};
 use crate::validator::ValidatorConfig;
+use segrout_algos::ServeEvent;
 use segrout_core::rng::StdRng;
+use segrout_graph::{EdgeId, NodeId};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 
@@ -176,11 +178,59 @@ pub fn generate_case(campaign_seed: u64, index: usize) -> Case {
         })
         .collect();
 
+    // Serve-event dimension: some cases carry a random event stream for the
+    // online-reoptimization differential — demand churn, link flaps (downed
+    // links preferentially brought back, but *disconnecting* downs and
+    // out-of-range indices stay in: the daemon must answer them with error
+    // replies, not die), capacity changes, matrix swaps and keep-alives.
+    let n_events = match rng.gen_range(0..100u32) {
+        0..=44 => 0,
+        45..=79 => rng.gen_range(1..=4usize),
+        _ => rng.gen_range(5..=10usize),
+    };
+    let mut down: Vec<u32> = Vec::new();
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        events.push(match rng.gen_range(0..10u32) {
+            0..=3 => ServeEvent::DemandScale {
+                index: if rng.gen_range(0..8u32) == 0 {
+                    demands.len() + rng.gen_range(0..3u64) as usize
+                } else {
+                    rng.gen_range(0..demands.len() as u64) as usize
+                },
+                factor: 0.25 + 1.5 * rng.gen::<f64>(),
+            },
+            4 | 5 => {
+                let e = rng.gen_range(0..links.len() as u64) as u32;
+                if !down.contains(&e) {
+                    down.push(e);
+                }
+                ServeEvent::LinkDown { edge: EdgeId(e) }
+            }
+            6 => match down.pop() {
+                Some(e) => ServeEvent::LinkUp { edge: EdgeId(e) },
+                None => ServeEvent::Noop,
+            },
+            7 => ServeEvent::Capacity {
+                edge: EdgeId(rng.gen_range(0..links.len() as u64) as u32),
+                capacity: mean_cap * (0.25 + 1.5 * rng.gen::<f64>()),
+            },
+            8 => ServeEvent::DemandMatrix {
+                demands: demands
+                    .iter()
+                    .map(|&(s, t, size)| (NodeId(s), NodeId(t), size * (0.5 + rng.gen::<f64>())))
+                    .collect(),
+            },
+            _ => ServeEvent::Noop,
+        });
+    }
+
     Case {
         nodes,
         links,
         demands,
         extra_matrices,
+        events,
         weights,
         waypoints,
         threads: if rng.gen::<bool>() { 4 } else { 1 },
@@ -220,6 +270,14 @@ fn random_topology(rng: &mut StdRng) -> segrout_core::Network {
 /// preference order (structural deletions first, simplifications last).
 fn mutations(case: &Case) -> Vec<Case> {
     let mut out = Vec::new();
+    // Event drops first: a failing event walk usually shrinks to the one
+    // event that trips the invariant. No index re-syncing is needed —
+    // out-of-range indices are legal inputs that draw error replies.
+    for j in 0..case.events.len() {
+        let mut c = case.clone();
+        c.events.remove(j);
+        out.push(c);
+    }
     for j in 0..case.extra_matrices.len() {
         let mut c = case.clone();
         c.extra_matrices.remove(j);
@@ -413,6 +471,28 @@ mod tests {
             .collect();
         assert!(sizes.iter().any(|&k| k >= 4), "no large sets generated");
         assert!(sizes.iter().all(|&k| k <= 6), "set larger than 6 matrices");
+    }
+
+    #[test]
+    fn campaign_covers_event_streams() {
+        // The serving dimension must actually be exercised: a decent
+        // fraction of generated cases carry events, including flaps and
+        // out-of-range (error-reply) scalings.
+        let cases: Vec<Case> = (0..200).map(|i| generate_case(42, i)).collect();
+        let with_events = cases.iter().filter(|c| !c.events.is_empty()).count();
+        assert!(
+            (50..180).contains(&with_events),
+            "{with_events}/200 cases with events"
+        );
+        assert!(cases
+            .iter()
+            .flat_map(|c| &c.events)
+            .any(|e| matches!(e, ServeEvent::LinkDown { .. })));
+        assert!(cases.iter().any(|c| c
+            .events
+            .iter()
+            .any(|e| matches!(e, ServeEvent::DemandScale { index, .. }
+                if *index >= c.demands.len()))));
     }
 
     #[test]

@@ -309,6 +309,12 @@ pub struct IncrementalEvaluator<'n> {
     /// Per-destination link-load partials and their prefix folds, in flat
     /// slabs; `loads` is the fold over all rows.
     arena: LoadArena,
+    /// Effective link capacities. Initialized from the network; capacity
+    /// events ([`set_capacity`](Self::set_capacity)) override entries here so
+    /// a long-running evaluator can track capacity changes without rebuilding
+    /// the (borrowed, immutable) [`Network`]. Capacities never influence
+    /// routing — only the Φ/MLU readouts — so an override is exact.
+    caps: Vec<f64>,
     loads: Vec<f64>,
     phi: f64,
     mlu: f64,
@@ -437,8 +443,9 @@ impl<'n> IncrementalEvaluator<'n> {
         counters().arena_rebuilds.inc();
         let mut loads = Vec::with_capacity(m);
         arena.total(&mut loads);
-        let phi = fortz_phi(&loads, net.capacities());
-        let mlu = max_link_utilization(&loads, net.capacities());
+        let caps = net.capacities().to_vec();
+        let phi = fortz_phi(&loads, &caps);
+        let mlu = max_link_utilization(&loads, &caps);
         Ok(Self {
             net,
             weights,
@@ -447,6 +454,7 @@ impl<'n> IncrementalEvaluator<'n> {
             seeds,
             dags,
             arena,
+            caps,
             loads,
             phi,
             mlu,
@@ -478,6 +486,13 @@ impl<'n> IncrementalEvaluator<'n> {
     #[inline]
     pub fn disabled(&self) -> &[bool] {
         &self.disabled
+    }
+
+    /// The effective link capacities (network capacities plus any
+    /// [`set_capacity`](Self::set_capacity) overrides).
+    #[inline]
+    pub fn capacities(&self) -> &[f64] {
+        &self.caps
     }
 
     /// Current total per-link loads.
@@ -586,8 +601,8 @@ impl<'n> IncrementalEvaluator<'n> {
 
         let mut loads = Vec::with_capacity(m);
         self.fold_with_dirty(&dirty, &dirty_partials, &mut loads);
-        let phi = fortz_phi(&loads, self.net.capacities());
-        let mlu = max_link_utilization(&loads, self.net.capacities());
+        let phi = fortz_phi(&loads, &self.caps);
+        let mlu = max_link_utilization(&loads, &self.caps);
         Ok(Probe {
             edge: e,
             weight: new_w,
@@ -760,8 +775,8 @@ impl<'n> IncrementalEvaluator<'n> {
 
                 let mut loads = Vec::with_capacity(m);
                 self.fold_with_dirty(&dirty, &dirty_partials, &mut loads);
-                let phi = fortz_phi(&loads, self.net.capacities());
-                let mlu = max_link_utilization(&loads, self.net.capacities());
+                let phi = fortz_phi(&loads, &self.caps);
+                let mlu = max_link_utilization(&loads, &self.caps);
                 Ok(DisableProbe {
                     dead: dead.to_vec(),
                     loads,
@@ -802,6 +817,308 @@ impl<'n> IncrementalEvaluator<'n> {
         self.phi = probe.phi;
         self.mlu = probe.mlu;
         self.generation += 1;
+    }
+
+    /// Recomputes the cached totals from the arena (after rows changed) and
+    /// bumps the generation. `first_dirty` is the lowest changed row, if any.
+    fn refold_and_commit(&mut self, first_dirty: Option<usize>) {
+        if let Some(first) = first_dirty {
+            self.arena.refold_from(first);
+            counters().arena_rebuilds.inc();
+        }
+        let mut loads = std::mem::take(&mut self.loads);
+        self.arena.total(&mut loads);
+        self.loads = loads;
+        self.phi = fortz_phi(&self.loads, &self.caps);
+        self.mlu = max_link_utilization(&self.loads, &self.caps);
+        self.generation += 1;
+    }
+
+    /// Overrides the capacity of link `e` in place — the event-application
+    /// path for capacity changes. Capacities never influence routing, so only
+    /// the cached Φ/MLU are recomputed (from the unchanged loads, with the
+    /// exact operation sequence a fresh build on the re-capacitated network
+    /// would use — the result is bit-identical to that rebuild). Returns
+    /// whether anything changed; outstanding probes are invalidated when it
+    /// did.
+    ///
+    /// # Errors
+    /// [`TeError::InvalidCapacity`] when `cap` is not positive finite — the
+    /// evaluator is left untouched.
+    pub fn set_capacity(&mut self, e: EdgeId, cap: f64) -> Result<bool, TeError> {
+        if !cap.is_finite() || cap <= 0.0 {
+            return Err(TeError::InvalidCapacity {
+                edge: e.index(),
+                value: cap,
+            });
+        }
+        if self.caps[e.index()].to_bits() == cap.to_bits() {
+            return Ok(false);
+        }
+        self.caps[e.index()] = cap;
+        self.phi = fortz_phi(&self.loads, &self.caps);
+        self.mlu = max_link_utilization(&self.loads, &self.caps);
+        self.generation += 1;
+        Ok(true)
+    }
+
+    /// Replaces the demand workload in place — the event-application path for
+    /// demand updates and matrix replacement.
+    ///
+    /// When the new workload routes to the same destination set, only the
+    /// destinations whose injection seeds actually changed are re-propagated
+    /// (over their unchanged DAGs — weights did not move), and the load fold
+    /// is repaired from the first changed row. When the destination set
+    /// differs, the evaluator rebuilds in place with the full construction
+    /// path. Either way the resulting state is bit-identical to a fresh
+    /// evaluator built on the new workload.
+    ///
+    /// # Errors
+    /// [`TeError::Unroutable`] when some new segment cannot reach its
+    /// destination, and [`TeError::InvalidWaypoints`] on a row-count mismatch
+    /// — the evaluator is left untouched in both cases.
+    pub fn set_workload(
+        &mut self,
+        demands: &DemandList,
+        waypoints: &WaypointSetting,
+    ) -> Result<bool, TeError> {
+        if waypoints.len() != demands.len() {
+            return Err(TeError::InvalidWaypoints(format!(
+                "waypoint table has {} rows for {} demands",
+                waypoints.len(),
+                demands.len()
+            )));
+        }
+        let mut segments = Vec::with_capacity(demands.len());
+        for (i, d) in demands.iter().enumerate() {
+            for (src, dst, amount) in waypoints.segments_of(i, d) {
+                segments.push(Segment { src, dst, amount });
+            }
+        }
+        let grouped: Vec<(NodeId, Vec<(NodeId, f64)>)> =
+            group_by_destination(&segments).into_iter().collect();
+        if grouped.len() != self.dests.len()
+            || grouped.iter().zip(&self.dests).any(|((t, _), d)| t != d)
+        {
+            // Destination set changed: full in-place rebuild (one Dijkstra +
+            // one propagation per destination, like construction).
+            return self.rebuild_for_segments(&segments).map(|()| true);
+        }
+        let n = self.net.node_count();
+        let m = self.net.edge_count();
+        // Same destinations: the DAGs are all still valid. Re-fold the seed
+        // slab (the same injection fold construction performs) and find the
+        // rows whose seeds actually moved.
+        let mut new_seeds = vec![0.0; grouped.len() * n];
+        for (i, (_, inj)) in grouped.iter().enumerate() {
+            let seed_row = &mut new_seeds[i * n..(i + 1) * n];
+            for &(s, amount) in inj {
+                seed_row[s.index()] += amount;
+            }
+        }
+        let dirty: Vec<usize> = (0..grouped.len())
+            .filter(|&i| {
+                let new = &new_seeds[i * n..(i + 1) * n];
+                let old = &self.seeds[i * n..(i + 1) * n];
+                new.iter().zip(old).any(|(a, b)| a.to_bits() != b.to_bits())
+            })
+            .collect();
+        if dirty.is_empty() {
+            return Ok(false);
+        }
+        let c = counters();
+        c.dirty_dests.add(dirty.len() as u64);
+        c.clean_dests.add((self.dests.len() - dirty.len()) as u64);
+        // Re-propagate the changed destinations into temporaries first: a new
+        // source may be unreachable, and an error must leave the evaluator
+        // untouched. `propagate_destination` is the exact function a fresh
+        // build runs per destination, reachability check included.
+        let mut new_rows = vec![0.0; dirty.len() * m];
+        SCRATCH.with(|s| {
+            let (node_flow, _) = &mut *s.borrow_mut();
+            for (k, &i) in dirty.iter().enumerate() {
+                node_flow.clear();
+                node_flow.resize(n, 0.0);
+                propagate_destination(
+                    self.net,
+                    &self.dags[i],
+                    &grouped[i].1,
+                    &mut new_rows[k * m..(k + 1) * m],
+                    node_flow,
+                )?;
+            }
+            Ok::<(), TeError>(())
+        })?;
+        self.seeds = new_seeds;
+        for (k, &i) in dirty.iter().enumerate() {
+            self.arena
+                .row_mut(i)
+                .copy_from_slice(&new_rows[k * m..(k + 1) * m]);
+        }
+        self.refold_and_commit(dirty.first().copied());
+        Ok(true)
+    }
+
+    /// Full in-place rebuild for a new segment list (destination set changed):
+    /// runs the construction path and splices the result in, preserving the
+    /// committed weights, the disabled mask, any capacity overrides, and the
+    /// generation ordering.
+    fn rebuild_for_segments(&mut self, segments: &[Segment]) -> Result<(), TeError> {
+        let w = WeightSetting::new(self.net, self.weights.clone())
+            .expect("committed weights are positive finite");
+        let fresh = Self::for_segments_masked(self.net, &w, segments, self.disabled.clone())?;
+        self.dests = fresh.dests;
+        self.seeds = fresh.seeds;
+        self.dags = fresh.dags;
+        self.arena = fresh.arena;
+        self.loads = fresh.loads;
+        // Capacity overrides survive the rebuild (fresh computed Φ/MLU from
+        // the network's nominal capacities).
+        self.phi = fortz_phi(&self.loads, &self.caps);
+        self.mlu = max_link_utilization(&self.loads, &self.caps);
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Takes link `e` down (`up = false`) or back up (`up = true`) in place —
+    /// the event-application path for link-state changes. Returns whether the
+    /// state changed (a repeated event is a no-op).
+    ///
+    /// Both directions repair only the destinations whose DAG is actually
+    /// affected, exactly as a probe would, and the committed state is
+    /// bit-identical to a fresh evaluator built with the new mask.
+    ///
+    /// # Errors
+    /// [`TeError::Unroutable`] when taking the link down severs a demand from
+    /// its destination — the evaluator is left untouched.
+    pub fn set_link_state(&mut self, e: EdgeId, up: bool) -> Result<bool, TeError> {
+        if up {
+            self.enable_edge(e)
+        } else {
+            self.disable_edge(e)
+        }
+    }
+
+    fn disable_edge(&mut self, e: EdgeId) -> Result<bool, TeError> {
+        if edge_disabled(&self.disabled, e) {
+            return Ok(false);
+        }
+        let g = self.net.graph();
+        let n = self.net.node_count();
+        let m = self.net.edge_count();
+        let c = counters();
+        let recomputes = recompute_counter();
+        let mut mask = if self.disabled.is_empty() {
+            vec![false; m]
+        } else {
+            self.disabled.clone()
+        };
+        mask[e.index()] = true;
+
+        let mut dirty: Vec<(usize, Arc<SpDag>)> = Vec::new();
+        let mut dirty_partials: Vec<f64> = Vec::new();
+        SCRATCH.with(|s| {
+            let (node_flow, _) = &mut *s.borrow_mut();
+            node_flow.resize(n, 0.0);
+            for (i, dag) in self.dags.iter().enumerate() {
+                // Removal never adds tight edges: dirty iff `e` is on the DAG.
+                if !dag.edge_on_dag[e.index()] {
+                    continue;
+                }
+                let repaired =
+                    match disable_edge_update(g, &self.weights, dag, e, self.frontier_cap, &mask) {
+                        SpDagUpdate::Unchanged => {
+                            unreachable!("on-DAG edge disable cannot be clean")
+                        }
+                        SpDagUpdate::Repaired(d, _) => {
+                            c.repairs.inc();
+                            d
+                        }
+                        SpDagUpdate::Rebuilt(d) => {
+                            recomputes.inc();
+                            d
+                        }
+                    };
+                // The failure can sever sources — validate every seeded
+                // injection before mutating anything.
+                let seed_row = &self.seeds[i * n..(i + 1) * n];
+                for (j, &f) in seed_row.iter().enumerate() {
+                    if f > 0.0 && !repaired.reaches_target(NodeId(j as u32)) {
+                        return Err(TeError::Unroutable {
+                            src: NodeId(j as u32),
+                            dst: self.dests[i],
+                        });
+                    }
+                }
+                let base = dirty_partials.len();
+                dirty_partials.resize(base + m, 0.0);
+                node_flow.copy_from_slice(seed_row);
+                spread_seeded(self.net, &repaired, &mut dirty_partials[base..], node_flow);
+                dirty.push((i, Arc::new(repaired)));
+            }
+            Ok(())
+        })?;
+        self.disabled = mask;
+        let first = dirty.first().map(|&(i, _)| i);
+        for (k, (i, dag)) in dirty.into_iter().enumerate() {
+            self.dags[i] = dag;
+            self.arena
+                .row_mut(i)
+                .copy_from_slice(&dirty_partials[k * m..(k + 1) * m]);
+        }
+        self.refold_and_commit(first);
+        Ok(true)
+    }
+
+    fn enable_edge(&mut self, e: EdgeId) -> Result<bool, TeError> {
+        if !edge_disabled(&self.disabled, e) {
+            return Ok(false);
+        }
+        let g = self.net.graph();
+        let n = self.net.node_count();
+        let m = self.net.edge_count();
+        let recomputes = recompute_counter();
+        let mut mask = self.disabled.clone();
+        mask[e.index()] = false;
+        let (u, v) = g.endpoints(e);
+        let w_e = self.weights[e.index()];
+
+        let mut dirty: Vec<(usize, Arc<SpDag>)> = Vec::new();
+        let mut dirty_partials: Vec<f64> = Vec::new();
+        SCRATCH.with(|s| {
+            let (node_flow, _) = &mut *s.borrow_mut();
+            node_flow.resize(n, 0.0);
+            for (i, dag) in self.dags.iter().enumerate() {
+                // Re-enabling `e` is a weight drop from "unusable" to `w_e`:
+                // the DAG moves only if the revived edge reaches the current
+                // distance at its tail (the same affectedness test weight
+                // decreases use; `e` is off the masked DAG by construction).
+                if !edge_change_affects_dag(dag, e, u, v, w_e) {
+                    continue;
+                }
+                // A fresh Dijkstra under the shrunk mask — exactly what a
+                // from-scratch build runs for this destination.
+                recomputes.inc();
+                let rebuilt = shortest_path_dag_masked(g, &self.weights, dag.target, &mask);
+                let base = dirty_partials.len();
+                dirty_partials.resize(base + m, 0.0);
+                // Reachability only improves when a link comes back, so the
+                // build-time validation still covers every seeded source.
+                node_flow.copy_from_slice(&self.seeds[i * n..(i + 1) * n]);
+                spread_seeded(self.net, &rebuilt, &mut dirty_partials[base..], node_flow);
+                dirty.push((i, Arc::new(rebuilt)));
+            }
+        });
+        self.disabled = mask;
+        let first = dirty.first().map(|&(i, _)| i);
+        for (k, (i, dag)) in dirty.into_iter().enumerate() {
+            self.dags[i] = dag;
+            self.arena
+                .row_mut(i)
+                .copy_from_slice(&dirty_partials[k * m..(k + 1) * m]);
+        }
+        self.refold_and_commit(first);
+        Ok(true)
     }
 }
 
@@ -1104,6 +1421,212 @@ mod tests {
         assert_eq!(probe.loads[0], 0.0);
         assert_eq!(probe.loads[1], 0.0);
         assert_eq!(probe.loads[4], 0.0);
+    }
+
+    /// The diamond net with a different capacity on e0.
+    fn net_with_cap(e0_cap: f64) -> Network {
+        let mut b = Network::builder(4);
+        b.link(NodeId(0), NodeId(1), e0_cap); // e0
+        b.link(NodeId(1), NodeId(3), 2.0); // e1
+        b.link(NodeId(0), NodeId(2), 1.0); // e2
+        b.link(NodeId(2), NodeId(3), 1.0); // e3
+        b.link(NodeId(0), NodeId(3), 1.0); // e4
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn set_capacity_matches_recapacitated_rebuild() {
+        let d = demands();
+        let net = net_with_cap(2.0);
+        let w = WeightSetting::unit(&net);
+        let mut eval =
+            IncrementalEvaluator::new(&net, &w, &d, &WaypointSetting::none(d.len())).unwrap();
+        assert!(eval.set_capacity(EdgeId(0), 0.5).unwrap());
+        let net2 = net_with_cap(0.5);
+        let w2 = WeightSetting::unit(&net2);
+        assert_eq!(eval_bits(&eval), fresh_bits(&net2, &w2, &d));
+        assert_eq!(eval.capacities()[0], 0.5);
+        // Same value again is a no-op; an invalid value errors untouched.
+        assert!(!eval.set_capacity(EdgeId(0), 0.5).unwrap());
+        let before = eval_bits(&eval);
+        assert!(eval.set_capacity(EdgeId(0), -1.0).is_err());
+        assert_eq!(eval_bits(&eval), before);
+        // Probes answer against the overridden capacities.
+        let probe = eval.probe(EdgeId(2), 5.0).unwrap();
+        let mut w3 = WeightSetting::unit(&net2);
+        w3.set(EdgeId(2), 5.0);
+        let fresh = fresh_bits(&net2, &w3, &d);
+        assert_eq!(probe.mlu.to_bits(), fresh.2);
+        assert_eq!(probe.phi.to_bits(), fresh.1);
+    }
+
+    #[test]
+    fn set_workload_in_place_matches_fresh_build() {
+        let net = net();
+        let d = demands();
+        let w = WeightSetting::unit(&net);
+        let mut eval =
+            IncrementalEvaluator::new(&net, &w, &d, &WaypointSetting::none(d.len())).unwrap();
+        // Scale one demand: same destinations, one dirty seed row.
+        let mut d2 = DemandList::new();
+        d2.push(NodeId(0), NodeId(3), 3.5);
+        d2.push(NodeId(1), NodeId(3), 1.0);
+        d2.push(NodeId(0), NodeId(2), 0.5);
+        assert!(eval
+            .set_workload(&d2, &WaypointSetting::none(d2.len()))
+            .unwrap());
+        assert_eq!(eval_bits(&eval), fresh_bits(&net, &w, &d2));
+        // Identical workload again: a provable no-op.
+        assert!(!eval
+            .set_workload(&d2, &WaypointSetting::none(d2.len()))
+            .unwrap());
+        // Probe/commit still track scratch after the in-place swap.
+        let probe = eval.probe(EdgeId(4), 5.0).unwrap();
+        let mut w2 = WeightSetting::unit(&net);
+        w2.set(EdgeId(4), 5.0);
+        assert_eq!(probe.mlu.to_bits(), fresh_bits(&net, &w2, &d2).2);
+        eval.commit(probe);
+        assert_eq!(eval_bits(&eval), fresh_bits(&net, &w2, &d2));
+    }
+
+    #[test]
+    fn set_workload_new_destinations_rebuilds_in_place() {
+        let net = net();
+        let d = demands();
+        let w = WeightSetting::unit(&net);
+        let mut eval =
+            IncrementalEvaluator::new(&net, &w, &d, &WaypointSetting::none(d.len())).unwrap();
+        // Destination set changes from {2, 3} to {1, 3}.
+        let mut d2 = DemandList::new();
+        d2.push(NodeId(0), NodeId(1), 1.5);
+        d2.push(NodeId(0), NodeId(3), 2.0);
+        assert!(eval
+            .set_workload(&d2, &WaypointSetting::none(d2.len()))
+            .unwrap());
+        assert_eq!(eval.destination_count(), 2);
+        assert_eq!(eval_bits(&eval), fresh_bits(&net, &w, &d2));
+    }
+
+    #[test]
+    fn set_workload_unroutable_leaves_state_untouched() {
+        let net = net();
+        let d = demands();
+        let w = WeightSetting::unit(&net);
+        let mut eval =
+            IncrementalEvaluator::new(&net, &w, &d, &WaypointSetting::none(d.len())).unwrap();
+        let before = eval_bits(&eval);
+        // Node 3 has no out-edges: 3 -> 2 is unroutable. Same destination
+        // set, so this exercises the in-place (seed-diff) path's validation.
+        let mut bad = DemandList::new();
+        bad.push(NodeId(0), NodeId(3), 2.0);
+        bad.push(NodeId(3), NodeId(2), 1.0);
+        let err = eval
+            .set_workload(&bad, &WaypointSetting::none(bad.len()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TeError::Unroutable {
+                src: NodeId(3),
+                dst: NodeId(2)
+            }
+        );
+        assert_eq!(eval_bits(&eval), before);
+        // The rebuild path validates too: new destination set, unroutable.
+        let mut bad2 = DemandList::new();
+        bad2.push(NodeId(3), NodeId(1), 1.0);
+        assert!(eval.set_workload(&bad2, &WaypointSetting::none(1)).is_err());
+        assert_eq!(eval_bits(&eval), before);
+    }
+
+    #[test]
+    fn set_link_state_down_matches_deleted_topology() {
+        let net = net();
+        let net2 = net_without_e4();
+        let d = demands();
+        let w = WeightSetting::unit(&net);
+        let w2 = WeightSetting::unit(&net2);
+        let mut eval =
+            IncrementalEvaluator::new(&net, &w, &d, &WaypointSetting::none(d.len())).unwrap();
+        let original = eval_bits(&eval);
+        assert!(eval.set_link_state(EdgeId(4), false).unwrap());
+        let fresh = fresh_bits(&net2, &w2, &d);
+        assert_eq!(
+            eval.loads()[..4]
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            fresh.0
+        );
+        assert_eq!(eval.loads()[4], 0.0, "downed link must carry no flow");
+        assert_eq!(eval.mlu().to_bits(), fresh.2);
+        // Repeated down is a no-op; bringing it back restores every bit.
+        assert!(!eval.set_link_state(EdgeId(4), false).unwrap());
+        assert!(eval.set_link_state(EdgeId(4), true).unwrap());
+        assert!(!eval.set_link_state(EdgeId(4), true).unwrap());
+        assert_eq!(eval_bits(&eval), original);
+        assert_eq!(
+            eval_bits(&eval),
+            fresh_bits(&net, &w, &d),
+            "down + up must round-trip to the intact state"
+        );
+    }
+
+    #[test]
+    fn disconnecting_link_down_leaves_state_untouched() {
+        let net = net();
+        let d = demands();
+        let w = WeightSetting::unit(&net);
+        let mut eval =
+            IncrementalEvaluator::new(&net, &w, &d, &WaypointSetting::none(d.len())).unwrap();
+        let before = eval_bits(&eval);
+        // e1 (1->3) is node 1's only route to 3.
+        let err = eval.set_link_state(EdgeId(1), false).unwrap_err();
+        assert_eq!(
+            err,
+            TeError::Unroutable {
+                src: NodeId(1),
+                dst: NodeId(3)
+            }
+        );
+        assert_eq!(eval_bits(&eval), before);
+        assert!(eval.disabled().is_empty() || !eval.disabled()[1]);
+    }
+
+    #[test]
+    fn event_sequence_matches_fresh_masked_build() {
+        // Interleave all three event kinds and pin the state to a fresh
+        // evaluator built on the mutated inputs after every step.
+        let net = net_with_cap(2.0);
+        let d = demands();
+        let w = WeightSetting::unit(&net);
+        let mut eval =
+            IncrementalEvaluator::new(&net, &w, &d, &WaypointSetting::none(d.len())).unwrap();
+        eval.set_link_state(EdgeId(4), false).unwrap();
+        let mut d2 = DemandList::new();
+        d2.push(NodeId(0), NodeId(3), 1.25);
+        d2.push(NodeId(1), NodeId(3), 1.0);
+        d2.push(NodeId(0), NodeId(2), 0.5);
+        eval.set_workload(&d2, &WaypointSetting::none(d2.len()))
+            .unwrap();
+        eval.set_capacity(EdgeId(3), 4.0).unwrap();
+        let net2 = {
+            let mut b = Network::builder(4);
+            b.link(NodeId(0), NodeId(1), 2.0);
+            b.link(NodeId(1), NodeId(3), 2.0);
+            b.link(NodeId(0), NodeId(2), 1.0);
+            b.link(NodeId(2), NodeId(3), 4.0);
+            b.link(NodeId(0), NodeId(3), 1.0);
+            b.build().unwrap()
+        };
+        let fresh = IncrementalEvaluator::new_with_failures(
+            &net2,
+            &WeightSetting::unit(&net2),
+            &d2,
+            &WaypointSetting::none(d2.len()),
+            &[EdgeId(4)],
+        )
+        .unwrap();
+        assert_eq!(eval_bits(&eval), eval_bits(&fresh));
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub use log::{
     add_sink, elapsed_us, enabled, flush, level, set_level, set_sinks, Event, JsonlSink, Level,
     Sink, StderrSink,
 };
-pub use metrics::{registry, time_bounds_ms, Counter, Gauge, Histogram, Metric, Registry, Series};
+pub use metrics::{
+    latency_bounds_ms, registry, time_bounds_ms, Counter, Gauge, Histogram, Metric, Registry,
+    Series,
+};
 pub use profile::{
     collapsed_stacks, profile_nodes, profile_table, profiling, reset_profile, set_profiling,
     write_collapsed_stacks, ProfileNode,

@@ -229,6 +229,16 @@ pub fn time_bounds_ms() -> &'static [f64] {
     BOUNDS.get_or_init(|| (0..26).map(|i| 0.01 * 2f64.powi(i)).collect())
 }
 
+/// Finer-grained exponential bucket bounds for per-event serving latency in
+/// milliseconds: 1 µs to ~8 s, factor 1.5 per bucket. The factor-2
+/// [`time_bounds_ms`] buckets are too coarse for p99 estimates on
+/// sub-millisecond probe answers, where a bucket boundary doubles the
+/// reported quantile.
+pub fn latency_bounds_ms() -> &'static [f64] {
+    static BOUNDS: OnceLock<Vec<f64>> = OnceLock::new();
+    BOUNDS.get_or_init(|| (0..40).map(|i| 0.001 * 1.5f64.powi(i)).collect())
+}
+
 /// An append-only sample series, e.g. the per-iteration MLU trajectory of a
 /// local search.
 #[derive(Debug, Default)]

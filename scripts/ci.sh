@@ -153,4 +153,42 @@ EOF
 ./target/release/segrout report "$FR_DIR/run.json" "$FR_DIR/run.json"
 ./target/release/segrout catalog --check "$FR_DIR/metrics.jsonl"
 
+# Online-serving gate: after every event the daemon's in-place state must
+# be bit-identical to a from-scratch rebuild, and the whole event walk
+# must replay identically at 1 and 4 worker threads with either Dijkstra
+# engine (the suite itself iterates the thread/engine grid; the two env
+# runs additionally pin the ambient default).
+echo "==> serve differential suite (SEGROUT_THREADS=1 and =4)"
+SEGROUT_THREADS=1 cargo test -q --test serve_differential --test serve_counters
+SEGROUT_THREADS=4 cargo test -q --test serve_differential --test serve_counters
+
+# Wire-protocol gate: the real binary over stdio JSONL — well-formed
+# responses, monotone sequence numbers, error replies for malformed
+# events, and byte-identical double replay.
+echo "==> serve e2e suite (real binary over stdio)"
+cargo test -q --test serve_e2e
+
+# Serve-event fuzz smoke: a seed band biased toward cases carrying random
+# event streams (no-ops, link flaps, disconnecting failures, out-of-range
+# scalings) so the online-serving differential sees traffic on every run.
+echo "==> segrout fuzz smoke, serve-event band (seed 2042, 60 cases, --fast)"
+./target/release/segrout fuzz --seed 2042 --cases 60 --fast \
+    --corpus tests/corpus >/dev/null
+
+# Event-loop latency record (full numbers live in EXPERIMENTS.md; the
+# smoke run checks the bench path, the tier-partition asserts, and a
+# deliberately generous p99 bound as a catastrophic-regression tripwire).
+echo "==> bench_serve (writes BENCH_serve_fast.json)"
+SEGROUT_FAST=1 ./target/release/bench_serve
+test -s BENCH_serve_fast.json || { echo "BENCH_serve_fast.json missing"; exit 1; }
+python3 - <<'EOF'
+import json
+rec = json.load(open("BENCH_serve_fast.json"))
+assert rec["events"] >= 60, rec["events"]
+assert rec["probe_only"] + rec["local_reopts"] + rec["escalations"] + rec["errors"] == rec["events"]
+# Generous: the fast trace's p99 sits well under 10 ms on one core.
+assert rec["latency_p99_ms"] < 250.0, f"serve p99 regressed: {rec['latency_p99_ms']} ms"
+print(f"bench_serve OK: p50 {rec['latency_p50_ms']:.3f} ms, p99 {rec['latency_p99_ms']:.3f} ms")
+EOF
+
 echo "CI OK"

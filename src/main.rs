@@ -11,10 +11,11 @@
 
 use segrout::algos::{
     greedy_wpo, greedy_wpo_robust, heur_ospf, heur_ospf_failure_robust, heur_ospf_robust,
-    joint_heur, joint_heur_robust, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig,
+    joint_heur, joint_heur_robust, GreedyWpoConfig, HeurOspfConfig, JointHeurConfig, ServeConfig,
+    ServeEvent, ServeResponse, ServeSession,
 };
 use segrout::core::{
-    evaluate_robust, sweep_failures, FailureSet, Network, RobustObjective, Router,
+    evaluate_robust, sweep_failures, EdgeId, FailureSet, Network, NodeId, RobustObjective, Router,
     UtilizationReport, WaypointSetting, WeightSetting,
 };
 use segrout::instances::{instance1, instance2, instance3, instance4, instance5, PaperInstance};
@@ -52,6 +53,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "topo" => cmd_topo(&args[1..]),
         "optimize" => cmd_optimize(&flags),
+        "serve" => cmd_serve(&flags),
         "sweep" => cmd_sweep(&flags),
         "gaps" => cmd_gaps(&flags),
         "parse" => cmd_parse(&flags),
@@ -95,6 +97,20 @@ USAGE:
                    against a set of K traffic matrices (default 4) under the
                    worst-case or quantile objective (default worst)
                    [--save <config-file>] [--load <config-file>]
+  segrout serve --topology <name> [--traffic mcf|gravity] [--seed N] [--pairs F]
+                [--algorithm unit|invcap|heurospf|greedywpo|joint] [--load <config-file>]
+                [--restarts N] [--passes N] [--budget K] [--slo-ms MS]
+                [--reopt-ratio R] [--escalate-ratio R]
+                [--events <file.jsonl> | --listen <addr:port>]
+                online reoptimization daemon: optimize an initial configuration,
+                then read JSONL events (stdin by default) — demand scaling,
+                matrix replacement, link up/down, capacity changes — and answer
+                each with a tiered policy (probe / budgeted local search /
+                full-budget escalation), emitting one JSON response per event
+                on stdout with the minimal-churn weight diff; --budget caps
+                weight changes per local reopt (default 3), --slo-ms sets the
+                per-event latency SLO (default 50, 0 disables); an
+                {{\"event\":\"shutdown\"}} line stops the daemon
   segrout sweep --topology <name> [--traffic mcf|gravity] [--seed N] [--pairs F]
                 [--algorithm unit|invcap|heurospf|greedywpo|joint|failrobust]
                 [--doubles] [--scalings 0.8,1.0,1.2] [--robust worst|q<value>]
@@ -244,9 +260,12 @@ fn finish_flight_recorder(cmd: &str, flags: &HashMap<String, String>) -> Result<
         let seed = flags.get("seed").and_then(|s| s.parse::<u64>().ok());
         let mut extra: Vec<(&str, segrout::obs::Json)> = Vec::new();
         for key in ["topology", "algorithm", "traffic"] {
-            if cmd == "optimize" {
+            if cmd == "optimize" || cmd == "serve" {
                 let default = match key {
                     "topology" => "Abilene",
+                    // The daemon's default initial configuration comes from
+                    // the weight search alone (waypoints arrive later).
+                    "algorithm" if cmd == "serve" => "heurospf",
                     "algorithm" => "joint",
                     _ => "mcf",
                 };
@@ -453,6 +472,51 @@ const METRIC_CATALOG: &[(&str, &str, &str)] = &[
         "gauge",
         "final MLU of the evaluated configuration",
     ),
+    (
+        "serve.errors",
+        "counter",
+        "serve events rejected with an error reply",
+    ),
+    (
+        "serve.escalations",
+        "counter",
+        "serve events escalated to the full-budget re-solve",
+    ),
+    (
+        "serve.events",
+        "counter",
+        "events consumed by the serving loop",
+    ),
+    (
+        "serve.latency_ms",
+        "histogram",
+        "per-event serving latency (ms)",
+    ),
+    (
+        "serve.local_reopts",
+        "counter",
+        "serve events answered by the budgeted local search",
+    ),
+    (
+        "serve.mlu",
+        "gauge",
+        "post-event MLU of the serving session",
+    ),
+    (
+        "serve.probe_only",
+        "counter",
+        "serve events answered by the probe tier alone",
+    ),
+    (
+        "serve.slo_violations",
+        "counter",
+        "serve events answered slower than the --slo-ms budget",
+    ),
+    (
+        "serve.weight_churn",
+        "counter",
+        "link-weight changes deployed across all serve events",
+    ),
     ("simplex.pivots", "counter", "simplex pivot operations"),
     (
         "sweep.disconnects",
@@ -495,6 +559,7 @@ const SPAN_CATALOG: &[&str] = &[
     "par.batch",
     "reopt.joint",
     "reopt.weights",
+    "serve.event",
     "simplex",
     "sweep",
 ];
@@ -1089,6 +1154,300 @@ fn run_algorithm(
         }
         other => Err(format!("unknown algorithm '{other}'")),
     }
+}
+
+/// `segrout serve`: the online reoptimization daemon. Optimizes an initial
+/// configuration, opens a [`ServeSession`] (one live incremental evaluator,
+/// never rebuilt), and answers a JSONL event stream — stdin by default,
+/// `--events <file>` for replay, `--listen <addr>` for TCP. stdout carries
+/// exactly one JSON response per input line (the protocol); all human
+/// output goes to stderr, so replaying the same event log twice produces
+/// byte-identical response streams.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    // Pre-register the serving metric catalog so every run reports the same
+    // names (zero-valued when a tier never fired).
+    for name in [
+        "serve.events",
+        "serve.errors",
+        "serve.probe_only",
+        "serve.local_reopts",
+        "serve.escalations",
+        "serve.slo_violations",
+        "serve.weight_churn",
+        "reopt.evaluations",
+        "incr.probes",
+        "incr.dirty_dests",
+        "incr.clean_dests",
+        "incr.repairs",
+        "incr.disable_probes",
+        "arena.reuses",
+        "arena.rebuilds",
+        "ecmp.recomputes",
+        "dijkstra.runs",
+    ] {
+        segrout::obs::counter(name);
+    }
+    let latency = segrout::obs::histogram("serve.latency_ms", segrout::obs::latency_bounds_ms());
+    segrout::obs::gauge("serve.mlu");
+
+    let topo_name = flags
+        .get("topology")
+        .map(String::as_str)
+        .unwrap_or("Abilene");
+    let net = by_name(topo_name).ok_or_else(|| format!("unknown topology '{topo_name}'"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let pairs: f64 = flags
+        .get("pairs")
+        .map(|s| s.parse().map_err(|_| "bad --pairs"))
+        .transpose()?
+        .unwrap_or(0.2);
+    let cfg = TrafficConfig {
+        seed,
+        pair_fraction: pairs,
+        ..Default::default()
+    };
+    let demands = match flags.get("traffic").map(String::as_str).unwrap_or("mcf") {
+        "mcf" => mcf_synthetic(&net, &cfg),
+        "gravity" => gravity(&net, &cfg),
+        other => return Err(format!("unknown traffic model '{other}'")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let algorithm = flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("heurospf");
+    let ospf = ospf_config(flags, seed)?;
+    let (weights, waypoints) = if let Some(path) = flags.get("load") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        segrout::core::read_config(&net, &demands, &text).map_err(|e| e.to_string())?
+    } else {
+        let _span = segrout::obs::span("optimize");
+        run_algorithm(&net, &demands, algorithm, &ospf)?
+    };
+
+    let mut scfg = ServeConfig::default();
+    scfg.reopt.ospf = ospf;
+    if let Some(b) = flags.get("budget") {
+        scfg.reopt.max_weight_changes = b
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--budget: expected a positive integer")?;
+    }
+    if let Some(s) = flags.get("slo-ms") {
+        scfg.slo_ms = s
+            .parse()
+            .ok()
+            .filter(|x: &f64| x.is_finite())
+            .ok_or("--slo-ms: expected a number (0 disables)")?;
+    }
+    for (key, slot) in [
+        ("reopt-ratio", &mut scfg.reopt_ratio as &mut f64),
+        ("escalate-ratio", &mut scfg.escalate_ratio),
+    ] {
+        if let Some(v) = flags.get(key) {
+            *slot = v
+                .parse()
+                .ok()
+                .filter(|x: &f64| x.is_finite() && *x >= 1.0)
+                .ok_or_else(|| format!("--{key}: expected a number >= 1"))?;
+        }
+    }
+
+    let n_demands = demands.len();
+    let mut session = ServeSession::new(&net, &weights, demands, waypoints, scfg)
+        .map_err(|e| format!("cannot open serving session: {e}"))?;
+    eprintln!(
+        "serve: {topo_name} ({} nodes, {} links), {n_demands} demands; \
+         initial {algorithm} MLU {:.4}; budget {} weight change(s)/reopt, SLO {} ms",
+        net.node_count(),
+        net.edge_count(),
+        session.evaluator().mlu(),
+        session.config().reopt.max_weight_changes,
+        session.config().slo_ms,
+    );
+
+    if let Some(addr) = flags.get("listen") {
+        serve_tcp(addr, &mut session)?;
+    } else if let Some(path) = flags.get("events") {
+        let file = std::fs::File::open(path).map_err(|e| format!("--events {path}: {e}"))?;
+        let mut out = std::io::stdout().lock();
+        serve_stream(&mut session, std::io::BufReader::new(file), &mut out)?;
+    } else {
+        let stdin = std::io::stdin().lock();
+        let mut out = std::io::stdout().lock();
+        serve_stream(&mut session, stdin, &mut out)?;
+    }
+
+    let st = *session.stats();
+    eprintln!(
+        "serve: {} event(s): {} probe-only, {} local reopt(s), {} escalation(s), {} error(s)",
+        st.events, st.probe_only, st.local_reopts, st.escalations, st.errors
+    );
+    eprintln!(
+        "serve: total churn {} weight change(s); latency p50 {:.3} ms, p99 {:.3} ms; \
+         {} SLO violation(s)",
+        st.weight_churn,
+        latency.quantile(0.5),
+        latency.quantile(0.99),
+        st.slo_violations
+    );
+    segrout::obs::gauge("run.mlu").set(session.evaluator().mlu());
+    eprintln!("\nrun summary:\n{}", segrout::obs::summary_table());
+    Ok(())
+}
+
+/// Feeds one JSONL event stream through the session, writing one response
+/// line per input line. Returns `true` when a shutdown event arrived.
+fn serve_stream<R: std::io::BufRead, W: std::io::Write>(
+    session: &mut ServeSession<'_>,
+    input: R,
+    out: &mut W,
+) -> Result<bool, String> {
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("event stream: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let response = match parse_event(line) {
+            Ok(None) => {
+                // Shutdown is a control line, not an event: it gets an ack,
+                // consumes no sequence number, and stops the daemon.
+                let bye = segrout::obs::Json::obj([
+                    ("type", segrout::obs::Json::from("bye")),
+                    ("events", segrout::obs::Json::from(session.stats().events)),
+                ]);
+                writeln!(out, "{}", bye.render()).map_err(|e| format!("response stream: {e}"))?;
+                out.flush().map_err(|e| format!("response stream: {e}"))?;
+                return Ok(true);
+            }
+            Ok(Some(event)) => session.apply(&event),
+            Err(reason) => session.reject(&reason),
+        };
+        writeln!(out, "{}", render_response(&response))
+            .map_err(|e| format!("response stream: {e}"))?;
+        // The daemon is interactive: every answer must reach the peer now,
+        // not at buffer-boundary time.
+        out.flush().map_err(|e| format!("response stream: {e}"))?;
+    }
+    Ok(false)
+}
+
+/// Accepts TCP connections one at a time, serving each until it closes;
+/// session state persists across connections. A shutdown event terminates
+/// the daemon.
+fn serve_tcp(addr: &str, session: &mut ServeSession<'_>) -> Result<(), String> {
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("--listen {addr}: {e}"))?;
+    match listener.local_addr() {
+        Ok(a) => eprintln!("serve: listening on {a}"),
+        Err(_) => eprintln!("serve: listening on {addr}"),
+    }
+    for conn in listener.incoming() {
+        let stream = conn.map_err(|e| format!("accept: {e}"))?;
+        let reader =
+            std::io::BufReader::new(stream.try_clone().map_err(|e| format!("socket: {e}"))?);
+        let mut writer = stream;
+        if serve_stream(session, reader, &mut writer)? {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Parses one JSONL input line into a [`ServeEvent`]. `Ok(None)` is the
+/// shutdown control line; `Err` is a malformed line the session will
+/// reject (with the reason echoed in the error reply).
+fn parse_event(line: &str) -> Result<Option<ServeEvent>, String> {
+    let rec = segrout::obs::Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let kind = rec["event"]
+        .as_str()
+        .ok_or("missing or non-string 'event' field")?;
+    let uint_field = |name: &str| -> Result<u32, String> {
+        rec[name]
+            .as_i64()
+            .and_then(|i| u32::try_from(i).ok())
+            .ok_or_else(|| format!("'{name}' must be a non-negative integer"))
+    };
+    let float_field = |name: &str| -> Result<f64, String> {
+        rec[name]
+            .as_f64()
+            .ok_or_else(|| format!("'{name}' must be a number"))
+    };
+    match kind {
+        "noop" => Ok(Some(ServeEvent::Noop)),
+        "shutdown" => Ok(None),
+        "demand" => Ok(Some(ServeEvent::DemandScale {
+            index: uint_field("index")? as usize,
+            factor: float_field("factor")?,
+        })),
+        "matrix" => {
+            let entries = rec["demands"]
+                .as_arr()
+                .ok_or("'demands' must be an array of [src, dst, size] triples")?;
+            let mut demands = Vec::with_capacity(entries.len());
+            for (i, entry) in entries.iter().enumerate() {
+                let triple = entry
+                    .as_arr()
+                    .filter(|t| t.len() == 3)
+                    .ok_or_else(|| format!("demands[{i}] must be [src, dst, size]"))?;
+                let node = |j: usize| {
+                    triple[j]
+                        .as_i64()
+                        .and_then(|x| u32::try_from(x).ok())
+                        .ok_or_else(|| format!("demands[{i}][{j}] must be a node id"))
+                };
+                let size = triple[2]
+                    .as_f64()
+                    .ok_or_else(|| format!("demands[{i}][2] must be a number"))?;
+                demands.push((NodeId(node(0)?), NodeId(node(1)?), size));
+            }
+            Ok(Some(ServeEvent::DemandMatrix { demands }))
+        }
+        "link_down" => Ok(Some(ServeEvent::LinkDown {
+            edge: EdgeId(uint_field("edge")?),
+        })),
+        "link_up" => Ok(Some(ServeEvent::LinkUp {
+            edge: EdgeId(uint_field("edge")?),
+        })),
+        "capacity" => Ok(Some(ServeEvent::Capacity {
+            edge: EdgeId(uint_field("edge")?),
+            capacity: float_field("capacity")?,
+        })),
+        other => Err(format!("unknown event type '{other}'")),
+    }
+}
+
+/// Renders a [`ServeResponse`] as one protocol line. Latency is excluded:
+/// it is the one nondeterministic field, and the protocol stream must be
+/// byte-identical across replays of the same event log.
+fn render_response(r: &ServeResponse) -> String {
+    use segrout::obs::Json;
+    let diffs = Json::arr(
+        r.weight_diffs
+            .iter()
+            .map(|&(e, old, new)| Json::arr([Json::from(e.0), Json::from(old), Json::from(new)])),
+    );
+    let mut fields = vec![
+        ("type", Json::from("serve")),
+        ("seq", Json::from(r.seq)),
+        ("tier", Json::from(r.tier.as_str())),
+        ("mlu", Json::from(r.mlu)),
+        ("phi", Json::from(r.phi)),
+        ("churn", Json::from(r.churn)),
+        ("evaluations", Json::from(r.evaluations)),
+        ("weight_diffs", diffs),
+    ];
+    if let Some(e) = &r.error {
+        fields.push(("error", Json::from(e.as_str())));
+    }
+    Json::obj(fields).render()
 }
 
 fn cmd_gaps(flags: &HashMap<String, String>) -> Result<(), String> {

@@ -1,0 +1,142 @@
+//! End-to-end protocol tests: spawn the real `segrout serve` binary over
+//! stdio JSONL and check the wire contract — well-formed responses,
+//! monotone sequence numbers, error replies (not process death) for
+//! malformed events, a shutdown ack, and byte-identical response streams
+//! when the same event log is replayed.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Runs `segrout serve` with the given extra args, feeding `input` on
+/// stdin; returns (stdout, stderr, success).
+fn run_serve(input: &str, extra: &[&str]) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_segrout"));
+    cmd.arg("serve")
+        .args(["--topology", "Abilene", "--restarts", "0", "--passes", "2"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped")
+        .write_all(input.as_bytes())
+        .expect("stdin accepts the event log");
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        String::from_utf8(out.stdout).expect("stdout is UTF-8"),
+        String::from_utf8(out.stderr).expect("stderr is UTF-8"),
+        out.status.success(),
+    )
+}
+
+const EVENT_LOG: &str = r#"{"event":"noop"}
+{"event":"demand","index":3,"factor":1.7}
+{"event":"link_down","edge":4}
+{"event":"capacity","edge":1,"capacity":4000}
+not json at all
+{"event":"demand","index":999999,"factor":2.0}
+{"event":"mystery"}
+{"event":"link_up","edge":4}
+{"event":"matrix","demands":[[0,5,100.0],[5,0,50.0],[2,9,25.0]]}
+{"event":"shutdown"}
+"#;
+
+#[test]
+fn protocol_round_trip_is_well_formed() {
+    let (stdout, stderr, ok) = run_serve(EVENT_LOG, &[]);
+    assert!(ok, "serve must exit cleanly; stderr:\n{stderr}");
+
+    let lines: Vec<&str> = stdout.lines().collect();
+    // One response per input line: 9 events + the shutdown ack.
+    assert_eq!(lines.len(), 10, "stdout:\n{stdout}");
+
+    for (i, line) in lines.iter().take(9).enumerate() {
+        let rec = segrout::obs::Json::parse(line)
+            .unwrap_or_else(|e| panic!("line {i} is not JSON ({e}): {line}"));
+        assert_eq!(rec["type"].as_str(), Some("serve"), "line {i}");
+        assert_eq!(
+            rec["seq"].as_i64(),
+            Some(i as i64 + 1),
+            "seq must be monotone through errors (line {i})"
+        );
+        let tier = rec["tier"].as_str().expect("tier present");
+        assert!(
+            ["none", "local", "escalate", "error"].contains(&tier),
+            "line {i}: unknown tier {tier}"
+        );
+        let mlu = rec["mlu"].as_f64().expect("mlu present");
+        assert!(mlu.is_finite() && mlu > 0.0, "line {i}: mlu {mlu}");
+        assert!(rec["phi"].as_f64().is_some(), "line {i}: phi");
+        let churn = rec["churn"].as_i64().expect("churn present");
+        let diffs = rec["weight_diffs"].as_arr().expect("weight_diffs present");
+        assert_eq!(churn as usize, diffs.len(), "line {i}: churn accounting");
+        // Responses must not leak wall-clock times into the protocol.
+        assert!(
+            rec["latency_ms"].as_f64().is_none(),
+            "line {i}: latency is bookkeeping, not protocol"
+        );
+    }
+
+    // The three malformed lines (bad JSON, out-of-range index, unknown
+    // event) get error replies in place.
+    for (i, want) in [
+        (4, "invalid JSON"),
+        (5, "demand index"),
+        (6, "unknown event type"),
+    ] {
+        let rec = segrout::obs::Json::parse(lines[i]).expect("parsed above");
+        assert_eq!(rec["tier"].as_str(), Some("error"), "line {i}");
+        let err = rec["error"].as_str().expect("error reason present");
+        assert!(
+            err.contains(want),
+            "line {i}: reason {err:?} missing {want:?}"
+        );
+    }
+
+    // Shutdown control line gets the ack, not a serve response.
+    let bye = segrout::obs::Json::parse(lines[9]).expect("ack is JSON");
+    assert_eq!(bye["type"].as_str(), Some("bye"));
+    assert_eq!(bye["events"].as_i64(), Some(9));
+}
+
+#[test]
+fn replaying_the_same_event_log_is_byte_identical() {
+    let (first, _, ok1) = run_serve(EVENT_LOG, &[]);
+    let (second, _, ok2) = run_serve(EVENT_LOG, &[]);
+    assert!(ok1 && ok2);
+    assert_eq!(first, second, "replay must be byte-identical");
+    // And at 4 worker threads as well.
+    let (threaded, _, ok3) = run_serve(EVENT_LOG, &["--threads", "4"]);
+    assert!(ok3);
+    assert_eq!(
+        first, threaded,
+        "replay must be byte-identical at any thread count"
+    );
+}
+
+#[test]
+fn event_file_replay_matches_stdin() {
+    let dir = std::env::temp_dir().join(format!("segrout_serve_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("events.jsonl");
+    std::fs::write(&path, EVENT_LOG).expect("event log written");
+    let (stdin_out, _, ok1) = run_serve(EVENT_LOG, &[]);
+    let (file_out, _, ok2) = run_serve("", &["--events", path.to_str().expect("utf-8 path")]);
+    assert!(ok1 && ok2);
+    assert_eq!(stdin_out, file_out, "--events must match the stdin stream");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eof_without_shutdown_exits_cleanly() {
+    let (stdout, stderr, ok) = run_serve("{\"event\":\"noop\"}\n", &[]);
+    assert!(ok, "EOF is a clean exit; stderr:\n{stderr}");
+    assert_eq!(stdout.lines().count(), 1);
+    assert!(
+        stderr.contains("1 event(s)"),
+        "summary goes to stderr:\n{stderr}"
+    );
+}
